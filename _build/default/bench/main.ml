@@ -1,0 +1,327 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 6) plus the repository's ablations, then runs one
+   Bechamel micro-benchmark per table/figure kernel.
+
+   Usage:
+     dune exec bench/main.exe                 # standard scale (minutes)
+     dune exec bench/main.exe -- --quick      # smoke scale (seconds)
+     dune exec bench/main.exe -- --paper      # the paper's full sizes
+     dune exec bench/main.exe -- fig5 fig10   # only selected sections *)
+
+open Whynot
+module E = Experiments
+
+type scale = Quick | Standard | Paper
+
+let scale = ref Standard
+let only : string list ref = ref []
+
+let () =
+  let expect_csv_dir = ref false in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        if !expect_csv_dir then begin
+          E.Harness.set_csv_dir (Some arg);
+          expect_csv_dir := false
+        end
+        else
+          match arg with
+          | "--quick" -> scale := Quick
+          | "--paper" -> scale := Paper
+          | "--standard" -> scale := Standard
+          | "--csv" -> expect_csv_dir := true
+          | section -> only := section :: !only)
+    Sys.argv
+
+let pick ~quick ~standard ~paper =
+  match !scale with Quick -> quick | Standard -> standard | Paper -> paper
+
+let section name f =
+  if !only = [] || List.mem name !only then begin
+    Format.printf "@.=== %s ===@.@." name;
+    let (), dt = E.Harness.time f in
+    Format.printf "[section %s took %.1f s]@." name dt
+  end
+
+(* --- paper tables --- *)
+
+let table1 () = E.Table1.print (E.Table1.run ())
+
+let table2 () =
+  E.Table2.print (E.Table2.run ~instances:(pick ~quick:2 ~standard:5 ~paper:10) ())
+
+(* --- consistency: Figure 5 --- *)
+
+let fig5 () =
+  let ns = pick ~quick:[ 1; 2; 3 ] ~standard:[ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+      ~paper:[ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+  in
+  let repeats = pick ~quick:2 ~standard:5 ~paper:10 in
+  E.Fig5.print (E.Fig5.run { E.Fig5.default with ns; repeats })
+
+(* --- modification: Figures 6-11 --- *)
+
+let fig6 () =
+  let config =
+    {
+      E.Fig6.default with
+      event_counts = pick ~quick:[ 4; 6 ] ~standard:[ 4; 6; 8; 10 ] ~paper:[ 4; 6; 8; 10 ];
+      days = pick ~quick:8 ~standard:20 ~paper:30;
+    }
+  in
+  E.Fig6.print (E.Fig6.run config)
+
+let rtfm_tuples () = pick ~quick:200 ~standard:6000 ~paper:10_000
+
+let fig7 () =
+  E.Rtfm_sweep.print ~title:"Figure 7: varying fault rate (distance 200)" ~vary:`Rate
+    (E.Rtfm_sweep.fig7 ~tuples:(rtfm_tuples ())
+       ~rates:[ 0.02; 0.05; 0.1; 0.15; 0.2 ] ())
+
+let fig8 () =
+  E.Rtfm_sweep.print ~title:"Figure 8: varying fault distance (rate 0.1)"
+    ~vary:`Distance
+    (E.Rtfm_sweep.fig8 ~tuples:(rtfm_tuples ()) ~distances:[ 50; 100; 200; 300; 400 ] ())
+
+let fig9 () =
+  let tuple_counts =
+    pick ~quick:[ 100; 200 ] ~standard:[ 1000; 2000; 4000; 6000 ]
+      ~paper:[ 2000; 4000; 6000; 8000; 10_000 ]
+  in
+  E.Rtfm_sweep.print ~title:"Figure 9: varying tuple number (rate 0.1, distance 200)"
+    ~vary:`Tuples
+    (E.Rtfm_sweep.fig9 ~tuple_counts ())
+
+let fig10 () =
+  let config =
+    {
+      E.Synthetic.default_fig10 with
+      ns = pick ~quick:[ 4; 6 ] ~standard:[ 4; 6; 8; 10; 12 ] ~paper:[ 4; 6; 8; 10; 12 ];
+      tuples = pick ~quick:100 ~standard:500 ~paper:1000;
+    }
+  in
+  E.Synthetic.print
+    ~title:"Figure 10: AND with embedded SEQ, ATLEAST 900 WITHIN 1000"
+    (E.Synthetic.fig10 config)
+
+let fig11 () =
+  let config =
+    {
+      E.Synthetic.default_fig11 with
+      ns =
+        pick ~quick:[ 2; 4 ] ~standard:[ 2; 3; 4; 5; 6; 8; 10 ]
+          ~paper:[ 2; 3; 4; 5; 6; 8; 10 ];
+      tuples = pick ~quick:100 ~standard:500 ~paper:1000;
+    }
+  in
+  E.Synthetic.print
+    ~title:"Figure 11: AND without embedded SEQ, ATLEAST 900 WITHIN 1000"
+    (E.Synthetic.fig11 config)
+
+(* --- application: Figure 12 --- *)
+
+let fig12_config () =
+  {
+    E.Fig12.default with
+    answers = pick ~quick:60 ~standard:200 ~paper:300;
+    non_answers = pick ~quick:20 ~standard:70 ~paper:100;
+  }
+
+let fig12a () =
+  E.Fig12.print ~title:"Figure 12(a): query accuracy vs fault rate (distance 160)"
+    ~vary:`Rate
+    (E.Fig12.fig12a ~config:(fig12_config ()) ~rates:[ 0.05; 0.1; 0.15; 0.2 ] ())
+
+let fig12b () =
+  E.Fig12.print ~title:"Figure 12(b): query accuracy vs fault distance (rate 0.1)"
+    ~vary:`Distance
+    (E.Fig12.fig12b ~config:(fig12_config ()) ~distances:[ 40; 80; 160; 320 ] ())
+
+(* --- ablations --- *)
+
+let ablations () =
+  E.Ablation.print_solver
+    (E.Ablation.solver_ablation
+       ~tuples:(pick ~quick:10 ~standard:50 ~paper:100)
+       ~ns:[ 4; 8; 12 ] ());
+  E.Ablation.print_sampling
+    (E.Ablation.sampling_ablation
+       ~repeats:(pick ~quick:10 ~standard:30 ~paper:50)
+       ~n:3 ~sample_counts:[ 1; 2; 4; 8; 16; 32 ] ());
+  E.Ablation.print_engines
+    (E.Ablation.consistency_engine_ablation
+       ~ns:(pick ~quick:[ 2; 4 ] ~standard:[ 2; 4; 6; 8; 10 ] ~paper:[ 2; 4; 6; 8; 10 ])
+       ());
+  E.Ablation.print_pw
+    (E.Ablation.possible_worlds_ablation
+       ~tuples:(pick ~quick:5 ~standard:20 ~paper:40)
+       ~ns:[ 2; 3; 4 ] ());
+  (* Multicore bulk explanation: identical results to sequential (tested);
+     wall-time scaling is bounded by the cores actually available — domain
+     counts beyond them only measure spawn/GC overhead, so the sweep stops
+     at the recommended count. *)
+  let cores = Domain.recommended_domain_count () in
+  let domain_counts =
+    List.filter (fun d -> d = 1 || d <= cores) [ 1; 2; 4; 8 ]
+  in
+  let prng = Whynot.Numeric.Prng.create 99 in
+  let tuples = pick ~quick:100 ~standard:1000 ~paper:4000 in
+  let clean = Datagen.Rtfm.generate prng ~tuples in
+  let observed = Datagen.Faults.trace prng ~rate:0.5 ~distance:400 clean in
+  let rows =
+    List.map
+      (fun domains ->
+        let _, dt =
+          E.Harness.time (fun () ->
+              Whynot.Cep.Bulk.explain_trace ~domains
+                ~strategy:Explain.Modification.Full Datagen.Rtfm.patterns observed)
+        in
+        [ string_of_int domains; E.Harness.ms dt ])
+      domain_counts
+  in
+  E.Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "Ablation: multicore bulk explanation (%d RTFM tuples, Pattern(Full), %d core(s) available)"
+         tuples cores)
+    ~header:[ "domains"; "wall time (ms)" ]
+    rows
+
+(* --- Bechamel micro-benchmarks: one Test.make per table/figure kernel --- *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let p0 =
+    Pattern.Parse.pattern_exn
+      "SEQ(AND(E1, E3) WITHIN 30, AND(E2, E4) WITHIN 30) ATLEAST 2 hours"
+  in
+  let t2 =
+    Events.Tuple.of_list [ ("E1", 1026); ("E2", 1134); ("E3", 1044); ("E4", 1208) ]
+  in
+  let net = Tcn.Encode.pattern_set [ p0 ] in
+  let fig5_patterns = Datagen.Workloads.fig4_pattern_set ~n:4 ~b:2 in
+  let prng = Numeric.Prng.create 123 in
+  let flight = Datagen.Flight.generate prng ~num_events:6 ~days:1 in
+  let flight_tuple =
+    snd (List.hd (Events.Trace.bindings flight.Datagen.Flight.observed))
+  in
+  let flight_net = Tcn.Encode.pattern_set [ flight.Datagen.Flight.pattern ] in
+  let rtfm_tuple =
+    let clean = snd (List.hd (Events.Trace.bindings (Datagen.Rtfm.generate prng ~tuples:1))) in
+    Datagen.Faults.tuple prng ~rate:0.3 ~distance:200 clean
+  in
+  let rtfm_net = Tcn.Encode.pattern_set Datagen.Rtfm.patterns in
+  let p10 = Datagen.Workloads.fig10_pattern ~n:8 in
+  let t10 =
+    Datagen.Faults.tuple prng ~rate:0.4 ~distance:500
+      (Datagen.Workloads.random_matching_tuple ~horizon:5000 prng [ p10 ])
+  in
+  let net10 = Tcn.Encode.pattern_set [ p10 ] in
+  let p11 = Datagen.Workloads.fig11_pattern ~n:6 in
+  let t11 =
+    Datagen.Faults.tuple prng ~rate:0.4 ~distance:500
+      (Datagen.Workloads.random_matching_tuple ~horizon:5000 prng [ p11 ])
+  in
+  let net11 = Tcn.Encode.pattern_set [ p11 ] in
+  let rtfm_trace =
+    Datagen.Faults.trace prng ~rate:0.1 ~distance:160 (Datagen.Rtfm.generate prng ~tuples:20)
+  in
+  let tests =
+    [
+      Test.make ~name:"table1/modification-full-p0"
+        (Staged.stage (fun () ->
+             Explain.Modification.explain_network ~strategy:Explain.Modification.Full net
+               t2));
+      Test.make ~name:"table2/match-check-p0"
+        (Staged.stage (fun () -> Pattern.Matcher.matches t2 p0));
+      Test.make ~name:"fig5/consistency-full-n4"
+        (Staged.stage (fun () -> Explain.Consistency.check fig5_patterns));
+      Test.make ~name:"fig6/repair-single-flight"
+        (Staged.stage (fun () ->
+             Explain.Modification.explain_network ~strategy:Explain.Modification.Single
+               flight_net flight_tuple));
+      Test.make ~name:"fig7-9/repair-single-rtfm"
+        (Staged.stage (fun () ->
+             Explain.Modification.explain_network ~strategy:Explain.Modification.Single
+               rtfm_net rtfm_tuple));
+      Test.make ~name:"fig10/repair-full-general-n8"
+        (Staged.stage (fun () ->
+             Explain.Modification.explain_network ~strategy:Explain.Modification.Full
+               net10 t10));
+      Test.make ~name:"fig11/repair-single-and-n6"
+        (Staged.stage (fun () ->
+             Explain.Modification.explain_network ~strategy:Explain.Modification.Single
+               net11 t11));
+      Test.make ~name:"fig12/explain-trace-20-tuples"
+        (Staged.stage (fun () ->
+             Cep.Query.explain_trace ~strategy:Explain.Modification.Single ~max_cost:480
+               Datagen.Rtfm.patterns rtfm_trace));
+      Test.make ~name:"ablation/repair-flow-general-n8"
+        (Staged.stage (fun () ->
+             Explain.Modification.explain_network ~solver:Explain.Modification.Flow
+               ~strategy:Explain.Modification.Full net10 t10));
+      Test.make ~name:"ablation/consistency-pruned-n4"
+        (Staged.stage (fun () ->
+             Explain.Consistency.check ~strategy:Explain.Consistency.Pruned
+               fig5_patterns));
+      Test.make ~name:"extension/query-repair-p0"
+        (Staged.stage (fun () -> Explain.Query_repair.explain [ p0 ] [ t2 ]));
+      Test.make ~name:"extension/topk-p0"
+        (Staged.stage (fun () -> Explain.Topk.explain ~k:3 [ p0 ] t2));
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:1000
+      ~quota:(Time.second (pick ~quick:0.2 ~standard:0.5 ~paper:1.0))
+      ~stabilize:true ()
+  in
+  let raw =
+    Benchmark.all cfg Instance.[ monotonic_clock ]
+      (Test.make_grouped ~name:"whynot" tests)
+  in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns_per_run =
+          match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan
+        in
+        (name, ns_per_run) :: acc)
+      results []
+    |> List.sort compare
+  in
+  E.Harness.print_table ~title:"Bechamel micro-benchmarks (per-call latency)"
+    ~header:[ "kernel"; "time per call" ]
+    (List.map
+       (fun (name, ns) ->
+         let human =
+           if Float.is_nan ns then "n/a"
+           else if ns > 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+           else if ns > 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+           else Printf.sprintf "%.1f us" (ns /. 1e3)
+         in
+         [ name; human ])
+       rows)
+
+let () =
+  Format.printf
+    "whynot benchmark harness — scale: %s@."
+    (match !scale with Quick -> "quick" | Standard -> "standard" | Paper -> "paper");
+  section "table1" table1;
+  section "table2" table2;
+  section "fig5" fig5;
+  section "fig6" fig6;
+  section "fig7" fig7;
+  section "fig8" fig8;
+  section "fig9" fig9;
+  section "fig10" fig10;
+  section "fig11" fig11;
+  section "fig12a" fig12a;
+  section "fig12b" fig12b;
+  section "ablations" ablations;
+  section "micro" micro

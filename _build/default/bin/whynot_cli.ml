@@ -1,0 +1,515 @@
+(* The whynot command-line tool: parse/inspect event pattern queries, match
+   tuples, check query consistency (Algorithm 1), explain non-answers by
+   timestamp modification (Algorithm 2), and generate benchmark datasets. *)
+
+open Cmdliner
+module Ast = Whynot.Pattern.Ast
+module Tuple = Whynot.Events.Tuple
+module Trace = Whynot.Events.Trace
+
+let pattern_set_conv =
+  let parse s =
+    match Whynot.Pattern.Parse.pattern_set s with
+    | Ok ps -> Ok ps
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf ps =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+      Ast.pp ppf ps
+  in
+  Arg.conv (parse, print)
+
+let query_arg =
+  Arg.(
+    required
+    & pos 0 (some pattern_set_conv) None
+    & info [] ~docv:"QUERY"
+        ~doc:
+          "Event pattern query: one or more patterns separated by ';', e.g. \
+           'SEQ(AND(E1, E3) WITHIN 30, AND(E2, E4) WITHIN 30) ATLEAST 2 hours'.")
+
+let trace_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "t"; "trace" ] ~docv:"CSV"
+        ~doc:"Trace file (CSV: tuple_id,event,timestamp).")
+
+let tuple_id_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "i"; "tuple" ] ~docv:"ID"
+        ~doc:"Restrict to one tuple of the trace (default: all).")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
+
+let print_json v = print_endline (Whynot.Report.Json.to_string ~indent:2 v)
+
+let load_trace path =
+  match Whynot.Events.Csv_io.read_trace path with
+  | Ok trace -> trace
+  | Error msg -> (
+      Printf.eprintf "error reading %s: %s\n" path msg;
+      exit 2)
+
+let selected_tuples trace = function
+  | None -> Trace.bindings trace
+  | Some id -> (
+      match Trace.find_opt trace id with
+      | Some t -> [ (id, t) ]
+      | None ->
+          Printf.eprintf "no tuple %s in trace\n" id;
+          exit 2)
+
+(* --- parse --- *)
+
+let parse_cmd =
+  let run query =
+    List.iter
+      (fun p ->
+        let shape =
+          match Ast.classify p with
+          | Ast.Simple -> "simple temporal network (no AND)"
+          | Ast.And_no_seq_inside -> "no SEQ embedded in AND"
+          | Ast.General -> "general (SEQ embedded in AND)"
+        in
+        Format.printf "%a@.  events: %d, size: %d, depth: %d, class: %s@." Ast.pp p
+          (Whynot.Events.Event.Set.cardinal (Ast.events p))
+          (Ast.size p) (Ast.depth p) shape)
+      query;
+    let net = Whynot.Tcn.Encode.pattern_set query in
+    Format.printf "encoding: %d interval conditions, %d binding conditions, %d bindings@."
+      (List.length net.set_intervals)
+      (List.length net.set_bindings)
+      (Whynot.Tcn.Bindings.count net.set_bindings)
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse a query and show its structure and encoding size.")
+    Term.(const run $ query_arg)
+
+(* --- check --- *)
+
+let check_cmd =
+  let samples_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "s"; "samples" ]
+          ~doc:"Use the randomized algorithm with $(docv) sampled bindings \
+                (default: exact full binding)."
+          ~docv:"N")
+  in
+  let run query samples json =
+    let strategy =
+      match samples with
+      | None -> Whynot.Explain.Consistency.Full
+      | Some s -> Whynot.Explain.Consistency.Sampled s
+    in
+    let report = Whynot.Explain.Consistency.check ~strategy query in
+    if json then begin
+      print_json (Whynot.Report.Render.consistency report);
+      exit (if report.consistent then 0 else 1)
+    end;
+    if report.consistent then begin
+      Format.printf "consistent (checked %d binding(s))@." report.bindings_checked;
+      match report.witness with
+      | Some w -> Format.printf "witness: %a@." Tuple.pp w
+      | None -> ()
+    end
+    else begin
+      Format.printf "inconsistent%s (checked %d binding(s))@."
+        (if report.exact then "" else " [randomized: may be a false negative]")
+        report.bindings_checked;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Pattern consistency explanation (Algorithm 1): decide whether any \
+          assignment of timestamps can satisfy the query.")
+    Term.(const run $ query_arg $ samples_arg $ json_arg)
+
+(* --- lint --- *)
+
+let lint_cmd =
+  let run query =
+    let report = Whynot.Explain.Lint.run query in
+    if not report.consistent then
+      Format.printf
+        "UNSATISFIABLE: no tuple can ever match this query (pattern \
+         consistency explanation)@.";
+    if report.findings = [] then Format.printf "no windows to analyse@."
+    else
+      List.iter
+        (fun f -> Format.printf "%a@." Whynot.Explain.Lint.pp_finding f)
+        report.findings;
+    let before, after = report.normalized_savings in
+    if after < before then
+      Format.printf
+        "hint: normalization shrinks the binding space %d -> %d (see \
+         Pattern.Rewrite.normalize)@."
+        before after;
+    let fatal =
+      List.exists
+        (fun f ->
+          match f.Whynot.Explain.Lint.verdict with
+          | Whynot.Explain.Lint.Fatal _ -> true
+          | _ -> false)
+        report.findings
+    in
+    if fatal || not report.consistent then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Analyse a query's windows: report bounds that are dead (implied by \
+          the rest of the query) or fatal (make the query unsatisfiable).")
+    Term.(const run $ query_arg)
+
+(* --- match --- *)
+
+let match_cmd =
+  let run query trace_path tuple_id =
+    let trace = load_trace trace_path in
+    List.iter
+      (fun (id, t) ->
+        match Whynot.Pattern.Matcher.explain_failure t query with
+        | None -> Format.printf "%s: MATCH@." id
+        | Some failure ->
+            Format.printf "%s: no match (%a)@." id Whynot.Pattern.Matcher.pp_failure
+              failure)
+      (selected_tuples trace tuple_id)
+  in
+  Cmd.v
+    (Cmd.info "match" ~doc:"Evaluate the query over a trace (one verdict per tuple).")
+    Term.(const run $ query_arg $ trace_arg $ tuple_id_arg)
+
+(* --- explain --- *)
+
+let explain_cmd =
+  let single_arg =
+    Arg.(
+      value & flag
+      & info [ "single" ]
+          ~doc:"Use the single-binding approximation (Definition 8) instead of \
+                the exact full binding.")
+  in
+  let run query trace_path tuple_id single json =
+    let strategy =
+      if single then Whynot.Explain.Modification.Single
+      else Whynot.Explain.Modification.Full
+    in
+    let trace = load_trace trace_path in
+    let report = Whynot.Explain.Consistency.check query in
+    if not report.consistent then begin
+      if json then
+        print_json
+          (Whynot.Report.Json.Obj
+             [
+               ("outcome", Whynot.Report.Json.String "inconsistent_query");
+               ("consistency", Whynot.Report.Render.consistency report);
+             ])
+      else
+        Format.printf
+          "query is inconsistent: no tuple can ever match (pattern consistency \
+           explanation)@.";
+      exit 1
+    end;
+    let results =
+      List.map
+        (fun (id, t) ->
+          let outcome =
+            Whynot.Explain.Pipeline.explain ~strategy query t
+          in
+          (id, t, outcome))
+        (selected_tuples trace tuple_id)
+    in
+    if json then
+      print_json
+        (Whynot.Report.Json.Obj
+           (List.map
+              (fun (id, t, outcome) ->
+                (id, Whynot.Report.Render.pipeline ~original:t outcome))
+              results))
+    else
+      List.iter
+        (fun (id, t, outcome) ->
+          match outcome with
+          | Whynot.Explain.Pipeline.Already_answer ->
+              Format.printf "%s: already matches@." id
+          | Whynot.Explain.Pipeline.Modify_timestamps { repaired; cost; _ } ->
+              Format.printf "%s: modification cost %d@." id cost;
+              List.iter
+                (fun (e, old_ts, new_ts) ->
+                  Format.printf "  %s: %d -> %d@." e old_ts new_ts)
+                (Tuple.diff t repaired)
+          | outcome -> Format.printf "%s: %a@." id Whynot.Explain.Pipeline.pp_outcome outcome)
+        results
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Timestamp modification explanation (Algorithm 2): minimally modify \
+          each non-answer's timestamps to make it match.")
+    Term.(const run $ query_arg $ trace_arg $ tuple_id_arg $ single_arg $ json_arg)
+
+(* --- diagnose --- *)
+
+let diagnose_cmd =
+  let run query trace_path json =
+    let trace = load_trace trace_path in
+    let report = Whynot.Explain.Diagnose.run query trace in
+    if json then print_json (Whynot.Report.Render.diagnose report)
+    else Format.printf "%a" Whynot.Explain.Diagnose.pp report
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:
+         "Aggregate why-not dashboard: failure classes and repair costs over \
+          a whole trace.")
+    Term.(const run $ query_arg $ trace_arg $ json_arg)
+
+(* --- why (top-k explanations) --- *)
+
+let why_cmd =
+  let k_arg =
+    Arg.(value & opt int 3 & info [ "k" ] ~doc:"Number of candidate explanations.")
+  in
+  let run query trace_path tuple_id k =
+    let trace = load_trace trace_path in
+    List.iter
+      (fun (id, t) ->
+        if Whynot.Pattern.Matcher.matches_set t query then
+          Format.printf "%s: already matches@." id
+        else
+          match Whynot.Explain.Topk.explain ~k query t with
+          | None -> Format.printf "%s: query is inconsistent@." id
+          | Some { candidates; blames; bindings_tried } ->
+              Format.printf "%s: %d candidate explanation(s) over %d binding(s)@." id
+                (List.length candidates) bindings_tried;
+              List.iteri
+                (fun rank c ->
+                  Format.printf "  #%d cost %d:@." (rank + 1) c.Whynot.Explain.Topk.cost;
+                  List.iter
+                    (fun (e, o, n) -> Format.printf "    %s: %d -> %d@." e o n)
+                    (Tuple.diff t c.repaired))
+                candidates;
+              Format.printf "  blame:@.";
+              List.iter
+                (fun b ->
+                  Format.printf "    %s modified in %.0f%% of candidates (mean shift %.1f)@."
+                    b.Whynot.Explain.Topk.event (100.0 *. b.frequency) b.mean_shift)
+                blames)
+      (selected_tuples trace tuple_id)
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:
+         "Ranked why-not explanations: the k cheapest distinct timestamp \
+          modifications, with a per-event blame summary.")
+    Term.(const run $ query_arg $ trace_arg $ tuple_id_arg $ k_arg)
+
+(* --- fix-query (query modification explanation) --- *)
+
+let fix_query_cmd =
+  let run query trace_path tuple_id =
+    let trace = load_trace trace_path in
+    let expected = List.map snd (selected_tuples trace tuple_id) in
+    match Whynot.Explain.Query_repair.explain query expected with
+    | Error f ->
+        Format.printf "not fixable by window changes: %a@."
+          Whynot.Explain.Query_repair.pp_failure f;
+        exit 1
+    | Ok { patterns; changes; cost } ->
+        if changes = [] then Format.printf "query already accepts all expected tuples@."
+        else begin
+          Format.printf "total window adjustment: %d@." cost;
+          List.iter
+            (fun c ->
+              Format.printf "  %a@." Whynot.Explain.Query_repair.pp_window_change c)
+            changes;
+          Format.printf "repaired query:@.";
+          List.iter (fun p -> Format.printf "  %a@." Ast.pp p) patterns
+        end
+  in
+  Cmd.v
+    (Cmd.info "fix-query"
+       ~doc:
+         "Query modification explanation: minimally relax the query's \
+          ATLEAST/WITHIN bounds so the expected tuples become answers.")
+    Term.(const run $ query_arg $ trace_arg $ tuple_id_arg)
+
+(* --- detect (streaming) --- *)
+
+let detect_cmd =
+  let stream_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "s"; "stream" ] ~docv:"CSV"
+          ~doc:"Stream file (CSV: event,timestamp[,tag]), timestamps non-decreasing.")
+  in
+  let horizon_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "horizon" ]
+          ~doc:"Time horizon for partial matches (default: the query's root WITHIN).")
+  in
+  let run query stream_path horizon =
+    let parse_line lineno line =
+      match String.split_on_char ',' (String.trim line) with
+      | [ e; ts ] | [ e; ts; _ ] -> (
+          match int_of_string_opt (String.trim ts) with
+          | Some timestamp ->
+              let tag =
+                match String.split_on_char ',' line with
+                | [ _; _; tag ] -> String.trim tag
+                | _ -> Printf.sprintf "#%d" lineno
+              in
+              { Whynot.Cep.Detector.event = String.trim e; timestamp; tag }
+          | None ->
+              Printf.eprintf "line %d: bad timestamp\n" lineno;
+              exit 2)
+      | _ ->
+          Printf.eprintf "line %d: expected event,timestamp[,tag]\n" lineno;
+          exit 2
+    in
+    let instances =
+      In_channel.with_open_text stream_path In_channel.input_lines
+      |> List.filteri (fun i line -> not (i = 0 && String.trim line = "event,timestamp,tag"))
+      |> List.filter (fun line -> String.trim line <> "")
+      |> List.mapi (fun i line -> parse_line (i + 1) line)
+    in
+    let detector = Whynot.Cep.Detector.create ?horizon query in
+    let matches = Whynot.Cep.Detector.feed_all detector instances in
+    List.iter
+      (fun m ->
+        Format.printf "match: %a@."
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+             (fun ppf (e, tag) ->
+               Format.fprintf ppf "%s=%s@@%d" e tag
+                 (Tuple.find m.Whynot.Cep.Detector.tuple e)))
+          m.Whynot.Cep.Detector.tags)
+      matches;
+    Format.printf "%d match(es); %d partial(s) live, %d dropped@."
+      (List.length matches)
+      (Whynot.Cep.Detector.partial_count detector)
+      (Whynot.Cep.Detector.dropped detector)
+  in
+  Cmd.v
+    (Cmd.info "detect"
+       ~doc:"Run the streaming detector over an interleaved event stream (CSV).")
+    Term.(const run $ query_arg $ stream_arg $ horizon_arg)
+
+(* --- convert --- *)
+
+let convert_cmd =
+  let in_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT"
+         ~doc:"Input trace (.csv or .xes, by extension).")
+  in
+  let out_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT"
+         ~doc:"Output trace (.csv or .xes, by extension).")
+  in
+  let run input output =
+    let load path =
+      if Filename.check_suffix path ".xes" then
+        match Whynot.Events.Xes.read_file path with
+        | Ok (trace, dropped) ->
+            if dropped > 0 then
+              Printf.eprintf "note: dropped %d repeated event(s) within traces\n" dropped;
+            trace
+        | Error msg ->
+            Printf.eprintf "error reading %s: %s\n" path msg;
+            exit 2
+      else load_trace path
+    in
+    let trace = load input in
+    if Filename.check_suffix output ".xes" then
+      Whynot.Events.Xes.write_file output trace
+    else Whynot.Events.Csv_io.write_trace output trace;
+    Format.printf "wrote %d tuple(s) to %s@." (Trace.cardinal trace) output
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Convert traces between the CSV interchange format and XES \
+             (IEEE 1849 process-mining event logs).")
+    Term.(const run $ in_arg $ out_arg)
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let kind_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("flight", `Flight); ("rtfm", `Rtfm) ])) None
+      & info [] ~docv:"KIND" ~doc:"Dataset kind: $(b,flight) or $(b,rtfm).")
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"CSV" ~doc:"Output trace file.")
+  in
+  let tuples_arg =
+    Arg.(value & opt int 100 & info [ "n"; "tuples" ] ~doc:"Number of tuples.")
+  in
+  let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let rate_arg =
+    Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~doc:"Fault injection rate.")
+  in
+  let distance_arg =
+    Arg.(value & opt int 200 & info [ "fault-distance" ] ~doc:"Fault distance.")
+  in
+  let run kind out tuples seed rate distance =
+    let prng = Whynot.Numeric.Prng.create seed in
+    let trace, query =
+      match kind with
+      | `Flight ->
+          let { Whynot.Datagen.Flight.pattern; observed; _ } =
+            Whynot.Datagen.Flight.generate prng ~num_events:4 ~days:tuples
+          in
+          (observed, [ pattern ])
+      | `Rtfm ->
+          let clean = Whynot.Datagen.Rtfm.generate prng ~tuples in
+          (clean, Whynot.Datagen.Rtfm.patterns)
+    in
+    let trace =
+      if rate > 0.0 then Whynot.Datagen.Faults.trace prng ~rate ~distance trace
+      else trace
+    in
+    Whynot.Events.Csv_io.write_trace out trace;
+    Format.printf "wrote %d tuples to %s@." (Trace.cardinal trace) out;
+    Format.printf "query: %a@."
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") Ast.pp)
+      query
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic benchmark trace (CSV).")
+    Term.(const run $ kind_arg $ out_arg $ tuples_arg $ seed_arg $ rate_arg $ distance_arg)
+
+let main =
+  let doc = "Why-not explanations for event pattern queries (SIGMOD 2021)" in
+  Cmd.group (Cmd.info "whynot" ~version:"1.0.0" ~doc)
+    [
+      parse_cmd;
+      check_cmd;
+      lint_cmd;
+      match_cmd;
+      explain_cmd;
+      diagnose_cmd;
+      why_cmd;
+      fix_query_cmd;
+      detect_cmd;
+      convert_cmd;
+      generate_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

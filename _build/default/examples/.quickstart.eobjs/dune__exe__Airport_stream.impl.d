@@ -1,0 +1,1 @@
+examples/airport_stream.ml: Cep Events Explain Format List Pattern Printf String Whynot

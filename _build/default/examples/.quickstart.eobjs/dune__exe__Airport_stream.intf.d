@@ -1,0 +1,1 @@
+examples/airport_stream.mli:

@@ -1,0 +1,1 @@
+examples/cluster_jobs.ml: Events Explain Format List Pattern Whynot

@@ -1,0 +1,1 @@
+examples/cluster_jobs.mli:

@@ -1,0 +1,1 @@
+examples/covid_tracing.ml: Cep Datagen Events Explain Format List Numeric Option Pattern String Whynot

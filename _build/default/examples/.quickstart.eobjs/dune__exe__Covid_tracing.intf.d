@@ -1,0 +1,1 @@
+examples/covid_tracing.mli:

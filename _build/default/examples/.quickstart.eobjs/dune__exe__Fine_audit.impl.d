@@ -1,0 +1,1 @@
+examples/fine_audit.ml: Datagen Events Explain Filename Format List Numeric Option Pattern Printf String Sys Whynot

@@ -1,0 +1,1 @@
+examples/fine_audit.mli:

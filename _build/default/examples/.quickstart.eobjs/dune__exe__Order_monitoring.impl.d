@@ -1,0 +1,1 @@
+examples/order_monitoring.ml: Events Explain Format List Pattern Whynot

@@ -1,0 +1,1 @@
+examples/order_monitoring.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Events Explain Format List Pattern Whynot

@@ -1,0 +1,1 @@
+examples/vehicle_tracking.ml: Cep Datagen Events Explain Format List Numeric Option Pattern Printf String Whynot

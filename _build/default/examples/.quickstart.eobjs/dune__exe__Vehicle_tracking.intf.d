@@ -1,0 +1,1 @@
+examples/vehicle_tracking.mli:

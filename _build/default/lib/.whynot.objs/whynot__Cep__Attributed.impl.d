@@ -1,0 +1,1 @@
+lib/cep/attributed.ml: Events List Map Pattern String Where

@@ -1,0 +1,1 @@
+lib/cep/attributed.mli: Events Pattern Where

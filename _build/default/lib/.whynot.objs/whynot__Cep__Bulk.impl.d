@@ -1,0 +1,1 @@
+lib/cep/bulk.ml: Array Domain Events Explain Format List Option Pattern Tcn

@@ -1,0 +1,1 @@
+lib/cep/bulk.mli: Events Explain Pattern

@@ -1,0 +1,1 @@
+lib/cep/detector.ml: Events Explain Format List Pattern Tcn

@@ -1,0 +1,1 @@
+lib/cep/detector.mli: Events Pattern

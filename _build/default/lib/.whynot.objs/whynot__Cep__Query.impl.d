@@ -1,0 +1,1 @@
+lib/cep/query.ml: Events Explain Format List Pattern Set String Tcn

@@ -1,0 +1,1 @@
+lib/cep/query.mli: Events Explain Format Pattern

@@ -1,0 +1,1 @@
+lib/cep/sql.ml: Events Format List Pattern Printf Seq String Tcn

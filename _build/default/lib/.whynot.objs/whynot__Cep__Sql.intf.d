@@ -1,0 +1,1 @@
+lib/cep/sql.mli: Events Pattern

@@ -1,0 +1,1 @@
+lib/cep/stream.mli: Events Explain Pattern

@@ -1,0 +1,1 @@
+lib/cep/where.ml: Array Events Format List Printf String

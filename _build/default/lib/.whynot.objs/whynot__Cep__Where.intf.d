@@ -1,0 +1,1 @@
+lib/cep/where.mli: Events Format

@@ -1,0 +1,1 @@
+lib/datagen/faults.ml: Events Numeric

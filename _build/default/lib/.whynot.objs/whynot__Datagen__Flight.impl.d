@@ -1,0 +1,1 @@
+lib/datagen/flight.ml: Events List Numeric Pattern Printf Workloads

@@ -1,0 +1,1 @@
+lib/datagen/flight.mli: Events Numeric Pattern

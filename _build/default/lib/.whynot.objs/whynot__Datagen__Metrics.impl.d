@@ -1,0 +1,1 @@
+lib/datagen/metrics.ml: Events List

@@ -1,0 +1,1 @@
+lib/datagen/process_sim.ml: Events Hashtbl List Numeric Printf Result

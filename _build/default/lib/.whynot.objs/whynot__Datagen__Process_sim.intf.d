@@ -1,0 +1,1 @@
+lib/datagen/process_sim.mli: Events Numeric

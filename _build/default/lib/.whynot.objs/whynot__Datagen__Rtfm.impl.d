@@ -1,0 +1,1 @@
+lib/datagen/rtfm.ml: Events Numeric Pattern Printf Process_sim

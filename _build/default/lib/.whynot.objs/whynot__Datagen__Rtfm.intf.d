@@ -1,0 +1,1 @@
+lib/datagen/rtfm.mli: Events Numeric Pattern

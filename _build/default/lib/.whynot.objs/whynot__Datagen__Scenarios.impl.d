@@ -1,0 +1,1 @@
+lib/datagen/scenarios.ml: Pattern Process_sim

@@ -1,0 +1,1 @@
+lib/datagen/scenarios.mli: Events Numeric Pattern Process_sim

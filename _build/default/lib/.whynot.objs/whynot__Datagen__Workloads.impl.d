@@ -1,0 +1,1 @@
+lib/datagen/workloads.ml: Events List Numeric Pattern Printf Seq Tcn

@@ -1,0 +1,1 @@
+lib/datagen/workloads.mli: Events Numeric Pattern

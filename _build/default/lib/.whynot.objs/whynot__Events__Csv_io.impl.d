@@ -1,0 +1,1 @@
+lib/events/csv_io.ml: Buffer Fun In_channel List Printf String Trace Tuple

@@ -1,0 +1,1 @@
+lib/events/csv_io.mli: Trace

@@ -1,0 +1,1 @@
+lib/events/event.ml: Format Map Printf Set String

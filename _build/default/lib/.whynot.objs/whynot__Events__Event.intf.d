@@ -1,0 +1,1 @@
+lib/events/event.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/events/time.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/events/time.mli: Format

@@ -1,0 +1,1 @@
+lib/events/trace.ml: Format List Map String Tuple

@@ -1,0 +1,1 @@
+lib/events/trace.mli: Format Tuple

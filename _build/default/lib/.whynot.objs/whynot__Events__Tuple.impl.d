@@ -1,0 +1,1 @@
+lib/events/tuple.ml: Event Format Int List Time

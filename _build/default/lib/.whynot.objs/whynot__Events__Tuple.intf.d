@@ -1,0 +1,1 @@
+lib/events/tuple.mli: Event Format Time

@@ -1,0 +1,1 @@
+lib/events/xes.ml: Buffer Fun In_channel List Printf Result String Trace Tuple

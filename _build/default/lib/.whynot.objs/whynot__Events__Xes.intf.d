@@ -1,0 +1,1 @@
+lib/events/xes.mli: Time Trace

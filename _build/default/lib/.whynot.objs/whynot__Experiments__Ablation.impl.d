@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Datagen Events Explain Harness List Numeric Pattern Printf Tcn

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Cep Datagen Events Explain Harness List Numeric Pattern Printf

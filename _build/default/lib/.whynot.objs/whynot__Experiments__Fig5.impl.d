@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Datagen Explain Harness Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Datagen Harness List Numeric Repair_run

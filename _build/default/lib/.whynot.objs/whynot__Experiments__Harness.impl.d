@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Buffer Char Explain Filename Fun List Option Printf String Sys Unix

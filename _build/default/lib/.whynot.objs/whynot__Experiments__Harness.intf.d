@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Events Pattern Tcn

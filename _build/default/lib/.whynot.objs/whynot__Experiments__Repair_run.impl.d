@@ -1,0 +1,1 @@
+lib/experiments/repair_run.ml: Cep Datagen Events Harness List Pattern Tcn

@@ -1,0 +1,1 @@
+lib/experiments/repair_run.mli: Events Harness Pattern

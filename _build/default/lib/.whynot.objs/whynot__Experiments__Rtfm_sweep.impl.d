@@ -1,0 +1,1 @@
+lib/experiments/rtfm_sweep.ml: Datagen Harness List Numeric Printf Repair_run

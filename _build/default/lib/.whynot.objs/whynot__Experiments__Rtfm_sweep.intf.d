@@ -1,0 +1,1 @@
+lib/experiments/rtfm_sweep.mli: Harness Repair_run

@@ -1,0 +1,1 @@
+lib/experiments/synthetic.ml: Datagen Harness List Numeric Repair_run

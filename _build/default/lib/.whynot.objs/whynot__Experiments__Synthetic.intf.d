@@ -1,0 +1,1 @@
+lib/experiments/synthetic.mli: Pattern Repair_run

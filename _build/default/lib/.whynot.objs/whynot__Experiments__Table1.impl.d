@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Events Explain Harness Option Pattern

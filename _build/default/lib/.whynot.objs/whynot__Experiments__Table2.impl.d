@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Datagen Explain Harness List Numeric Option Pattern Printf Tcn

@@ -1,0 +1,1 @@
+lib/explain/baselines.ml: Events List Option Pattern Tcn

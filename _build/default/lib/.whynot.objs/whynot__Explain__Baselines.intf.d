@@ -1,0 +1,1 @@
+lib/explain/baselines.mli: Events Pattern

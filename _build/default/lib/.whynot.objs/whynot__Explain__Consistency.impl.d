@@ -1,0 +1,1 @@
+lib/explain/consistency.ml: Array Events List Numeric Pattern Seq Tcn

@@ -1,0 +1,1 @@
+lib/explain/consistency.mli: Events Pattern Tcn

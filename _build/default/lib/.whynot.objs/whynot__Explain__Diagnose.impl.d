@@ -1,0 +1,1 @@
+lib/explain/diagnose.ml: Events Format Hashtbl List Modification Option Pattern String Tcn

@@ -1,0 +1,1 @@
+lib/explain/diagnose.mli: Events Format Pattern

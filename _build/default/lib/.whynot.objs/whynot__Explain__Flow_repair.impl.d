@@ -1,0 +1,1 @@
+lib/explain/flow_repair.ml: Array Events List Logs Lp Lp_repair Option Seq Tcn

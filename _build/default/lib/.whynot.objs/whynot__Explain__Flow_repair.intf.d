@@ -1,0 +1,1 @@
+lib/explain/flow_repair.mli: Events Lp_repair Tcn

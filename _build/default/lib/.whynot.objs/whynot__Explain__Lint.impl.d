@@ -1,0 +1,1 @@
+lib/explain/lint.ml: Consistency Events Format List Option Pattern Printf Seq String Tcn

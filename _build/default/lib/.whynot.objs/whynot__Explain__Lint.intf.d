@@ -1,0 +1,1 @@
+lib/explain/lint.mli: Format Pattern

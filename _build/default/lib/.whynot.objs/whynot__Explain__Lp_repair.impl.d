@@ -1,0 +1,1 @@
+lib/explain/lp_repair.ml: Array Events List Lp Numeric Tcn

@@ -1,0 +1,1 @@
+lib/explain/lp_repair.mli: Events Tcn

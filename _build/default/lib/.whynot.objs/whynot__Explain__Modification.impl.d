@@ -1,0 +1,1 @@
+lib/explain/modification.ml: Events Flow_repair Format Lp_repair Numeric Pattern Seq Tcn

@@ -1,0 +1,1 @@
+lib/explain/modification.mli: Events Pattern Tcn

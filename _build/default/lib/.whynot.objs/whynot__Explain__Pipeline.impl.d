@@ -1,0 +1,1 @@
+lib/explain/pipeline.ml: Consistency Events Format Modification Pattern Query_repair

@@ -1,0 +1,1 @@
+lib/explain/pipeline.mli: Consistency Events Format Modification Pattern Query_repair

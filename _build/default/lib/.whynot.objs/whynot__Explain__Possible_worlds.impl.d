@@ -1,0 +1,1 @@
+lib/explain/possible_worlds.ml: Events List Numeric Pattern Printf

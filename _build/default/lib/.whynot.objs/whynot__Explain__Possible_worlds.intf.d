@@ -1,0 +1,1 @@
+lib/explain/possible_worlds.mli: Events Numeric Pattern

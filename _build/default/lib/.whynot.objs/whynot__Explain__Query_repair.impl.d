@@ -1,0 +1,1 @@
+lib/explain/query_repair.ml: Events Format List Option Pattern String

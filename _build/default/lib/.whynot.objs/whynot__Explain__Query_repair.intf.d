@@ -1,0 +1,1 @@
+lib/explain/query_repair.mli: Events Format Pattern

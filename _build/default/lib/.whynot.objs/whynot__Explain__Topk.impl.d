@@ -1,0 +1,1 @@
+lib/explain/topk.ml: Events Format Hashtbl List Lp_repair Option Pattern Seq Tcn

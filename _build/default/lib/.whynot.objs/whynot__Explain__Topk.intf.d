@@ -1,0 +1,1 @@
+lib/explain/topk.mli: Events Pattern Tcn

@@ -1,0 +1,1 @@
+lib/lp/ilp.mli: Numeric Simplex

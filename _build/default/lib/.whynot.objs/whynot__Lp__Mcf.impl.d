@@ -1,0 +1,1 @@
+lib/lp/mcf.ml: Array List

@@ -1,0 +1,1 @@
+lib/numeric/checked.ml: Stdlib

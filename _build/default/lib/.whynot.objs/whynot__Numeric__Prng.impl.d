@@ -1,0 +1,1 @@
+lib/numeric/prng.ml: Array Int64

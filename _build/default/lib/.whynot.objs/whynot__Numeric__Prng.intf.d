@@ -1,0 +1,1 @@
+lib/numeric/prng.mli:

@@ -1,0 +1,1 @@
+lib/numeric/rat.ml: Checked Format Stdlib

@@ -1,0 +1,1 @@
+lib/numeric/rat.mli: Format

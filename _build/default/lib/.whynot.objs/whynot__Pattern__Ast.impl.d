@@ -1,0 +1,1 @@
+lib/pattern/ast.ml: Events Format List Option Result Stdlib

@@ -1,0 +1,1 @@
+lib/pattern/ast.mli: Events Format

@@ -1,0 +1,1 @@
+lib/pattern/matcher.ml: Ast Events Format List Result

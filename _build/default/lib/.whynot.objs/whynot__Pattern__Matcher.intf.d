@@ -1,0 +1,1 @@
+lib/pattern/matcher.mli: Ast Events Format

@@ -1,0 +1,1 @@
+lib/pattern/parse.ml: Array Ast Events Format List Printf Result String

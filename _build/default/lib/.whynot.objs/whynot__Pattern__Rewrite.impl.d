@@ -1,0 +1,1 @@
+lib/pattern/rewrite.ml: Ast List

@@ -1,0 +1,1 @@
+lib/reduction/sat.ml: Array Events Format Fun List Numeric Pattern Printf

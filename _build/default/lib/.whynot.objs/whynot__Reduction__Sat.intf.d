@@ -1,0 +1,1 @@
+lib/reduction/sat.mli: Events Format Numeric Pattern

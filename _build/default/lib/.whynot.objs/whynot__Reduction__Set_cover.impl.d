@@ -1,0 +1,1 @@
+lib/reduction/set_cover.ml: Array Events Fun List Numeric Option Pattern Printf

@@ -1,0 +1,1 @@
+lib/reduction/set_cover.mli: Events Numeric Pattern

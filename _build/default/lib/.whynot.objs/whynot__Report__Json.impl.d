@@ -1,0 +1,1 @@
+lib/report/json.ml: Buffer Char Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/report/render.ml: Events Explain Json List Pattern

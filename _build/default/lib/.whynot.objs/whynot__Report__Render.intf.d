@@ -1,0 +1,1 @@
+lib/report/render.mli: Events Explain Json Pattern

@@ -1,0 +1,1 @@
+lib/tcn/bindings.ml: Array Condition Events List Numeric Seq

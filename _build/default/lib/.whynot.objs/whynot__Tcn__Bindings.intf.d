@@ -1,0 +1,1 @@
+lib/tcn/bindings.mli: Condition Events Numeric Seq

@@ -1,0 +1,1 @@
+lib/tcn/condition.ml: Events Format Fun List Option

@@ -1,0 +1,1 @@
+lib/tcn/condition.mli: Events Format

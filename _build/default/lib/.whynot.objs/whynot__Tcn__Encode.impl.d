@@ -1,0 +1,1 @@
+lib/tcn/encode.ml: Condition Events Format List Option Pattern

@@ -1,0 +1,1 @@
+lib/tcn/encode.mli: Condition Events Pattern

@@ -1,0 +1,1 @@
+lib/tcn/stn.ml: Array Condition Events List Seq

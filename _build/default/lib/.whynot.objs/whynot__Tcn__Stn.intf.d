@@ -1,0 +1,1 @@
+lib/tcn/stn.mli: Condition Events

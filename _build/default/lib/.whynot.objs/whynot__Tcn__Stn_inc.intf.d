@@ -1,0 +1,1 @@
+lib/tcn/stn_inc.mli: Condition Events

@@ -1,0 +1,64 @@
+module Event = Events.Event
+
+type attrs = (string * Where.value) list
+
+type record = { tuple : Events.Tuple.t; attributes : (Event.t * attrs) list }
+
+module M = Map.Make (String)
+
+type t = record M.t
+
+let empty = M.empty
+let add = M.add
+let find_opt t id = M.find_opt id t
+let cardinal = M.cardinal
+let bindings = M.bindings
+let of_list l = List.fold_left (fun acc (id, r) -> add id r acc) empty l
+
+let timestamps t =
+  M.fold (fun id r acc -> Events.Trace.add id r.tuple acc) t Events.Trace.empty
+
+let lookup record event attr =
+  match List.assoc_opt event record.attributes with
+  | None -> None
+  | Some attrs -> List.assoc_opt attr attrs
+
+type query = { patterns : Pattern.Ast.t list; where : Where.expr }
+
+let parse_query ~pattern ?where () =
+  match Pattern.Parse.pattern_set pattern with
+  | Error msg -> Error ("pattern: " ^ msg)
+  | Ok patterns -> (
+      match where with
+      | None -> Ok { patterns; where = Where.True }
+      | Some w -> (
+          match Where.parse w with
+          | Ok where -> Ok { patterns; where }
+          | Error msg -> Error ("where: " ^ msg)))
+
+type verdict =
+  | Answer
+  | Rejected_by_where
+  | Rejected_by_pattern of Pattern.Matcher.failure
+
+let classify query record =
+  if not (Where.eval ~lookup:(lookup record) query.where) then Rejected_by_where
+  else
+    match Pattern.Matcher.explain_failure record.tuple query.patterns with
+    | None -> Answer
+    | Some failure -> Rejected_by_pattern failure
+
+let answers query t =
+  M.fold
+    (fun id record acc -> if classify query record = Answer then id :: acc else acc)
+    t []
+  |> List.rev
+
+let pattern_non_answers query t =
+  M.fold
+    (fun id record acc ->
+      match classify query record with
+      | Rejected_by_pattern _ -> (id, record) :: acc
+      | Answer | Rejected_by_where -> acc)
+    t []
+  |> List.rev

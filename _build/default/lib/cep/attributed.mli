@@ -1,0 +1,52 @@
+(** Attributed traces: tuples whose events carry attributes.
+
+    The relational half of the paper's query language: a tuple's events have
+    payloads (gate, price, operator...) filtered by a WHERE clause before
+    the temporal pattern applies. An attributed trace stores, per tuple id,
+    the timestamps (an {!Events.Tuple.t}) plus per-event attribute maps; a
+    full query is a pattern set and a {!Where.expr}, and answers must both
+    satisfy the predicate and match the patterns. For a non-answer, the
+    verdict distinguishes which half rejected it: predicate rejections are
+    out of scope for timestamp explanations (the paper defers them to
+    relational why-not machinery), pattern rejections feed Algorithm 2. *)
+
+type attrs = (string * Where.value) list
+(** Attribute assignment of one event (name-value pairs). *)
+
+type record = { tuple : Events.Tuple.t; attributes : (Events.Event.t * attrs) list }
+
+type t
+(** Trace of attributed records, keyed by tuple id. *)
+
+val empty : t
+val add : string -> record -> t -> t
+val find_opt : t -> string -> record option
+val cardinal : t -> int
+val bindings : t -> (string * record) list
+val of_list : (string * record) list -> t
+
+val timestamps : t -> Events.Trace.t
+(** Forget the attributes. *)
+
+val lookup : record -> Events.Event.t -> string -> Where.value option
+
+type query = { patterns : Pattern.Ast.t list; where : Where.expr }
+
+val parse_query :
+  pattern:string -> ?where:string -> unit -> (query, string) result
+(** Parse both halves; [where] defaults to [TRUE]. *)
+
+type verdict =
+  | Answer
+  | Rejected_by_where  (** relational machinery's territory *)
+  | Rejected_by_pattern of Pattern.Matcher.failure
+      (** candidate for the temporal explanations *)
+
+val classify : query -> record -> verdict
+
+val answers : query -> t -> string list
+
+val pattern_non_answers : query -> t -> (string * record) list
+(** Tuples passing the WHERE clause but failing the pattern — exactly the
+    inputs of {!Explain.Modification} (Section 2.1: "our explanations on
+    the event patterns are performed over the filtered events"). *)

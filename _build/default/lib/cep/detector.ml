@@ -1,0 +1,177 @@
+module Event = Events.Event
+module Tuple = Events.Tuple
+
+type instance = {
+  event : Event.t;
+  timestamp : Events.Time.t;
+  tag : string;
+}
+
+type match_ = {
+  tuple : Tuple.t;
+  tags : (Event.t * string) list;
+}
+
+type partial = {
+  assigned : Tuple.t;
+  p_tags : (Event.t * string) list;
+  earliest : Events.Time.t;
+}
+
+type t = {
+  patterns : Pattern.Ast.t list;
+  net : Tcn.Encode.set;
+  required : Event.Set.t;
+  horizon : int;
+  max_partials : int;
+  mutable partials : partial list; (* newest first *)
+  mutable count : int;
+  mutable dropped : int;
+  mutable clock : Events.Time.t;
+}
+
+let root_within = function
+  | Pattern.Ast.Event _ -> None
+  | Pattern.Ast.Seq (_, w) | Pattern.Ast.And (_, w) -> w.within
+
+let create ?horizon ?(max_partials = 4096) patterns =
+  (match Pattern.Ast.validate_set patterns with
+  | Ok () -> ()
+  | Error e ->
+      invalid_arg (Format.asprintf "Detector.create: %a" Pattern.Ast.pp_error e));
+  let horizon =
+    match horizon with
+    | Some h ->
+        if h < 0 then invalid_arg "Detector.create: negative horizon" else h
+    | None -> (
+        match
+          List.fold_left
+            (fun acc p ->
+              match (acc, root_within p) with
+              | Some a, Some b -> Some (max a b)
+              | None, w -> w
+              | w, None -> w)
+            None patterns
+        with
+        | Some h -> h
+        | None ->
+            invalid_arg
+              "Detector.create: no root WITHIN bound; give ~horizon explicitly")
+  in
+  let report =
+    Explain.Consistency.check ~strategy:Explain.Consistency.Pruned patterns
+  in
+  if not report.consistent then
+    invalid_arg "Detector.create: inconsistent query (it can never match)";
+  {
+    patterns;
+    net = Tcn.Encode.pattern_set patterns;
+    required = Pattern.Ast.events_of_set patterns;
+    horizon;
+    max_partials;
+    partials = [];
+    count = 0;
+    dropped = 0;
+    clock = min_int;
+  }
+
+let partial_count t = t.count
+let dropped t = t.dropped
+
+(* Targets an instance of a given type may fill: the event itself, plus
+   every repeat alias of that base. Aliases are filled canonically in index
+   order (the copies of one REPEAT group are totally ordered by the
+   desugared SEQ, so the ascending-by-arrival assignment is complete). *)
+let targets_of t instance_type =
+  Event.Set.fold
+    (fun e acc ->
+      match Event.alias_info e with
+      | Some (base, _, _) when Event.equal base instance_type -> e :: acc
+      | Some _ -> acc
+      | None -> if Event.equal e instance_type then e :: acc else acc)
+    t.required []
+
+let alias_ready assigned e =
+  match Event.alias_info e with
+  | Some (_, _, 1) | None -> true
+  | Some (base, group, index) ->
+      Tuple.mem (Event.repeat_alias ~base ~group ~index:(index - 1)) assigned
+
+let feasible t assigned =
+  (Explain.Consistency.check_network ~strategy:Explain.Consistency.Pruned
+     ~pinned:assigned t.net)
+    .consistent
+
+let complete t partial = Event.Set.for_all (fun e -> Tuple.mem e partial.assigned) t.required
+
+let feed t inst =
+  if inst.timestamp < t.clock then
+    invalid_arg "Detector.feed: timestamps must be non-decreasing";
+  t.clock <- inst.timestamp;
+  let targets = targets_of t inst.event in
+  if targets = [] then []
+  else begin
+    (* Horizon eviction: a partial whose earliest instance is out of reach
+       of the root window can never complete. *)
+    let alive, _expired =
+      List.partition (fun p -> inst.timestamp - p.earliest <= t.horizon) t.partials
+    in
+    let extend p target =
+      if Tuple.mem target p.assigned || not (alias_ready p.assigned target) then None
+      else
+        let assigned = Tuple.add target inst.timestamp p.assigned in
+        let candidate =
+          {
+            assigned;
+            p_tags = (target, inst.tag) :: p.p_tags;
+            earliest = min p.earliest inst.timestamp;
+          }
+        in
+        if feasible t assigned then Some candidate else None
+    in
+    let fresh =
+      List.filter_map
+        (fun target ->
+          if alias_ready Tuple.empty target then
+            Some
+              {
+                assigned = Tuple.add target inst.timestamp Tuple.empty;
+                p_tags = [ (target, inst.tag) ];
+                earliest = inst.timestamp;
+              }
+          else None)
+        targets
+    in
+    let extensions =
+      List.concat_map (fun p -> List.filter_map (extend p) targets) alive
+    in
+    let matches, keep =
+      List.partition (fun p -> complete t p) extensions
+    in
+    let matches =
+      (* Pruning is conservative; the matcher is the final authority. *)
+      List.filter (fun p -> Pattern.Matcher.matches_set p.assigned t.patterns) matches
+    in
+    let partials = keep @ fresh @ alive in
+    let count = List.length partials in
+    let partials, count =
+      if count > t.max_partials then begin
+        (* newest first: truncate the tail (oldest) *)
+        let rec take k = function
+          | [] -> []
+          | _ when k = 0 -> []
+          | p :: rest -> p :: take (k - 1) rest
+        in
+        t.dropped <- t.dropped + (count - t.max_partials);
+        (take t.max_partials partials, t.max_partials)
+      end
+      else (partials, count)
+    in
+    t.partials <- partials;
+    t.count <- count;
+    List.map
+      (fun p -> { tuple = p.assigned; tags = List.rev p.p_tags })
+      matches
+  end
+
+let feed_all t instances = List.concat_map (feed t) instances

@@ -1,0 +1,62 @@
+(** Streaming pattern detection over an unkeyed event stream.
+
+    Unlike {!Stream} (which groups instances into tuples by an external
+    key), the detector consumes a single interleaved stream of event
+    instances and finds {e every} combination of instances — one per
+    pattern event — that matches the query, in the skip-till-any-match
+    style of SASE-like CEP engines. Partial matches are kept in a buffer
+    and pruned by:
+
+    - the time horizon: once the stream has advanced past [horizon] time
+      units after a partial's earliest instance, the partial can never
+      satisfy the root window and is dropped;
+    - exact feasibility: a partial is kept only if its observed timestamps
+      can be completed into a full match (a pinned consistency check on the
+      query's temporal network, Algorithm 1 with prefix pruning);
+    - a hard capacity bound (oldest partials evicted first).
+
+    Matching is confirmed with {!Pattern.Matcher} before a match is
+    emitted, so emitted matches are exact regardless of pruning.
+
+    {b Bounded Kleene.} Queries may use the parser's
+    [REPEAT(E, k)] sugar: the pattern then contains alias events
+    [E#g_1 .. E#g_k] (one REPEAT group), and incoming instances of type
+    [E] fill the aliases of each group in ascending index order (the
+    canonical assignment — complete because a group's copies are totally
+    ordered by the desugared SEQ, so each matching instance set is
+    reported exactly once). *)
+
+type instance = {
+  event : Events.Event.t;
+  timestamp : Events.Time.t;
+  tag : string;  (** opaque payload identifier carried into matches *)
+}
+
+type match_ = {
+  tuple : Events.Tuple.t;
+  tags : (Events.Event.t * string) list;  (** which instance filled each event *)
+}
+
+type t
+
+val create :
+  ?horizon:int -> ?max_partials:int -> Pattern.Ast.t list -> t
+(** [horizon] defaults to the largest root [WITHIN] bound of the query;
+    it must be given when no pattern has one. [max_partials] defaults to
+    4096. @raise Invalid_argument on an invalid or window-less unbounded
+    query, or an inconsistent query. *)
+
+val feed : t -> instance -> match_ list
+(** Advance the stream by one instance (timestamps must be fed in
+    non-decreasing order; @raise Invalid_argument otherwise) and return the
+    matches completed by it. *)
+
+val feed_all : t -> instance list -> match_ list
+(** Convenience fold of {!feed}. *)
+
+val partial_count : t -> int
+(** Current size of the partial-match buffer. *)
+
+val dropped : t -> int
+(** Partials evicted by the capacity bound so far (0 means the result is
+    exhaustive). *)

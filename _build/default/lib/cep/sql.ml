@@ -1,0 +1,123 @@
+module Event = Events.Event
+module Tuple = Events.Tuple
+
+type comparison = {
+  left : Event.t;
+  right : Event.t;
+  offset : int;
+}
+
+type condition =
+  | True
+  | False
+  | Cmp of comparison
+  | All of condition list
+  | Any of condition list
+
+(* Resolve the [0,0] equalities of one grounded binding: every artificial
+   event maps to the real event it is pinned to (bindings are listed
+   bottom-up, so members resolve transitively). *)
+let resolution phi_k =
+  List.fold_left
+    (fun acc { Tcn.Condition.src; dst; _ } ->
+      (* src is the artificial bound event, dst the chosen member *)
+      let target =
+        match Event.Map.find_opt dst acc with Some r -> r | None -> dst
+      in
+      Event.Map.add src target acc)
+    Event.Map.empty phi_k
+
+let resolve table e =
+  match Event.Map.find_opt e table with Some r -> r | None -> e
+
+(* One conjunct: the interval conditions with artificial events substituted
+   away. Self-comparisons collapse to true/false. *)
+let conjunct_of_binding intervals phi_k =
+  let table = resolution phi_k in
+  let comparisons =
+    List.concat_map
+      (fun { Tcn.Condition.src; dst; lo; hi } ->
+        let a = resolve table src and b = resolve table dst in
+        (* lo <= t(b) - t(a) <= hi *)
+        let lower = { left = a; right = b; offset = -lo } in
+        let upper =
+          match hi with Some hi -> [ { left = b; right = a; offset = hi } ] | None -> []
+        in
+        (lower :: upper)
+        |> List.filter_map (fun c ->
+               if Event.equal c.left c.right then
+                 if c.offset >= 0 then None (* trivially true *) else Some False
+               else Some (Cmp c))
+      )
+      intervals
+  in
+  if List.mem False comparisons then False
+  else
+    match List.sort_uniq compare comparisons with
+    | [] -> True
+    | [ one ] -> one
+    | several -> All several
+
+let of_patterns ?(max_bindings = 4096) patterns =
+  (match Pattern.Ast.validate_set patterns with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Format.asprintf "Sql.of_patterns: %a" Pattern.Ast.pp_error e));
+  let net = Tcn.Encode.pattern_set patterns in
+  let count = Tcn.Bindings.count net.set_bindings in
+  if count > max_bindings then
+    invalid_arg
+      (Printf.sprintf "Sql.of_patterns: %d bindings exceed the limit %d" count
+         max_bindings);
+  let events =
+    Event.Set.elements
+      (Event.Set.union
+         (Pattern.Ast.events_of_set patterns)
+         (Event.Set.union
+            (Tcn.Condition.interval_events net.set_intervals)
+            (Tcn.Condition.binding_events net.set_bindings)))
+  in
+  let disjuncts =
+    Tcn.Bindings.full net.set_bindings
+    |> Seq.filter_map (fun phi_k ->
+           (* drop bindings no tuple can satisfy: they only bloat the SQL *)
+           let stn =
+             Tcn.Stn.of_intervals ~events (phi_k @ net.set_intervals)
+           in
+           if not (Tcn.Stn.consistent stn) then None
+           else
+             match conjunct_of_binding net.set_intervals phi_k with
+             | False -> None
+             | c -> Some c)
+    |> List.of_seq |> List.sort_uniq compare
+  in
+  match disjuncts with
+  | [] -> False
+  | _ when List.mem True disjuncts -> True
+  | [ one ] -> one
+  | several -> Any several
+
+let rec eval condition tuple =
+  match condition with
+  | True -> true
+  | False -> false
+  | Cmp { left; right; offset } -> (
+      match (Tuple.find_opt tuple left, Tuple.find_opt tuple right) with
+      | Some l, Some r -> l <= r + offset
+      | _ -> false)
+  | All cs -> List.for_all (fun c -> eval c tuple) cs
+  | Any cs -> List.exists (fun c -> eval c tuple) cs
+
+let comparison_to_string { left; right; offset } =
+  if offset = 0 then Printf.sprintf "%s <= %s" left right
+  else if offset > 0 then Printf.sprintf "%s <= %s + %d" left right offset
+  else Printf.sprintf "%s + %d <= %s" left (-offset) right
+
+let rec to_string = function
+  | True -> "1 = 1"
+  | False -> "1 = 0"
+  | Cmp c -> comparison_to_string c
+  | All cs -> "(" ^ String.concat " AND " (List.map to_string cs) ^ ")"
+  | Any cs -> "(" ^ String.concat " OR " (List.map to_string cs) ^ ")"
+
+let select ?(table = "events") patterns =
+  Printf.sprintf "SELECT * FROM %s WHERE %s" table (to_string (of_patterns patterns))

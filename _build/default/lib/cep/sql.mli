@@ -1,0 +1,42 @@
+(** SQL representation of event patterns (Section 7.3).
+
+    The paper notes that a pattern is expressible as a plain SQL filter over
+    a relation with one timestamp column per event — e.g.
+    [AND(E1, E2) WITHIN 30] becomes
+    [(E1 >= E2 AND E1 <= E2 + 30) OR (E2 >= E1 AND E2 <= E1 + 30)] —
+    "but with great complexity": one disjunct per binding of the temporal
+    network. This module makes that translation executable: each full
+    binding grounds the artificial AND events onto real ones (resolving the
+    [\[0,0\]] equalities), leaving a conjunction of two-column comparisons;
+    the query is the disjunction over bindings. An in-repo evaluator makes
+    the translation testable: it agrees with {!Pattern.Matcher} on every
+    tuple (a qcheck property). *)
+
+type comparison = {
+  left : Events.Event.t;
+  right : Events.Event.t;
+  offset : int;  (** the condition [t(left) <= t(right) + offset] *)
+}
+
+type condition =
+  | True
+  | False
+  | Cmp of comparison
+  | All of condition list  (** conjunction *)
+  | Any of condition list  (** disjunction *)
+
+val of_patterns : ?max_bindings:int -> Pattern.Ast.t list -> condition
+(** Translate a pattern set. One disjunct per full binding (inconsistent
+    bindings are dropped; an inconsistent query yields [False]).
+    @raise Invalid_argument on an invalid set or when the binding space
+    exceeds [max_bindings] (default 4096 — the paper's point about the
+    translation's "great complexity" made concrete). *)
+
+val eval : condition -> Events.Tuple.t -> bool
+(** Evaluate over a tuple (a comparison on an unbound event is false). *)
+
+val to_string : condition -> string
+(** The boolean SQL expression ([1 = 1] / [1 = 0] for the trivial cases). *)
+
+val select : ?table:string -> Pattern.Ast.t list -> string
+(** [SELECT * FROM table WHERE ...] (table defaults to ["events"]). *)

@@ -1,0 +1,73 @@
+module Event = Events.Event
+module Tuple = Events.Tuple
+
+type verdict =
+  | Pending
+  | Matched of Tuple.t
+  | Failed of {
+      tuple : Tuple.t;
+      failure : Pattern.Matcher.failure;
+      explanation : Explain.Modification.result option;
+    }
+
+module M = Map.Make (String)
+
+type t = {
+  patterns : Pattern.Ast.t list;
+  net : Tcn.Encode.set;
+  required : Event.Set.t;
+  explain : bool;
+  strategy : Explain.Modification.strategy;
+  mutable partial : Tuple.t M.t;
+}
+
+let create ?(explain = false) ?(strategy = Explain.Modification.Single) patterns =
+  (match Pattern.Ast.validate_set patterns with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Format.asprintf "Stream.create: %a" Pattern.Ast.pp_error e));
+  {
+    patterns;
+    net = Tcn.Encode.pattern_set patterns;
+    required = Pattern.Ast.events_of_set patterns;
+    explain;
+    strategy;
+    partial = M.empty;
+  }
+
+let required_events t = t.required
+
+let verdict_of t tuple =
+  if not (Event.Set.for_all (fun e -> Tuple.mem e tuple) t.required) then Pending
+  else
+    match Pattern.Matcher.explain_failure tuple t.patterns with
+    | None -> Matched tuple
+    | Some failure ->
+        let explanation =
+          if t.explain then
+            Explain.Modification.explain_network ~strategy:t.strategy t.net tuple
+          else None
+        in
+        Failed { tuple; failure; explanation }
+
+let feed t ~key event ts =
+  if not (Event.Set.mem event t.required) then Pending
+  else begin
+    let tuple =
+      match M.find_opt key t.partial with Some tu -> tu | None -> Tuple.empty
+    in
+    let tuple = Tuple.add event ts tuple in
+    t.partial <- M.add key tuple t.partial;
+    verdict_of t tuple
+  end
+
+let current t ~key =
+  match M.find_opt key t.partial with Some tu -> tu | None -> Tuple.empty
+
+let finished t =
+  M.fold
+    (fun key tuple acc ->
+      match verdict_of t tuple with
+      | Pending -> acc
+      | verdict -> (key, verdict) :: acc)
+    t.partial []
+  |> List.rev

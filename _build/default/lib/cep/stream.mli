@@ -1,0 +1,44 @@
+(** Streaming front end of the CEP engine.
+
+    Event instances arrive one at a time as [(key, event, timestamp)] —
+    the key groups instances into tuples (a day of flights, a fine case, a
+    job id). As soon as a key has seen every event required by the query,
+    the engine emits a verdict: [Matched], or [Failed] with the first
+    match failure and, when explanation is enabled, the minimal timestamp
+    modification that would have made it match. This is the paper's
+    debugging loop ("an expected result is not returned — why?") run
+    online. *)
+
+type verdict =
+  | Pending  (** some required events still missing for this key *)
+  | Matched of Events.Tuple.t
+  | Failed of {
+      tuple : Events.Tuple.t;
+      failure : Pattern.Matcher.failure;
+      explanation : Explain.Modification.result option;
+          (** present when the engine was created with [~explain:true] and
+              the query is consistent *)
+    }
+
+type t
+
+val create :
+  ?explain:bool ->
+  ?strategy:Explain.Modification.strategy ->
+  Pattern.Ast.t list ->
+  t
+(** @raise Invalid_argument on invalid patterns. [explain] defaults to
+    false. *)
+
+val required_events : t -> Events.Event.Set.t
+
+val feed : t -> key:string -> Events.Event.t -> Events.Time.t -> verdict
+(** Add one event instance. A later instance for an already-seen event of
+    the same key overwrites the old timestamp (latest wins) and the verdict
+    is re-evaluated. Events outside the query are ignored ([Pending]). *)
+
+val current : t -> key:string -> Events.Tuple.t
+(** Partial tuple accumulated for a key (empty if unseen). *)
+
+val finished : t -> (string * verdict) list
+(** All keys whose tuples are complete, with their verdicts, in key order. *)

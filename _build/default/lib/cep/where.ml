@@ -1,0 +1,213 @@
+module Event = Events.Event
+
+type value = Int of int | Str of string
+
+let pp_value ppf = function
+  | Int n -> Format.fprintf ppf "%d" n
+  | Str s -> Format.fprintf ppf "%S" s
+
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+let op_symbol = function
+  | Eq -> "="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+type expr =
+  | Cmp of { event : Event.t; attr : string; op : op; value : value }
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | True
+
+let rec pp ppf = function
+  | True -> Format.fprintf ppf "TRUE"
+  | Cmp { event; attr; op; value } ->
+      Format.fprintf ppf "%s.%s %s %a" event attr (op_symbol op) pp_value value
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "NOT %a" pp a
+
+let rec events = function
+  | True -> Event.Set.empty
+  | Cmp { event; _ } -> Event.Set.singleton event
+  | And (a, b) | Or (a, b) -> Event.Set.union (events a) (events b)
+  | Not a -> events a
+
+let compare_values op a b =
+  let c =
+    match (a, b) with
+    | Int x, Int y -> Some (compare x y)
+    | Str x, Str y -> Some (compare x y)
+    | Int _, Str _ | Str _, Int _ -> None
+  in
+  match (c, op) with
+  | None, Ne -> true
+  | None, _ -> false
+  | Some c, Eq -> c = 0
+  | Some c, Ne -> c <> 0
+  | Some c, Lt -> c < 0
+  | Some c, Le -> c <= 0
+  | Some c, Gt -> c > 0
+  | Some c, Ge -> c >= 0
+
+let rec eval ~lookup = function
+  | True -> true
+  | Cmp { event; attr; op; value } -> (
+      match lookup event attr with
+      | Some actual -> compare_values op actual value
+      | None -> ( match op with Ne -> true | _ -> false))
+  | And (a, b) -> eval ~lookup a && eval ~lookup b
+  | Or (a, b) -> eval ~lookup a || eval ~lookup b
+  | Not a -> not (eval ~lookup a)
+
+(* --- parser --- *)
+
+type token =
+  | Tident of string
+  | Tint of int
+  | Tstr of string
+  | Tdot
+  | Tlparen
+  | Trparen
+  | Top of op
+  | Tand
+  | Tor
+  | Tnot
+  | Ttrue
+  | Teof
+
+exception Parse_error of int * string
+
+let fail pos fmt = Format.kasprintf (fun m -> raise (Parse_error (pos, m))) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '-'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let out = ref [] in
+  let i = ref 0 in
+  let push tok pos = out := (tok, pos) :: !out in
+  while !i < n do
+    let c = input.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '(' then (push Tlparen pos; incr i)
+    else if c = ')' then (push Trparen pos; incr i)
+    else if c = '.' then (push Tdot pos; incr i)
+    else if c = '=' then (push (Top Eq) pos; incr i)
+    else if c = '!' && !i + 1 < n && input.[!i + 1] = '=' then (push (Top Ne) pos; i := !i + 2)
+    else if c = '<' then
+      if !i + 1 < n && input.[!i + 1] = '=' then (push (Top Le) pos; i := !i + 2)
+      else if !i + 1 < n && input.[!i + 1] = '>' then (push (Top Ne) pos; i := !i + 2)
+      else (push (Top Lt) pos; incr i)
+    else if c = '>' then
+      if !i + 1 < n && input.[!i + 1] = '=' then (push (Top Ge) pos; i := !i + 2)
+      else (push (Top Gt) pos; incr i)
+    else if c = '\'' || c = '"' then begin
+      let quote = c in
+      let j = ref (!i + 1) in
+      while !j < n && input.[!j] <> quote do incr j done;
+      if !j >= n then fail pos "unterminated string literal";
+      push (Tstr (String.sub input (!i + 1) (!j - !i - 1))) pos;
+      i := !j + 1
+    end
+    else if is_digit c || (c = '-' && !i + 1 < n && is_digit input.[!i + 1]) then begin
+      let j = ref (!i + 1) in
+      while !j < n && is_digit input.[!j] do incr j done;
+      push (Tint (int_of_string (String.sub input !i (!j - !i)))) pos;
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char input.[!j] do incr j done;
+      let word = String.sub input !i (!j - !i) in
+      (match String.uppercase_ascii word with
+      | "AND" -> push Tand pos
+      | "OR" -> push Tor pos
+      | "NOT" -> push Tnot pos
+      | "TRUE" -> push Ttrue pos
+      | _ -> push (Tident word) pos);
+      i := !j
+    end
+    else fail pos "unexpected character %C" c
+  done;
+  push Teof n;
+  Array.of_list (List.rev !out)
+
+type state = { tokens : (token * int) array; mutable cursor : int }
+
+let peek st = fst st.tokens.(st.cursor)
+let pos st = snd st.tokens.(st.cursor)
+let advance st = st.cursor <- st.cursor + 1
+
+let rec parse_or st =
+  let left = parse_and st in
+  if peek st = Tor then begin
+    advance st;
+    Or (left, parse_or st)
+  end
+  else left
+
+and parse_and st =
+  let left = parse_clause st in
+  if peek st = Tand then begin
+    advance st;
+    And (left, parse_and st)
+  end
+  else left
+
+and parse_clause st =
+  match peek st with
+  | Tnot ->
+      advance st;
+      Not (parse_clause st)
+  | Ttrue ->
+      advance st;
+      True
+  | Tlparen ->
+      advance st;
+      let e = parse_or st in
+      if peek st <> Trparen then fail (pos st) "expected ')'";
+      advance st;
+      e
+  | Tident event -> (
+      advance st;
+      if peek st <> Tdot then fail (pos st) "expected '.' after event name";
+      advance st;
+      match peek st with
+      | Tident attr -> (
+          advance st;
+          match peek st with
+          | Top op -> (
+              advance st;
+              match peek st with
+              | Tint n ->
+                  advance st;
+                  Cmp { event; attr; op; value = Int n }
+              | Tstr s ->
+                  advance st;
+                  Cmp { event; attr; op; value = Str s }
+              | _ -> fail (pos st) "expected a literal")
+          | _ -> fail (pos st) "expected a comparison operator")
+      | _ -> fail (pos st) "expected an attribute name")
+  | _ -> fail (pos st) "expected a clause"
+
+let parse input =
+  match
+    let st = { tokens = tokenize input; cursor = 0 } in
+    let e = parse_or st in
+    if peek st <> Teof then fail (pos st) "trailing input";
+    e
+  with
+  | e -> Ok e
+  | exception Parse_error (pos, msg) ->
+      Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+
+let parse_exn input =
+  match parse input with Ok e -> e | Error msg -> invalid_arg msg

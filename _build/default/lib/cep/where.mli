@@ -1,0 +1,44 @@
+(** WHERE-clause predicates over event attributes (Section 2.1).
+
+    The paper's query language admits clauses like
+    [SEQ(E1, E2) WHERE E1.gate = "H15"]: attribute filters are evaluated
+    first (by classic relational machinery), and the event-pattern
+    explanations run over the filtered events. This module provides that
+    front half: a small predicate language over per-event attributes, its
+    parser, and its evaluator.
+
+    Grammar (case-insensitive keywords):
+    {v
+      expr    := clause (AND clause)* | clause (OR clause)*
+      clause  := NOT clause | '(' expr ')' | event '.' attr op literal
+      op      := = | != | < | <= | > | >=
+      literal := integer | 'string' | "string"
+    v} *)
+
+type value = Int of int | Str of string
+
+val pp_value : Format.formatter -> value -> unit
+
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Cmp of { event : Events.Event.t; attr : string; op : op; value : value }
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | True
+
+val pp : Format.formatter -> expr -> unit
+(** Parseable surface syntax. *)
+
+val parse : string -> (expr, string) result
+val parse_exn : string -> expr
+
+val events : expr -> Events.Event.Set.t
+(** Events whose attributes the predicate inspects. *)
+
+val eval :
+  lookup:(Events.Event.t -> string -> value option) -> expr -> bool
+(** Evaluate; a comparison on a missing attribute is false (and its
+    negation true), mirroring SQL-ish unknown-as-failure semantics for
+    filters. Comparing [Int] with [Str] is false except under [Ne]. *)

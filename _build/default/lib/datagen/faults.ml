@@ -1,0 +1,14 @@
+module Prng = Numeric.Prng
+
+let fault prng ~distance ts =
+  let magnitude = Prng.int_in prng 1 (max 1 distance) in
+  let offset = if Prng.bool prng then magnitude else -magnitude in
+  max 0 (ts + offset)
+
+let tuple prng ~rate ~distance t =
+  Events.Tuple.map
+    (fun _e ts -> if Prng.coin prng rate then fault prng ~distance ts else ts)
+    t
+
+let trace prng ~rate ~distance tr =
+  Events.Trace.map (fun _id t -> tuple prng ~rate ~distance t) tr

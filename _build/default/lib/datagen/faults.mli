@@ -1,0 +1,13 @@
+(** BART-style fault injection (Section 6.3.2).
+
+    Originally-clean data is degraded by randomly modifying timestamps: an
+    event's timestamp is faulted with probability [rate], by a uniform
+    offset of magnitude 1..[distance] in a random direction (clamped to the
+    non-negative domain). This mirrors the paper's protocol ("a fault
+    distance of 200 means the fault timestamp is a random number t ± 200"). *)
+
+val tuple :
+  Numeric.Prng.t -> rate:float -> distance:int -> Events.Tuple.t -> Events.Tuple.t
+
+val trace :
+  Numeric.Prng.t -> rate:float -> distance:int -> Events.Trace.t -> Events.Trace.t

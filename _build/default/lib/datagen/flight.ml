@@ -1,0 +1,59 @@
+module Tuple = Events.Tuple
+module Trace = Events.Trace
+module Prng = Numeric.Prng
+module Ast = Pattern.Ast
+
+type t = {
+  pattern : Ast.t;
+  truth : Trace.t;
+  observed : Trace.t;
+}
+
+let arrival i = Printf.sprintf "A%d" (i + 1)
+let departure i = Printf.sprintf "D%d" (i + 1)
+
+let transfer_pattern ~passengers =
+  Ast.seq ~atleast:120
+    [
+      Ast.and_ ~within:30 (List.init passengers (fun i -> Ast.event (arrival i)));
+      Ast.and_ ~within:30 (List.init passengers (fun i -> Ast.event (departure i)));
+    ]
+
+(* Heterogeneous-source imprecision: most wrong reports are slightly off
+   (rounded, stale by a few minutes), a few are badly wrong — a squared
+   uniform draw gives that skew. *)
+let deviation prng ~max_deviation =
+  let u = Prng.float prng 1.0 in
+  let magnitude = 1 + int_of_float (u *. u *. float_of_int (max_deviation - 1)) in
+  if Prng.bool prng then magnitude else -magnitude
+
+let generate ?(sources = 3) ?(imprecise_probability = 0.4) ?(max_deviation = 120)
+    prng ~num_events ~days =
+  if num_events < 4 || num_events mod 2 <> 0 then
+    invalid_arg "Flight.generate: num_events must be even and >= 4";
+  if sources < 1 then invalid_arg "Flight.generate: sources >= 1";
+  let passengers = num_events / 2 in
+  let pattern = transfer_pattern ~passengers in
+  let observe tuple =
+    Tuple.map
+      (fun _e ts ->
+        (* One source is the truth; pick uniformly among all reports. *)
+        let pick = Prng.int prng sources in
+        if pick = 0 then ts
+        else if Prng.coin prng imprecise_probability then
+          max 0 (ts + deviation prng ~max_deviation)
+        else ts)
+      tuple
+  in
+  let day d =
+    let truth = Workloads.random_matching_tuple ~horizon:1440 prng [ pattern ] in
+    (Printf.sprintf "day%03d" d, truth, observe truth)
+  in
+  let truth, observed =
+    List.init days day
+    |> List.fold_left
+         (fun (truth, observed) (id, tt, ot) ->
+           (Trace.add id tt truth, Trace.add id ot observed))
+         (Trace.empty, Trace.empty)
+  in
+  { pattern; truth; observed }

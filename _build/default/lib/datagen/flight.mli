@@ -1,0 +1,37 @@
+(** Synthetic Flight dataset with labeled truth (Section 6.3.1 substitute).
+
+    The paper uses the Luna Dong flight data-fusion corpus: departure and
+    arrival timestamps of flights, one tuple per day, each event reported by
+    several heterogeneous sources of which some are imprecise — and the
+    ground truth is labeled. That corpus is not available offline, so this
+    generator reproduces its relevant structure: a per-day tuple of flight
+    events whose true timestamps match a realistic transfer pattern
+    (generalising Example 1), several conflicting sources per event, and an
+    observed tuple obtained by picking one source at random.
+
+    The query pattern over [n] events ([n/2] arrivals [A1..], [n/2]
+    departures [D1..]) is
+    [SEQ(AND(A1..Ak) WITHIN 30, AND(D1..Dk) WITHIN 30) ATLEAST 120] —
+    passengers arriving within half an hour of each other and departing
+    within half an hour, with at least two hours in between, as in the
+    COVID-19 tracing scenario. *)
+
+type t = {
+  pattern : Pattern.Ast.t;
+  truth : Events.Trace.t;  (** labeled true timestamps; every tuple matches *)
+  observed : Events.Trace.t;
+      (** the tuples after source selection; imprecise events deviate *)
+}
+
+val generate :
+  ?sources:int ->
+  ?imprecise_probability:float ->
+  ?max_deviation:int ->
+  Numeric.Prng.t ->
+  num_events:int ->
+  days:int ->
+  t
+(** [num_events] must be even and >= 4. Each event gets [sources] candidate
+    reports (default 3): the truth, plus sources that are imprecise with
+    probability [imprecise_probability] (default 0.4) by up to
+    [max_deviation] minutes (default 120, skewed toward small errors). *)

@@ -1,0 +1,50 @@
+module Tuple = Events.Tuple
+module Trace = Events.Trace
+module Event = Events.Event
+
+let per_event_errors ~truth ~repaired =
+  Tuple.fold
+    (fun e ts acc ->
+      if Event.is_artificial e then acc
+      else
+        match Tuple.find_opt repaired e with
+        | Some ts' -> float_of_int (ts' - ts) :: acc
+        | None -> acc)
+    truth []
+
+let rmse ~truth ~repaired =
+  match per_event_errors ~truth ~repaired with
+  | [] -> 0.0
+  | errors ->
+      let n = float_of_int (List.length errors) in
+      sqrt (List.fold_left (fun acc e -> acc +. (e *. e)) 0.0 errors /. n)
+
+let nrmse ~truth ~repaired =
+  let timestamps =
+    Tuple.fold
+      (fun e ts acc -> if Event.is_artificial e then acc else float_of_int ts :: acc)
+      truth []
+  in
+  match timestamps with
+  | [] -> 0.0
+  | _ ->
+      let mean_truth =
+        List.fold_left ( +. ) 0.0 timestamps /. float_of_int (List.length timestamps)
+      in
+      if mean_truth = 0.0 then 0.0 else rmse ~truth ~repaired /. mean_truth
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let over_trace f ~truth ~repaired =
+  Trace.fold
+    (fun id truth_tuple acc ->
+      match Trace.find_opt repaired id with
+      | Some repaired_tuple -> f ~truth:truth_tuple ~repaired:repaired_tuple :: acc
+      | None -> acc)
+    truth []
+  |> mean
+
+let trace_nrmse = over_trace nrmse
+let trace_rmse = over_trace rmse

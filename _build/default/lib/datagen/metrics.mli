@@ -1,0 +1,23 @@
+(** Repair-quality metrics of the evaluation (Section 6.3).
+
+    NRMSE compares a produced modification [t'] against the labeled truth
+    [t*]: the root-mean-square per-event error, normalised by the mean truth
+    timestamp — exactly the paper's formula. Aggregations over a trace
+    average the per-tuple values. *)
+
+val rmse : truth:Events.Tuple.t -> repaired:Events.Tuple.t -> float
+(** Root-mean-square timestamp error over the events of [truth]
+    (artificial events excluded; events missing from [repaired] are treated
+    as unmodified, i.e. contribute their full truth-vs-nothing error is NOT
+    defined — they are skipped). *)
+
+val nrmse : truth:Events.Tuple.t -> repaired:Events.Tuple.t -> float
+(** [rmse / mean truth timestamp] (0 if the mean is 0). *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val trace_nrmse : truth:Events.Trace.t -> repaired:Events.Trace.t -> float
+(** Mean per-tuple NRMSE over the tuple ids present in both traces. *)
+
+val trace_rmse : truth:Events.Trace.t -> repaired:Events.Trace.t -> float

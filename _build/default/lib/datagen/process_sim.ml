@@ -1,0 +1,97 @@
+module Event = Events.Event
+module Tuple = Events.Tuple
+module Trace = Events.Trace
+module Prng = Numeric.Prng
+
+type dependency = {
+  after : Event.t;
+  min_delay : int;
+  max_delay : int;
+}
+
+type activity = {
+  name : Event.t;
+  requires : dependency list;
+  skip_probability : float;
+}
+
+type model = { ordered : activity list (* topological *) }
+
+let model acts =
+  let names = List.map (fun a -> a.name) acts in
+  let unique = List.sort_uniq Event.compare names in
+  if List.length unique <> List.length names then Error "duplicate activity names"
+  else if
+    List.exists
+      (fun a ->
+        List.exists
+          (fun d -> not (List.mem d.after names))
+          a.requires)
+      acts
+  then Error "dependency on an unknown activity"
+  else if
+    List.exists
+      (fun a ->
+        List.exists (fun d -> d.min_delay < 0 || d.min_delay > d.max_delay) a.requires)
+      acts
+  then Error "delay bounds must satisfy 0 <= min <= max"
+  else if List.exists (fun a -> a.skip_probability < 0.0 || a.skip_probability > 1.0) acts
+  then Error "skip probability must be in [0, 1]"
+  else begin
+    (* Kahn topological sort; leftover activities witness a cycle. *)
+    let placed = Hashtbl.create 16 in
+    let rec place ordered remaining =
+      let ready, rest =
+        List.partition
+          (fun a -> List.for_all (fun d -> Hashtbl.mem placed d.after) a.requires)
+          remaining
+      in
+      match (ready, rest) with
+      | [], [] -> Ok (List.rev ordered)
+      | [], _ -> Error "cyclic dependencies"
+      | _ ->
+          List.iter (fun a -> Hashtbl.replace placed a.name ()) ready;
+          place (List.rev_append ready ordered) rest
+    in
+    Result.map (fun ordered -> { ordered }) (place [] acts)
+  end
+
+let model_exn acts =
+  match model acts with Ok m -> m | Error e -> invalid_arg ("Process_sim.model: " ^ e)
+
+let activities m = List.map (fun a -> a.name) m.ordered
+
+let simulate_case ?(start = 0) prng m =
+  List.fold_left
+    (fun tuple a ->
+      if Prng.coin prng a.skip_probability then tuple
+      else
+        let schedule =
+          if a.requires = [] then Some start
+          else
+            (* latest predecessor + its sampled delay; skipped predecessors
+               contribute nothing, and if all were skipped the activity is
+               skipped too *)
+            List.fold_left
+              (fun acc d ->
+                match Tuple.find_opt tuple d.after with
+                | None -> acc
+                | Some pred_ts ->
+                    let ts = pred_ts + Prng.int_in prng d.min_delay d.max_delay in
+                    Some (match acc with None -> ts | Some best -> max best ts))
+              None a.requires
+        in
+        match schedule with
+        | Some ts -> Tuple.add a.name ts tuple
+        | None -> tuple)
+    Tuple.empty m.ordered
+
+let simulate ?(start_spread = 0) prng m ~cases =
+  let rec go i acc =
+    if i = cases then acc
+    else
+      let start = if start_spread = 0 then 0 else Prng.int_in prng 0 start_spread in
+      let tuple = simulate_case ~start prng m in
+      go (i + 1) (Trace.add (Printf.sprintf "c%06d" i) tuple acc)
+  in
+  go 0 Trace.empty

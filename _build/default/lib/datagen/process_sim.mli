@@ -1,0 +1,48 @@
+(** Discrete-event process simulation.
+
+    A small substrate for fabricating realistic event logs: a process model
+    is a DAG of activities with delay ranges on its dependencies; simulating
+    a case samples delays and schedules every activity after all of its
+    predecessors — producing one tuple per case, by construction matching
+    any pattern whose windows subsume the model's delay ranges. The RTFM
+    generator and the application-scenario examples are instances.
+
+    Optional activities model XOR branches: with the given probability the
+    activity (and transitively everything requiring it) is skipped, which
+    produces the "missing event" non-answers of real logs. *)
+
+type dependency = {
+  after : Events.Event.t;  (** the predecessor activity *)
+  min_delay : int;
+  max_delay : int;  (** inclusive bounds, [0 <= min <= max] *)
+}
+
+type activity = {
+  name : Events.Event.t;
+  requires : dependency list;  (** empty = a root activity, scheduled at the
+                                   case start *)
+  skip_probability : float;  (** 0.0 = always occurs *)
+}
+
+type model
+
+val model : activity list -> (model, string) result
+(** Validate: unique activity names, known dependencies, acyclic, sane
+    delay bounds and probabilities. *)
+
+val model_exn : activity list -> model
+
+val activities : model -> Events.Event.t list
+(** Topological order. *)
+
+val simulate_case :
+  ?start:Events.Time.t -> Numeric.Prng.t -> model -> Events.Tuple.t
+(** One case: each occurring activity is timestamped
+    [max over present predecessors (t(pred) + sampled delay)] (activities
+    whose every predecessor was skipped are skipped too). [start] is the
+    case start time (default 0). *)
+
+val simulate :
+  ?start_spread:int -> Numeric.Prng.t -> model -> cases:int -> Events.Trace.t
+(** A log of cases, ids ["c000000"...]; each case starts uniformly in
+    [\[0, start_spread\]] (default 0). *)

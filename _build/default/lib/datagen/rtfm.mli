@@ -1,0 +1,22 @@
+(** Synthetic Road Traffic Fine Management log (Section 6.3.2 substitute).
+
+    The paper uses the 4TU "Road Traffic Fine Management" process log:
+    per-case tuples of administrative activities with clean timestamps, into
+    which synthetic faults are injected. The corpus is not available
+    offline; this generator reproduces its structure: cases flowing through
+    [Create_fine -> Send_fine -> Insert_notification -> {Add_penalty,
+    Payment}], with the event-pattern queries the paper extracts from the
+    clean data and confirms manually — notably
+    [AND(Payment, Add_penalty) ATLEAST 10 WITHIN 480].
+
+    All timestamps are minutes. Generated clean tuples match every query
+    pattern; degrade them with {!Faults} before explaining. *)
+
+val activities : Events.Event.t list
+(** The five activities of a case. *)
+
+val patterns : Pattern.Ast.t list
+(** The confirmed query patterns over a case (all five activities). *)
+
+val generate : Numeric.Prng.t -> tuples:int -> Events.Trace.t
+(** [tuples] clean cases; every tuple matches {!patterns}. *)

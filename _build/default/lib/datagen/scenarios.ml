@@ -1,0 +1,84 @@
+module Ast = Pattern.Ast
+
+type t = {
+  name : string;
+  description : string;
+  model : Process_sim.model;
+  query : Ast.t;
+  broken_query : Ast.t;
+}
+
+let dep ~min_delay ~max_delay after = { Process_sim.after; min_delay; max_delay }
+
+let act ?(requires = []) name = { Process_sim.name; requires; skip_probability = 0.0 }
+
+let q = Pattern.Parse.pattern_exn
+
+let order_monitoring =
+  {
+    name = "order-monitoring";
+    description =
+      "cancelled orders involving both a supplier quote (E1->E2) and a \
+       remote stock invoice (E3->E4), cancelled in E5 within 12 hours";
+    model =
+      Process_sim.model_exn
+        [
+          act "E1";
+          act ~requires:[ dep ~min_delay:0 ~max_delay:60 "E1" ] "E3";
+          act ~requires:[ dep ~min_delay:30 ~max_delay:180 "E1" ] "E2";
+          act ~requires:[ dep ~min_delay:30 ~max_delay:180 "E3" ] "E4";
+          act
+            ~requires:
+              [ dep ~min_delay:10 ~max_delay:120 "E2";
+                dep ~min_delay:10 ~max_delay:120 "E4" ]
+            "E5";
+        ];
+    query = q "SEQ(AND(SEQ(E1, E2), SEQ(E3, E4)), E5) WITHIN 12 hours";
+    broken_query =
+      q "SEQ(AND(SEQ(E1, E2) ATLEAST 24 hours, SEQ(E3, E4)), E5) WITHIN 12 hours";
+  }
+
+let vehicle_tracking =
+  {
+    name = "vehicle-tracking";
+    description =
+      "complete excavation trips: excavation E1, weighting/height E2,E3 in \
+       any order at least 30 minutes apart, unloading E4, all within 2 hours";
+    model =
+      Process_sim.model_exn
+        [
+          act "E1";
+          act ~requires:[ dep ~min_delay:5 ~max_delay:15 "E1" ] "E2";
+          act ~requires:[ dep ~min_delay:30 ~max_delay:40 "E2" ] "E3";
+          act ~requires:[ dep ~min_delay:5 ~max_delay:20 "E3" ] "E4";
+        ];
+    query = q "SEQ(E1, AND(E2, E3) ATLEAST 30 minutes, E4) WITHIN 2 hours";
+    broken_query = q "SEQ(E1, AND(E2, E3) ATLEAST 30 hours, E4) WITHIN 2 hours";
+  }
+
+let cluster_jobs =
+  {
+    name = "cluster-jobs";
+    description =
+      "first job E1 terminated (E4) after two higher-priority submissions \
+       E2, E3 in any order, taking at least 2 minutes";
+    model =
+      Process_sim.model_exn
+        [
+          act "E1";
+          act ~requires:[ dep ~min_delay:1 ~max_delay:5 "E1" ] "E2";
+          act ~requires:[ dep ~min_delay:1 ~max_delay:5 "E1" ] "E3";
+          act
+            ~requires:
+              [ dep ~min_delay:1 ~max_delay:10 "E2";
+                dep ~min_delay:1 ~max_delay:10 "E3" ]
+            "E4";
+        ];
+    query = q "SEQ(E1, AND(E2, E3), E4) ATLEAST 2 minutes";
+    broken_query = q "SEQ(E1, AND(E2, E3) ATLEAST 5, E4) WITHIN 3";
+  }
+
+let all = [ order_monitoring; vehicle_tracking; cluster_jobs ]
+
+let generate prng scenario ~cases =
+  Process_sim.simulate ~start_spread:10_000 prng scenario.model ~cases

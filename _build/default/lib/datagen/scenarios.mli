@@ -1,0 +1,35 @@
+(** The paper's application scenarios (Section 1.2), packaged as process
+    models + queries.
+
+    Each scenario bundles a discrete-event {!Process_sim} model whose clean
+    simulations always satisfy the scenario's event pattern query, the
+    query itself, and the inconsistent query variant the paper uses to
+    motivate the pattern consistency explanation. The examples and the
+    scenario benchmark draw from here, so the prose scenarios of the paper
+    are runnable artifacts. *)
+
+type t = {
+  name : string;
+  description : string;
+  model : Process_sim.model;
+  query : Pattern.Ast.t;  (** clean simulations always match it *)
+  broken_query : Pattern.Ast.t;
+      (** the paper's mistyped variant — always inconsistent *)
+}
+
+val order_monitoring : t
+(** Cancelled orders involving a supplier and a remote stock:
+    [SEQ(AND(SEQ(E1, E2), SEQ(E3, E4)), E5) WITHIN 12 hours]. *)
+
+val vehicle_tracking : t
+(** Complete excavation trips:
+    [SEQ(E1, AND(E2, E3) ATLEAST 30 minutes, E4) WITHIN 2 hours]. *)
+
+val cluster_jobs : t
+(** First job terminated by two new submissions:
+    [SEQ(E1, AND(E2, E3), E4) ATLEAST 2 minutes]. *)
+
+val all : t list
+
+val generate : Numeric.Prng.t -> t -> cases:int -> Events.Trace.t
+(** Clean cases from the scenario's model; each matches [query]. *)

@@ -1,0 +1,94 @@
+module Event = Events.Event
+module Tuple = Events.Tuple
+module Trace = Events.Trace
+module Prng = Numeric.Prng
+module Ast = Pattern.Ast
+
+let strip_artificial tuple =
+  Tuple.fold
+    (fun e ts acc -> if Event.is_artificial e then acc else Tuple.add e ts acc)
+    tuple Tuple.empty
+
+let random_matching_tuple ?(horizon = 2000) prng patterns =
+  let net = Tcn.Encode.pattern_set patterns in
+  let events =
+    Event.Set.union
+      (Pattern.Ast.events_of_set patterns)
+      (Event.Set.union
+         (Tcn.Condition.interval_events net.set_intervals)
+         (Tcn.Condition.binding_events net.set_bindings))
+  in
+  let reference () =
+    Event.Set.fold (fun e acc -> Tuple.add e (Prng.int_in prng 0 horizon) acc) events
+      Tuple.empty
+  in
+  let try_binding phi_k =
+    let stn =
+      Tcn.Stn.of_intervals ~events:(Event.Set.elements events)
+        (phi_k @ net.set_intervals)
+    in
+    if Tcn.Stn.consistent stn then Tcn.Stn.solution_near stn (reference ()) else None
+  in
+  let rec sample_attempts remaining =
+    if remaining = 0 then None
+    else
+      match try_binding (Tcn.Bindings.sample prng net.set_bindings) with
+      | Some t -> Some t
+      | None -> sample_attempts (remaining - 1)
+  in
+  let solution =
+    match sample_attempts 16 with
+    | Some t -> Some t
+    | None ->
+        (* Rare: the sampled bindings were all inconsistent. Fall back to
+           scanning the full binding space. *)
+        Seq.find_map try_binding (Tcn.Bindings.full net.set_bindings)
+  in
+  match solution with
+  | None -> invalid_arg "Workloads.random_matching_tuple: inconsistent pattern set"
+  | Some t ->
+      let t = strip_artificial t in
+      assert (Pattern.Matcher.matches_set t patterns);
+      t
+
+let matching_trace ?horizon prng patterns ~tuples =
+  let rec go i acc =
+    if i = tuples then acc
+    else
+      let t = random_matching_tuple ?horizon prng patterns in
+      go (i + 1) (Trace.add (Printf.sprintf "t%06d" i) t acc)
+  in
+  go 0 Trace.empty
+
+let fig4_event i k = Printf.sprintf "E%d_%d" i k
+
+let fig4_pattern_set ~n ~b =
+  if n < 1 then invalid_arg "Workloads.fig4_pattern_set: n >= 1";
+  let pair i (k1, k2) =
+    Ast.seq ~atleast:1 [ Ast.event (fig4_event i k1); Ast.event (fig4_event i k2) ]
+  in
+  let big_and =
+    Ast.and_ ~atleast:1 ~within:b
+      (List.concat (List.init n (fun i -> [ pair (i + 1) (1, 2); pair (i + 1) (3, 4) ])))
+  in
+  let anchors =
+    List.init n (fun i ->
+        Ast.seq ~atleast:0 ~within:0
+          [ Ast.event (fig4_event (i + 1) 1); Ast.event (fig4_event (i + 1) 4) ])
+  in
+  big_and :: anchors
+
+let numbered_event i = Printf.sprintf "E%d" i
+
+let fig10_pattern ~n =
+  if n < 4 then invalid_arg "Workloads.fig10_pattern: n >= 4";
+  let half = n / 2 in
+  let seq_of lo hi =
+    Ast.seq (List.init (hi - lo + 1) (fun k -> Ast.event (numbered_event (lo + k))))
+  in
+  Ast.and_ ~atleast:900 ~within:1000 [ seq_of 1 half; seq_of (half + 1) n ]
+
+let fig11_pattern ~n =
+  if n < 2 then invalid_arg "Workloads.fig11_pattern: n >= 2";
+  Ast.and_ ~atleast:900 ~within:1000
+    (List.init n (fun i -> Ast.event (numbered_event (i + 1))))

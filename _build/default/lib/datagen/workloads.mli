@@ -1,0 +1,37 @@
+(** Workload builders for the paper's experiments.
+
+    The synthetic pattern families of Figures 4, 10 and 11, plus generic
+    generators for tuples that match a given pattern set (used to fabricate
+    originally-clean data before fault injection, as in Sections 6.3.2 and
+    6.3.3). *)
+
+val random_matching_tuple :
+  ?horizon:int -> Numeric.Prng.t -> Pattern.Ast.t list -> Events.Tuple.t
+(** A random tuple with [t |= P]: sample a binding, solve the resulting
+    simple temporal network anchored near a uniformly random reference over
+    [\[0, horizon\]] (default 2000). Falls back to enumerating all bindings
+    if sampling keeps hitting inconsistent ones.
+    @raise Invalid_argument if the pattern set is inconsistent. *)
+
+val matching_trace :
+  ?horizon:int ->
+  Numeric.Prng.t ->
+  Pattern.Ast.t list ->
+  tuples:int ->
+  Events.Trace.t
+(** [tuples] independent random matching tuples, ids ["t000000"...]. *)
+
+val fig4_pattern_set : n:int -> b:int -> Pattern.Ast.t list
+(** The consistency-evaluation family of Figure 4 over [4n] events:
+    [AND(SEQ(E11,E12) ATLEAST 1, SEQ(E13,E14) ATLEAST 1, ...,
+    SEQ(En3,En4) ATLEAST 1) ATLEAST 1 WITHIN b] together with
+    [SEQ(Ei1, Ei4) ATLEAST 0 WITHIN 0] for each [i]. Inconsistent for
+    [b = 1], consistent for [b >= 2]. *)
+
+val fig10_pattern : n:int -> Pattern.Ast.t
+(** [AND(SEQ(E1..E(n/2)), SEQ(E(n/2+1)..En)) ATLEAST 900 WITHIN 1000] —
+    the general case with SEQ embedded in AND. [n >= 4]. *)
+
+val fig11_pattern : n:int -> Pattern.Ast.t
+(** [AND(E1..En) ATLEAST 900 WITHIN 1000] — no SEQ inside AND, where the
+    single binding is provably optimal (Proposition 8). [n >= 2]. *)

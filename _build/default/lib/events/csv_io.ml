@@ -1,0 +1,50 @@
+let header = "tuple_id,event,timestamp"
+
+let trace_to_string trace =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Trace.fold
+    (fun id tuple () ->
+      List.iter
+        (fun (e, ts) -> Buffer.add_string buf (Printf.sprintf "%s,%s,%d\n" id e ts))
+        (Tuple.bindings tuple))
+    trace ();
+  Buffer.contents buf
+
+let parse_line lineno line =
+  match String.split_on_char ',' (String.trim line) with
+  | [ id; e; ts ] -> (
+      match int_of_string_opt (String.trim ts) with
+      | Some ts -> Ok (String.trim id, String.trim e, ts)
+      | None -> Error (Printf.sprintf "line %d: bad timestamp %S" lineno ts))
+  | _ -> Error (Printf.sprintf "line %d: expected 3 comma-separated fields" lineno)
+
+let trace_of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok acc
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || (lineno = 1 && trimmed = header) then go (lineno + 1) acc rest
+        else (
+          match parse_line lineno trimmed with
+          | Error _ as e -> e
+          | Ok (id, e, ts) ->
+              let tuple =
+                match Trace.find_opt acc id with Some t -> t | None -> Tuple.empty
+              in
+              go (lineno + 1) (Trace.add id (Tuple.add e ts tuple) acc) rest)
+  in
+  go 1 Trace.empty lines
+
+let write_trace path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (trace_to_string trace))
+
+let read_trace path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> trace_of_string s
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,17 @@
+(** CSV import/export of traces.
+
+    Long format, one event instance per line: [tuple_id,event,timestamp].
+    A header line ["tuple_id,event,timestamp"] is written on export and
+    skipped on import when present. This is the interchange format of the
+    [whynot] CLI. *)
+
+val trace_to_string : Trace.t -> string
+val trace_of_string : string -> (Trace.t, string) result
+(** Parse; [Error msg] points at the first offending line. *)
+
+val write_trace : string -> Trace.t -> unit
+(** [write_trace path trace] writes the CSV file at [path]. *)
+
+val read_trace : string -> (Trace.t, string) result
+(** [read_trace path] reads the CSV file at [path]; [Error] on I/O or
+    parse failure. *)

@@ -1,0 +1,34 @@
+type t = string
+
+let compare = String.compare
+let equal = String.equal
+let pp = Format.pp_print_string
+
+(* The '$' prefix cannot appear in parsed pattern identifiers, so reserved
+   names can never collide with user events. *)
+let artificial_start id = Printf.sprintf "$and%d.s" id
+let artificial_end id = Printf.sprintf "$and%d.e" id
+let is_artificial e = String.length e > 0 && e.[0] = '$'
+
+let repeat_alias ~base ~group ~index = Printf.sprintf "%s#%d_%d" base group index
+
+let alias_info e =
+  match String.index_opt e '#' with
+  | None -> None
+  | Some hash -> (
+      let base = String.sub e 0 hash in
+      let rest = String.sub e (hash + 1) (String.length e - hash - 1) in
+      match String.index_opt rest '_' with
+      | None -> None
+      | Some us -> (
+          match
+            ( int_of_string_opt (String.sub rest 0 us),
+              int_of_string_opt (String.sub rest (us + 1) (String.length rest - us - 1))
+            )
+          with
+          | Some group, Some index when base <> "" && group >= 0 && index >= 1 ->
+              Some (base, group, index)
+          | _ -> None))
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

@@ -1,0 +1,35 @@
+(** Event identifiers.
+
+    An event (in the paper's sense, e.g. "arrival of flight UA104") is named
+    by a string. Artificial events introduced by the complex-temporal-network
+    encoding of AND patterns (the [AND^s]/[AND^e] start and end points) are
+    regular events with reserved names, distinguished by {!is_artificial}
+    so that cost functions and explanations can ignore them. *)
+
+type t = string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val artificial_start : int -> t
+(** [artificial_start id] is the reserved name of the start point
+    [AND^s] of the AND pattern numbered [id]. *)
+
+val artificial_end : int -> t
+(** [artificial_end id] is the reserved name of the end point [AND^e]. *)
+
+val is_artificial : t -> bool
+(** Whether the event was introduced by the encoding (not user data). *)
+
+val repeat_alias : base:t -> group:int -> index:int -> t
+(** The [index]-th copy (1-based) of event type [base] produced by the
+    [group]-th [REPEAT] node of a query — a regular event named
+    ["base#<group>_<index>"]. ['#'] cannot occur in parsed identifiers, so
+    aliases never collide with user events. *)
+
+val alias_info : t -> (t * int * int) option
+(** [Some (base, group, index)] when the event is a repeat alias. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,17 @@
+(** Integer timestamps.
+
+    The domain [T] of the paper: non-negative integers. The unit is
+    deliberately abstract (the experiments use minutes); helpers convert
+    to and from "HH:MM" clock strings for the flight examples. *)
+
+type t = int
+
+val of_hm : string -> t
+(** [of_hm "17:08"] is [17*60 + 8]. @raise Invalid_argument on bad syntax. *)
+
+val to_hm : t -> string
+(** Inverse of {!of_hm} modulo 24h wrapping is NOT applied: [to_hm 1448]
+    is ["24:08"], preserving day arithmetic in examples. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_hm : Format.formatter -> t -> unit

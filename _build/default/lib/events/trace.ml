@@ -1,0 +1,20 @@
+module M = Map.Make (String)
+
+type t = Tuple.t M.t
+
+let empty = M.empty
+let add = M.add
+let find_opt t id = M.find_opt id t
+let cardinal = M.cardinal
+let ids t = List.map fst (M.bindings t)
+let bindings = M.bindings
+let of_list l = List.fold_left (fun acc (id, tup) -> add id tup acc) empty l
+let map f t = M.mapi f t
+let fold = M.fold
+let filter = M.filter
+
+let pp ppf t =
+  let pp_entry ppf (id, tup) = Format.fprintf ppf "%s: %a" id Tuple.pp tup in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_entry)
+    (bindings t)

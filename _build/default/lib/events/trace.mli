@@ -1,0 +1,24 @@
+(** Traces: identified collections of tuples (an event log).
+
+    A trace stores one tuple per identifier (e.g. one tuple per day of
+    flights, or one tuple per road-traffic-fine case). It is the unit the
+    benchmarks sweep over ("tuple number") and the input of the CEP query
+    evaluator. *)
+
+type t
+
+val empty : t
+val add : string -> Tuple.t -> t -> t
+(** [add id tuple trace] binds [id]; replaces an existing binding. *)
+
+val find_opt : t -> string -> Tuple.t option
+val cardinal : t -> int
+val ids : t -> string list
+(** Identifiers in increasing order. *)
+
+val bindings : t -> (string * Tuple.t) list
+val of_list : (string * Tuple.t) list -> t
+val map : (string -> Tuple.t -> Tuple.t) -> t -> t
+val fold : (string -> Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val filter : (string -> Tuple.t -> bool) -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+type t = Time.t Event.Map.t
+
+let empty = Event.Map.empty
+let is_empty = Event.Map.is_empty
+let add = Event.Map.add
+let remove = Event.Map.remove
+let find t e = Event.Map.find e t
+let find_opt t e = Event.Map.find_opt e t
+let mem = Event.Map.mem
+let cardinal = Event.Map.cardinal
+let events t = List.map fst (Event.Map.bindings t)
+let bindings = Event.Map.bindings
+let of_list l = List.fold_left (fun acc (e, ts) -> add e ts acc) empty l
+let map f t = Event.Map.mapi f t
+let fold = Event.Map.fold
+let union_right a b = Event.Map.union (fun _ _ vb -> Some vb) a b
+let restrict set t = Event.Map.filter (fun e _ -> Event.Set.mem e set) t
+let equal = Event.Map.equal Int.equal
+
+let delta t t' =
+  let cost e ts acc =
+    if Event.is_artificial e then acc
+    else
+      match Event.Map.find_opt e t' with
+      | None -> acc
+      | Some ts' -> acc + abs (ts - ts')
+  in
+  Event.Map.fold cost t 0
+
+let diff t t' =
+  Event.Map.fold
+    (fun e ts acc ->
+      if Event.is_artificial e then acc
+      else
+        match Event.Map.find_opt e t' with
+        | Some ts' when ts' <> ts -> (e, ts, ts') :: acc
+        | _ -> acc)
+    t []
+  |> List.rev
+
+let pp_with pp_time ppf t =
+  let pp_binding ppf (e, ts) = Format.fprintf ppf "%a=%a" Event.pp e pp_time ts in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_binding)
+    (bindings t)
+
+let pp = pp_with Time.pp
+let pp_hm = pp_with Time.pp_hm

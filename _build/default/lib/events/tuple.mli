@@ -1,0 +1,51 @@
+(** Tuples of event instances.
+
+    A tuple [t] is the one-to-one mapping from events to occurrence
+    timestamps of Section 2 of the paper: each event in the tuple occurs
+    exactly once, at [find t e]. Tuples are immutable; timestamp
+    modification produces a new tuple and {!delta} measures the L1
+    modification cost of Formula 1. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val add : Event.t -> Time.t -> t -> t
+(** [add e ts t] binds [e] to [ts], replacing any previous binding. *)
+
+val remove : Event.t -> t -> t
+val find : t -> Event.t -> Time.t
+(** @raise Not_found if the event is absent. *)
+
+val find_opt : t -> Event.t -> Time.t option
+val mem : Event.t -> t -> bool
+val cardinal : t -> int
+val events : t -> Event.t list
+(** Events in increasing name order. *)
+
+val bindings : t -> (Event.t * Time.t) list
+val of_list : (Event.t * Time.t) list -> t
+val map : (Event.t -> Time.t -> Time.t) -> t -> t
+val fold : (Event.t -> Time.t -> 'a -> 'a) -> t -> 'a -> 'a
+val union_right : t -> t -> t
+(** [union_right a b] contains all bindings of both; [b] wins on clashes. *)
+
+val restrict : Event.Set.t -> t -> t
+(** Keep only the bindings whose event is in the set. *)
+
+val equal : t -> t -> bool
+
+val delta : t -> t -> int
+(** [delta t t'] is the modification cost
+    [sum_i |t[Ei] - t'[Ei]|] of Formula 1, over the union of events bound in
+    either tuple. Artificial events (per {!Event.is_artificial}) are excluded
+    — they are bookkeeping of the encoding, not data. An event bound in only
+    one of the two tuples contributes nothing (it was introduced, not
+    modified). *)
+
+val diff : t -> t -> (Event.t * Time.t * Time.t) list
+(** [diff t t'] lists the (real) events whose timestamps differ, as
+    [(event, old, new)], in event order. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_hm : Format.formatter -> t -> unit

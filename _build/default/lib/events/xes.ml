@@ -1,0 +1,305 @@
+(* --- civil-date <-> epoch arithmetic (Howard Hinnant's algorithms) --- *)
+
+let days_from_civil y m d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = ((153 * mp) + 2) / 5 + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let civil_from_days z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  ((if m <= 2 then y + 1 else y), m, d)
+
+let minutes_of_iso8601 s =
+  (* YYYY-MM-DDTHH:MM[:SS[.fff]][Z|+hh:mm] — minute resolution, zone ignored *)
+  let fail () = Error (Printf.sprintf "bad ISO-8601 date %S" s) in
+  if String.length s < 16 then fail ()
+  else
+    let num off len = int_of_string_opt (String.sub s off len) in
+    match (num 0 4, num 5 2, num 8 2, num 11 2, num 14 2) with
+    | Some y, Some mo, Some d, Some h, Some mi
+      when s.[4] = '-' && s.[7] = '-' && (s.[10] = 'T' || s.[10] = ' ') && s.[13] = ':'
+           && mo >= 1 && mo <= 12 && d >= 1 && d <= 31 && h >= 0 && h < 24 && mi >= 0
+           && mi < 60 ->
+        Ok ((days_from_civil y mo d * 1440) + (h * 60) + mi)
+    | _ -> fail ()
+
+let iso8601_of_minutes t =
+  let days = if t >= 0 then t / 1440 else (t - 1439) / 1440 in
+  let rem = t - (days * 1440) in
+  let y, m, d = civil_from_days days in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:00.000+00:00" y m d (rem / 60) (rem mod 60)
+
+(* --- minimal XML --- *)
+
+type xml = { tag : string; attrs : (string * string) list; children : xml list }
+
+exception Xml_error of int * string
+
+let parse_xml input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let fail msg = raise (Xml_error (!pos, msg)) in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let skip_ws () =
+    while
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> true
+      | _ -> false
+    do
+      incr pos
+    done
+  in
+  let name_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = ':' || c = '-' || c = '_' || c = '.'
+  in
+  let read_name () =
+    let start = !pos in
+    while (match peek () with Some c when name_char c -> true | _ -> false) do
+      incr pos
+    done;
+    if !pos = start then fail "expected a name";
+    String.sub input start (!pos - start)
+  in
+  let unescape s =
+    let buf = Buffer.create (String.length s) in
+    let i = ref 0 in
+    let len = String.length s in
+    while !i < len do
+      if s.[!i] = '&' then begin
+        match String.index_from_opt s !i ';' with
+        | Some j ->
+            (match String.sub s (!i + 1) (j - !i - 1) with
+            | "amp" -> Buffer.add_char buf '&'
+            | "lt" -> Buffer.add_char buf '<'
+            | "gt" -> Buffer.add_char buf '>'
+            | "quot" -> Buffer.add_char buf '"'
+            | "apos" -> Buffer.add_char buf '\''
+            | other -> Buffer.add_string buf ("&" ^ other ^ ";"));
+            i := j + 1
+        | None ->
+            Buffer.add_char buf '&';
+            incr i
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  let read_attr () =
+    let key = read_name () in
+    skip_ws ();
+    if peek () <> Some '=' then fail "expected '='";
+    incr pos;
+    skip_ws ();
+    let quote =
+      match peek () with
+      | Some ('"' as q) | Some ('\'' as q) -> q
+      | _ -> fail "expected a quoted value"
+    in
+    incr pos;
+    let start = !pos in
+    while (match peek () with Some c when c <> quote -> true | _ -> false) do
+      incr pos
+    done;
+    if peek () <> Some quote then fail "unterminated attribute";
+    let value = unescape (String.sub input start (!pos - start)) in
+    incr pos;
+    (key, value)
+  in
+  let rec skip_misc () =
+    skip_ws ();
+    if !pos + 3 < n && String.sub input !pos 4 = "<!--" then begin
+      match String.index_from_opt input (!pos + 4) '>' with
+      | Some _ ->
+          let rec find i =
+            if i + 2 >= n then fail "unterminated comment"
+            else if String.sub input i 3 = "-->" then pos := i + 3
+            else find (i + 1)
+          in
+          find (!pos + 4);
+          skip_misc ()
+      | None -> fail "unterminated comment"
+    end
+    else if !pos + 1 < n && input.[!pos] = '<' && input.[!pos + 1] = '?' then begin
+      match String.index_from_opt input !pos '>' with
+      | Some j ->
+          pos := j + 1;
+          skip_misc ()
+      | None -> fail "unterminated declaration"
+    end
+  in
+  let rec read_element () =
+    skip_misc ();
+    if peek () <> Some '<' then fail "expected '<'";
+    incr pos;
+    let tag = read_name () in
+    let rec attrs acc =
+      skip_ws ();
+      match peek () with
+      | Some '/' ->
+          incr pos;
+          if peek () <> Some '>' then fail "expected '>'";
+          incr pos;
+          { tag; attrs = List.rev acc; children = [] }
+      | Some '>' ->
+          incr pos;
+          let children = read_children () in
+          (* </tag> *)
+          let close = read_name () in
+          if close <> tag then fail (Printf.sprintf "mismatched </%s>" close);
+          skip_ws ();
+          if peek () <> Some '>' then fail "expected '>'";
+          incr pos;
+          { tag; attrs = List.rev acc; children }
+      | Some _ -> attrs (read_attr () :: acc)
+      | None -> fail "unexpected end of input"
+    in
+    attrs []
+  and read_children () =
+    (* children until '</'; stray text is skipped *)
+    let rec go acc =
+      match String.index_from_opt input !pos '<' with
+      | None -> fail "missing closing tag"
+      | Some j ->
+          pos := j;
+          if j + 1 < n && input.[j + 1] = '/' then begin
+            pos := j + 2;
+            List.rev acc
+          end
+          else if j + 3 < n && String.sub input j 4 = "<!--" then begin
+            skip_misc ();
+            go acc
+          end
+          else go (read_element () :: acc)
+    in
+    go []
+  in
+  let root = read_element () in
+  skip_ws ();
+  root
+
+(* --- XES mapping --- *)
+
+let attr key xml = List.assoc_opt key xml.attrs
+
+let find_string_attr key xml =
+  List.find_map
+    (fun child ->
+      if child.tag = "string" && attr "key" child = Some key then attr "value" child
+      else None)
+    xml.children
+
+let find_date_attr key xml =
+  List.find_map
+    (fun child ->
+      if child.tag = "date" && attr "key" child = Some key then attr "value" child
+      else None)
+    xml.children
+
+let of_string input =
+  match parse_xml input with
+  | exception Xml_error (pos, msg) -> Error (Printf.sprintf "XML error at %d: %s" pos msg)
+  | root ->
+      if root.tag <> "log" then Error "expected a <log> root element"
+      else begin
+        let dropped = ref 0 in
+        let result = ref (Ok Trace.empty) in
+        List.iteri
+          (fun i trace_xml ->
+            match !result with
+            | Error _ -> ()
+            | Ok acc ->
+                if trace_xml.tag = "trace" then begin
+                  let id =
+                    match find_string_attr "concept:name" trace_xml with
+                    | Some name -> name
+                    | None -> Printf.sprintf "trace%06d" i
+                  in
+                  let tuple = ref Tuple.empty in
+                  List.iter
+                    (fun event_xml ->
+                      if event_xml.tag = "event" then
+                        match
+                          ( find_string_attr "concept:name" event_xml,
+                            find_date_attr "time:timestamp" event_xml )
+                        with
+                        | Some name, Some date -> (
+                            match minutes_of_iso8601 date with
+                            | Ok ts ->
+                                if Tuple.mem name !tuple then incr dropped
+                                else tuple := Tuple.add name ts !tuple
+                            | Error msg -> result := Error msg)
+                        | _ -> () (* events without name/timestamp are skipped *))
+                    trace_xml.children;
+                  match !result with
+                  | Ok _ -> result := Ok (Trace.add id !tuple acc)
+                  | Error _ -> ()
+                end)
+          root.children;
+        Result.map (fun trace -> (trace, !dropped)) !result
+      end
+
+let xml_escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '&' -> "&amp;"
+         | '<' -> "&lt;"
+         | '>' -> "&gt;"
+         | '"' -> "&quot;"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_string trace =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  Buffer.add_string buf "<log xes.version=\"1.0\">\n";
+  Trace.fold
+    (fun id tuple () ->
+      Buffer.add_string buf "  <trace>\n";
+      Buffer.add_string buf
+        (Printf.sprintf "    <string key=\"concept:name\" value=\"%s\"/>\n"
+           (xml_escape id));
+      let events =
+        Tuple.bindings tuple |> List.sort (fun (_, a) (_, b) -> compare a b)
+      in
+      List.iter
+        (fun (e, ts) ->
+          Buffer.add_string buf "    <event>\n";
+          Buffer.add_string buf
+            (Printf.sprintf "      <string key=\"concept:name\" value=\"%s\"/>\n"
+               (xml_escape e));
+          Buffer.add_string buf
+            (Printf.sprintf "      <date key=\"time:timestamp\" value=\"%s\"/>\n"
+               (iso8601_of_minutes ts));
+          Buffer.add_string buf "    </event>\n")
+        events;
+      Buffer.add_string buf "  </trace>\n")
+    trace ();
+  Buffer.add_string buf "</log>\n";
+  Buffer.contents buf
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg
+
+let write_file path trace =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string trace))

@@ -1,0 +1,32 @@
+(** XES event-log interop (IEEE 1849, the process-mining log format).
+
+    The paper's RTFM dataset is published as an XES log; this module reads
+    and writes the subset needed to exchange traces with process-mining
+    tooling: one [<trace>] per tuple (id from the trace's [concept:name]),
+    one [<event>] per event instance ([concept:name] = event,
+    [time:timestamp] = ISO-8601 date, imported at minute resolution as
+    minutes since the Unix epoch). Other attributes are ignored on import;
+    export writes the canonical two attributes.
+
+    A tuple binds each event once, so on import a repeated activity inside
+    one trace keeps its {e first} occurrence (later repeats are dropped and
+    counted). The XML parser handles exactly the XES shape: elements,
+    attributes, self-closing tags, XML declarations and comments. *)
+
+val of_string : string -> (Trace.t * int, string) result
+(** Parse a log; returns the trace and the number of dropped repeated
+    events. *)
+
+val to_string : Trace.t -> string
+(** Render as an XES document (traces and events in deterministic order,
+    events by timestamp). *)
+
+val read_file : string -> (Trace.t * int, string) result
+val write_file : string -> Trace.t -> unit
+
+val minutes_of_iso8601 : string -> (Time.t, string) result
+(** ["2020-01-31T10:30:00..."] to minutes since the Unix epoch (seconds and
+    timezone suffixes are accepted and ignored — minute resolution). *)
+
+val iso8601_of_minutes : Time.t -> string
+(** Inverse, rendered as UTC with seconds zero. *)

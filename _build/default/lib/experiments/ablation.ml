@@ -1,0 +1,256 @@
+module Prng = Numeric.Prng
+
+type solver_row = {
+  n : int;
+  lp_time : float;
+  flow_time : float;
+  costs_equal : bool;
+  integral : bool;
+}
+
+let solver_ablation ?(tuples = 50) ?(seed = 10) ~ns () =
+  List.map
+    (fun n ->
+      let prng = Prng.create (seed + n) in
+      let pattern = Datagen.Workloads.fig10_pattern ~n in
+      let patterns = [ pattern ] in
+      let net = Tcn.Encode.pattern_set patterns in
+      let lp_time = ref 0.0 and flow_time = ref 0.0 in
+      let equal = ref true and integral = ref true in
+      for _ = 1 to tuples do
+        let t = Datagen.Workloads.random_matching_tuple ~horizon:5000 prng patterns in
+        let t = Datagen.Faults.tuple prng ~rate:0.4 ~distance:500 t in
+        let lp, dt_lp =
+          Harness.time (fun () ->
+              Explain.Modification.explain_network ~solver:Explain.Modification.Lp net t)
+        in
+        let flow, dt_flow =
+          Harness.time (fun () ->
+              Explain.Modification.explain_network ~solver:Explain.Modification.Flow net t)
+        in
+        lp_time := !lp_time +. dt_lp;
+        flow_time := !flow_time +. dt_flow;
+        (match (lp, flow) with
+        | Some a, Some b ->
+            if a.Explain.Modification.cost <> b.Explain.Modification.cost then
+              equal := false
+        | None, None -> ()
+        | _ -> equal := false);
+        (* Integrality of the relaxation, probed directly on the extended
+           tuple with the single binding. *)
+        let extended = Tcn.Encode.extend net t in
+        let phi =
+          Tcn.Bindings.single extended net.set_bindings @ net.set_intervals
+        in
+        match Explain.Lp_repair.repair extended phi with
+        | Some r -> if not r.Explain.Lp_repair.integral_relaxation then integral := false
+        | None -> ()
+      done;
+      { n; lp_time = !lp_time; flow_time = !flow_time; costs_equal = !equal;
+        integral = !integral })
+    ns
+
+type engine_row = {
+  engine_n : int;
+  full_time : float;
+  pruned_time : float;
+  agree : bool;
+}
+
+let consistency_engine_ablation ~ns () =
+  List.map
+    (fun n ->
+      let full_time = ref 0.0 and pruned_time = ref 0.0 and agree = ref true in
+      List.iter
+        (fun b ->
+          let patterns = Datagen.Workloads.fig4_pattern_set ~n ~b in
+          let full, dt_full =
+            Harness.time (fun () ->
+                Explain.Consistency.check ~strategy:Explain.Consistency.Full patterns)
+          in
+          let pruned, dt_pruned =
+            Harness.time (fun () ->
+                Explain.Consistency.check ~strategy:Explain.Consistency.Pruned patterns)
+          in
+          full_time := !full_time +. dt_full;
+          pruned_time := !pruned_time +. dt_pruned;
+          if full.Explain.Consistency.consistent <> pruned.Explain.Consistency.consistent
+          then agree := false)
+        [ 1; 2 ];
+      { engine_n = n; full_time = !full_time; pruned_time = !pruned_time;
+        agree = !agree })
+    ns
+
+let print_engines rows =
+  Harness.print_table
+    ~title:"Ablation: exact consistency — full enumeration vs pruned DFS (fig4, b=1+b=2)"
+    ~header:[ "n"; "Full (ms)"; "Pruned (ms)"; "agree" ]
+    (List.map
+       (fun { engine_n; full_time; pruned_time; agree } ->
+         [
+           string_of_int engine_n;
+           Harness.ms full_time;
+           Harness.ms pruned_time;
+           string_of_bool agree;
+         ])
+       rows)
+
+type sampling_row = { samples : int; accuracy : float; mean_time : float }
+
+let sampling_ablation ?(seed = 11) ?(repeats = 20) ~n ~sample_counts () =
+  (* A consistent instance where consistent bindings are rare, so small s
+     produces false negatives. The Figure 4 family with b = 2 works: only
+     bindings placing the extreme SEQ endpoints at the AND boundary are
+     consistent. *)
+  let patterns = Datagen.Workloads.fig4_pattern_set ~n ~b:2 in
+  List.map
+    (fun samples ->
+      let ok = ref 0 and elapsed = ref 0.0 in
+      for r = 1 to repeats do
+        let report, dt =
+          Harness.time (fun () ->
+              Explain.Consistency.check
+                ~strategy:(Explain.Consistency.Sampled samples)
+                ~seed:(seed + (100 * samples) + r)
+                patterns)
+        in
+        elapsed := !elapsed +. dt;
+        if report.Explain.Consistency.consistent then incr ok
+      done;
+      {
+        samples;
+        accuracy = float_of_int !ok /. float_of_int repeats;
+        mean_time = !elapsed /. float_of_int repeats;
+      })
+    sample_counts
+
+type pw_row = {
+  pw_n : int;
+  worlds : int;
+  modification_rmse : float;
+  modification_time : float;
+  pw_rmse : float;
+  pw_time : float;
+  mean_modification_cost : float;
+  mean_pw_distance : float;
+}
+
+let possible_worlds_ablation ?(tuples = 20) ?(seed = 12) ~ns () =
+  let radius = 16 in
+  (* Tuples matching AND(E1..En) ATLEAST 900 WITHIN 1000 with a nearly-full
+     span, so a small shift of the latest event reliably breaks the window
+     while staying inside the uncertainty radius. *)
+  let breaking_pair prng n =
+    let base = Prng.int_in prng 0 2000 in
+    let span = Prng.int_in prng 996 1000 in
+    let events = List.init n (fun i -> Printf.sprintf "E%d" (i + 1)) in
+    let truth =
+      List.fold_left
+        (fun (acc, i) e ->
+          let ts =
+            if i = 0 then base
+            else if i = n - 1 then base + span
+            else base + Prng.int_in prng 0 span
+          in
+          (Events.Tuple.add e ts acc, i + 1))
+        (Events.Tuple.empty, 0) events
+      |> fst
+    in
+    let last = Printf.sprintf "E%d" n in
+    let shift = Prng.int_in prng 8 12 in
+    let observed =
+      Events.Tuple.add last (Events.Tuple.find truth last + shift) truth
+    in
+    (truth, observed)
+  in
+  List.map
+    (fun n ->
+      let prng = Prng.create (seed + n) in
+      let patterns = [ Datagen.Workloads.fig11_pattern ~n ] in
+      let mod_rmse = ref [] and pw_rmse = ref [] in
+      let mod_time = ref 0.0 and pw_time = ref 0.0 in
+      let mod_costs = ref [] and pw_dists = ref [] in
+      let worlds = ref 0 in
+      for _ = 1 to tuples do
+        let truth, observed = breaking_pair prng n in
+        assert (Pattern.Matcher.matches_set truth patterns);
+        if not (Pattern.Matcher.matches_set observed patterns) then begin
+          let modification, dt_mod =
+            Harness.time (fun () -> Explain.Modification.explain patterns observed)
+          in
+          mod_time := !mod_time +. dt_mod;
+          let uncertain = Explain.Possible_worlds.of_tuple ~radius observed in
+          worlds := Explain.Possible_worlds.world_count uncertain;
+          let world, dt_pw =
+            Harness.time (fun () ->
+                Explain.Possible_worlds.most_likely_matching_world
+                  ~limit:5_000_000 uncertain patterns)
+          in
+          pw_time := !pw_time +. dt_pw;
+          (* Score only tuples where both routes produced a repair, so the
+             means compare like with like. *)
+          match (modification, world) with
+          | Some { repaired = mod_rep; cost; _ }, Some (pw_rep, dist) ->
+              mod_rmse := Datagen.Metrics.rmse ~truth ~repaired:mod_rep :: !mod_rmse;
+              mod_costs := float_of_int cost :: !mod_costs;
+              pw_rmse := Datagen.Metrics.rmse ~truth ~repaired:pw_rep :: !pw_rmse;
+              pw_dists := float_of_int dist :: !pw_dists
+          | _ -> ()
+        end
+      done;
+      {
+        pw_n = n;
+        worlds = !worlds;
+        modification_rmse = Datagen.Metrics.mean !mod_rmse;
+        modification_time = !mod_time;
+        pw_rmse = Datagen.Metrics.mean !pw_rmse;
+        pw_time = !pw_time;
+        mean_modification_cost = Datagen.Metrics.mean !mod_costs;
+        mean_pw_distance = Datagen.Metrics.mean !pw_dists;
+      })
+    ns
+
+let print_pw rows =
+  Harness.print_table
+    ~title:
+      "Ablation: min-change explanation vs possible-worlds most-likely world \
+       (Section 7.2)"
+    ~header:
+      [ "n"; "worlds/tuple"; "min-change cost"; "PW distance"; "min-change RMSE";
+        "PW RMSE"; "min-change (ms)"; "PW (ms)" ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.pw_n;
+           string_of_int r.worlds;
+           Harness.f3 r.mean_modification_cost;
+           Harness.f3 r.mean_pw_distance;
+           Harness.f3 r.modification_rmse;
+           Harness.f3 r.pw_rmse;
+           Harness.ms r.modification_time;
+           Harness.ms r.pw_time;
+         ])
+       rows)
+
+let print_solver rows =
+  Harness.print_table ~title:"Ablation: exact repair engine — simplex LP vs min-cost flow"
+    ~header:[ "n"; "LP time (ms)"; "flow time (ms)"; "equal optima"; "LP integral" ]
+    (List.map
+       (fun { n; lp_time; flow_time; costs_equal; integral } ->
+         [
+           string_of_int n;
+           Harness.ms lp_time;
+           Harness.ms flow_time;
+           string_of_bool costs_equal;
+           string_of_bool integral;
+         ])
+       rows)
+
+let print_sampling rows =
+  Harness.print_table
+    ~title:"Ablation: randomized s-binding consistency (consistent needle instance)"
+    ~header:[ "samples"; "accuracy"; "mean time (ms)" ]
+    (List.map
+       (fun { samples; accuracy; mean_time } ->
+         [ string_of_int samples; Harness.f3 accuracy; Harness.ms mean_time ])
+       rows)

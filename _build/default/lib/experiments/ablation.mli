@@ -1,0 +1,68 @@
+(** Design-choice ablations beyond the paper's figures (see DESIGN.md).
+
+    - {b LP vs min-cost flow}: both repair engines are exact; the flow dual
+      avoids the rational tableau. The ablation confirms equal optima and
+      quantifies the speed difference.
+    - {b ILP vs LP relaxation}: the repair LP's optimum is integral on every
+      generated instance (difference constraints are totally unimodular),
+      which is why Algorithm 2 can use the relaxation.
+    - {b binding sampling}: accuracy/time of s-binding consistency checking
+      as s grows, on a consistent-but-needle-like instance (only few of the
+      many bindings are consistent). *)
+
+type solver_row = {
+  n : int;
+  lp_time : float;
+  flow_time : float;
+  costs_equal : bool;
+  integral : bool;
+}
+
+val solver_ablation : ?tuples:int -> ?seed:int -> ns:int list -> unit -> solver_row list
+
+type sampling_row = {
+  samples : int;
+  accuracy : float;
+  mean_time : float;
+}
+
+type engine_row = {
+  engine_n : int;
+  full_time : float;  (** Algorithm 1, full enumeration *)
+  pruned_time : float;  (** DFS refinement on the incremental STN *)
+  agree : bool;  (** both returned the same verdicts *)
+}
+
+val consistency_engine_ablation : ns:int list -> unit -> engine_row list
+(** Full vs Pruned exact consistency on the Figure 4 family (both b=1 and
+    b=2). Pruned must agree with Full everywhere; the win is largest on
+    inconsistent instances, where Full has to exhaust the binding space. *)
+
+val print_engines : engine_row list -> unit
+
+val sampling_ablation :
+  ?seed:int -> ?repeats:int -> n:int -> sample_counts:int list -> unit -> sampling_row list
+
+type pw_row = {
+  pw_n : int;
+  worlds : int;  (** possible worlds enumerated per tuple *)
+  modification_rmse : float;
+  modification_time : float;
+  pw_rmse : float;
+  pw_time : float;
+  mean_modification_cost : float;  (** mean repair cost (unrestricted) *)
+  mean_pw_distance : float;  (** mean best-world L1 distance (box-restricted) *)
+}
+
+val possible_worlds_ablation :
+  ?tuples:int -> ?seed:int -> ns:int list -> unit -> pw_row list
+(** Section 7.2 executable: minimum-change explanation (no interval
+    knowledge) versus the possible-worlds most-likely matching world (which
+    must be given the uncertainty radius). Comparable repair quality, with
+    the possible-worlds route exponentially slower as events grow. Small
+    faults/radii keep the enumeration finite. *)
+
+val print_pw : pw_row list -> unit
+
+val print_solver : solver_row list -> unit
+val print_sampling : sampling_row list -> unit

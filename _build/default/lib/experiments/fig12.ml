@@ -1,0 +1,98 @@
+module Trace = Events.Trace
+module Tuple = Events.Tuple
+
+type config = {
+  answers : int;
+  non_answers : int;
+  cost_budget_factor : int;
+  seed : int;
+}
+
+let default = { answers = 300; non_answers = 100; cost_budget_factor = 1; seed = 8 }
+
+type row = {
+  rate : float;
+  distance : int;
+  single : Cep.Query.accuracy;
+  greedy : Cep.Query.accuracy;
+}
+
+(* A true non-answer: the payment lands 5 to 20 hours outside the
+   480-minute penalty window — clearly beyond any plausible fault at the
+   swept distances, but within reach of a too-generous repair budget. The
+   f-measure then degrades exactly along the paper's two axes: recall
+   falls as faults push true answers' repairs over budget, and precision
+   falls once the budget grows past the non-answers' excess. *)
+let true_non_answer prng =
+  let t = Datagen.Workloads.random_matching_tuple ~horizon:(90 * 1440) prng
+            Datagen.Rtfm.patterns in
+  let excess = 60 * Numeric.Prng.int_in prng 5 20 in
+  let t = Tuple.add "Payment" (Tuple.find t "Add_penalty" + 480 + excess) t in
+  assert (not (Pattern.Matcher.matches_set t Datagen.Rtfm.patterns));
+  t
+
+let build_clean config prng =
+  let answers = Datagen.Rtfm.generate prng ~tuples:config.answers in
+  let rec add_non_answers i trace =
+    if i = config.non_answers then trace
+    else
+      add_non_answers (i + 1)
+        (Trace.add (Printf.sprintf "n%06d" i) (true_non_answer prng) trace)
+  in
+  add_non_answers 0 answers
+
+let greedy_trace ~budget patterns trace =
+  Trace.map
+    (fun _id tuple ->
+      if Pattern.Matcher.matches_set tuple patterns then tuple
+      else
+        let r = Explain.Baselines.greedy patterns tuple in
+        if r.Explain.Baselines.matched && r.Explain.Baselines.cost <= budget then
+          r.Explain.Baselines.repaired
+        else tuple)
+    trace
+
+let run_point config ~rate ~distance =
+  let prng = Numeric.Prng.create config.seed in
+  let clean = build_clean config prng in
+  let patterns = Datagen.Rtfm.patterns in
+  let truth = Cep.Query.answers patterns clean in
+  let observed = Datagen.Faults.trace prng ~rate ~distance clean in
+  let budget = config.cost_budget_factor * distance in
+  let single_trace =
+    Cep.Query.explain_trace ~strategy:Explain.Modification.Single ~max_cost:budget
+      patterns observed
+  in
+  let single =
+    Cep.Query.accuracy ~truth ~found:(Cep.Query.answers patterns single_trace)
+  in
+  let greedy_repaired = greedy_trace ~budget patterns observed in
+  let greedy =
+    Cep.Query.accuracy ~truth ~found:(Cep.Query.answers patterns greedy_repaired)
+  in
+  { rate; distance; single; greedy }
+
+let fig12a ?(config = default) ~rates () =
+  List.map (fun rate -> run_point config ~rate ~distance:160) rates
+
+let fig12b ?(config = default) ~distances () =
+  List.map (fun distance -> run_point config ~rate:0.1 ~distance) distances
+
+let print ~title ~vary rows =
+  let key_label, key_of =
+    match vary with
+    | `Rate -> ("fault rate", fun r -> Printf.sprintf "%.2f" r.rate)
+    | `Distance -> ("fault distance", fun r -> string_of_int r.distance)
+  in
+  Harness.print_table ~title
+    ~header:[ key_label; "Pattern(Single) f"; "Greedy f"; "Single p/r"; "Greedy p/r" ]
+    (List.map
+       (fun row ->
+         [
+           key_of row;
+           Harness.f3 row.single.Cep.Query.f_measure;
+           Harness.f3 row.greedy.Cep.Query.f_measure;
+           Printf.sprintf "%.3f/%.3f" row.single.precision row.single.recall;
+           Printf.sprintf "%.3f/%.3f" row.greedy.precision row.greedy.recall;
+         ])
+       rows)

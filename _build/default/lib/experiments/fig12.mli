@@ -1,0 +1,40 @@
+(** Figure 12: how a human perceives the explanations — accuracy of query
+    answers after repairing the data with each explanation method.
+
+    The clean trace mixes true answers (cases matching the query) with true
+    non-answers (cases violating it by far more than any plausible fault).
+    Faults degrade all tuples; each method repairs the resulting
+    non-answers, but a repair is only accepted when its cost stays within a
+    budget (an explanation that must massively rewrite the tuple "does not
+    apply"). The query then runs over the repaired trace and its answer set
+    is scored against the clean answer set by f-measure. Pattern(Single) is
+    compared against Greedy, as in the paper (Full's RMSE is close to
+    Single's). *)
+
+type config = {
+  answers : int;  (** true answers in the clean trace *)
+  non_answers : int;  (** true non-answers *)
+  cost_budget_factor : int;
+      (** accepted repair cost <= factor * fault distance *)
+  seed : int;
+}
+
+val default : config
+(** 300 answers, 100 non-answers, budget factor 3. *)
+
+type row = {
+  rate : float;
+  distance : int;
+  single : Cep.Query.accuracy;
+  greedy : Cep.Query.accuracy;
+}
+
+val run_point : config -> rate:float -> distance:int -> row
+
+val fig12a : ?config:config -> rates:float list -> unit -> row list
+(** Fault distance fixed at 160 (paper's Figure 12(a)). *)
+
+val fig12b : ?config:config -> distances:int list -> unit -> row list
+(** Fault rate fixed at 0.1 (paper's Figure 12(b)). *)
+
+val print : title:string -> vary:[ `Rate | `Distance ] -> row list -> unit

@@ -1,0 +1,102 @@
+type config = {
+  ns : int list;
+  sample_counts : int list;
+  repeats : int;
+  seed : int;
+}
+
+let default =
+  { ns = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]; sample_counts = [ 1; 2; 4; 10 ]; repeats = 5;
+    seed = 1 }
+
+type strategy_row = { strategy : string; accuracy : float; total_time : float }
+type row = { n : int; events : int; times : (string * float) list }
+type result = { rows : row list; strategies : strategy_row list }
+
+let strategy_label = function
+  | None -> "Full"
+  | Some s -> Printf.sprintf "%d-binding" s
+
+let run config =
+  let strategies = None :: List.map Option.some config.sample_counts in
+  let correct = Hashtbl.create 8 and total = Hashtbl.create 8 in
+  let times = Hashtbl.create 8 in
+  let bump tbl key v =
+    Hashtbl.replace tbl key (v +. (Option.value ~default:0.0 (Hashtbl.find_opt tbl key)))
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let per_strategy =
+          List.map
+            (fun strategy ->
+              let label = strategy_label strategy in
+              let runs = ref 0 and elapsed = ref 0.0 in
+              List.iter
+                (fun b ->
+                  let truth_consistent = b >= 2 in
+                  let patterns = Datagen.Workloads.fig4_pattern_set ~n ~b in
+                  let repeats =
+                    match strategy with None -> 1 | Some _ -> config.repeats
+                  in
+                  for r = 1 to repeats do
+                    let check () =
+                      match strategy with
+                      | None -> Explain.Consistency.check patterns
+                      | Some s ->
+                          Explain.Consistency.check
+                            ~strategy:(Explain.Consistency.Sampled s)
+                            ~seed:(config.seed + (1000 * n) + (10 * b) + r)
+                            patterns
+                    in
+                    let report, dt = Harness.time check in
+                    incr runs;
+                    elapsed := !elapsed +. dt;
+                    bump times (label, n) dt;
+                    bump total label 1.0;
+                    if report.Explain.Consistency.consistent = truth_consistent then
+                      bump correct label 1.0
+                  done)
+                [ 1; 2 ];
+              (label, !elapsed /. float_of_int (max 1 !runs)))
+            strategies
+        in
+        { n; events = 4 * n; times = per_strategy })
+      config.ns
+  in
+  let strategies =
+    List.map
+      (fun strategy ->
+        let label = strategy_label strategy in
+        let total_runs = Option.value ~default:1.0 (Hashtbl.find_opt total label) in
+        let ok = Option.value ~default:0.0 (Hashtbl.find_opt correct label) in
+        let total_time =
+          List.fold_left
+            (fun acc n ->
+              acc +. Option.value ~default:0.0 (Hashtbl.find_opt times (label, n)))
+            0.0 config.ns
+        in
+        { strategy = label; accuracy = ok /. total_runs; total_time })
+      strategies
+  in
+  { rows; strategies }
+
+let print { rows; strategies } =
+  Harness.print_table ~title:"Figure 5(a): consistency-checking accuracy by strategy"
+    ~header:[ "strategy"; "accuracy"; "total time (ms)" ]
+    (List.map
+       (fun { strategy; accuracy; total_time } ->
+         [ strategy; Harness.f3 accuracy; Harness.ms total_time ])
+       strategies);
+  match rows with
+  | [] -> ()
+  | first :: _ ->
+      let labels = List.map fst first.times in
+      Harness.print_table
+        ~title:"Figure 5(b): time per consistency check (ms) vs number of events"
+        ~header:([ "n"; "events" ] @ labels)
+        (List.map
+           (fun { n; events; times } ->
+             [ string_of_int n; string_of_int events ]
+             @ List.map (fun (_, t) -> Harness.ms t) times)
+           rows)

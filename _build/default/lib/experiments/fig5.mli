@@ -1,0 +1,34 @@
+(** Figure 5: pattern-consistency checking on the Figure 4 family.
+
+    20 pattern sets ([n = 1..10] with [b = 1] inconsistent and [b = 2]
+    consistent) are checked by Full binding and by randomized [s]-binding
+    for several [s]. Reported per strategy: overall accuracy
+    (TP+TN)/(TP+TN+FN) — the randomized algorithm never produces false
+    positives — and time versus the number of events [4n]. *)
+
+type config = {
+  ns : int list;  (** the [n] values (4n events each) *)
+  sample_counts : int list;  (** the randomized strategies, e.g. [1;2;4;10] *)
+  repeats : int;  (** randomized repetitions per pattern set *)
+  seed : int;
+}
+
+val default : config
+(** [ns = 1..10], [sample_counts = \[1;2;4;10\]], [repeats = 5]. *)
+
+type strategy_row = {
+  strategy : string;
+  accuracy : float;
+  total_time : float;  (** seconds, all pattern sets and repeats *)
+}
+
+type row = {
+  n : int;
+  events : int;
+  times : (string * float) list;  (** strategy -> mean seconds per check *)
+}
+
+type result = { rows : row list; strategies : strategy_row list }
+
+val run : config -> result
+val print : result -> unit

@@ -1,0 +1,69 @@
+type config = {
+  event_counts : int list;
+  days : int;
+  brute_force_max_events : int;
+  seed : int;
+}
+
+let default =
+  { event_counts = [ 4; 6; 8; 10 ]; days = 30; brute_force_max_events = 5; seed = 2 }
+
+type row = {
+  events : int;
+  non_answers : int;
+  per_algorithm : (string * Repair_run.algo_result option) list;
+}
+
+let algorithms ~events ~max_bf =
+  [
+    (Harness.Pattern_full, true);
+    (Harness.Pattern_single, true);
+    (Harness.Brute_force { grid = 10; radius = 130 }, events <= max_bf);
+    (Harness.Greedy, true);
+  ]
+
+let run config =
+  List.map
+    (fun events ->
+      let prng = Numeric.Prng.create (config.seed + events) in
+      let { Datagen.Flight.pattern; truth; observed } =
+        Datagen.Flight.generate prng ~num_events:events ~days:config.days
+      in
+      let patterns = [ pattern ] in
+      let non_answers = Repair_run.non_answer_count patterns observed in
+      let wanted = algorithms ~events ~max_bf:config.brute_force_max_events in
+      let active = List.filter_map (fun (a, on) -> if on then Some a else None) wanted in
+      let results = Repair_run.run ~algorithms:active ~patterns ~truth ~observed in
+      let per_algorithm =
+        List.map
+          (fun (a, on) ->
+            let name = Harness.algorithm_name a in
+            if on then
+              (name, List.find_opt (fun r -> r.Repair_run.algorithm = name) results)
+            else (name, None))
+          wanted
+      in
+      { events; non_answers; per_algorithm })
+    config.event_counts
+
+let print rows =
+  let cell = function
+    | None -> ("-", "-")
+    | Some r -> (Harness.f3 r.Repair_run.nrmse, Harness.ms r.Repair_run.time)
+  in
+  let labels =
+    match rows with [] -> [] | r :: _ -> List.map fst r.per_algorithm
+  in
+  Harness.print_table ~title:"Figure 6(a): NRMSE vs number of events (Flight)"
+    ~header:([ "events"; "non-answers" ] @ labels)
+    (List.map
+       (fun { events; non_answers; per_algorithm } ->
+         [ string_of_int events; string_of_int non_answers ]
+         @ List.map (fun (_, r) -> fst (cell r)) per_algorithm)
+       rows);
+  Harness.print_table ~title:"Figure 6(b): total repair time (ms) vs number of events (Flight)"
+    ~header:([ "events" ] @ labels)
+    (List.map
+       (fun { events; per_algorithm; _ } ->
+         [ string_of_int events ] @ List.map (fun (_, r) -> snd (cell r)) per_algorithm)
+       rows)

@@ -1,0 +1,25 @@
+(** Figure 6: timestamp modification on Flight data with real-world-shaped
+    imprecision and labeled truth — NRMSE and time versus the number of
+    events in the query. Brute force (10-minute grid) only runs up to
+    [brute_force_max_events] events; beyond that it is reported as "-"
+    (the paper: "time costs are too high with more than 5 events"). *)
+
+type config = {
+  event_counts : int list;  (** even values >= 4 *)
+  days : int;
+  brute_force_max_events : int;
+  seed : int;
+}
+
+val default : config
+(** events 4..10, 30 days, brute force up to 5 events (grid 10). *)
+
+type row = {
+  events : int;
+  non_answers : int;
+  per_algorithm : (string * Repair_run.algo_result option) list;
+      (** [None] when the algorithm was skipped at this size *)
+}
+
+val run : config -> row list
+val print : row list -> unit

@@ -1,0 +1,105 @@
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let format_table ~title ~header rows =
+  let all = header :: rows in
+  let columns = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init columns width in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let add_row row =
+    List.iteri
+      (fun c cell ->
+        if c > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad cell (List.nth widths c)))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  add_row header;
+  add_row (List.map (fun w -> String.make w '-') widths);
+  List.iter add_row rows;
+  Buffer.contents buf
+
+let csv_cell cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let csv_of_table ~header rows =
+  let line row = String.concat "," (List.map csv_cell row) ^ "\n" in
+  String.concat "" (List.map line (header :: rows))
+
+let csv_dir = ref None
+
+let set_csv_dir dir = csv_dir := dir
+
+let slug title =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c
+      else if c >= 'A' && c <= 'Z' then Char.lowercase_ascii c
+      else '-')
+    title
+  |> fun s ->
+  (* squeeze dashes and bound the length *)
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if c <> '-' || (Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) <> '-')
+      then Buffer.add_char buf c)
+    s;
+  let s = Buffer.contents buf in
+  if String.length s > 60 then String.sub s 0 60 else s
+
+let write_csv ~title ~header rows dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir (slug title ^ ".csv") in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (csv_of_table ~header rows))
+
+let print_table ~title ~header rows =
+  print_string (format_table ~title ~header rows);
+  print_newline ();
+  match !csv_dir with
+  | Some dir -> write_csv ~title ~header rows dir
+  | None -> ()
+
+let f3 x = Printf.sprintf "%.3f" x
+let ms seconds = Printf.sprintf "%.3f" (seconds *. 1000.0)
+
+type algorithm =
+  | Pattern_full
+  | Pattern_single
+  | Brute_force of { grid : int; radius : int }
+  | Greedy
+
+let algorithm_name = function
+  | Pattern_full -> "Pattern(Full)"
+  | Pattern_single -> "Pattern(Single)"
+  | Brute_force _ -> "Brute-force"
+  | Greedy -> "Greedy"
+
+let repair_tuple algorithm net patterns tuple =
+  match algorithm with
+  | Pattern_full ->
+      Explain.Modification.explain_network ~strategy:Explain.Modification.Full net tuple
+      |> Option.map (fun r -> r.Explain.Modification.repaired)
+  | Pattern_single ->
+      Explain.Modification.explain_network ~strategy:Explain.Modification.Single net
+        tuple
+      |> Option.map (fun r -> r.Explain.Modification.repaired)
+  | Brute_force { grid; radius } ->
+      Explain.Baselines.brute_force ~grid ~radius patterns tuple
+      |> Option.map (fun r -> r.Explain.Baselines.repaired)
+  | Greedy ->
+      let r = Explain.Baselines.greedy patterns tuple in
+      Some r.Explain.Baselines.repaired

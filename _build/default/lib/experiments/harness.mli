@@ -1,0 +1,47 @@
+(** Shared plumbing for the experiment harnesses: wall-clock timing,
+    plain-text table rendering (one table per paper figure), and the roster
+    of repair algorithms compared in Section 6.3. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Result and elapsed wall-clock seconds. *)
+
+val print_table : title:string -> header:string list -> string list list -> unit
+(** Render an aligned table to stdout; when a CSV sink is set
+    (see {!set_csv_dir}), also write the table as
+    [<dir>/<slug-of-title>.csv]. *)
+
+val set_csv_dir : string option -> unit
+(** Direct every subsequently printed table to CSV files in this directory
+    (created if missing); [None] turns the sink off. Used by
+    [bench/main.exe --csv DIR] so each figure's series lands in a file a
+    plotting notebook can read. *)
+
+val csv_of_table : header:string list -> string list list -> string
+(** The CSV rendering (quoted only where needed). *)
+
+val format_table : title:string -> header:string list -> string list list -> string
+
+val f3 : float -> string
+(** Three decimals. *)
+
+val ms : float -> string
+(** Seconds rendered as milliseconds with three decimals. *)
+
+(** The algorithms of the evaluation. [Brute_force] carries its grid and
+    radius; it is only run when the pattern has few events. *)
+type algorithm =
+  | Pattern_full
+  | Pattern_single
+  | Brute_force of { grid : int; radius : int }
+  | Greedy
+
+val algorithm_name : algorithm -> string
+
+val repair_tuple :
+  algorithm ->
+  Tcn.Encode.set ->
+  Pattern.Ast.t list ->
+  Events.Tuple.t ->
+  Events.Tuple.t option
+(** Run one algorithm on one tuple; [None] when it finds no matching repair
+    (brute force out of range, greedy stuck, inconsistent pattern). *)

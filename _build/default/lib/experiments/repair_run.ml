@@ -1,0 +1,58 @@
+module Trace = Events.Trace
+
+type algo_result = {
+  algorithm : string;
+  rmse : float;
+  nrmse : float;
+  time : float;
+  repaired_trace : Trace.t;
+  unrepaired : int;
+}
+
+let non_answer_count patterns trace =
+  List.length (Cep.Query.non_answers patterns trace)
+
+let run ~algorithms ~patterns ~truth ~observed =
+  let net = Tcn.Encode.pattern_set patterns in
+  let non_answers =
+    Trace.fold
+      (fun id tuple acc ->
+        if Pattern.Matcher.matches_set tuple patterns then acc else (id, tuple) :: acc)
+      observed []
+  in
+  List.map
+    (fun algorithm ->
+      let name = Harness.algorithm_name algorithm in
+      let unrepaired = ref 0 in
+      let elapsed = ref 0.0 in
+      let repaired_trace = ref observed in
+      let rmses = ref [] and nrmses = ref [] in
+      List.iter
+        (fun (id, tuple) ->
+          let result, dt =
+            Harness.time (fun () -> Harness.repair_tuple algorithm net patterns tuple)
+          in
+          elapsed := !elapsed +. dt;
+          let repaired =
+            match result with
+            | Some r -> r
+            | None ->
+                incr unrepaired;
+                tuple
+          in
+          repaired_trace := Trace.add id repaired !repaired_trace;
+          match Trace.find_opt truth id with
+          | None -> ()
+          | Some truth_tuple ->
+              rmses := Datagen.Metrics.rmse ~truth:truth_tuple ~repaired :: !rmses;
+              nrmses := Datagen.Metrics.nrmse ~truth:truth_tuple ~repaired :: !nrmses)
+        non_answers;
+      {
+        algorithm = name;
+        rmse = Datagen.Metrics.mean !rmses;
+        nrmse = Datagen.Metrics.mean !nrmses;
+        time = !elapsed;
+        repaired_trace = !repaired_trace;
+        unrepaired = !unrepaired;
+      })
+    algorithms

@@ -1,0 +1,24 @@
+(** Shared runner for the timestamp-modification experiments (Figs 6–11).
+
+    Given a query, a labeled-truth trace and an observed (imprecise) trace,
+    run each algorithm over every non-answer of the observed trace and
+    score the produced explanations against the truth. *)
+
+type algo_result = {
+  algorithm : string;
+  rmse : float;  (** mean per-tuple RMSE of repaired non-answers vs truth *)
+  nrmse : float;  (** same, normalised (the paper's Figure 6 metric) *)
+  time : float;  (** total repair seconds across non-answers *)
+  repaired_trace : Events.Trace.t;
+      (** observed trace with every non-answer replaced by its repair *)
+  unrepaired : int;  (** non-answers the algorithm could not repair *)
+}
+
+val run :
+  algorithms:Harness.algorithm list ->
+  patterns:Pattern.Ast.t list ->
+  truth:Events.Trace.t ->
+  observed:Events.Trace.t ->
+  algo_result list
+
+val non_answer_count : Pattern.Ast.t list -> Events.Trace.t -> int

@@ -1,0 +1,58 @@
+type point = { rate : float; distance : int; tuples : int }
+
+type row = {
+  point : point;
+  non_answers : int;
+  per_algorithm : (string * Repair_run.algo_result) list;
+}
+
+let default_algorithms = [ Harness.Pattern_full; Harness.Pattern_single; Harness.Greedy ]
+
+let run_point ?(algorithms = default_algorithms) ~seed point =
+  let prng = Numeric.Prng.create seed in
+  let truth = Datagen.Rtfm.generate prng ~tuples:point.tuples in
+  let observed =
+    Datagen.Faults.trace prng ~rate:point.rate ~distance:point.distance truth
+  in
+  let patterns = Datagen.Rtfm.patterns in
+  let non_answers = Repair_run.non_answer_count patterns observed in
+  let results = Repair_run.run ~algorithms ~patterns ~truth ~observed in
+  {
+    point;
+    non_answers;
+    per_algorithm = List.map (fun r -> (r.Repair_run.algorithm, r)) results;
+  }
+
+let fig7 ?(tuples = 10_000) ?(seed = 3) ~rates () =
+  List.map (fun rate -> run_point ~seed { rate; distance = 200; tuples }) rates
+
+let fig8 ?(tuples = 10_000) ?(seed = 4) ~distances () =
+  List.map (fun distance -> run_point ~seed { rate = 0.1; distance; tuples }) distances
+
+let fig9 ?(seed = 5) ~tuple_counts () =
+  List.map
+    (fun tuples -> run_point ~seed { rate = 0.1; distance = 200; tuples })
+    tuple_counts
+
+let print ~title ~vary rows =
+  let key_label, key_of =
+    match vary with
+    | `Rate -> ("fault rate", fun p -> Printf.sprintf "%.2f" p.rate)
+    | `Distance -> ("fault distance", fun p -> string_of_int p.distance)
+    | `Tuples -> ("tuples", fun p -> string_of_int p.tuples)
+  in
+  let labels = match rows with [] -> [] | r :: _ -> List.map fst r.per_algorithm in
+  Harness.print_table ~title:(title ^ " — RMS error")
+    ~header:([ key_label; "non-answers" ] @ labels)
+    (List.map
+       (fun { point; non_answers; per_algorithm } ->
+         [ key_of point; string_of_int non_answers ]
+         @ List.map (fun (_, r) -> Harness.f3 r.Repair_run.rmse) per_algorithm)
+       rows);
+  Harness.print_table ~title:(title ^ " — total repair time (ms)")
+    ~header:([ key_label ] @ labels)
+    (List.map
+       (fun { point; per_algorithm; _ } ->
+         [ key_of point ]
+         @ List.map (fun (_, r) -> Harness.ms r.Repair_run.time) per_algorithm)
+       rows)

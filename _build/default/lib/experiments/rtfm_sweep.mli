@@ -1,0 +1,31 @@
+(** Figures 7, 8, 9: timestamp modification over the RTFM-style log.
+
+    Clean cases are generated, degraded with BART-style faults, and every
+    resulting non-answer is explained; RMS error against the clean truth
+    and total repair time are reported. The three figures are the same
+    experiment sweeping fault rate (Fig. 7), fault distance (Fig. 8) and
+    tuple count (Fig. 9). *)
+
+type point = { rate : float; distance : int; tuples : int }
+
+type row = {
+  point : point;
+  non_answers : int;
+  per_algorithm : (string * Repair_run.algo_result) list;
+}
+
+val run_point :
+  ?algorithms:Harness.algorithm list -> seed:int -> point -> row
+(** Default algorithms: Pattern(Full), Pattern(Single), Greedy (the paper
+    omits brute force on RTFM: "takes too long"). *)
+
+val fig7 : ?tuples:int -> ?seed:int -> rates:float list -> unit -> row list
+(** Fault distance fixed at 200 (paper: rate 0.02..0.2, 10k tuples). *)
+
+val fig8 : ?tuples:int -> ?seed:int -> distances:int list -> unit -> row list
+(** Fault rate fixed at 0.1 (paper: distance sweep, 10k tuples). *)
+
+val fig9 : ?seed:int -> tuple_counts:int list -> unit -> row list
+(** Fault rate 0.1, distance 200 (paper: 2k..10k tuples). *)
+
+val print : title:string -> vary:[ `Rate | `Distance | `Tuples ] -> row list -> unit

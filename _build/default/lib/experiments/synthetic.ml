@@ -1,0 +1,62 @@
+type config = {
+  ns : int list;
+  tuples : int;
+  rate : float;
+  distance : int;
+  seed : int;
+}
+
+let default_fig10 =
+  { ns = [ 4; 6; 8; 10; 12 ]; tuples = 1000; rate = 0.4; distance = 500; seed = 6 }
+
+let default_fig11 =
+  { ns = [ 2; 3; 4; 5; 6; 8; 10 ]; tuples = 1000; rate = 0.4; distance = 500; seed = 7 }
+
+type row = {
+  n : int;
+  non_answers : int;
+  per_algorithm : (string * Repair_run.algo_result) list;
+}
+
+let algorithms = [ Harness.Pattern_full; Harness.Pattern_single; Harness.Greedy ]
+
+let run ~pattern_of config =
+  List.map
+    (fun n ->
+      let prng = Numeric.Prng.create (config.seed + n) in
+      let patterns = [ pattern_of ~n ] in
+      let truth =
+        Datagen.Workloads.matching_trace ~horizon:5000 prng patterns
+          ~tuples:config.tuples
+      in
+      let observed =
+        Datagen.Faults.trace prng ~rate:config.rate ~distance:config.distance truth
+      in
+      let non_answers = Repair_run.non_answer_count patterns observed in
+      let results = Repair_run.run ~algorithms ~patterns ~truth ~observed in
+      {
+        n;
+        non_answers;
+        per_algorithm = List.map (fun r -> (r.Repair_run.algorithm, r)) results;
+      })
+    config.ns
+
+let fig10 config = run ~pattern_of:(fun ~n -> Datagen.Workloads.fig10_pattern ~n) config
+let fig11 config = run ~pattern_of:(fun ~n -> Datagen.Workloads.fig11_pattern ~n) config
+
+let print ~title rows =
+  let labels = match rows with [] -> [] | r :: _ -> List.map fst r.per_algorithm in
+  Harness.print_table ~title:(title ^ " — RMS error")
+    ~header:([ "n"; "non-answers" ] @ labels)
+    (List.map
+       (fun { n; non_answers; per_algorithm } ->
+         [ string_of_int n; string_of_int non_answers ]
+         @ List.map (fun (_, r) -> Harness.f3 r.Repair_run.rmse) per_algorithm)
+       rows);
+  Harness.print_table ~title:(title ^ " — total repair time (ms)")
+    ~header:([ "n" ] @ labels)
+    (List.map
+       (fun { n; per_algorithm; _ } ->
+         [ string_of_int n ]
+         @ List.map (fun (_, r) -> Harness.ms r.Repair_run.time) per_algorithm)
+       rows)

@@ -1,0 +1,36 @@
+(** Figures 10 and 11: timestamp modification on synthetic patterns.
+
+    Figure 10 is the general case — SEQ embedded in AND:
+    [AND(SEQ(E1..E(n/2)), SEQ(E(n/2+1)..En)) ATLEAST 900 WITHIN 1000];
+    the binding conditions mention a constant two events each, so
+    Pattern(Full) explores only 4 bindings and costs about 4x
+    Pattern(Single).
+
+    Figure 11 has no SEQ inside AND — [AND(E1..En) ATLEAST 900 WITHIN 1000]
+    — where the single binding provably returns the Full optimum
+    (Proposition 8), while Full's binding space grows as n^2.
+
+    Both run over randomly generated matching tuples degraded with fault
+    rate 0.4 and fault distance 500, as in the paper. *)
+
+type config = {
+  ns : int list;
+  tuples : int;
+  rate : float;
+  distance : int;
+  seed : int;
+}
+
+val default_fig10 : config
+val default_fig11 : config
+
+type row = {
+  n : int;
+  non_answers : int;
+  per_algorithm : (string * Repair_run.algo_result) list;
+}
+
+val run : pattern_of:(n:int -> Pattern.Ast.t) -> config -> row list
+val fig10 : config -> row list
+val fig11 : config -> row list
+val print : title:string -> row list -> unit

@@ -1,0 +1,105 @@
+module Event = Events.Event
+module Tuple = Events.Tuple
+
+type result = { repaired : Tuple.t; cost : int; matched : bool }
+
+let brute_force ?(grid = 10) ?(radius = 500) patterns tuple =
+  if grid <= 0 then invalid_arg "Baselines.brute_force: grid must be positive";
+  let events =
+    Event.Set.elements (Pattern.Ast.events_of_set patterns)
+    |> List.filter (fun e -> Tuple.mem e tuple)
+  in
+  let candidates e =
+    let base = Tuple.find tuple e in
+    let rec collect acc offset =
+      if offset > radius then List.rev acc
+      else
+        let acc = if base + offset >= 0 then (base + offset) :: acc else acc in
+        let acc =
+          if offset > 0 && base - offset >= 0 then (base - offset) :: acc else acc
+        in
+        collect acc (offset + grid)
+    in
+    (* Nearest candidates first, so equal-cost worlds prefer small moves. *)
+    collect [] 0
+  in
+  let best = ref None in
+  let rec enumerate assigned cost_so_far = function
+    | [] ->
+        let t' =
+          List.fold_left (fun acc (e, ts) -> Tuple.add e ts acc) tuple assigned
+        in
+        if Pattern.Matcher.matches_set t' patterns then begin
+          match !best with
+          | Some (_, c) when c <= cost_so_far -> ()
+          | _ -> best := Some (t', cost_so_far)
+        end
+    | e :: rest ->
+        let base = Tuple.find tuple e in
+        List.iter
+          (fun ts ->
+            let cost = cost_so_far + abs (ts - base) in
+            (* Prune branches already costlier than the best found world. *)
+            match !best with
+            | Some (_, c) when c <= cost -> ()
+            | _ -> enumerate ((e, ts) :: assigned) cost rest)
+          (candidates e)
+  in
+  enumerate [] 0 events;
+  Option.map (fun (repaired, cost) -> { repaired; cost; matched = true }) !best
+
+let greedy ?(max_rounds = 100) patterns tuple =
+  let net = Tcn.Encode.pattern_set patterns in
+  let extended = Tcn.Encode.extend net tuple in
+  (* Ground the bindings once, the most likely way (Definition 8), and then
+     chase interval violations locally. *)
+  let intervals =
+    Tcn.Bindings.single extended net.set_bindings @ net.set_intervals
+  in
+  let current = ref extended in
+  let progress = ref true in
+  let rounds = ref 0 in
+  while !progress && !rounds < max_rounds do
+    progress := false;
+    incr rounds;
+    List.iter
+      (fun { Tcn.Condition.src; dst; lo; hi } ->
+        let t = !current in
+        let ts = Tuple.find t src and td = Tuple.find t dst in
+        let d = td - ts in
+        (* [fix delta] restores [lo <= d + delta <= hi] by moving one
+           endpoint: dst by [+delta] or src by [-delta]. Artificial
+           endpoints move for free, so prefer them; otherwise move the
+           destination (both moves have equal magnitude). Stay in the
+           non-negative domain. *)
+        let fix delta =
+          let move_dst = Tuple.add dst (td + delta) t in
+          let move_src = Tuple.add src (ts - delta) t in
+          let pick =
+            if Event.is_artificial dst then move_dst
+            else if Event.is_artificial src then move_src
+            else move_dst
+          in
+          let pick =
+            if Tuple.find pick src < 0 || Tuple.find pick dst < 0 then
+              if Tuple.find move_dst dst >= 0 then move_dst else move_src
+            else pick
+          in
+          current := pick;
+          progress := true
+        in
+        if d < lo then fix (lo - d)
+        else match hi with Some hi when d > hi -> fix (hi - d) | _ -> ())
+      intervals
+  done;
+  let repaired =
+    Tuple.fold
+      (fun e ts acc -> if Event.is_artificial e then acc else Tuple.add e ts acc)
+      !current Tuple.empty
+  in
+  let repaired = Tuple.union_right tuple repaired in
+  {
+    repaired;
+    cost = Tuple.delta tuple repaired;
+    matched = Pattern.Matcher.matches_set repaired patterns;
+  }

@@ -1,0 +1,34 @@
+(** Baseline repair algorithms from the paper's evaluation (Section 6.3).
+
+    - {b Brute force} adapts Zhang et al.'s possible-worlds evaluation: each
+      event's timestamp ranges over a grid around its observed value; the
+      cheapest combination matching the query is the explanation. Exponential
+      in the number of events and blind between grid points.
+    - {b Greedy} repeatedly picks a violated interval condition (on the
+      single-binding network) and moves one of its two endpoints just enough
+      to satisfy it, choosing the cheaper move. Fast, but it can cycle or
+      stop without satisfying the query — the paper notes it "cannot
+      guarantee to find a modification explanation". *)
+
+type result = {
+  repaired : Events.Tuple.t;
+  cost : int;
+  matched : bool;  (** whether the result actually matches the query *)
+}
+
+val brute_force :
+  ?grid:int ->
+  ?radius:int ->
+  Pattern.Ast.t list ->
+  Events.Tuple.t ->
+  result option
+(** Enumerate timestamps on a [grid]-spaced lattice within [radius] of each
+    observed value (defaults: grid 10, radius 500 — the paper enumerates in
+    units of 10 minutes). [None] if no lattice point matches. The result
+    always has [matched = true]. Cost is exponential:
+    O((2*radius/grid + 1)^n) match checks. *)
+
+val greedy :
+  ?max_rounds:int -> Pattern.Ast.t list -> Events.Tuple.t -> result
+(** Local repair (default 100 rounds over all conditions). Always returns
+    its final tuple; check [matched]. *)

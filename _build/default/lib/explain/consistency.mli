@@ -1,0 +1,49 @@
+(** Pattern consistency explanation (Problem 1, Algorithm 1).
+
+    A pattern set is consistent iff some assignment of timestamps satisfies
+    it. Encoded as a complex temporal network (Phi, Gamma), this holds iff
+    at least one full binding [Phi_k] of [Aleph_Gamma] makes the simple
+    temporal network [Phi ∪ Phi_k] consistent (Proposition 7). The exact
+    algorithm enumerates [Aleph_Gamma]; the randomized variant samples [s]
+    bindings and reports inconsistent when all fail — it can return false
+    negatives but never false positives. *)
+
+type strategy =
+  | Full  (** enumerate all of [Aleph_Gamma] (exact, O(f^{|Gamma|} n^3)) —
+              the paper's Algorithm 1 verbatim *)
+  | Pruned
+      (** exact depth-first refinement: ground the binding conditions one at
+          a time, checking the partial network at every step and cutting off
+          inconsistent prefixes. Same answers as [Full], usually far faster
+          on inconsistent inputs (ablation in bench). *)
+  | Sampled of int  (** check this many uniform random bindings *)
+
+type report = {
+  consistent : bool;
+  witness : Events.Tuple.t option;
+      (** a tuple over the real events matching the whole set, when
+          consistent (a satisfying assignment read off the first consistent
+          binding) *)
+  bindings_checked : int;
+  exact : bool;  (** false when a [Sampled] run reported inconsistent *)
+}
+
+val check_network :
+  ?strategy:strategy ->
+  ?seed:int ->
+  ?events:Events.Event.Set.t ->
+  ?pinned:Events.Tuple.t ->
+  Tcn.Encode.set ->
+  report
+(** Algorithm 1 on an encoded network. [events] adds events the witness must
+    bind even if no condition mentions them (e.g. a bare single-event
+    pattern contributes no condition at all). [pinned] constrains the
+    network with already-observed timestamps (their pairwise distances are
+    enforced exactly): the report then says whether the observations can be
+    completed into a match — the feasibility test of the streaming
+    detector's partial matches. *)
+
+val check : ?strategy:strategy -> ?seed:int -> Pattern.Ast.t list -> report
+(** Encode a pattern set and run {!check_network}. The witness is verified
+    against {!Pattern.Matcher.matches_set} (Proposition 5 end to end).
+    @raise Invalid_argument on invalid patterns. *)

@@ -1,0 +1,99 @@
+module Trace = Events.Trace
+
+type failure_class = {
+  description : string;
+  tuples : string list;
+}
+
+type t = {
+  total : int;
+  answers : int;
+  missing_events : failure_class list;
+  order_violations : failure_class list;
+  window_violations : failure_class list;
+  repair_costs : (string * int) list;
+  median_repair_cost : int option;
+}
+
+let classes_of table =
+  Hashtbl.fold
+    (fun description tuples acc -> { description; tuples = List.rev tuples } :: acc)
+    table []
+  |> List.sort (fun a b ->
+         match compare (List.length b.tuples) (List.length a.tuples) with
+         | 0 -> compare a.description b.description
+         | c -> c)
+
+let median = function
+  | [] -> None
+  | xs ->
+      let sorted = List.sort compare xs in
+      Some (List.nth sorted (List.length sorted / 2))
+
+let run ?(with_costs = true) patterns trace =
+  (match Pattern.Ast.validate_set patterns with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Format.asprintf "Diagnose.run: %a" Pattern.Ast.pp_error e));
+  let net = Tcn.Encode.pattern_set patterns in
+  let missing = Hashtbl.create 8 in
+  let order = Hashtbl.create 8 in
+  let window = Hashtbl.create 8 in
+  let bucket table key id =
+    Hashtbl.replace table key
+      (id :: Option.value ~default:[] (Hashtbl.find_opt table key))
+  in
+  let answers = ref 0 and total = ref 0 in
+  let costs = ref [] in
+  Trace.fold
+    (fun id tuple () ->
+      incr total;
+      match Pattern.Matcher.explain_failure tuple patterns with
+      | None -> incr answers
+      | Some failure ->
+          (match failure with
+          | Pattern.Matcher.Missing_event e -> bucket missing e id
+          | Pattern.Matcher.Order_violation (p, q) ->
+              bucket order
+                (Format.asprintf "%a before %a" Pattern.Ast.pp p Pattern.Ast.pp q)
+                id
+          | Pattern.Matcher.Window_violation (p, _) ->
+              bucket window (Pattern.Ast.to_string p) id);
+          if with_costs then
+            match
+              Modification.explain_network ~strategy:Modification.Single net tuple
+            with
+            | Some r -> costs := (id, r.Modification.cost) :: !costs
+            | None | (exception Invalid_argument _) -> ())
+    trace ();
+  let repair_costs = List.sort compare !costs in
+  {
+    total = !total;
+    answers = !answers;
+    missing_events = classes_of missing;
+    order_violations = classes_of order;
+    window_violations = classes_of window;
+    repair_costs;
+    median_repair_cost = median (List.map snd repair_costs);
+  }
+
+let pp_class_list ppf (label, classes) =
+  if classes <> [] then begin
+    Format.fprintf ppf "%s:@." label;
+    List.iter
+      (fun { description; tuples } ->
+        Format.fprintf ppf "  %s — %d tuple(s)%s@." description (List.length tuples)
+          (if List.length tuples <= 5 then " (" ^ String.concat ", " tuples ^ ")"
+           else ""))
+      classes
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "%d/%d tuples answer the query@." t.answers t.total;
+  pp_class_list ppf ("missing events", t.missing_events);
+  pp_class_list ppf ("order violations (first offending pair)", t.order_violations);
+  pp_class_list ppf ("window violations (violated sub-pattern)", t.window_violations);
+  match t.median_repair_cost with
+  | Some m ->
+      Format.fprintf ppf "median minimal repair cost of non-answers: %d (%d repaired)@."
+        m (List.length t.repair_costs)
+  | None -> ()

@@ -1,0 +1,33 @@
+(** Trace-level why-not diagnostics.
+
+    Before explaining non-answers one by one, a developer usually wants the
+    aggregate picture: how many tuples fail, on which sub-pattern, and in
+    which way (missing events, violated SEQ order, violated window). This
+    module folds {!Pattern.Matcher} failures and per-tuple repair costs
+    over a trace into a report — the "dashboard" in front of the paper's
+    per-tuple explanations (Figure 3 starts after the user has picked one
+    tuple; this is how they pick). *)
+
+type failure_class = {
+  description : string;  (** rendered failure site, e.g. the violated node *)
+  tuples : string list;  (** ids failing this way, in id order *)
+}
+
+type t = {
+  total : int;
+  answers : int;
+  missing_events : failure_class list;
+  order_violations : failure_class list;
+  window_violations : failure_class list;
+  repair_costs : (string * int) list;
+      (** per non-answer minimal repair cost (single binding), id order;
+          tuples the single binding cannot repair are absent *)
+  median_repair_cost : int option;
+}
+
+val run : ?with_costs:bool -> Pattern.Ast.t list -> Events.Trace.t -> t
+(** Aggregate over the trace; [with_costs] (default true) additionally
+    computes the Pattern(Single) repair cost of every non-answer.
+    @raise Invalid_argument on an invalid pattern set. *)
+
+val pp : Format.formatter -> t -> unit

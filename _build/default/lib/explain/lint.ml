@@ -1,0 +1,182 @@
+module Ast = Pattern.Ast
+module Event = Events.Event
+
+type verdict =
+  | Ok_bound
+  | Dead of { implied : int }
+  | Fatal of { implied_lo : int option; implied_hi : int option }
+
+type finding = {
+  path : int list;
+  node : Ast.t;
+  bound : [ `Atleast of int | `Within of int ];
+  verdict : verdict;
+}
+
+let pp_finding ppf { path; node; bound; verdict } =
+  let bound_str =
+    match bound with
+    | `Atleast a -> Printf.sprintf "ATLEAST %d" a
+    | `Within b -> Printf.sprintf "WITHIN %d" b
+  in
+  Format.fprintf ppf "at %s: %s on %a — %s"
+    (String.concat "." (List.map string_of_int path))
+    bound_str Ast.pp node
+    (match verdict with
+    | Ok_bound -> "ok (genuinely constraining)"
+    | Dead { implied } ->
+        Printf.sprintf "dead: the rest of the query already implies %d" implied
+    | Fatal { implied_lo; implied_hi } ->
+        Printf.sprintf "FATAL: the rest of the query forces the span into [%s, %s]"
+          (match implied_lo with Some v -> string_of_int v | None -> "0")
+          (match implied_hi with Some v -> string_of_int v | None -> "inf"))
+
+type t = {
+  findings : finding list;
+  consistent : bool;
+  normalized_savings : int * int;
+}
+
+(* A single walk that yields, per windowed node: path, node, its start/end
+   events under the encoder's numbering. *)
+let windowed_nodes patterns =
+  let acc = ref [] in
+  let rec walk next_id path p =
+    match p with
+    | Ast.Event e -> (e, e, next_id)
+    | Ast.Seq (children, w) ->
+        let spans, next_id = walk_children next_id path children in
+        let s = fst (List.hd spans) in
+        let e = snd (List.nth spans (List.length spans - 1)) in
+        record path p w s e;
+        (s, e, next_id)
+    | Ast.And (children, w) ->
+        let _, next_id = walk_children next_id path children in
+        let s = Event.artificial_start next_id
+        and e = Event.artificial_end next_id in
+        record path p w s e;
+        (s, e, next_id + 1)
+  and walk_children next_id path children =
+    let spans, next_id, _ =
+      List.fold_left
+        (fun (spans, id, i) child ->
+          let s, e, id = walk id (path @ [ i ]) child in
+          ((s, e) :: spans, id, i + 1))
+        ([], next_id, 0) children
+    in
+    (List.rev spans, next_id)
+  and record path node (w : Ast.window) s e =
+    if w.atleast <> None || w.within <> None then
+      acc := (path, node, w, s, e) :: !acc
+  in
+  let _ =
+    List.fold_left
+      (fun (id, i) p ->
+        let _, _, id = walk id [ i ] p in
+        (id, i + 1))
+      (0, 0) patterns
+  in
+  List.rev !acc
+
+(* Replace the window of the node at [path] (pattern index first). *)
+let map_window patterns path f =
+  let rec go p = function
+    | [] -> (
+        match p with
+        | Ast.Seq (children, w) -> Ast.Seq (children, f w)
+        | Ast.And (children, w) -> Ast.And (children, f w)
+        | Ast.Event _ -> p)
+    | i :: rest -> (
+        match p with
+        | Ast.Seq (children, w) -> Ast.Seq (List.mapi (fun j c -> if j = i then go c rest else c) children, w)
+        | Ast.And (children, w) -> Ast.And (List.mapi (fun j c -> if j = i then go c rest else c) children, w)
+        | Ast.Event _ -> p)
+  in
+  match path with
+  | pat_index :: rest ->
+      List.mapi (fun i p -> if i = pat_index then go p rest else p) patterns
+  | [] -> patterns
+
+let binding_cap = 20_000
+
+(* Feasible span range of (s, e) across all consistent bindings of the
+   encoded set: [lo = min over bindings of -d(e,s), hi = max of d(s,e)]. *)
+let span_range patterns s e =
+  let net = Tcn.Encode.pattern_set patterns in
+  if Tcn.Bindings.count net.set_bindings > binding_cap then None
+  else begin
+    let events =
+      Event.Set.elements
+        (Event.Set.union
+           (Ast.events_of_set patterns)
+           (Event.Set.union
+              (Tcn.Condition.interval_events net.set_intervals)
+              (Tcn.Condition.binding_events net.set_bindings)))
+    in
+    let lo = ref None and hi = ref None and unbounded_hi = ref false in
+    let feasible = ref false in
+    Seq.iter
+      (fun phi_k ->
+        let stn = Tcn.Stn.of_intervals ~events (phi_k @ net.set_intervals) in
+        if Tcn.Stn.consistent stn then begin
+          feasible := true;
+          (match Tcn.Stn.distance stn e s with
+          | Some d ->
+              let candidate = -d in
+              lo :=
+                Some (match !lo with None -> candidate | Some v -> min v candidate)
+          | None -> lo := Some 0 (* no lower restriction beyond span >= 0 *));
+          match Tcn.Stn.distance stn s e with
+          | Some d -> hi := Some (match !hi with None -> d | Some v -> max v d)
+          | None -> unbounded_hi := true
+        end)
+      (Tcn.Bindings.full net.set_bindings);
+    if not !feasible then None
+    else Some (Option.value ~default:0 !lo, if !unbounded_hi then None else !hi)
+  end
+
+let check_bound patterns path s e bound =
+  let erase (w : Ast.window) =
+    match bound with
+    | `Atleast _ -> { w with Ast.atleast = None }
+    | `Within _ -> { w with Ast.within = None }
+  in
+  match span_range (map_window patterns path erase) s e with
+  | None -> Ok_bound (* rest already inconsistent, or too many bindings *)
+  | Some (implied_lo, implied_hi) -> (
+      match bound with
+      | `Atleast a ->
+          if implied_lo >= a then Dead { implied = implied_lo }
+          else if (match implied_hi with Some h -> a > h | None -> false) then
+            Fatal { implied_lo = Some implied_lo; implied_hi }
+          else Ok_bound
+      | `Within b -> (
+          match implied_hi with
+          | Some h when h <= b -> Dead { implied = h }
+          | _ ->
+              if b < implied_lo then
+                Fatal { implied_lo = Some implied_lo; implied_hi }
+              else Ok_bound))
+
+let run patterns =
+  (match Ast.validate_set patterns with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Format.asprintf "Lint.run: %a" Ast.pp_error e));
+  let findings =
+    List.concat_map
+      (fun (path, node, (w : Ast.window), s, e) ->
+        let for_bound bound =
+          { path; node; bound; verdict = check_bound patterns path s e bound }
+        in
+        (match w.atleast with Some a -> [ for_bound (`Atleast a) ] | None -> [])
+        @ match w.within with Some b -> [ for_bound (`Within b) ] | None -> [])
+      (windowed_nodes patterns)
+  in
+  let consistent =
+    (Consistency.check ~strategy:Consistency.Pruned patterns).Consistency.consistent
+  in
+  let count ps =
+    Tcn.Bindings.count (Tcn.Encode.pattern_set ps).Tcn.Encode.set_bindings
+  in
+  let normalized = List.map Pattern.Rewrite.normalize patterns in
+  { findings; consistent; normalized_savings = (count patterns, count normalized) }

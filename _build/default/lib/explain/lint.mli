@@ -1,0 +1,55 @@
+(** Query linting: window diagnostics from the minimal temporal network.
+
+    Pattern consistency (Algorithm 1) answers only "can anything match?".
+    This linter goes window by window: for each ATLEAST/WITHIN bound it
+    computes the span range the {e rest} of the query already implies for
+    that sub-pattern (across all consistent bindings), and classifies the
+    declared bound as
+
+    - {b dead} — implied by the rest of the query, never filters anything
+      ([ATLEAST 10] on a span that is always at least 30);
+    - {b fatal} — incompatible with the implied range, making the whole
+      query unsatisfiable (the §1.1.1 bug, pinpointed to the bound rather
+      than just reported globally);
+    - {b ok} — genuinely constraining.
+
+    A second pass reports the dual hygiene check: {!Pattern.Rewrite}
+    structural savings. Together these are the "query development time"
+    tooling the paper motivates. *)
+
+type verdict =
+  | Ok_bound
+  | Dead of { implied : int }
+      (** the bound is implied: the span is always >= (ATLEAST case) or
+          <= (WITHIN case) the declared value even without it *)
+  | Fatal of { implied_lo : int option; implied_hi : int option }
+      (** no span allowed by the rest of the query satisfies this bound *)
+
+type finding = {
+  path : int list;  (** pattern index in the set, then child indexes *)
+  node : Pattern.Ast.t;
+  bound : [ `Atleast of int | `Within of int ];
+  verdict : verdict;
+}
+
+val pp_finding : Format.formatter -> finding -> unit
+
+type t = {
+  findings : finding list;  (** one per declared bound, document order *)
+  consistent : bool;  (** Algorithm 1 verdict for the whole set *)
+  normalized_savings : int * int;
+      (** full-binding-space size before and after {!Pattern.Rewrite} *)
+}
+
+val map_window :
+  Pattern.Ast.t list ->
+  int list ->
+  (Pattern.Ast.window -> Pattern.Ast.window) ->
+  Pattern.Ast.t list
+(** Rewrite the window of the node at a finding's [path] (pattern index
+    first) — apply a finding, e.g. erase a dead bound. *)
+
+val run : Pattern.Ast.t list -> t
+(** @raise Invalid_argument on an invalid pattern set. Worst case
+    exponential in the number of binding conditions (exact, like
+    Algorithm 1); fine for hand-written queries. *)

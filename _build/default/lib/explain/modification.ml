@@ -1,0 +1,93 @@
+module Event = Events.Event
+module Tuple = Events.Tuple
+
+type strategy = Full | Single | Sampled of int
+type solver = Lp | Flow
+
+type result = {
+  repaired : Tuple.t;
+  cost : int;
+  bindings_tried : int;
+  exact : bool;
+}
+
+let repair_of solver ?weights ?bounds =
+  match solver with
+  | Lp -> Lp_repair.repair ?weights ?bounds
+  | Flow -> Flow_repair.repair ?weights ?bounds
+
+let strip_artificial tuple =
+  Tuple.fold
+    (fun e ts acc -> if Event.is_artificial e then acc else Tuple.add e ts acc)
+    tuple Tuple.empty
+
+let explain_network ?(strategy = Full) ?(solver = Lp) ?(seed = 0) ?weights ?bounds
+    (net : Tcn.Encode.set) tuple =
+  let repair = repair_of solver ?weights ?bounds in
+  let required =
+    Event.Set.union
+      (Tcn.Condition.interval_events net.set_intervals)
+      (Tcn.Condition.binding_events net.set_bindings)
+    |> Event.Set.filter (fun e -> not (Event.is_artificial e))
+  in
+  if not (Event.Set.for_all (fun e -> Tuple.mem e tuple) required) then
+    invalid_arg "Modification.explain: tuple does not bind every pattern event";
+  let extended = Tcn.Encode.extend net tuple in
+  let bindings_seq =
+    match strategy with
+    | Full -> Tcn.Bindings.full net.set_bindings
+    | Single -> Seq.return (Tcn.Bindings.single extended net.set_bindings)
+    | Sampled s ->
+        (* The single binding is the cheap informed guess; the samples add
+           exploration around it. *)
+        let prng = Numeric.Prng.create seed in
+        Seq.append
+          (Seq.return (Tcn.Bindings.single extended net.set_bindings))
+          (Seq.init s (fun _ -> Tcn.Bindings.sample prng net.set_bindings))
+  in
+  let best = ref None in
+  let tried = ref 0 in
+  Seq.iter
+    (fun phi_k ->
+      incr tried;
+      let intervals = phi_k @ net.set_intervals in
+      (* An O(n^3) consistency check screens out infeasible bindings before
+         paying for an LP solve. *)
+      if not (Tcn.Stn.consistent (Tcn.Stn.of_intervals intervals)) then ()
+      else
+      match repair extended intervals with
+      | None -> ()
+      | Some { Lp_repair.repaired; cost; _ } -> (
+          match !best with
+          | Some (_, best_cost) when best_cost <= cost -> ()
+          | _ -> best := Some (repaired, cost)))
+    bindings_seq;
+  match !best with
+  | None -> None
+  | Some (repaired, cost) ->
+      (* Events of the input tuple untouched by the network keep their
+         original timestamps. *)
+      let repaired = Tuple.union_right tuple (strip_artificial repaired) in
+      Some
+        {
+          repaired;
+          cost;
+          bindings_tried = !tried;
+          exact = (match strategy with Full -> true | Single | Sampled _ -> false);
+        }
+
+let explain ?strategy ?solver ?seed ?weights ?bounds patterns tuple =
+  (match Pattern.Ast.validate_set patterns with
+  | Ok () -> ()
+  | Error e ->
+      invalid_arg (Format.asprintf "Modification.explain: %a" Pattern.Ast.pp_error e));
+  let net = Tcn.Encode.pattern_set patterns in
+  let result = explain_network ?strategy ?solver ?seed ?weights ?bounds net tuple in
+  (match result with
+  | Some { repaired; cost; _ } ->
+      (* Every produced explanation must actually turn the tuple into an
+         answer, at the advertised cost. *)
+      assert (Pattern.Matcher.matches_set repaired patterns);
+      assert (weights <> None || Tuple.delta tuple repaired = cost)
+  | None -> ());
+  result

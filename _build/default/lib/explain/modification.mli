@@ -1,0 +1,61 @@
+(** Timestamp modification explanation (Problem 2, Algorithm 2).
+
+    Given a tuple [t] that fails an event pattern query, produce the
+    minimum-change tuple [t'] with [t' |= P]: the explanation is that the
+    timestamps differing between [t] and [t'] are imprecise. The general
+    case iterates over bindings [Phi_k] of [Aleph_Gamma], repairs the simple
+    temporal network [Phi ∪ Phi_k] (L1, via LP-relaxation or the flow dual),
+    and keeps the cheapest repair:
+
+    - [Full] — all bindings: exact (Pattern(Full) in the paper);
+    - [Single] — only the most likely binding of Definition 8
+      (Pattern(Single)): approximate in general, provably optimal for AND
+      patterns without embedded SEQ (Proposition 8);
+    - [Sampled s] — [s] random bindings plus the single binding.
+
+    [weights] generalizes Formula 1 to a weighted L1 cost: per-unit prices
+    per event (default 1 everywhere). Use it to encode trust — events from
+    a reliable source get high weights and are modified last, a weight of
+    0 marks a value as freely adjustable. The [cost] field is then the
+    weighted cost. [bounds] caps each event's move (plausibility); a tuple
+    whose every binding needs a move beyond its bound gets no explanation
+    ([None]) — the "does not apply" verdict of Section 1.1.2. *)
+
+type strategy = Full | Single | Sampled of int
+type solver = Lp | Flow
+
+type result = {
+  repaired : Events.Tuple.t;
+      (** the explanation [t']: all real events of the input tuple, with the
+          imprecise timestamps modified *)
+  cost : int;  (** Delta(t, t') of Formula 1 *)
+  bindings_tried : int;
+  exact : bool;  (** true iff the strategy guarantees the optimum *)
+}
+
+val explain :
+  ?strategy:strategy ->
+  ?solver:solver ->
+  ?seed:int ->
+  ?weights:(Events.Event.t -> int) ->
+  ?bounds:(Events.Event.t -> int option) ->
+  Pattern.Ast.t list ->
+  Events.Tuple.t ->
+  result option
+(** [None] when no binding admits a repair — i.e. the pattern set is
+    inconsistent (with [Single]/[Sampled], possibly a false negative on a
+    consistent but tricky set). The input tuple must bind every pattern
+    event.
+    @raise Invalid_argument on invalid patterns or unbound pattern events. *)
+
+val explain_network :
+  ?strategy:strategy ->
+  ?solver:solver ->
+  ?seed:int ->
+  ?weights:(Events.Event.t -> int) ->
+  ?bounds:(Events.Event.t -> int option) ->
+  Tcn.Encode.set ->
+  Events.Tuple.t ->
+  result option
+(** Algorithm 2 on an already-encoded network (the tuple still ranges over
+    real events only). *)

@@ -1,0 +1,52 @@
+type outcome =
+  | Already_answer
+  | Inconsistent_query of Consistency.report
+  | Modify_timestamps of Modification.result
+  | Modify_query of Query_repair.t
+  | No_explanation
+
+let pp_outcome ppf = function
+  | Already_answer -> Format.fprintf ppf "the tuple already matches the query"
+  | Inconsistent_query r ->
+      Format.fprintf ppf
+        "the query is inconsistent (no tuple can match; %d binding(s) checked)"
+        r.Consistency.bindings_checked
+  | Modify_timestamps r ->
+      Format.fprintf ppf "modify timestamps at cost %d, giving %a"
+        r.Modification.cost Events.Tuple.pp r.Modification.repaired
+  | Modify_query r ->
+      Format.fprintf ppf "relax the query windows (total %d): %a" r.Query_repair.cost
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+           Query_repair.pp_window_change)
+        r.Query_repair.changes
+  | No_explanation -> Format.fprintf ppf "no plausible explanation found"
+
+let explain ?strategy ?solver ?max_cost patterns tuple =
+  if Pattern.Matcher.matches_set tuple patterns then Already_answer
+  else
+    (* Step 2 of Figure 3: pattern consistency first — no data explanation
+       exists for an unsatisfiable query. *)
+    let consistency =
+      Consistency.check ~strategy:Consistency.Pruned patterns
+    in
+    if not consistency.Consistency.consistent then Inconsistent_query consistency
+    else
+      let modification = Modification.explain ?strategy ?solver patterns tuple in
+      let within_budget cost =
+        match max_cost with None -> true | Some budget -> cost <= budget
+      in
+      match modification with
+      | Some r when within_budget r.Modification.cost -> Modify_timestamps r
+      | Some _ | None -> (
+          match max_cost with
+          | None -> (
+              (* no budget given: a found repair is the answer; otherwise the
+                 chosen strategy missed every feasible binding *)
+              match modification with
+              | Some r -> Modify_timestamps r
+              | None -> No_explanation)
+          | Some _ -> (
+              match Query_repair.explain patterns [ tuple ] with
+              | Ok qr -> Modify_query qr
+              | Error _ -> No_explanation))

@@ -1,0 +1,36 @@
+(** The paper's system structure (Figure 3), as one entry point.
+
+    Input: an event pattern query and a tuple the user expected among the
+    answers. The pipeline (1) encodes the query as a complex temporal
+    network, (2) checks pattern consistency (Algorithm 1) — an inconsistent
+    query is itself the explanation — and (3) otherwise produces the
+    timestamp modification explanation (Algorithm 2). On top of the paper's
+    figure, the pipeline also reports when the tuple actually matches
+    (nothing to explain) and can fall back to the query-modification
+    explanation when the data repair is implausibly large. *)
+
+type outcome =
+  | Already_answer
+      (** the tuple matches; whatever is missing, it is not this tuple *)
+  | Inconsistent_query of Consistency.report
+      (** pattern consistency explanation: no tuple can ever match *)
+  | Modify_timestamps of Modification.result
+      (** timestamp modification explanation *)
+  | Modify_query of Query_repair.t
+      (** the data repair exceeded [max_cost]; relaxing the query's windows
+          is the cheaper story (only produced when [max_cost] is given) *)
+  | No_explanation
+      (** data repair over budget and the query unfixable by windows *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val explain :
+  ?strategy:Modification.strategy ->
+  ?solver:Modification.solver ->
+  ?max_cost:int ->
+  Pattern.Ast.t list ->
+  Events.Tuple.t ->
+  outcome
+(** Run Figure 3 on one expected-but-missing tuple.
+    @raise Invalid_argument on invalid patterns or a tuple missing pattern
+    events. *)

@@ -1,0 +1,105 @@
+module Event = Events.Event
+module Tuple = Events.Tuple
+module Checked = Numeric.Checked
+
+type t = { intervals : (Event.t * int * int) list (* sorted by event *) }
+
+let of_intervals intervals =
+  let sorted =
+    List.sort (fun (a, _, _) (b, _, _) -> Event.compare a b) intervals
+  in
+  let rec validate = function
+    | (e, lo, hi) :: rest ->
+        if lo > hi then
+          invalid_arg (Printf.sprintf "Possible_worlds: empty interval for %s" e);
+        if lo < 0 then invalid_arg "Possible_worlds: negative timestamps";
+        (match rest with
+        | (e', _, _) :: _ when Event.equal e e' ->
+            invalid_arg (Printf.sprintf "Possible_worlds: duplicate event %s" e)
+        | _ -> ());
+        validate rest
+    | [] -> ()
+  in
+  validate sorted;
+  { intervals = sorted }
+
+let of_tuple ~radius tuple =
+  if radius < 0 then invalid_arg "Possible_worlds.of_tuple: negative radius";
+  of_intervals
+    (List.map
+       (fun (e, ts) -> (e, max 0 (ts - radius), ts + radius))
+       (Tuple.bindings tuple))
+
+let center t =
+  List.fold_left
+    (fun acc (e, lo, hi) -> Tuple.add e ((lo + hi) / 2) acc)
+    Tuple.empty t.intervals
+
+let world_count t =
+  List.fold_left
+    (fun acc (_, lo, hi) -> Checked.mul acc (hi - lo + 1))
+    1 t.intervals
+
+let check_limit ?(limit = 2_000_000) t =
+  let count = try world_count t with Checked.Overflow -> max_int in
+  if count > limit then
+    invalid_arg
+      (Printf.sprintf
+         "Possible_worlds: %d worlds exceed the enumeration limit %d" count limit)
+
+let confidence_exact ?limit t patterns =
+  check_limit ?limit t;
+  let matched = ref 0 and total = ref 0 in
+  let rec enumerate world = function
+    | [] ->
+        incr total;
+        if Pattern.Matcher.matches_set world patterns then incr matched
+    | (e, lo, hi) :: rest ->
+        for ts = lo to hi do
+          enumerate (Tuple.add e ts world) rest
+        done
+  in
+  enumerate Tuple.empty t.intervals;
+  if !total = 0 then 0.0 else float_of_int !matched /. float_of_int !total
+
+let confidence_sampled ?(samples = 10_000) prng t patterns =
+  if samples <= 0 then invalid_arg "Possible_worlds: samples must be positive";
+  let matched = ref 0 in
+  for _ = 1 to samples do
+    let world =
+      List.fold_left
+        (fun acc (e, lo, hi) -> Tuple.add e (Numeric.Prng.int_in prng lo hi) acc)
+        Tuple.empty t.intervals
+    in
+    if Pattern.Matcher.matches_set world patterns then incr matched
+  done;
+  float_of_int !matched /. float_of_int samples
+
+let most_likely_matching_world ?limit t patterns =
+  check_limit ?limit t;
+  let centre = center t in
+  let best = ref None in
+  (* Enumerate each event's candidates nearest-to-centre first and prune
+     branches that cannot beat the incumbent. *)
+  let candidates e lo hi =
+    let c = Tuple.find centre e in
+    List.init (hi - lo + 1) (fun i -> lo + i)
+    |> List.sort (fun a b -> compare (abs (a - c)) (abs (b - c)))
+  in
+  let rec enumerate world cost = function
+    | [] -> (
+        if Pattern.Matcher.matches_set world patterns then
+          match !best with
+          | Some (_, c) when c <= cost -> ()
+          | _ -> best := Some (world, cost))
+    | (e, lo, hi) :: rest ->
+        List.iter
+          (fun ts ->
+            let cost = cost + abs (ts - Tuple.find centre e) in
+            match !best with
+            | Some (_, c) when c <= cost -> ()
+            | _ -> enumerate (Tuple.add e ts world) cost rest)
+          (candidates e lo hi)
+  in
+  enumerate Tuple.empty 0 t.intervals;
+  !best

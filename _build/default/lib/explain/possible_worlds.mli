@@ -1,0 +1,46 @@
+(** Possible-worlds evaluation under imprecise timestamps — the comparator
+    of Zhang, Diao, Immerman (PVLDB 2010) the paper positions itself
+    against (Section 7.2).
+
+    Each event carries an uncertainty interval of possible occurrence
+    times; a {e possible world} picks one timestamp per event. Matching is
+    then quantified as a confidence — the fraction of worlds satisfying
+    the query — and the "explanation" analogue is the matching world
+    closest (L1) to the interval centres. The paper's point, which the
+    ablation benchmark quantifies, is that minimum-change explanation needs
+    no interval knowledge and is exponentially cheaper while producing
+    comparable repairs; this module exists to make that comparison
+    executable. *)
+
+type t
+(** A tuple with an uncertainty interval per event. *)
+
+val of_tuple : radius:int -> Events.Tuple.t -> t
+(** Symmetric intervals [\[ts - radius, ts + radius\]], clamped at 0. *)
+
+val of_intervals : (Events.Event.t * Events.Time.t * Events.Time.t) list -> t
+(** Explicit [(event, lo, hi)] intervals. @raise Invalid_argument on
+    [lo > hi] or duplicates. *)
+
+val center : t -> Events.Tuple.t
+(** The interval midpoints (the "observed" tuple). *)
+
+val world_count : t -> int
+(** Number of possible worlds (product of interval widths).
+    @raise Numeric.Checked.Overflow when astronomically large. *)
+
+val confidence_exact : ?limit:int -> t -> Pattern.Ast.t list -> float
+(** Fraction of worlds matching the query, by exhaustive enumeration.
+    @raise Invalid_argument if {!world_count} exceeds [limit]
+    (default 2_000_000). *)
+
+val confidence_sampled :
+  ?samples:int -> Numeric.Prng.t -> t -> Pattern.Ast.t list -> float
+(** Monte-Carlo estimate over [samples] (default 10_000) uniform worlds. *)
+
+val most_likely_matching_world :
+  ?limit:int -> t -> Pattern.Ast.t list -> (Events.Tuple.t * int) option
+(** The matching world with the smallest L1 distance to the interval
+    centres, with that distance; [None] if no world matches. Exhaustive
+    with branch-and-bound pruning; same [limit] discipline as
+    {!confidence_exact}. *)

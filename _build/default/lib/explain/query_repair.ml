@@ -1,0 +1,159 @@
+module Ast = Pattern.Ast
+module Tuple = Events.Tuple
+
+type window_change = {
+  path : int list;
+  node : Ast.t;
+  old_window : Ast.window;
+  new_window : Ast.window;
+  change_cost : int;
+}
+
+let pp_window ppf (w : Ast.window) =
+  match (w.atleast, w.within) with
+  | None, None -> Format.fprintf ppf "(no window)"
+  | _ ->
+      Option.iter (fun a -> Format.fprintf ppf "ATLEAST %d" a) w.atleast;
+      if w.atleast <> None && w.within <> None then Format.fprintf ppf " ";
+      Option.iter (fun b -> Format.fprintf ppf "WITHIN %d" b) w.within
+
+let pp_window_change ppf { path; node; old_window; new_window; change_cost } =
+  Format.fprintf ppf "at %s: %a — %a -> %a (cost %d)"
+    (String.concat "." (List.map string_of_int path))
+    Ast.pp node pp_window old_window pp_window new_window change_cost
+
+type t = {
+  patterns : Ast.t list;
+  changes : window_change list;
+  cost : int;
+}
+
+type failure =
+  | Unbound_event of Events.Event.t
+  | Order_violation of Ast.t * Ast.t
+
+let pp_failure ppf = function
+  | Unbound_event e ->
+      Format.fprintf ppf "expected tuple does not bind event %a" Events.Event.pp e
+  | Order_violation (p, q) ->
+      Format.fprintf ppf
+        "window changes cannot help: %a occurs after %a in an expected tuple \
+         (consider a timestamp modification explanation instead)"
+        Ast.pp p Ast.pp q
+
+exception Failed of failure
+
+(* Occurrence period of [p] under [tuple], ignoring windows entirely —
+   Definition 2 without its bracketed window clauses. Raises [Failed] when
+   structure alone rules the tuple out. *)
+let rec span tuple p =
+  match p with
+  | Ast.Event e -> (
+      match Tuple.find_opt tuple e with
+      | Some ts -> (ts, ts)
+      | None -> raise (Failed (Unbound_event e)))
+  | Ast.Seq (children, _) ->
+      let rec go prev_pat (start, prev_stop) = function
+        | [] -> (start, prev_stop)
+        | q :: rest ->
+            let qs, qe = span tuple q in
+            if prev_stop <= qs then go q (start, qe) rest
+            else raise (Failed (Order_violation (prev_pat, q)))
+      in
+      (match children with
+      | [] -> invalid_arg "Query_repair.span: empty SEQ"
+      | first :: rest -> go first (span tuple first) rest)
+  | Ast.And (children, _) ->
+      let s, e =
+        List.fold_left
+          (fun (s, e) q ->
+            let qs, qe = span tuple q in
+            (min s qs, max e qe))
+          (max_int, min_int) children
+      in
+      if s > e then invalid_arg "Query_repair.span: empty AND" else (s, e)
+
+(* Rewrite one pattern: each windowed node's bounds are stretched to cover
+   the observed span lengths across all expected tuples. *)
+let rec rewrite tuples path p acc =
+  match p with
+  | Ast.Event _ -> (p, acc)
+  | Ast.Seq (children, w) ->
+      let children, acc = rewrite_children tuples path children acc in
+      let w', acc = adjust tuples path (Ast.Seq (children, w)) w acc in
+      (Ast.Seq (children, w'), acc)
+  | Ast.And (children, w) ->
+      let children, acc = rewrite_children tuples path children acc in
+      let w', acc = adjust tuples path (Ast.And (children, w)) w acc in
+      (Ast.And (children, w'), acc)
+
+and rewrite_children tuples path children acc =
+  let children, acc, _ =
+    List.fold_left
+      (fun (kids, acc, i) child ->
+        let child, acc = rewrite tuples (path @ [ i ]) child acc in
+        (child :: kids, acc, i + 1))
+      ([], acc, 0) children
+  in
+  (List.rev children, acc)
+
+and adjust tuples path node (w : Ast.window) acc =
+  match (w.atleast, w.within) with
+  | None, None -> (w, acc)
+  | _ ->
+      let lengths =
+        List.map
+          (fun tuple ->
+            let s, e = span tuple node in
+            e - s)
+          tuples
+      in
+      let min_len = List.fold_left min max_int lengths in
+      let max_len = List.fold_left max min_int lengths in
+      let atleast' = Option.map (fun a -> min a min_len) w.atleast in
+      let within' = Option.map (fun b -> max b max_len) w.within in
+      let cost_of old fresh =
+        match (old, fresh) with Some o, Some f -> abs (o - f) | _ -> 0
+      in
+      let change_cost = cost_of w.atleast atleast' + cost_of w.within within' in
+      let w' = { Ast.atleast = atleast'; within = within' } in
+      if change_cost = 0 then (w, acc)
+      else
+        ( w',
+          { path; node; old_window = w; new_window = w'; change_cost } :: acc )
+
+let explain patterns expected =
+  (match Ast.validate_set patterns with
+  | Ok () -> ()
+  | Error e ->
+      invalid_arg (Format.asprintf "Query_repair.explain: %a" Ast.pp_error e));
+  if expected = [] then invalid_arg "Query_repair.explain: no expected tuples";
+  match
+    (* Structural screening first: windows cannot fix a missing event or a
+       SEQ order violation, windowed or not. *)
+    List.iter
+      (fun pat -> List.iter (fun t -> ignore (span t pat)) expected)
+      patterns;
+    let patterns, changes, _ =
+      List.fold_left
+        (fun (ps, acc, i) p ->
+          let p, acc = rewrite expected [ i ] p acc in
+          (p :: ps, acc, i + 1))
+        ([], [], 0) patterns
+    in
+    (List.rev patterns, changes)
+  with
+  | patterns', changes ->
+      (* the repaired query must accept every expected tuple *)
+      assert (
+        List.for_all (fun t -> Pattern.Matcher.matches_set t patterns') expected);
+      let changes =
+        List.sort (fun a b -> compare b.change_cost a.change_cost) changes
+      in
+      Ok
+        {
+          patterns = patterns';
+          changes;
+          cost = List.fold_left (fun acc c -> acc + c.change_cost) 0 changes;
+        }
+  | exception Failed f -> Error f

@@ -1,0 +1,52 @@
+(** Query modification explanation — the paper's declared future work
+    (Section 2.2: "we leave the challenging problem of event pattern query
+    modification explanation as the future study").
+
+    Dual to {!Modification}: instead of repairing the data, repair the
+    query. Given a pattern set and tuples the user expected to match,
+    minimally adjust the ATLEAST/WITHIN window bounds so that every
+    expected tuple becomes an answer; the changed windows explain why the
+    tuples were not returned ("your WITHIN 45 should have been WITHIN 75").
+
+    Key structural fact making this tractable: a sub-pattern's occurrence
+    period ([t(p^s)], [t(p^e)], Definition 2) depends only on the tuple's
+    timestamps, never on the windows. So with the tuples fixed, each
+    window's minimal change is independent and closed-form:
+    [a' = min(a, min_t len_t)], [b' = max(b, max_t len_t)], with cost
+    [|a - a'| + |b - b'|]; and a SEQ order violation can never be fixed by
+    window changes alone, which the explainer reports as such. *)
+
+type window_change = {
+  path : int list;
+      (** pattern index in the set, then child indices to the node *)
+  node : Pattern.Ast.t;  (** the sub-pattern whose window is adjusted *)
+  old_window : Pattern.Ast.window;
+  new_window : Pattern.Ast.window;
+  change_cost : int;
+}
+
+val pp_window_change : Format.formatter -> window_change -> unit
+
+type t = {
+  patterns : Pattern.Ast.t list;  (** the repaired query *)
+  changes : window_change list;  (** most expensive (most suspicious) first *)
+  cost : int;  (** total bound adjustment (time units) *)
+}
+
+type failure =
+  | Unbound_event of Events.Event.t
+      (** an expected tuple does not bind a pattern event *)
+  | Order_violation of Pattern.Ast.t * Pattern.Ast.t
+      (** a SEQ is out of order in some expected tuple: no window
+          modification can help (the events themselves are mis-ordered,
+          see {!Modification}) *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val explain :
+  Pattern.Ast.t list -> Events.Tuple.t list -> (t, failure) result
+(** [explain patterns expected] minimally relaxes the windows so every
+    tuple of [expected] matches every pattern. [cost = 0] (no changes) iff
+    they already all match. The repaired query is guaranteed to accept all
+    expected tuples (checked against {!Pattern.Matcher}).
+    @raise Invalid_argument on an invalid pattern set or empty [expected]. *)

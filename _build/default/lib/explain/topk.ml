@@ -1,0 +1,105 @@
+module Event = Events.Event
+module Tuple = Events.Tuple
+
+type candidate = {
+  repaired : Tuple.t;
+  cost : int;
+  binding : Tcn.Condition.interval list;
+}
+
+type blame = {
+  event : Event.t;
+  frequency : float;
+  mean_shift : float;
+}
+
+type t = {
+  candidates : candidate list;
+  blames : blame list;
+  bindings_tried : int;
+}
+
+let strip_artificial tuple =
+  Tuple.fold
+    (fun e ts acc -> if Event.is_artificial e then acc else Tuple.add e ts acc)
+    tuple Tuple.empty
+
+let blames_of tuple candidates =
+  let stats = Hashtbl.create 8 in
+  let total = List.length candidates in
+  List.iter
+    (fun { repaired; _ } ->
+      List.iter
+        (fun (e, old_ts, new_ts) ->
+          let count, shift =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt stats e)
+          in
+          Hashtbl.replace stats e (count + 1, shift + abs (new_ts - old_ts)))
+        (Tuple.diff tuple repaired))
+    candidates;
+  Hashtbl.fold
+    (fun event (count, shift) acc ->
+      {
+        event;
+        frequency = float_of_int count /. float_of_int total;
+        mean_shift = float_of_int shift /. float_of_int count;
+      }
+      :: acc)
+    stats []
+  |> List.sort (fun a b ->
+         match compare b.frequency a.frequency with
+         | 0 -> compare b.mean_shift a.mean_shift
+         | c -> c)
+
+let explain ?(k = 3) patterns tuple =
+  (match Pattern.Ast.validate_set patterns with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Format.asprintf "Topk.explain: %a" Pattern.Ast.pp_error e));
+  if k < 1 then invalid_arg "Topk.explain: k must be positive";
+  let net = Tcn.Encode.pattern_set patterns in
+  let extended =
+    match Tcn.Encode.extend net tuple with
+    | extended -> extended
+    | exception Not_found ->
+        invalid_arg "Topk.explain: tuple does not bind every pattern event"
+  in
+  let tried = ref 0 in
+  let candidates = ref [] in
+  Seq.iter
+    (fun phi_k ->
+      incr tried;
+      let intervals = phi_k @ net.set_intervals in
+      if Tcn.Stn.consistent (Tcn.Stn.of_intervals intervals) then
+        match Lp_repair.repair extended intervals with
+        | None -> ()
+        | Some { repaired; cost; _ } ->
+            let repaired = Tuple.union_right tuple (strip_artificial repaired) in
+            candidates := { repaired; cost; binding = phi_k } :: !candidates)
+    (Tcn.Bindings.full net.set_bindings);
+  match !candidates with
+  | [] -> None
+  | all ->
+      let distinct =
+        List.sort
+          (fun a b ->
+            match compare a.cost b.cost with
+            | 0 -> compare (Tuple.bindings a.repaired) (Tuple.bindings b.repaired)
+            | c -> c)
+          all
+        |> List.fold_left
+             (fun acc c ->
+               if List.exists (fun kept -> Tuple.equal kept.repaired c.repaired) acc
+               then acc
+               else c :: acc)
+             []
+        |> List.rev
+      in
+      let top =
+        List.filteri (fun i _ -> i < k) distinct
+      in
+      Some
+        {
+          candidates = top;
+          blames = blames_of tuple distinct;
+          bindings_tried = !tried;
+        }

@@ -1,0 +1,63 @@
+module Rat = Numeric.Rat
+
+type outcome =
+  | Optimal of { objective : Rat.t; values : int array }
+  | Infeasible
+  | Unbounded
+
+let find_fractional values =
+  let n = Array.length values in
+  let rec go i =
+    if i >= n then None
+    else if Rat.is_integer values.(i) then go (i + 1)
+    else Some i
+  in
+  go 0
+
+let solve ?(max_nodes = 10_000) model =
+  let best : (Rat.t * int array) option ref = ref None in
+  let nodes = ref 0 in
+  let unbounded = ref false in
+  let rec go model =
+    incr nodes;
+    if !nodes > max_nodes then failwith "Ilp.solve: node budget exhausted";
+    match Simplex.solve model with
+    | Simplex.Infeasible -> ()
+    | Simplex.Unbounded ->
+        (* The relaxation being unbounded makes the ILP unbounded as soon as
+           any integer point is feasible; we report Unbounded conservatively
+           (our repair models are always bounded, so this is a corner). *)
+        unbounded := true
+    | Simplex.Optimal { objective; values } -> (
+        let dominated =
+          match !best with Some (b, _) -> Rat.compare objective b >= 0 | None -> false
+        in
+        if not dominated then
+          match find_fractional values with
+          | None ->
+              best := Some (objective, Array.map Rat.to_int_exn values)
+          | Some v ->
+              let frac = values.(v) in
+              let left = Simplex.copy model and right = Simplex.copy model in
+              Simplex.add_constraint left
+                [ (Rat.one, v) ]
+                Simplex.Le
+                (Rat.of_int (Rat.floor frac));
+              Simplex.add_constraint right
+                [ (Rat.one, v) ]
+                Simplex.Ge
+                (Rat.of_int (Rat.ceil frac));
+              go left;
+              go right)
+  in
+  go (Simplex.copy model);
+  if !unbounded && !best = None then Unbounded
+  else
+    match !best with
+    | Some (objective, values) -> Optimal { objective; values }
+    | None -> Infeasible
+
+let relaxation_is_integral model =
+  match Simplex.solve model with
+  | Simplex.Optimal { values; _ } -> Some (find_fractional values = None)
+  | Simplex.Infeasible | Simplex.Unbounded -> None

@@ -1,0 +1,245 @@
+module Rat = Numeric.Rat
+
+type var = int
+type sense = Le | Ge | Eq
+
+type constr = { terms : (Rat.t * var) list; sense : sense; rhs : Rat.t }
+
+type model = {
+  mutable nvars : int;
+  mutable names : string list; (* reversed *)
+  mutable constraints : constr list; (* reversed *)
+  mutable objective : (Rat.t * var) list;
+}
+
+type outcome =
+  | Optimal of { objective : Rat.t; values : Rat.t array }
+  | Infeasible
+  | Unbounded
+
+let create () = { nvars = 0; names = []; constraints = []; objective = [] }
+
+let copy m =
+  {
+    nvars = m.nvars;
+    names = m.names;
+    constraints = m.constraints;
+    objective = m.objective;
+  }
+
+let add_var ?(name = "") m =
+  let v = m.nvars in
+  m.nvars <- v + 1;
+  m.names <- name :: m.names;
+  v
+
+let num_vars m = m.nvars
+
+let add_constraint m terms sense rhs =
+  List.iter
+    (fun (_, v) ->
+      if v < 0 || v >= m.nvars then invalid_arg "Simplex.add_constraint: unknown variable")
+    terms;
+  m.constraints <- { terms; sense; rhs } :: m.constraints
+
+let set_objective m terms =
+  List.iter
+    (fun (_, v) ->
+      if v < 0 || v >= m.nvars then invalid_arg "Simplex.set_objective: unknown variable")
+    terms;
+  m.objective <- terms
+
+(* The tableau holds one row per constraint plus a separate reduced-cost row.
+   Column layout: structural variables, then slacks/surpluses, then
+   artificials, then the right-hand side as the last column. *)
+
+type tableau = {
+  rows : Rat.t array array;
+  obj : Rat.t array; (* reduced costs; last cell = -(objective value) *)
+  basis : int array; (* basis.(i) = column basic in row i *)
+  width : int; (* number of variable columns (rhs excluded) *)
+}
+
+let pivot tb r c =
+  let piv = tb.rows.(r).(c) in
+  assert (Rat.sign piv <> 0);
+  let row = tb.rows.(r) in
+  for j = 0 to tb.width do
+    row.(j) <- Rat.div row.(j) piv
+  done;
+  let eliminate target =
+    let f = target.(c) in
+    if Rat.sign f <> 0 then
+      for j = 0 to tb.width do
+        target.(j) <- Rat.sub target.(j) (Rat.mul f row.(j))
+      done
+  in
+  Array.iteri (fun i target -> if i <> r then eliminate target) tb.rows;
+  eliminate tb.obj;
+  tb.basis.(r) <- c
+
+(* Bland's rule: entering = smallest eligible column index; leaving = among
+   minimum-ratio rows, the one whose basic variable has the smallest index.
+   This precludes cycling under degeneracy. *)
+let rec optimize ~allowed tb =
+  let entering = ref (-1) in
+  (try
+     for j = 0 to tb.width - 1 do
+       if allowed j && Rat.sign tb.obj.(j) < 0 then begin
+         entering := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !entering < 0 then `Optimal
+  else begin
+    let c = !entering in
+    let best_row = ref (-1) and best_ratio = ref Rat.zero in
+    Array.iteri
+      (fun i row ->
+        if Rat.sign row.(c) > 0 then begin
+          let ratio = Rat.div row.(tb.width) row.(c) in
+          if
+            !best_row < 0
+            || Rat.compare ratio !best_ratio < 0
+            || (Rat.equal ratio !best_ratio && tb.basis.(i) < tb.basis.(!best_row))
+          then begin
+            best_row := i;
+            best_ratio := ratio
+          end
+        end)
+      tb.rows;
+    if !best_row < 0 then `Unbounded
+    else begin
+      pivot tb !best_row c;
+      optimize ~allowed tb
+    end
+  end
+
+let solve m =
+  let constraints = Array.of_list (List.rev m.constraints) in
+  let nrows = Array.length constraints in
+  let n = m.nvars in
+  (* One slack/surplus column per inequality, one artificial per Ge/Eq row
+     (after normalising the rhs to be non-negative). *)
+  let normalized =
+    Array.map
+      (fun { terms; sense; rhs } ->
+        if Rat.sign rhs >= 0 then (terms, sense, rhs)
+        else
+          let terms = List.map (fun (c, v) -> (Rat.neg c, v)) terms in
+          let sense = match sense with Le -> Ge | Ge -> Le | Eq -> Eq in
+          (terms, sense, Rat.neg rhs))
+      constraints
+  in
+  let num_slack =
+    Array.fold_left
+      (fun acc (_, sense, _) -> match sense with Le | Ge -> acc + 1 | Eq -> acc)
+      0 normalized
+  in
+  let num_art =
+    Array.fold_left
+      (fun acc (_, sense, _) -> match sense with Ge | Eq -> acc + 1 | Le -> acc)
+      0 normalized
+  in
+  let art_start = n + num_slack in
+  let width = n + num_slack + num_art in
+  let rows = Array.init nrows (fun _ -> Array.make (width + 1) Rat.zero) in
+  let basis = Array.make nrows (-1) in
+  let next_slack = ref n and next_art = ref art_start in
+  Array.iteri
+    (fun i (terms, sense, rhs) ->
+      let row = rows.(i) in
+      List.iter (fun (c, v) -> row.(v) <- Rat.add row.(v) c) terms;
+      row.(width) <- rhs;
+      (match sense with
+      | Le ->
+          row.(!next_slack) <- Rat.one;
+          basis.(i) <- !next_slack;
+          incr next_slack
+      | Ge ->
+          row.(!next_slack) <- Rat.minus_one;
+          incr next_slack
+      | Eq -> ());
+      match sense with
+      | Ge | Eq ->
+          row.(!next_art) <- Rat.one;
+          basis.(i) <- !next_art;
+          incr next_art
+      | Le -> ())
+    normalized;
+  let tb = { rows; obj = Array.make (width + 1) Rat.zero; basis; width } in
+  (* Phase 1: minimise the sum of artificials. Reduced costs start as the
+     raw costs (1 on artificial columns), then basic columns are priced out
+     by subtracting their rows. *)
+  if num_art > 0 then begin
+    for j = art_start to width - 1 do
+      tb.obj.(j) <- Rat.one
+    done;
+    Array.iteri
+      (fun i b ->
+        if b >= art_start then
+          for j = 0 to width do
+            tb.obj.(j) <- Rat.sub tb.obj.(j) tb.rows.(i).(j)
+          done)
+      tb.basis;
+    match optimize ~allowed:(fun _ -> true) tb with
+    | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+    | `Optimal ->
+        if Rat.sign (Rat.neg tb.obj.(width)) > 0 then raise Exit
+        else
+          (* Degenerate artificials may linger in the basis at value zero;
+             pivot them out on any structural/slack column, or leave them
+             (their row is then redundant and stays at zero). *)
+          Array.iteri
+            (fun i b ->
+              if b >= art_start then begin
+                let col = ref (-1) in
+                (try
+                   for j = 0 to art_start - 1 do
+                     if Rat.sign tb.rows.(i).(j) <> 0 then begin
+                       col := j;
+                       raise Exit
+                     end
+                   done
+                 with Exit -> ());
+                if !col >= 0 then pivot tb i !col
+              end)
+            tb.basis
+  end;
+  (* Phase 2: real objective, artificial columns barred from entering. *)
+  let cost = Array.make width Rat.zero in
+  List.iter (fun (c, v) -> cost.(v) <- Rat.add cost.(v) c) m.objective;
+  Array.fill tb.obj 0 (width + 1) Rat.zero;
+  Array.blit cost 0 tb.obj 0 width;
+  Array.iteri
+    (fun i b ->
+      if b >= 0 && b < width && Rat.sign cost.(b) <> 0 then
+        let f = cost.(b) in
+        for j = 0 to width do
+          tb.obj.(j) <- Rat.sub tb.obj.(j) (Rat.mul f tb.rows.(i).(j))
+        done)
+    tb.basis;
+  match optimize ~allowed:(fun j -> j < art_start) tb with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+      let values = Array.make n Rat.zero in
+      Array.iteri
+        (fun i b -> if b >= 0 && b < n then values.(b) <- tb.rows.(i).(width))
+        tb.basis;
+      let objective =
+        List.fold_left
+          (fun acc (c, v) -> Rat.add acc (Rat.mul c values.(v)))
+          Rat.zero m.objective
+      in
+      Optimal { objective; values }
+
+let solve m = try solve m with Exit -> Infeasible
+
+let pp_outcome ppf = function
+  | Infeasible -> Format.fprintf ppf "infeasible"
+  | Unbounded -> Format.fprintf ppf "unbounded"
+  | Optimal { objective; values } ->
+      Format.fprintf ppf "optimal %a at [%a]" Rat.pp objective
+        (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Rat.pp)
+        (Array.to_seq values)

@@ -1,0 +1,50 @@
+(** Linear programming by exact-rational two-phase primal simplex.
+
+    No LP solver exists in the sealed build environment, so this module
+    provides the one the paper's Algorithm 2 needs (Formula 4 and its
+    LP-relaxation). All arithmetic is exact ({!Numeric.Rat}), so the solver
+    reports true optima — in particular it lets the test suite observe that
+    the timestamp-modification LP always has integral optima (its constraint
+    matrix is a difference system, hence totally unimodular). Bland's rule
+    guarantees termination in the presence of degeneracy.
+
+    The model is: minimize [c^T x] subject to linear constraints, with every
+    variable implicitly non-negative (which is what the u/v substitution of
+    Formula 4 produces). *)
+
+type var = int
+(** Variable handle, dense from 0. *)
+
+type model
+
+type sense = Le | Ge | Eq
+
+val create : unit -> model
+
+val copy : model -> model
+(** Independent copy; constraints added to one are invisible to the other
+    (branch-and-bound relies on this). *)
+
+val add_var : ?name:string -> model -> var
+(** Fresh non-negative variable. *)
+
+val num_vars : model -> int
+
+val add_constraint : model -> (Numeric.Rat.t * var) list -> sense -> Numeric.Rat.t -> unit
+(** [add_constraint m terms sense rhs] adds [sum terms (sense) rhs]. Terms
+    may repeat a variable; coefficients are summed. *)
+
+val set_objective : model -> (Numeric.Rat.t * var) list -> unit
+(** Minimization objective; unset variables have zero cost. *)
+
+type outcome =
+  | Optimal of { objective : Numeric.Rat.t; values : Numeric.Rat.t array }
+  | Infeasible
+  | Unbounded
+
+val solve : model -> outcome
+(** Solve the current model. The model is reusable: constraints added after
+    a solve are honoured by the next solve (used by the branch-and-bound
+    ILP wrapper, which re-solves with added bounds). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,22 @@
+exception Overflow
+
+let add a b =
+  let r = a + b in
+  if (a >= 0) = (b >= 0) && (r >= 0) <> (a >= 0) then raise Overflow else r
+
+let sub a b =
+  let r = a - b in
+  if (a >= 0) <> (b >= 0) && (r >= 0) <> (a >= 0) then raise Overflow else r
+
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let r = a * b in
+    if r / a <> b || (a = -1 && b = min_int) || (b = -1 && a = min_int) then
+      raise Overflow
+    else r
+
+let neg a = if a = min_int then raise Overflow else -a
+let abs a = if a = min_int then raise Overflow else Stdlib.abs a
+
+let rec gcd a b = if b = 0 then Stdlib.abs a else gcd b (a mod b)

@@ -1,0 +1,28 @@
+(** Overflow-checked arithmetic on native [int].
+
+    The explanation engine works on integer timestamps and an exact-rational
+    simplex tableau. Native 63-bit ints are plenty for the magnitudes involved
+    (timestamps in minutes, small pattern sizes), but a silent wrap-around in
+    the middle of a pivot would corrupt an optimum invisibly, so every
+    arithmetic step that could overflow goes through this module and raises
+    instead of wrapping. *)
+
+exception Overflow
+
+val add : int -> int -> int
+(** [add a b] is [a + b]; raises {!Overflow} on wrap-around. *)
+
+val sub : int -> int -> int
+(** [sub a b] is [a - b]; raises {!Overflow} on wrap-around. *)
+
+val mul : int -> int -> int
+(** [mul a b] is [a * b]; raises {!Overflow} on wrap-around. *)
+
+val neg : int -> int
+(** [neg a] is [-a]; raises {!Overflow} on [min_int]. *)
+
+val abs : int -> int
+(** [abs a] is the absolute value; raises {!Overflow} on [min_int]. *)
+
+val gcd : int -> int -> int
+(** [gcd a b] is the non-negative greatest common divisor; [gcd 0 0 = 0]. *)

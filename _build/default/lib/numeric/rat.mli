@@ -1,0 +1,60 @@
+(** Exact rational arithmetic over native ints.
+
+    Values are kept normalized: positive denominator, numerator and
+    denominator coprime. Operations raise {!Checked.Overflow} rather than
+    silently wrapping. Used as the number type of the simplex LP solver,
+    where exactness matters: the LP relaxation of the timestamp-modification
+    ILP has a totally unimodular constraint matrix, so exact arithmetic lets
+    us observe (and test) that optima are integral. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero on a zero divisor. *)
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_integer : t -> bool
+val to_int_exn : t -> int
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val floor : t -> int
+val ceil : t -> int
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ~- ) : t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool

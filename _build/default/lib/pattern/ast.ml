@@ -1,0 +1,143 @@
+module Event = Events.Event
+
+type window = { atleast : Events.Time.t option; within : Events.Time.t option }
+
+type t =
+  | Event of Event.t
+  | Seq of t list * window
+  | And of t list * window
+
+let no_window = { atleast = None; within = None }
+let window ?atleast ?within () = { atleast; within }
+let event e = Event e
+let seq ?atleast ?within ps = Seq (ps, { atleast; within })
+let and_ ?atleast ?within ps = And (ps, { atleast; within })
+
+let rec compare p q =
+  match (p, q) with
+  | Event a, Event b -> Event.compare a b
+  | Event _, _ -> -1
+  | _, Event _ -> 1
+  | Seq (ps, w), Seq (qs, v) | And (ps, w), And (qs, v) ->
+      let c = List.compare compare ps qs in
+      if c <> 0 then c else Stdlib.compare w v
+  | Seq _, And _ -> -1
+  | And _, Seq _ -> 1
+
+let equal p q = compare p q = 0
+
+let rec events = function
+  | Event e -> Event.Set.singleton e
+  | Seq (ps, _) | And (ps, _) ->
+      List.fold_left (fun acc p -> Event.Set.union acc (events p)) Event.Set.empty ps
+
+let events_of_set ps =
+  List.fold_left (fun acc p -> Event.Set.union acc (events p)) Event.Set.empty ps
+
+let rec size = function
+  | Event _ -> 1
+  | Seq (ps, _) | And (ps, _) -> List.fold_left (fun acc p -> acc + size p) 1 ps
+
+let rec depth = function
+  | Event _ -> 1
+  | Seq (ps, _) | And (ps, _) ->
+      1 + List.fold_left (fun acc p -> Stdlib.max acc (depth p)) 0 ps
+
+let rec count_and = function
+  | Event _ -> 0
+  | Seq (ps, _) -> List.fold_left (fun acc p -> acc + count_and p) 0 ps
+  | And (ps, _) -> List.fold_left (fun acc p -> acc + count_and p) 1 ps
+
+type shape = Simple | And_no_seq_inside | General
+
+let rec has_seq = function
+  | Event _ -> false
+  | Seq _ -> true
+  | And (ps, _) -> List.exists has_seq ps
+
+let rec seq_inside_and = function
+  | Event _ -> false
+  | Seq (ps, _) -> List.exists seq_inside_and ps
+  | And (ps, _) -> List.exists has_seq ps || List.exists seq_inside_and ps
+
+let classify p =
+  if count_and p = 0 then Simple
+  else if seq_inside_and p then General
+  else And_no_seq_inside
+
+let classify_set ps =
+  let join a b =
+    match (a, b) with
+    | General, _ | _, General -> General
+    | And_no_seq_inside, _ | _, And_no_seq_inside -> And_no_seq_inside
+    | Simple, Simple -> Simple
+  in
+  List.fold_left (fun acc p -> join acc (classify p)) Simple ps
+
+type error =
+  | Empty_composition
+  | Inverted_window of Events.Time.t * Events.Time.t
+  | Negative_bound of Events.Time.t
+  | Duplicate_event of Event.t
+
+let pp_error ppf = function
+  | Empty_composition -> Format.fprintf ppf "SEQ/AND with no sub-pattern"
+  | Inverted_window (a, b) -> Format.fprintf ppf "ATLEAST %d WITHIN %d requires %d <= %d" a b a b
+  | Negative_bound a -> Format.fprintf ppf "negative window bound %d" a
+  | Duplicate_event e -> Format.fprintf ppf "event %a occurs twice in one pattern" Event.pp e
+
+let ( let* ) = Result.bind
+
+let check_window { atleast; within } =
+  let check_bound = function
+    | Some a when a < 0 -> Error (Negative_bound a)
+    | _ -> Ok ()
+  in
+  let* () = check_bound atleast in
+  let* () = check_bound within in
+  match (atleast, within) with
+  | Some a, Some b when a > b -> Error (Inverted_window (a, b))
+  | _ -> Ok ()
+
+let validate p =
+  (* A single scan collects seen events to reject duplicates within one
+     pattern: a tuple binds each event once, so "E then E again" cannot be
+     expressed (the paper's tuples have no duplicated events). *)
+  let rec go seen = function
+    | Event e ->
+        if Event.Set.mem e seen then Error (Duplicate_event e)
+        else Ok (Event.Set.add e seen)
+    | Seq (ps, w) | And (ps, w) ->
+        let* () = check_window w in
+        if ps = [] then Error Empty_composition
+        else
+          List.fold_left
+            (fun acc p ->
+              let* seen = acc in
+              go seen p)
+            (Ok seen) ps
+  in
+  Result.map (fun (_ : Event.Set.t) -> ()) (go Event.Set.empty p)
+
+let validate_set ps =
+  List.fold_left
+    (fun acc p ->
+      let* () = acc in
+      validate p)
+    (Ok ()) ps
+
+let pp_window ppf { atleast; within } =
+  Option.iter (fun a -> Format.fprintf ppf " ATLEAST %d" a) atleast;
+  Option.iter (fun b -> Format.fprintf ppf " WITHIN %d" b) within
+
+let rec pp ppf = function
+  | Event e -> Event.pp ppf e
+  | Seq (ps, w) -> pp_composite ppf "SEQ" ps w
+  | And (ps, w) -> pp_composite ppf "AND" ps w
+
+and pp_composite ppf kw ps w =
+  Format.fprintf ppf "%s(%a)%a" kw
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+    ps pp_window w
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,70 @@
+module Tuple = Events.Tuple
+
+type span = { start : Events.Time.t; stop : Events.Time.t }
+
+type failure =
+  | Missing_event of Events.Event.t
+  | Order_violation of Ast.t * Ast.t
+  | Window_violation of Ast.t * span
+
+let pp_failure ppf = function
+  | Missing_event e ->
+      Format.fprintf ppf "tuple has no timestamp for event %a" Events.Event.pp e
+  | Order_violation (p, q) ->
+      Format.fprintf ppf "SEQ order violated: %a does not end before %a starts"
+        Ast.pp p Ast.pp q
+  | Window_violation (p, { start; stop }) ->
+      Format.fprintf ppf "window violated by %a spanning [%d, %d] (length %d)"
+        Ast.pp p start stop (stop - start)
+
+let ( let* ) = Result.bind
+
+let check_window p ({ start; stop } as sp) (w : Ast.window) =
+  let len = stop - start in
+  let lower_ok = match w.atleast with None -> true | Some a -> len >= a in
+  let upper_ok = match w.within with None -> true | Some b -> len <= b in
+  if lower_ok && upper_ok then Ok sp else Error (Window_violation (p, sp))
+
+let rec span t p =
+  match p with
+  | Ast.Event e -> (
+      match Tuple.find_opt t e with
+      | Some ts -> Ok { start = ts; stop = ts }
+      | None -> Error (Missing_event e))
+  | Ast.Seq (ps, w) ->
+      (* Children must occur back to back: each ends no later than the next
+         starts (Definition 2, condition 2). *)
+      let rec go first prev_pat prev_span = function
+        | [] -> Ok { start = first.start; stop = prev_span.stop }
+        | q :: rest ->
+            let* sq = span t q in
+            if prev_span.stop <= sq.start then go first q sq rest
+            else Error (Order_violation (prev_pat, q))
+      in
+      let* result =
+        match ps with
+        | [] -> invalid_arg "Matcher.span: empty SEQ (validate first)"
+        | p0 :: rest ->
+            let* s0 = span t p0 in
+            go s0 p0 s0 rest
+      in
+      check_window p result w
+  | Ast.And (ps, w) ->
+      let* result =
+        List.fold_left
+          (fun acc q ->
+            let* sp = acc in
+            let* sq = span t q in
+            Ok { start = min sp.start sq.start; stop = max sp.stop sq.stop })
+          (Ok { start = max_int; stop = min_int })
+          ps
+      in
+      if result.start > result.stop then
+        invalid_arg "Matcher.span: empty AND (validate first)"
+      else check_window p result w
+
+let matches t p = Result.is_ok (span t p)
+let matches_set t ps = List.for_all (matches t) ps
+
+let explain_failure t ps =
+  List.find_map (fun p -> match span t p with Ok _ -> None | Error f -> Some f) ps

@@ -1,0 +1,33 @@
+(** Pattern matching of tuples (Definition 2 / Proposition 1).
+
+    [matches t p] decides [t |= p] by one recursive pass computing the start
+    and end timestamps of every sub-pattern — linear in pattern size, well
+    within the O(n^2) bound of Proposition 1. The matcher is the ground
+    truth the rest of the system is tested against: the temporal-network
+    encoding must agree with it (Proposition 5), and every timestamp
+    modification explanation must make it return [true]. *)
+
+type span = { start : Events.Time.t; stop : Events.Time.t }
+(** Occurrence period [t[p^s]], [t[p^e]] of a matched (sub-)pattern. *)
+
+type failure =
+  | Missing_event of Events.Event.t  (** the tuple does not bind the event *)
+  | Order_violation of Ast.t * Ast.t
+      (** consecutive SEQ children overlap: the first ends after the second
+          starts *)
+  | Window_violation of Ast.t * span
+      (** the pattern's occurrence period violates its ATLEAST/WITHIN *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val span : Events.Tuple.t -> Ast.t -> (span, failure) result
+(** Occurrence period of the whole pattern, or the first reason it fails. *)
+
+val matches : Events.Tuple.t -> Ast.t -> bool
+(** [matches t p] is [t |= p]. *)
+
+val matches_set : Events.Tuple.t -> Ast.t list -> bool
+(** [t |= P]: the tuple matches every pattern of the set. *)
+
+val explain_failure : Events.Tuple.t -> Ast.t list -> failure option
+(** First failure across the set, [None] if the tuple matches. *)

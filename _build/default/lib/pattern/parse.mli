@@ -1,0 +1,30 @@
+(** Parser for the paper's pattern surface syntax.
+
+    Examples of accepted input:
+    {v
+      SEQ(AND(E1, E3) WITHIN 30, AND(E2, E4) WITHIN 30) ATLEAST 2 hours
+      AND(Payment, Add_penalty) ATLEAST 10 WITHIN 480
+      E1
+    v}
+
+    Keywords are case-insensitive. Durations are integers with an optional
+    unit ([m]/[min]/[minute]/[minutes] = 1, [h]/[hour]/[hours] = 60,
+    [d]/[day]/[days] = 1440); the base unit is minutes, matching the paper's
+    experiments. [ATLEAST] and [WITHIN] may appear in either order, each at
+    most once. Parsed patterns are validated with {!Ast.validate}.
+
+    {b Bounded Kleene sugar.} [REPEAT(E, k)] (k >= 1, E a single event
+    type) desugars to [SEQ(E#g_1, ..., E#g_k)] over fresh repeat-alias
+    events ({!Events.Event.repeat_alias}; [g] numbers the REPEAT nodes of
+    the parse). Batch tuples bind the alias names directly; the streaming
+    {!Cep.Detector} fills them from plain [E] instances. The paper leaves
+    unbounded Kleene open; this is the bounded fragment. *)
+
+val pattern : string -> (Ast.t, string) result
+(** Parse a single pattern; the error message includes the offset. *)
+
+val pattern_exn : string -> Ast.t
+(** @raise Invalid_argument on parse or validation failure. *)
+
+val pattern_set : string -> (Ast.t list, string) result
+(** Parse a set of patterns separated by [';'] or newlines. *)

@@ -1,0 +1,44 @@
+let no_window (w : Ast.window) = w.atleast = None && w.within = None
+
+let trivial_window (w : Ast.window) ~single_event =
+  let atleast_trivial = match w.atleast with None -> true | Some a -> a <= 0 in
+  let within_trivial =
+    match w.within with
+    | None -> true
+    | Some b -> single_event && b >= 0 (* a single event always spans 0 *)
+  in
+  atleast_trivial && within_trivial
+
+let rec normalize p =
+  let p' = rewrite_once p in
+  if Ast.equal p p' then p else normalize p'
+
+and rewrite_once = function
+  | Ast.Event _ as p -> p
+  | Ast.Seq (children, w) -> composite true children w
+  | Ast.And (children, w) -> composite false children w
+
+and composite is_seq children w =
+  let children = List.map rewrite_once children in
+  (* splice windowless same-kind children into the parent *)
+  let children =
+    List.concat_map
+      (fun child ->
+        match (is_seq, child) with
+        | true, Ast.Seq (grand, cw) when no_window cw -> grand
+        | false, Ast.And (grand, cw) when no_window cw -> grand
+        | _ -> [ child ])
+      children
+  in
+  match children with
+  | [ only ] when no_window w -> only
+  | [ Ast.Event _ as only ] when trivial_window w ~single_event:true -> only
+  | _ ->
+      let w =
+        (* drop ATLEAST 0 (implied); keep WITHIN (it constrains spans) *)
+        match w.atleast with
+        | Some a when a <= 0 -> { w with atleast = None }
+        | _ -> w
+      in
+      if is_seq then Ast.Seq (children, w) else Ast.And (children, w)
+

@@ -1,0 +1,21 @@
+(** Semantics-preserving pattern rewrites.
+
+    A light query-optimizer pass used before encoding: fewer nodes mean
+    fewer artificial events, fewer binding conditions, and exponentially
+    fewer bindings for the explanation algorithms. All rewrites preserve
+    the matcher semantics of Definition 2 exactly (property-tested):
+
+    - a windowless composite with a single child collapses to the child
+      (with windows, the window is kept by merging when the child admits
+      it);
+    - a windowless SEQ child of a SEQ splices into its parent
+      ([SEQ(a, SEQ(b, c), d)] = [SEQ(a, b, c, d)]);
+    - a windowless AND child of an AND splices into its parent;
+    - windows that cannot constrain anything ([ATLEAST 0], and for single
+      events any [WITHIN b >= 0]) are dropped. *)
+
+val normalize : Ast.t -> Ast.t
+(** Fixpoint of the rewrites above. The result matches exactly the same
+    tuples. The payoff is measured via
+    [Tcn.Bindings.count (Tcn.Encode.pattern_set [p]).set_bindings]
+    before and after (the binding-space size drives Algorithm 1/2 cost). *)

@@ -1,0 +1,106 @@
+module Tuple = Events.Tuple
+module Ast = Pattern.Ast
+
+type instance = { num_elements : int; sets : int list array }
+
+let validate { num_elements; sets } =
+  let covered = Array.make num_elements false in
+  let ok = ref (Ok ()) in
+  Array.iter
+    (fun elements ->
+      List.iter
+        (fun e ->
+          if e < 0 || e >= num_elements then
+            ok := Error (Printf.sprintf "element %d out of range" e)
+          else covered.(e) <- true)
+        elements)
+    sets;
+  (match !ok with
+  | Ok () ->
+      Array.iteri
+        (fun e c -> if not c then ok := Error (Printf.sprintf "element %d uncovered" e))
+        covered
+  | Error _ -> ());
+  !ok
+
+let brute_force_min_cover { num_elements; sets } =
+  let n = Array.length sets in
+  let best = ref None in
+  let rec go i chosen covered count =
+    let better = match !best with Some (c, _) -> count < c | None -> true in
+    if not better then ()
+    else if Array.for_all Fun.id covered then best := Some (count, chosen)
+    else if i < n then begin
+      go (i + 1) chosen covered count;
+      let covered' = Array.copy covered in
+      List.iter (fun e -> covered'.(e) <- true) sets.(i);
+      go (i + 1) (i :: chosen) covered' (count + 1)
+    end
+  in
+  go 0 [] (Array.make num_elements false) 0;
+  Option.map (fun (_, chosen) -> List.sort compare chosen) !best
+
+let random_instance prng ~num_elements ~num_sets ~density =
+  let sets = Array.make num_sets [] in
+  for i = 0 to num_sets - 1 do
+    for e = 0 to num_elements - 1 do
+      if Numeric.Prng.coin prng density then sets.(i) <- e :: sets.(i)
+    done
+  done;
+  (* Patch coverage so the instance is always well-formed. *)
+  let covered = Array.make num_elements false in
+  Array.iter (List.iter (fun e -> covered.(e) <- true)) sets;
+  Array.iteri
+    (fun e c ->
+      if not c then begin
+        let i = Numeric.Prng.int prng num_sets in
+        sets.(i) <- e :: sets.(i)
+      end)
+    covered;
+  { num_elements; sets = Array.map (List.sort_uniq compare) sets }
+
+let set_event i = Printf.sprintf "S%d" i
+let anchor_event i = Printf.sprintf "SP%d" i
+let element_event j = Printf.sprintf "U%d" j
+
+let to_patterns ({ num_elements; sets } as instance) =
+  (match validate instance with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Set_cover.to_patterns: " ^ msg));
+  let covering_sets j =
+    Array.to_list sets
+    |> List.mapi (fun i elements -> (i, elements))
+    |> List.filter_map (fun (i, elements) ->
+           if List.mem j elements then Some (Ast.event (set_event i)) else None)
+  in
+  let element_gadget j =
+    (* SEQ(Uj, AND(S_j1, ..., S_jk)) ATLEAST 2 WITHIN 2 *)
+    match covering_sets j with
+    | [] -> assert false (* validated *)
+    | [ single ] ->
+        Ast.seq ~atleast:2 ~within:2 [ Ast.event (element_event j); single ]
+    | several -> Ast.seq ~atleast:2 ~within:2 [ Ast.event (element_event j); Ast.and_ several ]
+  in
+  let anchor_gadget j i =
+    (* SEQ(S'_i, Uj) ATLEAST 1 WITHIN 1: moving a Uj drags every S'_i. *)
+    Ast.seq ~atleast:1 ~within:1 [ Ast.event (anchor_event i); Ast.event (element_event j) ]
+  in
+  List.init num_elements element_gadget
+  @ List.concat
+      (List.init num_elements (fun j ->
+           List.init (Array.length sets) (fun i -> anchor_gadget j i)))
+
+let tuple { num_elements; sets } =
+  let bindings =
+    List.init (Array.length sets) (fun i -> (set_event i, 2))
+    @ List.init (Array.length sets) (fun i -> (anchor_event i, 0))
+    @ List.init num_elements (fun j -> (element_event j, 1))
+  in
+  Tuple.of_list bindings
+
+let cover_of_repair { sets; _ } repaired =
+  List.init (Array.length sets) Fun.id
+  |> List.filter (fun i ->
+         match Tuple.find_opt repaired (set_event i) with
+         | Some ts -> ts <> 2
+         | None -> false)

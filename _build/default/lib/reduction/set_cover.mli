@@ -1,0 +1,35 @@
+(** SET COVER and the reduction to timestamp modification (Theorem 3).
+
+    For an instance with elements [u_1..u_m] and sets [s_1..s_n], the
+    reduction builds events [S_i], [S'_i], [U_j], a tuple placing them at
+    [t(S'_i)=0], [t(U_j)=1], [t(S_i)=2], and patterns forcing each element
+    gadget to see one covering set event at distance exactly 2 from its
+    element event. The minimum modification cost of the tuple equals the
+    minimum cover size: each chosen set is moved from 2 to 3 at cost 1,
+    and moving any [U_j] instead is priced out by the anchor patterns.
+    Validated in tests against a brute-force minimum cover. *)
+
+type instance = { num_elements : int; sets : int list array }
+(** [sets.(i)] lists the elements (numbered from 0) of set [i]. *)
+
+val validate : instance -> (unit, string) result
+(** Every element must be covered by some set and indices in range. *)
+
+val brute_force_min_cover : instance -> int list option
+(** Smallest cover by exhaustive search (tests only); [None] if the
+    instance leaves an element uncovered. *)
+
+val random_instance :
+  Numeric.Prng.t -> num_elements:int -> num_sets:int -> density:float -> instance
+(** Each (set, element) pair is included with probability [density];
+    coverage is patched up by assigning stray elements to random sets. *)
+
+val to_patterns : instance -> Pattern.Ast.t list
+(** The Theorem 3 transformation. *)
+
+val tuple : instance -> Events.Tuple.t
+(** The tuple [t(S'_i)=0, t(U_j)=1, t(S_i)=2] of the reduction. *)
+
+val cover_of_repair : instance -> Events.Tuple.t -> int list
+(** Read the chosen cover back from a repaired tuple: the sets whose [S_i]
+    event moved. *)

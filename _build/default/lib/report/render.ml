@@ -1,0 +1,148 @@
+module Tuple = Events.Tuple
+module Event = Events.Event
+
+let tuple t =
+  Json.Obj
+    (Tuple.fold
+       (fun e ts acc -> if Event.is_artificial e then acc else (e, Json.Int ts) :: acc)
+       t []
+    |> List.rev)
+
+let diff ~before ~after =
+  Json.List
+    (List.map
+       (fun (e, o, n) ->
+         Json.Obj [ ("event", Json.String e); ("from", Json.Int o); ("to", Json.Int n) ])
+       (Tuple.diff before after))
+
+let consistency (r : Explain.Consistency.report) =
+  Json.Obj
+    ([
+       ("consistent", Json.Bool r.consistent);
+       ("bindings_checked", Json.Int r.bindings_checked);
+       ("exact", Json.Bool r.exact);
+     ]
+    @ match r.witness with Some w -> [ ("witness", tuple w) ] | None -> [])
+
+let modification ~original (r : Explain.Modification.result) =
+  Json.Obj
+    [
+      ("cost", Json.Int r.cost);
+      ("bindings_tried", Json.Int r.bindings_tried);
+      ("exact", Json.Bool r.exact);
+      ("changes", diff ~before:original ~after:r.repaired);
+      ("repaired", tuple r.repaired);
+    ]
+
+let window (w : Pattern.Ast.window) =
+  Json.Obj
+    ((match w.atleast with Some a -> [ ("atleast", Json.Int a) ] | None -> [])
+    @ match w.within with Some b -> [ ("within", Json.Int b) ] | None -> [])
+
+let query_repair (r : Explain.Query_repair.t) =
+  Json.Obj
+    [
+      ("cost", Json.Int r.cost);
+      ( "patterns",
+        Json.List (List.map (fun p -> Json.String (Pattern.Ast.to_string p)) r.patterns)
+      );
+      ( "changes",
+        Json.List
+          (List.map
+             (fun (c : Explain.Query_repair.window_change) ->
+               Json.Obj
+                 [
+                   ( "path",
+                     Json.List (List.map (fun i -> Json.Int i) c.path) );
+                   ("node", Json.String (Pattern.Ast.to_string c.node));
+                   ("old_window", window c.old_window);
+                   ("new_window", window c.new_window);
+                   ("cost", Json.Int c.change_cost);
+                 ])
+             r.changes) );
+    ]
+
+let topk ~original (r : Explain.Topk.t) =
+  Json.Obj
+    [
+      ("bindings_tried", Json.Int r.bindings_tried);
+      ( "candidates",
+        Json.List
+          (List.map
+             (fun (c : Explain.Topk.candidate) ->
+               Json.Obj
+                 [
+                   ("cost", Json.Int c.cost);
+                   ("changes", diff ~before:original ~after:c.repaired);
+                 ])
+             r.candidates) );
+      ( "blame",
+        Json.List
+          (List.map
+             (fun (b : Explain.Topk.blame) ->
+               Json.Obj
+                 [
+                   ("event", Json.String b.event);
+                   ("frequency", Json.Float b.frequency);
+                   ("mean_shift", Json.Float b.mean_shift);
+                 ])
+             r.blames) );
+    ]
+
+let matcher_failure = function
+  | Pattern.Matcher.Missing_event e ->
+      Json.Obj [ ("kind", Json.String "missing_event"); ("event", Json.String e) ]
+  | Pattern.Matcher.Order_violation (a, b) ->
+      Json.Obj
+        [
+          ("kind", Json.String "order_violation");
+          ("first", Json.String (Pattern.Ast.to_string a));
+          ("second", Json.String (Pattern.Ast.to_string b));
+        ]
+  | Pattern.Matcher.Window_violation (p, { start; stop }) ->
+      Json.Obj
+        [
+          ("kind", Json.String "window_violation");
+          ("pattern", Json.String (Pattern.Ast.to_string p));
+          ("start", Json.Int start);
+          ("stop", Json.Int stop);
+        ]
+
+let pipeline ~original = function
+  | Explain.Pipeline.Already_answer ->
+      Json.Obj [ ("outcome", Json.String "already_answer") ]
+  | Explain.Pipeline.Inconsistent_query r ->
+      Json.Obj
+        [ ("outcome", Json.String "inconsistent_query"); ("consistency", consistency r) ]
+  | Explain.Pipeline.Modify_timestamps r ->
+      Json.Obj
+        [
+          ("outcome", Json.String "modify_timestamps");
+          ("explanation", modification ~original r);
+        ]
+  | Explain.Pipeline.Modify_query r ->
+      Json.Obj
+        [ ("outcome", Json.String "modify_query"); ("explanation", query_repair r) ]
+  | Explain.Pipeline.No_explanation ->
+      Json.Obj [ ("outcome", Json.String "no_explanation") ]
+
+let failure_class (c : Explain.Diagnose.failure_class) =
+  Json.Obj
+    [
+      ("description", Json.String c.description);
+      ("tuples", Json.List (List.map (fun id -> Json.String id) c.tuples));
+    ]
+
+let diagnose (d : Explain.Diagnose.t) =
+  Json.Obj
+    [
+      ("total", Json.Int d.total);
+      ("answers", Json.Int d.answers);
+      ("missing_events", Json.List (List.map failure_class d.missing_events));
+      ("order_violations", Json.List (List.map failure_class d.order_violations));
+      ("window_violations", Json.List (List.map failure_class d.window_violations));
+      ( "repair_costs",
+        Json.Obj (List.map (fun (id, c) -> (id, Json.Int c)) d.repair_costs) );
+      ( "median_repair_cost",
+        match d.median_repair_cost with Some m -> Json.Int m | None -> Json.Null );
+    ]

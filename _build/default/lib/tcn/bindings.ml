@@ -1,0 +1,47 @@
+module Tuple = Events.Tuple
+
+let choices { Condition.bound; over; _ } =
+  List.map (fun e -> Condition.exact bound e) over
+
+let full gammas =
+  let rec product = function
+    | [] -> Seq.return []
+    | g :: rest ->
+        let tails = product rest in
+        Seq.concat_map
+          (fun phi -> Seq.map (fun tail -> phi :: tail) tails)
+          (List.to_seq (choices g))
+  in
+  product gammas
+
+let count gammas =
+  List.fold_left (fun acc g -> acc * List.length g.Condition.over) 1 gammas
+
+let single t gammas =
+  let pick { Condition.bound; over; kind } =
+    (* Ties broken apart on purpose: [min] keeps the first minimal member,
+       [max] the last maximal one, so that an all-equal AND does not pin its
+       start and end points to the same event (which would make the
+       grounded network infeasible for ATLEAST windows even though other
+       bindings work). *)
+    let better a b =
+      match kind with Condition.Min -> a < b | Condition.Max -> a >= b
+    in
+    let best =
+      match over with
+      | [] -> invalid_arg "Bindings.single: empty binding"
+      | e0 :: rest ->
+          List.fold_left
+            (fun best e -> if better (Tuple.find t e) (Tuple.find t best) then e else best)
+            e0 rest
+    in
+    Condition.exact bound best
+  in
+  List.map pick gammas
+
+let sample prng gammas =
+  List.map
+    (fun ({ Condition.bound; over; _ } as _g) ->
+      let arr = Array.of_list over in
+      Condition.exact bound (Numeric.Prng.choose prng arr))
+    gammas

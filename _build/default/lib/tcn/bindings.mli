@@ -1,0 +1,31 @@
+(** Binding enumeration (Definitions 7 and 8).
+
+    Each binding condition [gamma(E, S):min|max] is replaced by the
+    disjunction of the interval conditions [phi(E, E_j):\[0,0\]] for
+    [E_j in S] — pinning the artificial event to one member. The cartesian
+    product over all binding conditions is the full binding space
+    [Aleph_Gamma]; the single binding keeps only the member that attains
+    the min/max in a reference tuple; randomized algorithms sample
+    uniformly. *)
+
+val choices : Condition.binding -> Condition.interval list
+(** The disjuncts of one binding condition: [phi(E, E_j):\[0,0\]] for each
+    member [E_j]. *)
+
+val full : Condition.binding list -> Condition.interval list Seq.t
+(** All of [Aleph_Gamma], lazily: each element gives one [\[0,0\]] interval
+    condition per binding condition. The singleton empty list when
+    [Gamma] is empty. *)
+
+val count : Condition.binding list -> int
+(** [|Aleph_Gamma|] = product of the [over] sizes. *)
+
+val single : Events.Tuple.t -> Condition.binding list -> Condition.interval list
+(** The single binding of Definition 8 w.r.t. a reference tuple: for a
+    [min] condition pick the member with the smallest reference timestamp
+    (ties broken by list order), for [max] the largest. The tuple must bind
+    every member — extend it first with {!Encode.extend} when artificial
+    events are nested. *)
+
+val sample : Numeric.Prng.t -> Condition.binding list -> Condition.interval list
+(** One uniform sample from [Aleph_Gamma]. *)

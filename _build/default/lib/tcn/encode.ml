@@ -1,0 +1,158 @@
+module Event = Events.Event
+module Tuple = Events.Tuple
+module Ast = Pattern.Ast
+
+type t = {
+  intervals : Condition.interval list;
+  bindings : Condition.binding list;
+  start_event : Event.t;
+  end_event : Event.t;
+  artificial : Event.Set.t;
+}
+
+(* The optional window [ATLEAST a] [WITHIN b] of a composite pattern becomes
+   one interval condition phi(start, end):[a, b] — omitted entirely when the
+   pattern carries no window (the [0, w] bound is already implied). *)
+let window_interval start_event end_event (w : Ast.window) =
+  match (w.atleast, w.within) with
+  | None, None -> []
+  | atleast, within ->
+      [
+        {
+          Condition.src = start_event;
+          dst = end_event;
+          lo = Option.value atleast ~default:0;
+          hi = within;
+        };
+      ]
+
+let rec encode next_id = function
+  | Ast.Event e ->
+      ( { intervals = []; bindings = []; start_event = e; end_event = e;
+          artificial = Event.Set.empty },
+        next_id )
+  | Ast.Seq (ps, w) ->
+      let children, next_id =
+        List.fold_left
+          (fun (acc, id) p ->
+            let enc, id = encode id p in
+            (enc :: acc, id))
+          ([], next_id) ps
+      in
+      let children = List.rev children in
+      let rec chain = function
+        | a :: (b :: _ as rest) ->
+            Condition.interval a.end_event b.start_event :: chain rest
+        | [ _ ] | [] -> []
+      in
+      let first = List.hd children and last = List.nth children (List.length children - 1) in
+      let intervals =
+        chain children
+        @ List.concat_map (fun c -> c.intervals) children
+        @ window_interval first.start_event last.end_event w
+      in
+      ( {
+          intervals;
+          bindings = List.concat_map (fun c -> c.bindings) children;
+          start_event = first.start_event;
+          end_event = last.end_event;
+          artificial =
+            List.fold_left
+              (fun acc c -> Event.Set.union acc c.artificial)
+              Event.Set.empty children;
+        },
+        next_id )
+  | Ast.And (ps, w) ->
+      let children, next_id =
+        List.fold_left
+          (fun (acc, id) p ->
+            let enc, id = encode id p in
+            (enc :: acc, id))
+          ([], next_id) ps
+      in
+      let children = List.rev children in
+      let s = Event.artificial_start next_id and e = Event.artificial_end next_id in
+      let span_intervals =
+        List.concat_map
+          (fun c ->
+            [ Condition.interval s c.start_event; Condition.interval c.end_event e ])
+          children
+      in
+      let intervals =
+        span_intervals
+        @ List.concat_map (fun c -> c.intervals) children
+        @ window_interval s e w
+      in
+      let bindings =
+        List.concat_map (fun c -> c.bindings) children
+        @ [
+            { Condition.bound = s; over = List.map (fun c -> c.start_event) children;
+              kind = Condition.Min };
+            { Condition.bound = e; over = List.map (fun c -> c.end_event) children;
+              kind = Condition.Max };
+          ]
+      in
+      ( {
+          intervals;
+          bindings;
+          start_event = s;
+          end_event = e;
+          artificial =
+            List.fold_left
+              (fun acc c -> Event.Set.union acc c.artificial)
+              (Event.Set.of_list [ s; e ])
+              children;
+        },
+        next_id + 1 )
+
+let pattern ?(first_and_id = 0) p =
+  (match Ast.validate p with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Format.asprintf "Encode.pattern: %a" Ast.pp_error e));
+  fst (encode first_and_id p)
+
+type set = {
+  set_intervals : Condition.interval list;
+  set_bindings : Condition.binding list;
+  set_artificial : Event.Set.t;
+}
+
+let pattern_set ps =
+  let encs, _ =
+    List.fold_left
+      (fun (acc, id) p ->
+        (match Ast.validate p with
+        | Ok () -> ()
+        | Error e -> invalid_arg (Format.asprintf "Encode.pattern_set: %a" Ast.pp_error e));
+        let enc, id = encode id p in
+        (enc :: acc, id))
+      ([], 0) ps
+  in
+  let encs = List.rev encs in
+  {
+    set_intervals = List.concat_map (fun e -> e.intervals) encs;
+    set_bindings = List.concat_map (fun e -> e.bindings) encs;
+    set_artificial =
+      List.fold_left (fun acc e -> Event.Set.union acc e.artificial) Event.Set.empty encs;
+  }
+
+let extend set t =
+  (* Bindings are listed bottom-up, so each [over] member is a real event or
+     an artificial one already placed by an earlier binding. *)
+  List.fold_left
+    (fun t { Condition.bound; over; kind } ->
+      let ts = List.map (fun e -> Tuple.find t e) over in
+      let v =
+        match kind with
+        | Condition.Min -> List.fold_left min max_int ts
+        | Condition.Max -> List.fold_left max min_int ts
+      in
+      Tuple.add bound v t)
+    t set.set_bindings
+
+let satisfies set t =
+  match extend set t with
+  | extended ->
+      Condition.intervals_hold extended set.set_intervals
+      && Condition.bindings_hold extended set.set_bindings
+  | exception Not_found -> false

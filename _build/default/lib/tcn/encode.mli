@@ -1,0 +1,44 @@
+(** Encoding event patterns as complex temporal networks (Definition 5).
+
+    A pattern becomes a pair (Phi, Gamma) of interval and binding conditions.
+    Each AND node introduces two artificial events — its start point [AND^s]
+    and end point [AND^e] — related to the children by [\[0, w\]] interval
+    conditions and min/max binding conditions. Patterns without AND need no
+    bindings and yield a simple temporal network directly (Definition 6).
+
+    Satisfaction is preserved both ways (Proposition 5): [t |= p] iff the
+    {!extend} of [t] satisfies all interval and binding conditions. *)
+
+type t = {
+  intervals : Condition.interval list;
+  bindings : Condition.binding list;
+      (** bottom-up: a binding's [over] events are either real or bound by an
+          earlier binding of the list *)
+  start_event : Events.Event.t;
+  end_event : Events.Event.t;
+  artificial : Events.Event.Set.t;
+}
+
+val pattern : ?first_and_id:int -> Pattern.Ast.t -> t
+(** Encode one pattern. Artificial events are numbered from [first_and_id]
+    (default 0). @raise Invalid_argument on an invalid pattern. *)
+
+type set = {
+  set_intervals : Condition.interval list;
+  set_bindings : Condition.binding list;
+  set_artificial : Events.Event.Set.t;
+}
+
+val pattern_set : Pattern.Ast.t list -> set
+(** Encode a pattern set [P] as the union of the per-pattern networks
+    (artificial events numbered apart). *)
+
+val extend : set -> Events.Tuple.t -> Events.Tuple.t
+(** Extend a tuple over the real events with the induced timestamps of all
+    artificial events ([AND^s] = min of children starts, [AND^e] = max of
+    children ends), making the binding conditions checkable.
+    @raise Not_found if a required real event is unbound. *)
+
+val satisfies : set -> Events.Tuple.t -> bool
+(** [t |= (Phi, Gamma)] on the {!extend}ed tuple — the right-hand side of
+    Proposition 5. [false] if some required event is unbound. *)

@@ -1,0 +1,97 @@
+module Event = Events.Event
+
+let inf = max_int / 4
+
+type frame = {
+  saved : (int * int * int) list; (* (x, y, previous distance) *)
+  interval : Condition.interval;
+  made_inconsistent : bool;
+}
+
+type t = {
+  events : Event.t array;
+  index : int Event.Map.t;
+  dist : int array array; (* (n+1)^2, last index = origin pinned at 0 *)
+  mutable frames : frame list;
+  mutable inconsistent : bool;
+}
+
+let create events =
+  let events = Array.of_list (List.sort_uniq Event.compare events) in
+  let n = Array.length events in
+  let index =
+    Array.to_seqi events
+    |> Seq.fold_left (fun acc (i, e) -> Event.Map.add e i acc) Event.Map.empty
+  in
+  let dist = Array.init (n + 1) (fun _ -> Array.make (n + 1) inf) in
+  for i = 0 to n do
+    dist.(i).(i) <- 0
+  done;
+  for i = 0 to n - 1 do
+    (* t(i) >= 0: arc i -> origin with weight 0 *)
+    dist.(i).(n) <- 0
+  done;
+  { events; index; dist; frames = []; inconsistent = false }
+
+let consistent t = not t.inconsistent
+
+let find_index t e =
+  match Event.Map.find_opt e t.index with
+  | Some i -> i
+  | None -> invalid_arg "Stn_inc: unknown event"
+
+(* Add one arc u -> v of weight w, recording every touched cell. Returns
+   the cells saved (prepended to [saved]) and whether a negative cycle
+   appeared (in which case nothing was modified). *)
+let add_arc t u v w saved =
+  let d = t.dist in
+  if d.(v).(u) < inf && d.(v).(u) + w < 0 then (saved, false)
+  else if w >= d.(u).(v) then (saved, true) (* not tightening *)
+  else begin
+    let n = Array.length t.events in
+    let saved = ref saved in
+    for x = 0 to n do
+      if d.(x).(u) < inf then
+        for y = 0 to n do
+          if d.(v).(y) < inf then begin
+            let cand = d.(x).(u) + w + d.(v).(y) in
+            if cand < d.(x).(y) then begin
+              saved := (x, y, d.(x).(y)) :: !saved;
+              d.(x).(y) <- cand
+            end
+          end
+        done
+    done;
+    (!saved, true)
+  end
+
+let push t ({ Condition.src; dst; lo; hi } as interval) =
+  if t.inconsistent then invalid_arg "Stn_inc.push: inconsistent network (pop first)";
+  let u = find_index t src and v = find_index t dst in
+  let saved, ok =
+    match hi with Some hi -> add_arc t u v hi [] | None -> ([], true)
+  in
+  let saved, ok = if ok then add_arc t v u (-lo) saved else (saved, ok) in
+  t.inconsistent <- not ok;
+  t.frames <- { saved; interval; made_inconsistent = not ok } :: t.frames;
+  ok
+
+let pop t =
+  match t.frames with
+  | [] -> invalid_arg "Stn_inc.pop: empty stack"
+  | { saved; made_inconsistent; _ } :: rest ->
+      List.iter (fun (x, y, old) -> t.dist.(x).(y) <- old) saved;
+      if made_inconsistent then t.inconsistent <- false;
+      t.frames <- rest
+
+let depth t = List.length t.frames
+
+let solution t =
+  if t.inconsistent then None
+  else
+    (* One plain network at the success leaf is cheap and reuses the
+       well-tested extraction of [Stn]. *)
+    Stn.of_intervals
+      ~events:(Array.to_list t.events)
+      (List.map (fun f -> f.interval) t.frames)
+    |> Stn.solution

@@ -1,0 +1,40 @@
+(** Incremental simple temporal networks with backtracking.
+
+    {!Stn} recomputes an O(n^3) Floyd–Warshall closure from scratch; this
+    engine maintains the closure under single-constraint additions in
+    O(n^2) each and supports exact undo — the workhorse of the [Pruned]
+    depth-first consistency search (Algorithm 1 with prefix pruning), where
+    thousands of near-identical networks differ by a handful of binding
+    choices.
+
+    Standard incremental-closure argument: with the matrix a valid
+    shortest-path closure, a new arc (u,v,w) creates a negative cycle iff
+    [d(v,u) + w < 0]; otherwise any shortest path uses the new arc at most
+    once and [d'(x,y) = min(d(x,y), d(x,u) + w + d(v,y))] restores the
+    closure. *)
+
+type t
+
+val create : Events.Event.t list -> t
+(** Network over a fixed event universe (all events must be known up
+    front), initially unconstrained except for the implicit non-negative
+    domain. *)
+
+val consistent : t -> bool
+
+val push : t -> Condition.interval -> bool
+(** Add an interval condition; returns the consistency of the extended
+    network. Every push — including a failing one — must be matched by a
+    {!pop}. @raise Invalid_argument if the network is already inconsistent
+    (pop first) or the condition mentions an unknown event. *)
+
+val pop : t -> unit
+(** Undo the most recent {!push} exactly. @raise Invalid_argument if there
+    is nothing to undo. *)
+
+val depth : t -> int
+(** Number of pushes not yet popped. *)
+
+val solution : t -> Events.Tuple.t option
+(** A feasible non-negative assignment for the currently-pushed conditions
+    ([None] if inconsistent). *)

@@ -1,0 +1,1 @@
+test/gen.ml: Events Format List Option Pattern Printf QCheck QCheck_alcotest Random Tcn Whynot

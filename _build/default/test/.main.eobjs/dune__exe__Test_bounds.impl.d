@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Events Explain Format Gen Hashtbl List Pattern QCheck Random Tcn Whynot

@@ -1,0 +1,1 @@
+test/test_bulk.ml: Alcotest Cep Datagen Events Explain List Numeric Printf Whynot

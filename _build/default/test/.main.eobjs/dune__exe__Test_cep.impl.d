@@ -1,0 +1,1 @@
+test/test_cep.ml: Alcotest Cep Events Explain Gen List Option Pattern QCheck Whynot

@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Cep Datagen Events List Numeric Option Pattern Printf Result Whynot

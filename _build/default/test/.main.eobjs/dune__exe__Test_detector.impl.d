@@ -1,0 +1,1 @@
+test/test_detector.ml: Alcotest Cep Events Format Gen List Pattern QCheck Random Whynot

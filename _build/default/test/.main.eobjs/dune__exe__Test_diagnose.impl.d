@@ -1,0 +1,1 @@
+test/test_diagnose.ml: Alcotest Events Explain Format List Pattern String Whynot

@@ -1,0 +1,1 @@
+test/test_events.ml: Alcotest Csv_io Event List Option String Time Trace Tuple Whynot

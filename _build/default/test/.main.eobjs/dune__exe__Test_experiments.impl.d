@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Cep Datagen Experiments Explain List Numeric Option Whynot

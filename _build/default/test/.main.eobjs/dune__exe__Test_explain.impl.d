@@ -1,0 +1,1 @@
+test/test_explain.ml: Alcotest Datagen Events Explain Format Gen List Pattern QCheck Random Tcn Whynot

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Events Experiments List Pattern String Tcn Whynot

@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest Explain Gen List Pattern QCheck Whynot

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Gen List Lp Numeric QCheck Random Whynot

@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Checked Fun Gen Prng QCheck Random Rat Whynot

@@ -1,0 +1,1 @@
+test/test_pattern.ml: Alcotest Events Format Gen Pattern QCheck Result Whynot

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Events Explain Gen Pattern QCheck Whynot

@@ -1,0 +1,1 @@
+test/test_possible_worlds.ml: Alcotest Events Explain Gen Numeric Pattern QCheck Whynot

@@ -1,0 +1,1 @@
+test/test_process_sim.ml: Alcotest Cep Datagen Events List Numeric Pattern Result Whynot

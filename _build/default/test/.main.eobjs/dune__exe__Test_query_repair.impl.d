@@ -1,0 +1,1 @@
+test/test_query_repair.ml: Alcotest Events Explain Gen List Pattern QCheck Whynot

@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Array Events Explain Fun List Numeric Option Reduction Result Whynot

@@ -1,0 +1,1 @@
+test/test_repeat.ml: Alcotest Cep Events Explain List Pattern Result Whynot

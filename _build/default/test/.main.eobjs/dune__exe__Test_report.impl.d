@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Events Explain Gen List Option Pattern QCheck Report Result Whynot

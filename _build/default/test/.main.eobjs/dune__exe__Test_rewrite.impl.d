@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Events Gen Pattern QCheck Result Tcn Whynot

@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Cep Datagen Explain List Numeric Whynot

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Cep Events Gen List Pattern QCheck String Whynot

@@ -1,0 +1,1 @@
+test/test_stn_inc.ml: Alcotest Events Gen List QCheck Tcn Whynot

@@ -1,0 +1,1 @@
+test/test_topk.ml: Alcotest Events Explain Gen List Pattern QCheck Whynot

@@ -1,0 +1,1 @@
+test/test_weights.ml: Alcotest Events Explain Format Gen Hashtbl List Option Pattern QCheck Random Tcn Whynot

@@ -1,0 +1,1 @@
+test/test_where.ml: Alcotest Cep Events Explain Format List Option Pattern Result Whynot

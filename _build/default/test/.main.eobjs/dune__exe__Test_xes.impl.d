@@ -1,0 +1,1 @@
+test/test_xes.ml: Alcotest Filename Fun Gen List Option QCheck Result Sys Trace Tuple Whynot Xes

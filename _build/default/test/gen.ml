@@ -1,0 +1,110 @@
+(* QCheck generators shared by the property-based tests: random well-formed
+   patterns (unique events per pattern, valid windows), random tuples over
+   their events, and random interval-condition sets. *)
+
+open Whynot
+module Ast = Pattern.Ast
+module Tuple = Events.Tuple
+
+let event_name i = Printf.sprintf "E%d" i
+
+(* Build a random pattern consuming events from a pool so no event repeats
+   within the pattern (Definition 2 binds each event once). *)
+let rec build st pool depth =
+  let n = List.length pool in
+  if n = 0 then invalid_arg "Gen.build: empty pool";
+  if n = 1 || depth = 0 then
+    match pool with
+    | e :: rest -> (Ast.event e, rest)
+    | [] -> assert false
+  else begin
+    let arity = 2 + Random.State.int st (min 2 (n - 1)) in
+    let rec children k pool acc =
+      if k = 0 || pool = [] then (List.rev acc, pool)
+      else
+        let child, pool = build st pool (depth - 1) in
+        children (k - 1) pool (child :: acc)
+    in
+    let kids, pool = children arity pool [] in
+    let kids =
+      match kids with [] -> [ Ast.event "E_fallback" ] | ks -> ks
+    in
+    let atleast =
+      if Random.State.bool st then Some (Random.State.int st 40) else None
+    in
+    let within =
+      if Random.State.bool st then
+        Some (Option.value atleast ~default:0 + Random.State.int st 80)
+      else None
+    in
+    let w = { Ast.atleast; within } in
+    if Random.State.bool st then (Ast.Seq (kids, w), pool) else (Ast.And (kids, w), pool)
+  end
+
+let pattern_gen ?(max_events = 7) () : Ast.t QCheck.Gen.t =
+ fun st ->
+  let n = 1 + Random.State.int st max_events in
+  let pool = List.init n event_name in
+  let p, _ = build st pool 3 in
+  p
+
+let pattern ?max_events () =
+  QCheck.make
+    ~print:(fun p -> Ast.to_string p)
+    (pattern_gen ?max_events ())
+
+(* A pattern together with a uniform random tuple over exactly its events. *)
+let pattern_and_tuple_gen ?(horizon = 200) ?max_events () :
+    (Ast.t * Tuple.t) QCheck.Gen.t =
+ fun st ->
+  let p = pattern_gen ?max_events () st in
+  let t =
+    Events.Event.Set.fold
+      (fun e acc -> Tuple.add e (Random.State.int st (horizon + 1)) acc)
+      (Ast.events p) Tuple.empty
+  in
+  (p, t)
+
+let pattern_and_tuple ?horizon ?max_events () =
+  QCheck.make
+    ~print:(fun (p, t) -> Format.asprintf "%a over %a" Ast.pp p Tuple.pp t)
+    (pattern_and_tuple_gen ?horizon ?max_events ())
+
+(* Random interval-condition sets over a small event universe — may be
+   consistent or not, which is the point for consistency cross-checks. *)
+let intervals_gen ?(events = 5) ?(conditions = 6) () :
+    Tcn.Condition.interval list QCheck.Gen.t =
+ fun st ->
+  List.init conditions (fun _ ->
+      let pick () = event_name (Random.State.int st events) in
+      let src = pick () in
+      let dst = ref (pick ()) in
+      while !dst = src do
+        dst := pick ()
+      done;
+      let lo = Random.State.int st 60 - 20 in
+      let hi =
+        if Random.State.bool st then Some (lo + Random.State.int st 50) else None
+      in
+      { Tcn.Condition.src; dst = !dst; lo; hi })
+
+let intervals ?events ?conditions () =
+  QCheck.make
+    ~print:(fun phis ->
+      Format.asprintf "[%a]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+           Tcn.Condition.pp_interval)
+        phis)
+    (intervals_gen ?events ?conditions ())
+
+let tuple_over events ~horizon : Tuple.t QCheck.Gen.t =
+ fun st ->
+  List.fold_left
+    (fun acc e -> Tuple.add e (Random.State.int st (horizon + 1)) acc)
+    Tuple.empty events
+
+(* Deterministic registration of QCheck properties: a fixed seed makes every
+   `dune runtest` reproduce the same cases (counterexamples found during
+   development are pinned as regression tests where they matter). *)
+let qt test = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20210620 |]) test

@@ -1,0 +1,109 @@
+(* Plausibility bounds: per-event caps on how far a repair may move. *)
+
+open Whynot
+module Modification = Explain.Modification
+module Tuple = Events.Tuple
+module Condition = Tcn.Condition
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Pattern.Parse.pattern_exn
+
+let bounds_of alist e = List.assoc_opt e alist
+
+let test_bounds_redirect_the_repair () =
+  (* B - A >= 10 needs a 5-minute move; capping B at 2 forces most of it
+     onto A. *)
+  let q = p "SEQ(A, B) ATLEAST 10" in
+  let t = Tuple.of_list [ ("A", 20); ("B", 25) ] in
+  match Modification.explain ~bounds:(bounds_of [ ("B", 2) ]) [ q ] t with
+  | Some { repaired; cost; _ } ->
+      check_int "still minimal" 5 cost;
+      check_bool "B moved at most 2" true (abs (Tuple.find repaired "B" - 25) <= 2);
+      check_bool "matches" true (Pattern.Matcher.matches repaired q)
+  | None -> Alcotest.fail "expected repair"
+
+let test_bounds_make_repair_infeasible () =
+  let q = p "SEQ(A, B) ATLEAST 100" in
+  let t = Tuple.of_list [ ("A", 50); ("B", 60) ] in
+  check_bool "tight bounds: no explanation" true
+    (Modification.explain ~bounds:(fun _ -> Some 10) [ q ] t = None);
+  check_bool "loose bounds: explanation exists" true
+    (Modification.explain ~bounds:(fun _ -> Some 100) [ q ] t <> None)
+
+let test_zero_bound_pins_event () =
+  let q = p "SEQ(A, B) ATLEAST 10" in
+  let t = Tuple.of_list [ ("A", 20); ("B", 25) ] in
+  match Modification.explain ~bounds:(bounds_of [ ("A", 0) ]) [ q ] t with
+  | Some { repaired; _ } ->
+      check_int "A pinned" 20 (Tuple.find repaired "A");
+      check_int "B does all the work" 30 (Tuple.find repaired "B")
+  | None -> Alcotest.fail "expected repair"
+
+let test_negative_bound_rejected () =
+  let q = p "SEQ(A, B) ATLEAST 10" in
+  let t = Tuple.of_list [ ("A", 20); ("B", 25) ] in
+  check_bool "raises" true
+    (try ignore (Modification.explain ~bounds:(fun _ -> Some (-3)) [ q ] t); false
+     with Invalid_argument _ -> true)
+
+let arb =
+  QCheck.make
+    ~print:(fun ((phis : Condition.interval list), seed) ->
+      Format.asprintf "seed %d over %d conditions" seed (List.length phis))
+    (QCheck.Gen.pair (Gen.intervals_gen ()) (QCheck.Gen.int_bound 10_000))
+
+let bound_fun seed e =
+  match Hashtbl.hash (seed, e, "b") land 3 with
+  | 0 -> None
+  | k -> Some (10 * k)
+
+let prop_bounded_lp_equals_flow =
+  QCheck.Test.make ~name:"bounded repair: flow optimum = LP optimum" ~count:300 arb
+    (fun (phis, seed) ->
+      let events = Events.Event.Set.elements (Condition.interval_events phis) in
+      let st = Random.State.make [| seed |] in
+      let t = Gen.tuple_over events ~horizon:120 st in
+      let bounds = bound_fun seed in
+      match
+        ( Explain.Lp_repair.repair ~bounds t phis,
+          Explain.Flow_repair.repair ~bounds t phis )
+      with
+      | None, None -> true
+      | Some a, Some b ->
+          a.cost = b.cost
+          && Condition.intervals_hold b.repaired phis
+          && List.for_all
+               (fun e ->
+                 match bounds e with
+                 | Some r ->
+                     abs (Events.Tuple.find b.repaired e - Events.Tuple.find t e) <= r
+                 | None -> true)
+               events
+      | _ -> false)
+
+let prop_bounds_never_cheaper =
+  QCheck.Test.make ~name:"bounded optimum >= unbounded optimum" ~count:200 arb
+    (fun (phis, seed) ->
+      let events = Events.Event.Set.elements (Condition.interval_events phis) in
+      let st = Random.State.make [| seed |] in
+      let t = Gen.tuple_over events ~horizon:120 st in
+      match
+        ( Explain.Lp_repair.repair t phis,
+          Explain.Lp_repair.repair ~bounds:(bound_fun seed) t phis )
+      with
+      | None, None | Some _, None -> true
+      | Some unbounded, Some bounded -> bounded.cost >= unbounded.cost
+      | None, Some _ -> false (* bounds can only shrink the feasible set *))
+
+let suite =
+  ( "bounds",
+    [
+      Alcotest.test_case "bounds redirect the repair" `Quick test_bounds_redirect_the_repair;
+      Alcotest.test_case "too-tight bounds: infeasible" `Quick
+        test_bounds_make_repair_infeasible;
+      Alcotest.test_case "zero bound pins an event" `Quick test_zero_bound_pins_event;
+      Alcotest.test_case "negative bound rejected" `Quick test_negative_bound_rejected;
+      Gen.qt prop_bounded_lp_equals_flow;
+      Gen.qt prop_bounds_never_cheaper;
+    ] )

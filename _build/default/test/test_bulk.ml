@@ -1,0 +1,74 @@
+open Whynot
+module Bulk = Cep.Bulk
+module Query = Cep.Query
+module Trace = Events.Trace
+module Tuple = Events.Tuple
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let traces_equal a b =
+  List.length (Trace.bindings a) = List.length (Trace.bindings b)
+  && List.for_all2
+       (fun (i1, t1) (i2, t2) -> i1 = i2 && Tuple.equal t1 t2)
+       (Trace.bindings a) (Trace.bindings b)
+
+let make_workload seed tuples =
+  let prng = Numeric.Prng.create seed in
+  let clean = Datagen.Rtfm.generate prng ~tuples in
+  let observed = Datagen.Faults.trace prng ~rate:0.2 ~distance:300 clean in
+  (Datagen.Rtfm.patterns, observed)
+
+let test_matches_sequential () =
+  let patterns, observed = make_workload 21 40 in
+  let sequential = Query.explain_trace ~strategy:Explain.Modification.Single patterns observed in
+  List.iter
+    (fun domains ->
+      let parallel =
+        Bulk.explain_trace ~domains ~strategy:Explain.Modification.Single patterns
+          observed
+      in
+      check_bool
+        (Printf.sprintf "parallel(%d) = sequential" domains)
+        true
+        (traces_equal sequential parallel))
+    [ 1; 2; 4 ]
+
+let test_budget_respected () =
+  let patterns, observed = make_workload 22 30 in
+  let sequential = Query.explain_trace ~max_cost:100 patterns observed in
+  let parallel = Bulk.explain_trace ~domains:3 ~max_cost:100 patterns observed in
+  check_bool "budgeted results equal" true (traces_equal sequential parallel)
+
+let test_map_tuples_order_and_coverage () =
+  let trace =
+    Trace.of_list (List.init 17 (fun i -> (Printf.sprintf "t%02d" i, Tuple.of_list [ ("A", i) ])))
+  in
+  let results = Bulk.map_tuples ~domains:4 (fun _id t -> Tuple.find t "A" * 2) trace in
+  check_int "all covered" 17 (List.length results);
+  List.iteri
+    (fun i (id, v) ->
+      check_bool "order preserved" true (id = Printf.sprintf "t%02d" i && v = 2 * i))
+    results
+
+let test_single_domain_and_empty () =
+  let trace = Trace.empty in
+  check_int "empty trace" 0 (List.length (Bulk.map_tuples ~domains:4 (fun _ _ -> ()) trace));
+  check_bool "domains=0 rejected" true
+    (try ignore (Bulk.map_tuples ~domains:0 (fun _ _ -> ()) (Trace.of_list [ ("a", Tuple.empty); ("b", Tuple.empty) ])); false
+     with Invalid_argument _ -> true)
+
+let test_more_domains_than_tuples () =
+  let trace = Trace.of_list [ ("a", Tuple.of_list [ ("A", 1) ]); ("b", Tuple.of_list [ ("A", 2) ]) ] in
+  let r = Bulk.map_tuples ~domains:16 (fun _ t -> Tuple.find t "A") trace in
+  check_int "both processed" 2 (List.length r)
+
+let suite =
+  ( "bulk",
+    [
+      Alcotest.test_case "parallel = sequential" `Slow test_matches_sequential;
+      Alcotest.test_case "budget respected" `Slow test_budget_respected;
+      Alcotest.test_case "map order and coverage" `Quick test_map_tuples_order_and_coverage;
+      Alcotest.test_case "edge cases" `Quick test_single_domain_and_empty;
+      Alcotest.test_case "more domains than tuples" `Quick test_more_domains_than_tuples;
+    ] )

@@ -1,0 +1,107 @@
+open Whynot
+module Tuple = Events.Tuple
+module Trace = Events.Trace
+module Query = Cep.Query
+module Stream = Cep.Stream
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Pattern.Parse.pattern_exn
+
+let query = [ p "SEQ(E1, E2) ATLEAST 10 WITHIN 20" ]
+
+let good = Tuple.of_list [ ("E1", 0); ("E2", 15) ]
+let bad = Tuple.of_list [ ("E1", 0); ("E2", 50) ]
+
+let trace =
+  Trace.of_list [ ("a", good); ("b", bad); ("c", Tuple.of_list [ ("E1", 5); ("E2", 16) ]) ]
+
+let test_answers () =
+  Alcotest.(check (list string)) "answers" [ "a"; "c" ] (Query.answers query trace);
+  Alcotest.(check (list string)) "non-answers" [ "b" ] (Query.non_answers query trace)
+
+let test_accuracy () =
+  let a = Query.accuracy ~truth:[ "a"; "b"; "c" ] ~found:[ "a"; "b"; "d" ] in
+  check_bool "precision 2/3" true (abs_float (a.precision -. (2. /. 3.)) < 1e-9);
+  check_bool "recall 2/3" true (abs_float (a.recall -. (2. /. 3.)) < 1e-9);
+  check_bool "f" true (abs_float (a.f_measure -. (2. /. 3.)) < 1e-9);
+  let perfect = Query.accuracy ~truth:[ "a" ] ~found:[ "a" ] in
+  check_bool "perfect" true (perfect.f_measure = 1.0);
+  let none = Query.accuracy ~truth:[ "a" ] ~found:[] in
+  check_bool "empty found precision 1" true (none.precision = 1.0);
+  check_bool "empty found recall 0" true (none.recall = 0.0);
+  check_bool "zero f" true (none.f_measure = 0.0)
+
+let test_explain_trace () =
+  let repaired = Query.explain_trace query trace in
+  check_int "all repaired" 0 (List.length (Query.non_answers query repaired));
+  (* answers pass through untouched *)
+  check_bool "answer unchanged" true
+    (Tuple.equal (Option.get (Trace.find_opt repaired "a")) good)
+
+let test_explain_trace_budget () =
+  (* b needs cost 30 to reach within-20; a budget below that leaves it. *)
+  let repaired = Query.explain_trace ~max_cost:10 query trace in
+  Alcotest.(check (list string)) "over-budget kept as non-answer" [ "b" ]
+    (Query.non_answers query repaired)
+
+let test_stream_matched () =
+  let engine = Stream.create query in
+  check_bool "first event pending" true
+    (Stream.feed engine ~key:"k" "E1" 0 = Stream.Pending);
+  match Stream.feed engine ~key:"k" "E2" 15 with
+  | Stream.Matched t -> check_int "tuple complete" 2 (Tuple.cardinal t)
+  | _ -> Alcotest.fail "expected Matched"
+
+let test_stream_failed_with_explanation () =
+  let engine = Stream.create ~explain:true query in
+  ignore (Stream.feed engine ~key:"k" "E1" 0);
+  match Stream.feed engine ~key:"k" "E2" 50 with
+  | Stream.Failed { failure = Pattern.Matcher.Window_violation _; explanation; _ } -> (
+      match explanation with
+      | Some e ->
+          check_int "explanation cost" 30 e.Explain.Modification.cost;
+          check_bool "explanation matches" true
+            (Pattern.Matcher.matches_set e.repaired query)
+      | None -> Alcotest.fail "expected explanation")
+  | _ -> Alcotest.fail "expected Failed with window violation"
+
+let test_stream_misc () =
+  let engine = Stream.create query in
+  check_bool "irrelevant event ignored" true
+    (Stream.feed engine ~key:"k" "Other" 3 = Stream.Pending);
+  check_bool "current empty for unseen key" true
+    (Tuple.is_empty (Stream.current engine ~key:"zzz"));
+  ignore (Stream.feed engine ~key:"k1" "E1" 0);
+  ignore (Stream.feed engine ~key:"k1" "E2" 15);
+  ignore (Stream.feed engine ~key:"k2" "E1" 0);
+  check_int "one finished key" 1 (List.length (Stream.finished engine));
+  (* latest timestamp wins and re-evaluates *)
+  (match Stream.feed engine ~key:"k1" "E2" 100 with
+  | Stream.Failed _ -> ()
+  | _ -> Alcotest.fail "expected Failed after overwrite");
+  check_bool "required events" true
+    (Events.Event.Set.equal (Stream.required_events engine)
+       (Events.Event.Set.of_list [ "E1"; "E2" ]))
+
+let prop_answers_partition =
+  QCheck.Test.make ~name:"answers and non-answers partition the trace" ~count:100
+    (Gen.pattern_and_tuple ()) (fun (pat, t) ->
+      let trace = Trace.of_list [ ("x", t) ] in
+      let a = Query.answers [ pat ] trace and n = Query.non_answers [ pat ] trace in
+      List.length a + List.length n = 1
+      && (a = [ "x" ]) = Pattern.Matcher.matches t pat)
+
+let suite =
+  ( "cep",
+    [
+      Alcotest.test_case "answers / non-answers" `Quick test_answers;
+      Alcotest.test_case "accuracy metrics" `Quick test_accuracy;
+      Alcotest.test_case "explain_trace repairs all" `Quick test_explain_trace;
+      Alcotest.test_case "explain_trace cost budget" `Quick test_explain_trace_budget;
+      Alcotest.test_case "stream matched" `Quick test_stream_matched;
+      Alcotest.test_case "stream failed + explanation" `Quick
+        test_stream_failed_with_explanation;
+      Alcotest.test_case "stream bookkeeping" `Quick test_stream_misc;
+      Gen.qt prop_answers_partition;
+    ] )

@@ -1,0 +1,186 @@
+open Whynot
+module Tuple = Events.Tuple
+module Trace = Events.Trace
+module Prng = Numeric.Prng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Metrics --- *)
+
+let test_rmse_nrmse () =
+  let truth = Tuple.of_list [ ("A", 10); ("B", 20) ] in
+  let repaired = Tuple.of_list [ ("A", 13); ("B", 16) ] in
+  check_float "rmse" (sqrt ((9.0 +. 16.0) /. 2.0)) (Datagen.Metrics.rmse ~truth ~repaired);
+  check_float "nrmse normalises by mean truth"
+    (sqrt (12.5) /. 15.0)
+    (Datagen.Metrics.nrmse ~truth ~repaired);
+  check_float "identical tuples" 0.0 (Datagen.Metrics.rmse ~truth ~repaired:truth);
+  check_float "empty" 0.0 (Datagen.Metrics.rmse ~truth:Tuple.empty ~repaired)
+
+let test_metrics_mean () =
+  check_float "mean" 2.0 (Datagen.Metrics.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "mean empty" 0.0 (Datagen.Metrics.mean [])
+
+let test_trace_metrics () =
+  let truth =
+    Trace.of_list
+      [ ("a", Tuple.of_list [ ("A", 10) ]); ("b", Tuple.of_list [ ("A", 20) ]) ]
+  in
+  let repaired =
+    Trace.of_list
+      [ ("a", Tuple.of_list [ ("A", 13) ]); ("b", Tuple.of_list [ ("A", 24) ]) ]
+  in
+  check_float "trace rmse = mean of per-tuple" 3.5
+    (Datagen.Metrics.trace_rmse ~truth ~repaired)
+
+(* --- Faults --- *)
+
+let test_faults_rate_zero_and_one () =
+  let prng = Prng.create 1 in
+  let t = Tuple.of_list (List.init 20 (fun i -> (Printf.sprintf "E%d" i, 1000))) in
+  check_bool "rate 0 unchanged" true
+    (Tuple.equal t (Datagen.Faults.tuple prng ~rate:0.0 ~distance:100 t));
+  let faulted = Datagen.Faults.tuple prng ~rate:1.0 ~distance:100 t in
+  check_bool "rate 1 changes everything" true
+    (Tuple.fold (fun e ts acc -> acc && ts <> Tuple.find t e) faulted true)
+
+let test_faults_bounded () =
+  let prng = Prng.create 2 in
+  let t = Tuple.of_list (List.init 50 (fun i -> (Printf.sprintf "E%d" i, 500))) in
+  let faulted = Datagen.Faults.tuple prng ~rate:1.0 ~distance:30 t in
+  Tuple.fold
+    (fun e ts () ->
+      let d = abs (ts - Tuple.find t e) in
+      check_bool "within distance" true (d >= 1 && d <= 30))
+    faulted ();
+  (* never negative even near zero *)
+  let near_zero = Tuple.of_list [ ("A", 1) ] in
+  for seed = 0 to 30 do
+    let f = Datagen.Faults.tuple (Prng.create seed) ~rate:1.0 ~distance:50 near_zero in
+    check_bool "clamped at 0" true (Tuple.find f "A" >= 0)
+  done
+
+let test_faults_rate_statistics () =
+  let prng = Prng.create 3 in
+  let t = Tuple.of_list (List.init 2000 (fun i -> (Printf.sprintf "E%d" i, 10_000))) in
+  let faulted = Datagen.Faults.tuple prng ~rate:0.3 ~distance:5 t in
+  let changed =
+    Tuple.fold (fun e ts acc -> if ts <> Tuple.find t e then acc + 1 else acc) faulted 0
+  in
+  check_bool "about 30% faulted" true (changed > 480 && changed < 720)
+
+(* --- Workloads --- *)
+
+let test_random_matching_tuple () =
+  let prng = Prng.create 4 in
+  let patterns =
+    [ Pattern.Parse.pattern_exn "SEQ(AND(E1, E3) WITHIN 30, AND(E2, E4) WITHIN 30) ATLEAST 120" ]
+  in
+  for _ = 1 to 20 do
+    let t = Datagen.Workloads.random_matching_tuple prng patterns in
+    check_bool "matches" true (Pattern.Matcher.matches_set t patterns);
+    check_int "only real events" 4 (Tuple.cardinal t)
+  done
+
+let test_random_matching_tuple_inconsistent () =
+  let patterns =
+    [ Pattern.Parse.pattern_exn "SEQ(AND(E1, E3) ATLEAST 30, AND(E2, E4) ATLEAST 30) WITHIN 45" ]
+  in
+  check_bool "raises on inconsistent" true
+    (try
+       ignore (Datagen.Workloads.random_matching_tuple (Prng.create 0) patterns);
+       false
+     with Invalid_argument _ -> true)
+
+let test_matching_trace () =
+  let prng = Prng.create 5 in
+  let patterns = [ Pattern.Parse.pattern_exn "SEQ(E1, E2) ATLEAST 5 WITHIN 50" ] in
+  let trace = Datagen.Workloads.matching_trace prng patterns ~tuples:25 in
+  check_int "tuple count" 25 (Trace.cardinal trace);
+  check_int "all match" 25 (List.length (Cep.Query.answers patterns trace));
+  (* variety: not all tuples identical *)
+  let distinct =
+    Trace.fold (fun _ t acc -> Tuple.find t "E1" :: acc) trace []
+    |> List.sort_uniq compare |> List.length
+  in
+  check_bool "timestamps vary" true (distinct > 5)
+
+let test_fig4_structure () =
+  let ps = Datagen.Workloads.fig4_pattern_set ~n:3 ~b:2 in
+  check_int "1 AND + 3 anchors" 4 (List.length ps);
+  check_int "12 events" 12
+    (Events.Event.Set.cardinal (Pattern.Ast.events_of_set ps));
+  check_bool "valid" true (Result.is_ok (Pattern.Ast.validate_set ps))
+
+let test_fig10_fig11_structure () =
+  let p10 = Datagen.Workloads.fig10_pattern ~n:8 in
+  check_bool "fig10 general" true (Pattern.Ast.classify p10 = Pattern.Ast.General);
+  check_int "fig10 events" 8 (Events.Event.Set.cardinal (Pattern.Ast.events p10));
+  let p11 = Datagen.Workloads.fig11_pattern ~n:6 in
+  check_bool "fig11 no seq in and" true
+    (Pattern.Ast.classify p11 = Pattern.Ast.And_no_seq_inside);
+  check_int "fig11 events" 6 (Events.Event.Set.cardinal (Pattern.Ast.events p11));
+  check_bool "fig10 rejects small n" true
+    (try ignore (Datagen.Workloads.fig10_pattern ~n:3); false
+     with Invalid_argument _ -> true)
+
+(* --- Flight --- *)
+
+let test_flight_generator () =
+  let prng = Prng.create 6 in
+  let { Datagen.Flight.pattern; truth; observed } =
+    Datagen.Flight.generate prng ~num_events:6 ~days:20
+  in
+  check_int "days" 20 (Trace.cardinal truth);
+  check_int "all truth tuples match" 20
+    (List.length (Cep.Query.answers [ pattern ] truth));
+  (* observed deviates from truth somewhere across the month *)
+  let deviations =
+    List.fold_left
+      (fun acc (id, t_truth) ->
+        let t_obs = Option.get (Trace.find_opt observed id) in
+        acc + Tuple.delta t_truth t_obs)
+      0 (Trace.bindings truth)
+  in
+  check_bool "imprecision present" true (deviations > 0);
+  check_bool "rejects odd num_events" true
+    (try ignore (Datagen.Flight.generate prng ~num_events:5 ~days:1); false
+     with Invalid_argument _ -> true)
+
+(* --- RTFM --- *)
+
+let test_rtfm_generator () =
+  let prng = Prng.create 7 in
+  let trace = Datagen.Rtfm.generate prng ~tuples:30 in
+  check_int "tuples" 30 (Trace.cardinal trace);
+  check_int "all clean tuples match the extracted patterns" 30
+    (List.length (Cep.Query.answers Datagen.Rtfm.patterns trace));
+  Trace.fold
+    (fun _ t () ->
+      List.iter
+        (fun a -> check_bool "activity present" true (Tuple.mem a t))
+        Datagen.Rtfm.activities)
+    trace ();
+  check_bool "patterns valid" true
+    (Result.is_ok (Pattern.Ast.validate_set Datagen.Rtfm.patterns))
+
+let suite =
+  ( "datagen",
+    [
+      Alcotest.test_case "rmse / nrmse" `Quick test_rmse_nrmse;
+      Alcotest.test_case "mean" `Quick test_metrics_mean;
+      Alcotest.test_case "trace metrics" `Quick test_trace_metrics;
+      Alcotest.test_case "faults rate 0 / 1" `Quick test_faults_rate_zero_and_one;
+      Alcotest.test_case "faults bounded and clamped" `Quick test_faults_bounded;
+      Alcotest.test_case "faults rate statistics" `Quick test_faults_rate_statistics;
+      Alcotest.test_case "random matching tuple" `Quick test_random_matching_tuple;
+      Alcotest.test_case "matching tuple: inconsistent raises" `Quick
+        test_random_matching_tuple_inconsistent;
+      Alcotest.test_case "matching trace" `Quick test_matching_trace;
+      Alcotest.test_case "fig4 workload structure" `Quick test_fig4_structure;
+      Alcotest.test_case "fig10/fig11 workload structure" `Quick test_fig10_fig11_structure;
+      Alcotest.test_case "flight generator" `Quick test_flight_generator;
+      Alcotest.test_case "rtfm generator" `Quick test_rtfm_generator;
+    ] )

@@ -1,0 +1,191 @@
+open Whynot
+module Detector = Cep.Detector
+module Tuple = Events.Tuple
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Pattern.Parse.pattern_exn
+
+let inst event timestamp tag = { Detector.event; timestamp; tag }
+
+let test_simple_seq_match () =
+  let d = Detector.create [ p "SEQ(A, B) ATLEAST 2 WITHIN 10" ] in
+  let m1 = Detector.feed d (inst "A" 0 "a0") in
+  check_int "no match yet" 0 (List.length m1);
+  let m2 = Detector.feed d (inst "B" 5 "b0") in
+  check_int "one match" 1 (List.length m2);
+  let m = List.hd m2 in
+  check_int "tuple A" 0 (Tuple.find m.Detector.tuple "A");
+  check_int "tuple B" 5 (Tuple.find m.Detector.tuple "B");
+  check_bool "tags recorded" true
+    (List.sort compare m.Detector.tags = [ ("A", "a0"); ("B", "b0") ])
+
+let test_all_combinations () =
+  (* two As then two Bs in window: 4 matches *)
+  let d = Detector.create [ p "SEQ(A, B) WITHIN 100" ] in
+  let matches =
+    Detector.feed_all d
+      [ inst "A" 0 "a0"; inst "A" 1 "a1"; inst "B" 2 "b0"; inst "B" 3 "b1" ]
+  in
+  check_int "four combinations" 4 (List.length matches)
+
+let test_window_pruning () =
+  let d = Detector.create [ p "SEQ(A, B) WITHIN 10" ] in
+  ignore (Detector.feed d (inst "A" 0 "a0"));
+  check_int "one partial" 1 (Detector.partial_count d);
+  (* B arrives too late for a0 *)
+  let m = Detector.feed d (inst "B" 50 "b0") in
+  check_int "no match" 0 (List.length m);
+  (* the expired A partial is gone; only the fresh B partial remains *)
+  check_int "expired partial evicted" 1 (Detector.partial_count d)
+
+let test_infeasible_prefix_pruned () =
+  (* In SEQ(A, B), a B-then-A pair is infeasible; the A instance cannot
+     extend the B partial (it would need A after B). *)
+  let d = Detector.create [ p "SEQ(A, B) WITHIN 10" ] in
+  ignore (Detector.feed d (inst "B" 0 "b0"));
+  let m = Detector.feed d (inst "A" 5 "a0") in
+  check_int "no match for reversed order" 0 (List.length m);
+  (* partials: fresh B, fresh A; the B+A combination was rejected *)
+  check_int "two singleton partials" 2 (Detector.partial_count d)
+
+let test_and_any_order () =
+  let d = Detector.create [ p "AND(A, B) WITHIN 10" ] in
+  let m = Detector.feed_all d [ inst "B" 3 "b"; inst "A" 5 "a" ] in
+  check_int "AND matches in any order" 1 (List.length m)
+
+let test_irrelevant_events_ignored () =
+  let d = Detector.create [ p "SEQ(A, B) WITHIN 10" ] in
+  let m = Detector.feed_all d [ inst "X" 0 "x"; inst "A" 1 "a"; inst "Y" 2 "y" ] in
+  check_int "no match" 0 (List.length m);
+  check_int "X/Y created no partials" 1 (Detector.partial_count d)
+
+let test_out_of_order_feed_rejected () =
+  let d = Detector.create [ p "SEQ(A, B) WITHIN 10" ] in
+  ignore (Detector.feed d (inst "A" 10 "a"));
+  check_bool "decreasing timestamp raises" true
+    (try ignore (Detector.feed d (inst "B" 5 "b")); false
+     with Invalid_argument _ -> true)
+
+let test_capacity_bound () =
+  let d = Detector.create ~max_partials:3 [ p "SEQ(A, B) WITHIN 1000" ] in
+  for i = 0 to 9 do
+    ignore (Detector.feed d (inst "A" i (string_of_int i)))
+  done;
+  check_int "capped" 3 (Detector.partial_count d);
+  check_int "evictions counted" 7 (Detector.dropped d)
+
+let test_create_validation () =
+  check_bool "needs horizon" true
+    (try ignore (Detector.create [ p "SEQ(A, B)" ]); false
+     with Invalid_argument _ -> true);
+  check_bool "explicit horizon ok" true
+    (ignore (Detector.create ~horizon:50 [ p "SEQ(A, B)" ]); true);
+  check_bool "inconsistent query rejected" true
+    (try
+       ignore (Detector.create [ p "SEQ(SEQ(A, B) ATLEAST 5, C) WITHIN 2" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_paper_pattern_stream () =
+  (* p0 over a stream containing exactly one valid transfer combination. *)
+  let q = p "SEQ(AND(E1, E3) WITHIN 30, AND(E2, E4) WITHIN 30) ATLEAST 120" in
+  (* the root carries no WITHIN, so the stream horizon is explicit: look for
+     transfers overlapping within a 4-hour span *)
+  let d = Detector.create ~horizon:240 [ q ] in
+  let matches =
+    Detector.feed_all d
+      [
+        inst "E1" 1028 "ua104";
+        inst "E3" 1045 "dl22";
+        inst "E2" 1138 "aa514";
+        inst "E4" 1153 "co193";
+      ]
+  in
+  check_int "one match" 1 (List.length matches);
+  check_bool "emitted tuple matches the query" true
+    (Pattern.Matcher.matches (List.hd matches).Detector.tuple q)
+
+(* Exhaustiveness against a reference: generate a random short stream,
+   compare against checking all instance combinations with the matcher. *)
+let detector_stream_gen : (Pattern.Ast.t * Detector.instance list) QCheck.Gen.t =
+ fun st ->
+  let pattern =
+    (* small SEQ/AND over 2-3 events with a root window *)
+    let open Pattern.Ast in
+    let events = [ "A"; "B"; "C" ] in
+    let k = 2 + Random.State.int st 2 in
+    let evs = List.filteri (fun i _ -> i < k) events in
+    let children = List.map event evs in
+    if Random.State.bool st then seq ~within:(5 + Random.State.int st 20) children
+    else and_ ~within:(5 + Random.State.int st 20) children
+  in
+  let len = 4 + Random.State.int st 6 in
+  let stream =
+    List.init len (fun i ->
+        let event = List.nth [ "A"; "B"; "C" ] (Random.State.int st 3) in
+        { Detector.event; timestamp = i * (1 + Random.State.int st 4);
+          tag = string_of_int i })
+  in
+  let stream =
+    List.sort (fun a b -> compare a.Detector.timestamp b.Detector.timestamp) stream
+  in
+  (pattern, stream)
+
+let reference_matches pattern stream =
+  let events = Events.Event.Set.elements (Pattern.Ast.events pattern) in
+  (* all ways to pick one instance per event *)
+  let rec assignments = function
+    | [] -> [ [] ]
+    | e :: rest ->
+        let tails = assignments rest in
+        List.concat_map
+          (fun i ->
+            if i.Detector.event = e then List.map (fun tl -> (e, i) :: tl) tails
+            else [])
+          stream
+  in
+  assignments events
+  |> List.filter_map (fun choice ->
+         let tuple =
+           List.fold_left
+             (fun acc (e, i) -> Tuple.add e i.Detector.timestamp acc)
+             Tuple.empty choice
+         in
+         if Pattern.Matcher.matches tuple pattern then
+           Some (List.sort compare (List.map (fun (e, i) -> (e, i.Detector.tag)) choice))
+         else None)
+  |> List.sort_uniq compare
+
+let prop_exhaustive =
+  QCheck.Test.make ~name:"detector finds exactly the matcher's combinations"
+    ~count:150
+    (QCheck.make
+       ~print:(fun (pat, stream) ->
+         Format.asprintf "%a over %d instances" Pattern.Ast.pp pat
+           (List.length stream))
+       detector_stream_gen)
+    (fun (pattern, stream) ->
+      let d = Detector.create [ pattern ] in
+      let found =
+        Detector.feed_all d stream
+        |> List.map (fun m -> List.sort compare m.Detector.tags)
+        |> List.sort_uniq compare
+      in
+      Detector.dropped d = 0 && found = reference_matches pattern stream)
+
+let suite =
+  ( "detector",
+    [
+      Alcotest.test_case "simple SEQ match" `Quick test_simple_seq_match;
+      Alcotest.test_case "all combinations found" `Quick test_all_combinations;
+      Alcotest.test_case "window pruning" `Quick test_window_pruning;
+      Alcotest.test_case "infeasible prefix pruned" `Quick test_infeasible_prefix_pruned;
+      Alcotest.test_case "AND any order" `Quick test_and_any_order;
+      Alcotest.test_case "irrelevant events ignored" `Quick test_irrelevant_events_ignored;
+      Alcotest.test_case "out-of-order feed rejected" `Quick test_out_of_order_feed_rejected;
+      Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
+      Alcotest.test_case "create validation" `Quick test_create_validation;
+      Alcotest.test_case "paper pattern over a stream" `Quick test_paper_pattern_stream;
+      Gen.qt prop_exhaustive;
+    ] )

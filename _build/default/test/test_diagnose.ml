@@ -1,0 +1,91 @@
+open Whynot
+module Diagnose = Explain.Diagnose
+module Tuple = Events.Tuple
+module Trace = Events.Trace
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Pattern.Parse.pattern_exn
+
+let query = [ p "SEQ(A, B) ATLEAST 10 WITHIN 20" ]
+
+let trace =
+  Trace.of_list
+    [
+      ("ok1", Tuple.of_list [ ("A", 0); ("B", 15) ]);
+      ("ok2", Tuple.of_list [ ("A", 5); ("B", 16) ]);
+      ("win1", Tuple.of_list [ ("A", 0); ("B", 100) ]) (* window: cost 80 *);
+      ("win2", Tuple.of_list [ ("A", 0); ("B", 3) ]) (* window: cost 7 *);
+      ("ord", Tuple.of_list [ ("A", 50); ("B", 10) ]) (* B before A *);
+      ("mis", Tuple.of_list [ ("A", 0) ]) (* B absent *);
+    ]
+
+let report = Diagnose.run query trace
+
+let test_counts () =
+  check_int "total" 6 report.total;
+  check_int "answers" 2 report.answers
+
+let test_missing () =
+  match report.missing_events with
+  | [ { description; tuples } ] ->
+      check_bool "event B" true (description = "B");
+      check_bool "tuple mis" true (tuples = [ "mis" ])
+  | _ -> Alcotest.fail "expected one missing-event class"
+
+let test_order () =
+  match report.order_violations with
+  | [ { tuples; _ } ] -> check_bool "tuple ord" true (tuples = [ "ord" ])
+  | _ -> Alcotest.fail "expected one order class"
+
+let test_window () =
+  match report.window_violations with
+  | [ { tuples; description } ] ->
+      check_bool "both window tuples" true
+        (List.sort compare tuples = [ "win1"; "win2" ]);
+      check_bool "names the violated node" true
+        (description = "SEQ(A, B) ATLEAST 10 WITHIN 20")
+  | _ -> Alcotest.fail "expected one window class"
+
+let test_costs () =
+  (* win1 needs 80, win2 needs 7, ord needs 50, mis has
+     no repair (missing event). *)
+  check_int "three repairable non-answers" 3 (List.length report.repair_costs);
+  check_bool "win1 cost 80" true (List.assoc "win1" report.repair_costs = 80);
+  check_bool "win2 cost 7" true (List.assoc "win2" report.repair_costs = 7);
+  check_bool "median is the middle cost" true
+    (report.median_repair_cost = Some (List.assoc "ord" report.repair_costs))
+
+let test_without_costs () =
+  let r = Diagnose.run ~with_costs:false query trace in
+  check_int "no costs computed" 0 (List.length r.repair_costs);
+  check_bool "no median" true (r.median_repair_cost = None)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_pp_renders () =
+  let s = Format.asprintf "%a" Diagnose.pp report in
+  check_bool "mentions totals" true (contains s "2/6");
+  check_bool "mentions median" true (contains s "median")
+
+let test_empty_trace () =
+  let r = Diagnose.run query Trace.empty in
+  check_int "empty" 0 r.total;
+  check_bool "no classes" true
+    (r.missing_events = [] && r.order_violations = [] && r.window_violations = [])
+
+let suite =
+  ( "diagnose",
+    [
+      Alcotest.test_case "counts" `Quick test_counts;
+      Alcotest.test_case "missing events class" `Quick test_missing;
+      Alcotest.test_case "order violation class" `Quick test_order;
+      Alcotest.test_case "window violation class" `Quick test_window;
+      Alcotest.test_case "repair costs + median" `Quick test_costs;
+      Alcotest.test_case "costs disabled" `Quick test_without_costs;
+      Alcotest.test_case "pretty printer" `Quick test_pp_renders;
+      Alcotest.test_case "empty trace" `Quick test_empty_trace;
+    ] )

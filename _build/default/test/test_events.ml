@@ -1,0 +1,118 @@
+open Whynot.Events
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_event_artificial () =
+  check_bool "start is artificial" true (Event.is_artificial (Event.artificial_start 0));
+  check_bool "end is artificial" true (Event.is_artificial (Event.artificial_end 3));
+  check_bool "user event is not" false (Event.is_artificial "E1");
+  check_bool "distinct ids distinct names" true
+    (Event.artificial_start 1 <> Event.artificial_start 2);
+  check_bool "start <> end" true (Event.artificial_start 1 <> Event.artificial_end 1)
+
+let test_time_hm () =
+  check_int "17:08" ((17 * 60) + 8) (Time.of_hm "17:08");
+  check_int "0:00" 0 (Time.of_hm "0:00");
+  check_str "round trip" "17:08" (Time.to_hm (Time.of_hm "17:08"));
+  check_str "past midnight preserved" "25:30" (Time.to_hm ((25 * 60) + 30));
+  Alcotest.check_raises "missing colon" (Invalid_argument "Time.of_hm: missing ':' in \"1708\"")
+    (fun () -> ignore (Time.of_hm "1708"));
+  Alcotest.check_raises "bad minutes" (Invalid_argument "Time.of_hm: bad time \"17:65\"")
+    (fun () -> ignore (Time.of_hm "17:65"))
+
+let t0 = Tuple.of_list [ ("A", 10); ("B", 20); ("C", 30) ]
+
+let test_tuple_basics () =
+  check_int "find" 20 (Tuple.find t0 "B");
+  check_bool "find_opt missing" true (Tuple.find_opt t0 "Z" = None);
+  check_int "cardinal" 3 (Tuple.cardinal t0);
+  check_bool "mem" true (Tuple.mem "A" t0);
+  Alcotest.(check (list string)) "events sorted" [ "A"; "B"; "C" ] (Tuple.events t0);
+  let t1 = Tuple.add "B" 25 t0 in
+  check_int "add replaces" 25 (Tuple.find t1 "B");
+  check_int "original untouched" 20 (Tuple.find t0 "B");
+  let t2 = Tuple.remove "A" t0 in
+  check_int "remove" 2 (Tuple.cardinal t2)
+
+let test_tuple_delta () =
+  let t1 = Tuple.of_list [ ("A", 12); ("B", 20); ("C", 27) ] in
+  check_int "delta sums absolute differences" 5 (Tuple.delta t0 t1);
+  check_int "delta self" 0 (Tuple.delta t0 t0);
+  check_int "delta symmetric" (Tuple.delta t0 t1) (Tuple.delta t1 t0);
+  (* artificial events never count *)
+  let ta = Tuple.add (Event.artificial_start 0) 999 t0 in
+  let tb = Tuple.add (Event.artificial_start 0) 0 t1 in
+  check_int "artificial excluded" 5 (Tuple.delta ta tb);
+  (* events bound on one side only do not count *)
+  let extra = Tuple.add "Z" 1000 t1 in
+  check_int "one-sided event ignored" 5 (Tuple.delta t0 extra)
+
+let test_tuple_diff () =
+  let t1 = Tuple.of_list [ ("A", 12); ("B", 20); ("C", 27) ] in
+  Alcotest.(check (list (triple string int int)))
+    "diff lists changed events" [ ("A", 10, 12); ("C", 30, 27) ] (Tuple.diff t0 t1)
+
+let test_tuple_union_restrict () =
+  let other = Tuple.of_list [ ("B", 99); ("D", 40) ] in
+  let u = Tuple.union_right t0 other in
+  check_int "right wins" 99 (Tuple.find u "B");
+  check_int "both kept" 40 (Tuple.find u "D");
+  check_int "left kept" 10 (Tuple.find u "A");
+  let r = Tuple.restrict (Event.Set.of_list [ "A"; "D" ]) u in
+  check_int "restrict keeps listed" 2 (Tuple.cardinal r)
+
+let test_trace () =
+  let tr =
+    Trace.of_list [ ("t2", Tuple.of_list [ ("A", 1) ]); ("t1", Tuple.of_list [ ("A", 2) ]) ]
+  in
+  Alcotest.(check (list string)) "ids sorted" [ "t1"; "t2" ] (Trace.ids tr);
+  check_int "cardinal" 2 (Trace.cardinal tr);
+  check_bool "find_opt" true (Trace.find_opt tr "t1" <> None);
+  let tr2 = Trace.map (fun _ t -> Tuple.add "B" 9 t) tr in
+  check_int "map applied" 9 (Tuple.find (Option.get (Trace.find_opt tr2 "t2")) "B");
+  let tr3 = Trace.filter (fun id _ -> id = "t1") tr in
+  check_int "filter" 1 (Trace.cardinal tr3)
+
+let test_csv_roundtrip () =
+  let tr =
+    Trace.of_list
+      [
+        ("day1", Tuple.of_list [ ("E1", 1026); ("E2", 1134) ]);
+        ("day2", Tuple.of_list [ ("E1", 1028) ]);
+      ]
+  in
+  let s = Csv_io.trace_to_string tr in
+  match Csv_io.trace_of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok tr' ->
+      check_bool "round trip equal" true
+        (List.for_all2
+           (fun (i1, t1) (i2, t2) -> i1 = i2 && Tuple.equal t1 t2)
+           (Trace.bindings tr) (Trace.bindings tr'))
+
+let test_csv_errors () =
+  (match Csv_io.trace_of_string "a,b\n" with
+  | Error msg -> check_bool "field count error" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected field-count error");
+  (match Csv_io.trace_of_string "id,E1,notanumber\n" with
+  | Error msg -> check_bool "timestamp error reported" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected timestamp error");
+  match Csv_io.trace_of_string "tuple_id,event,timestamp\n\n  \nid1,E1,5\n" with
+  | Ok tr -> check_int "header and blanks skipped" 1 (Trace.cardinal tr)
+  | Error e -> Alcotest.fail e
+
+let suite =
+  ( "events",
+    [
+      Alcotest.test_case "artificial events" `Quick test_event_artificial;
+      Alcotest.test_case "time of/to hm" `Quick test_time_hm;
+      Alcotest.test_case "tuple basics" `Quick test_tuple_basics;
+      Alcotest.test_case "tuple delta (Formula 1)" `Quick test_tuple_delta;
+      Alcotest.test_case "tuple diff" `Quick test_tuple_diff;
+      Alcotest.test_case "tuple union/restrict" `Quick test_tuple_union_restrict;
+      Alcotest.test_case "trace operations" `Quick test_trace;
+      Alcotest.test_case "csv round trip" `Quick test_csv_roundtrip;
+      Alcotest.test_case "csv errors" `Quick test_csv_errors;
+    ] )

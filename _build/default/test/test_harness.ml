@@ -1,0 +1,75 @@
+open Whynot
+module Harness = Experiments.Harness
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_format_table_alignment () =
+  let s =
+    Harness.format_table ~title:"T" ~header:[ "a"; "bbbb" ]
+      [ [ "xx"; "y" ]; [ "x"; "yyyyy" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | title :: header :: separator :: _ ->
+      check_str "title" "T" title;
+      check_bool "separator dashes match header width" true
+        (String.length separator = String.length header)
+  | _ -> Alcotest.fail "expected at least 3 lines");
+  check_bool "column padded to longest cell" true
+    (String.length (List.nth lines 1) >= String.length "a   bbbb")
+
+let test_csv_rendering () =
+  check_str "plain cells" "a,b\n1,2\n"
+    (Harness.csv_of_table ~header:[ "a"; "b" ] [ [ "1"; "2" ] ]);
+  check_str "quoting" "a\n\"x,y\"\n"
+    (Harness.csv_of_table ~header:[ "a" ] [ [ "x,y" ] ]);
+  check_str "embedded quote doubled" "a\n\"he said \"\"hi\"\"\"\n"
+    (Harness.csv_of_table ~header:[ "a" ] [ [ "he said \"hi\"" ] ])
+
+let test_formatters () =
+  check_str "f3" "1.235" (Harness.f3 1.23456);
+  check_str "ms" "1500.000" (Harness.ms 1.5)
+
+let test_algorithm_names () =
+  check_str "full" "Pattern(Full)" (Harness.algorithm_name Harness.Pattern_full);
+  check_str "single" "Pattern(Single)" (Harness.algorithm_name Harness.Pattern_single);
+  check_str "bf" "Brute-force"
+    (Harness.algorithm_name (Harness.Brute_force { grid = 1; radius = 5 }));
+  check_str "greedy" "Greedy" (Harness.algorithm_name Harness.Greedy)
+
+let test_repair_tuple_roster () =
+  let p = Pattern.Parse.pattern_exn "SEQ(A, B) ATLEAST 10 WITHIN 12" in
+  let net = Tcn.Encode.pattern_set [ p ] in
+  let t = Events.Tuple.of_list [ ("A", 20); ("B", 25) ] in
+  List.iter
+    (fun algo ->
+      match Harness.repair_tuple algo net [ p ] t with
+      | Some repaired ->
+          check_bool
+            (Harness.algorithm_name algo ^ " repaired tuple matches")
+            true
+            (Pattern.Matcher.matches repaired p)
+      | None -> Alcotest.failf "%s found nothing" (Harness.algorithm_name algo))
+    [
+      Harness.Pattern_full;
+      Harness.Pattern_single;
+      Harness.Brute_force { grid = 1; radius = 10 };
+      Harness.Greedy;
+    ]
+
+let test_time_measures () =
+  let v, dt = Harness.time (fun () -> 42) in
+  check_bool "value" true (v = 42);
+  check_bool "non-negative" true (dt >= 0.0)
+
+let suite =
+  ( "harness",
+    [
+      Alcotest.test_case "table alignment" `Quick test_format_table_alignment;
+      Alcotest.test_case "csv rendering" `Quick test_csv_rendering;
+      Alcotest.test_case "float formatters" `Quick test_formatters;
+      Alcotest.test_case "algorithm names" `Quick test_algorithm_names;
+      Alcotest.test_case "repair roster" `Quick test_repair_tuple_roster;
+      Alcotest.test_case "timing" `Quick test_time_measures;
+    ] )

@@ -1,0 +1,101 @@
+open Whynot
+module Lint = Explain.Lint
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p s = [ Pattern.Parse.pattern_exn s ]
+
+let find_bound report pred =
+  List.find_opt (fun f -> pred f.Lint.bound) report.Lint.findings
+
+let test_ok_bounds () =
+  let r = Lint.run (p "SEQ(A, B) ATLEAST 10 WITHIN 20") in
+  check_bool "consistent" true r.consistent;
+  check_int "two findings" 2 (List.length r.findings);
+  check_bool "both ok" true
+    (List.for_all (fun f -> f.Lint.verdict = Lint.Ok_bound) r.findings)
+
+let test_dead_atleast () =
+  (* outer ATLEAST 5 is implied by the inner ATLEAST 30 *)
+  let r = Lint.run (p "SEQ(SEQ(A, B) ATLEAST 30, C) ATLEAST 5") in
+  match find_bound r (function `Atleast 5 -> true | _ -> false) with
+  | Some { verdict = Lint.Dead { implied }; _ } ->
+      check_int "implied by inner bound" 30 implied
+  | _ -> Alcotest.fail "expected outer ATLEAST to be dead"
+
+let test_dead_within () =
+  (* The second pattern's WITHIN 100 is implied by the first's WITHIN 20
+     (same events, joint constraint set). *)
+  let set =
+    match Pattern.Parse.pattern_set "SEQ(A, B) WITHIN 20; SEQ(A, B) WITHIN 100" with
+    | Ok ps -> ps
+    | Error e -> Alcotest.fail e
+  in
+  let r = Lint.run set in
+  match List.find_opt (fun f -> f.Lint.bound = `Within 100) r.findings with
+  | Some { verdict = Lint.Dead { implied }; _ } -> check_int "implied 20" 20 implied
+  | _ -> Alcotest.fail "expected the loose WITHIN to be dead"
+
+let test_fatal_bound () =
+  (* The paper's 1.1.1 bug: 30+30 can never fit WITHIN 45 — the linter
+     blames the WITHIN bound specifically. *)
+  let r =
+    Lint.run (p "SEQ(AND(E1, E3) ATLEAST 30, AND(E2, E4) ATLEAST 30) WITHIN 45")
+  in
+  check_bool "whole query inconsistent" false r.consistent;
+  (match find_bound r (function `Within 45 -> true | _ -> false) with
+  | Some { verdict = Lint.Fatal { implied_lo = Some lo; _ }; _ } ->
+      check_bool "implied lower bound beyond 45" true (lo > 45)
+  | _ -> Alcotest.fail "expected the WITHIN 45 to be fatal");
+  (* every bound participates in the conflict, so each is flagged as a
+     candidate fix — relaxing any one of the three restores consistency *)
+  check_bool "all three bounds flagged" true
+    (List.for_all
+       (fun f -> match f.Lint.verdict with Lint.Fatal _ -> true | _ -> false)
+       r.findings);
+  check_int "three findings" 3 (List.length r.findings)
+
+let test_normalization_savings () =
+  let r = Lint.run (p "AND(AND(A, B), AND(C, D))") in
+  let before, after = r.normalized_savings in
+  check_int "before" 64 before;
+  check_int "after" 16 after
+
+let test_no_windows () =
+  let r = Lint.run (p "SEQ(A, AND(B, C))") in
+  check_int "no findings" 0 (List.length r.findings);
+  check_bool "consistent" true r.consistent
+
+(* Removing ONE Dead bound must preserve the matcher's semantics on random
+   tuples (that is what "dead" means; removing several at once is not
+   implied — two bounds can each be dead only given the other). *)
+let prop_dead_bounds_removable =
+  QCheck.Test.make ~name:"each dead bound is individually removable" ~count:60
+    (Gen.pattern_and_tuple ~horizon:150 ~max_events:5 ()) (fun (pat, t) ->
+      let report = Lint.run [ pat ] in
+      List.for_all
+        (fun f ->
+          match f.Lint.verdict with
+          | Lint.Dead _ ->
+              let stripped =
+                Lint.map_window [ pat ] f.Lint.path (fun w ->
+                    match f.Lint.bound with
+                    | `Atleast _ -> { w with Pattern.Ast.atleast = None }
+                    | `Within _ -> { w with Pattern.Ast.within = None })
+              in
+              Pattern.Matcher.matches_set t [ pat ]
+              = Pattern.Matcher.matches_set t stripped
+          | _ -> true)
+        report.findings)
+
+let suite =
+  ( "lint",
+    [
+      Alcotest.test_case "genuinely constraining bounds" `Quick test_ok_bounds;
+      Alcotest.test_case "dead ATLEAST detected" `Quick test_dead_atleast;
+      Alcotest.test_case "dead WITHIN detected" `Quick test_dead_within;
+      Alcotest.test_case "fatal bound blamed (paper 1.1.1)" `Quick test_fatal_bound;
+      Alcotest.test_case "normalization savings" `Quick test_normalization_savings;
+      Alcotest.test_case "window-less query" `Quick test_no_windows;
+      Gen.qt prop_dead_bounds_removable;
+    ] )

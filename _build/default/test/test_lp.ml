@@ -1,0 +1,239 @@
+open Whynot
+module Rat = Numeric.Rat
+module Simplex = Lp.Simplex
+module Ilp = Lp.Ilp
+module Mcf = Lp.Mcf
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let rat = Alcotest.testable Rat.pp Rat.equal
+let r = Rat.of_int
+
+let optimal_or_fail = function
+  | Simplex.Optimal { objective; values } -> (objective, values)
+  | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+(* min x + y  s.t. x + 2y >= 4, 3x + y >= 6  ->  optimum at (8/5, 6/5). *)
+let test_simplex_basic_ge () =
+  let m = Simplex.create () in
+  let x = Simplex.add_var m and y = Simplex.add_var m in
+  Simplex.add_constraint m [ (r 1, x); (r 2, y) ] Simplex.Ge (r 4);
+  Simplex.add_constraint m [ (r 3, x); (r 1, y) ] Simplex.Ge (r 6);
+  Simplex.set_objective m [ (r 1, x); (r 1, y) ];
+  let objective, values = optimal_or_fail (Simplex.solve m) in
+  Alcotest.check rat "objective 14/5" (Rat.make 14 5) objective;
+  Alcotest.check rat "x = 8/5" (Rat.make 8 5) values.(x);
+  Alcotest.check rat "y = 6/5" (Rat.make 6 5) values.(y)
+
+(* max x + y via min of negation, under x <= 3, y <= 2. *)
+let test_simplex_le_max () =
+  let m = Simplex.create () in
+  let x = Simplex.add_var m and y = Simplex.add_var m in
+  Simplex.add_constraint m [ (r 1, x) ] Simplex.Le (r 3);
+  Simplex.add_constraint m [ (r 1, y) ] Simplex.Le (r 2);
+  Simplex.set_objective m [ (r (-1), x); (r (-1), y) ];
+  let objective, _ = optimal_or_fail (Simplex.solve m) in
+  Alcotest.check rat "objective -5" (r (-5)) objective
+
+let test_simplex_eq () =
+  let m = Simplex.create () in
+  let x = Simplex.add_var m and y = Simplex.add_var m in
+  Simplex.add_constraint m [ (r 1, x); (r 1, y) ] Simplex.Eq (r 10);
+  Simplex.add_constraint m [ (r 1, x); (r (-1), y) ] Simplex.Eq (r 4);
+  Simplex.set_objective m [ (r 1, x) ];
+  let _, values = optimal_or_fail (Simplex.solve m) in
+  Alcotest.check rat "x = 7" (r 7) values.(x);
+  Alcotest.check rat "y = 3" (r 3) values.(y)
+
+let test_simplex_infeasible () =
+  let m = Simplex.create () in
+  let x = Simplex.add_var m in
+  Simplex.add_constraint m [ (r 1, x) ] Simplex.Le (r 1);
+  Simplex.add_constraint m [ (r 1, x) ] Simplex.Ge (r 2);
+  Simplex.set_objective m [ (r 1, x) ];
+  check_bool "infeasible" true (Simplex.solve m = Simplex.Infeasible)
+
+let test_simplex_unbounded () =
+  let m = Simplex.create () in
+  let x = Simplex.add_var m and y = Simplex.add_var m in
+  Simplex.add_constraint m [ (r 1, x); (r (-1), y) ] Simplex.Le (r 1);
+  Simplex.set_objective m [ (r (-1), x) ];
+  check_bool "unbounded" true (Simplex.solve m = Simplex.Unbounded)
+
+let test_simplex_negative_rhs () =
+  (* x - y <= -2 with min x: x = 0 forces y >= 2, fine; rhs normalisation
+     path must flip the row. *)
+  let m = Simplex.create () in
+  let x = Simplex.add_var m and y = Simplex.add_var m in
+  Simplex.add_constraint m [ (r 1, x); (r (-1), y) ] Simplex.Le (r (-2));
+  Simplex.set_objective m [ (r 1, x); (r 1, y) ];
+  let objective, _ = optimal_or_fail (Simplex.solve m) in
+  Alcotest.check rat "objective 2" (r 2) objective
+
+let test_simplex_degenerate () =
+  (* Redundant constraints force degenerate pivots; Bland must terminate. *)
+  let m = Simplex.create () in
+  let x = Simplex.add_var m and y = Simplex.add_var m in
+  Simplex.add_constraint m [ (r 1, x); (r 1, y) ] Simplex.Ge (r 2);
+  Simplex.add_constraint m [ (r 2, x); (r 2, y) ] Simplex.Ge (r 4);
+  Simplex.add_constraint m [ (r 1, x); (r 1, y) ] Simplex.Le (r 2);
+  Simplex.set_objective m [ (r 3, x); (r 1, y) ];
+  let objective, _ = optimal_or_fail (Simplex.solve m) in
+  Alcotest.check rat "objective 2 (all mass on y)" (r 2) objective
+
+let test_simplex_copy_isolated () =
+  let m = Simplex.create () in
+  let x = Simplex.add_var m in
+  Simplex.add_constraint m [ (r 1, x) ] Simplex.Le (r 5);
+  Simplex.set_objective m [ (r (-1), x) ];
+  let m2 = Simplex.copy m in
+  Simplex.add_constraint m2 [ (r 1, x) ] Simplex.Le (r 3);
+  let o1, _ = optimal_or_fail (Simplex.solve m) in
+  let o2, _ = optimal_or_fail (Simplex.solve m2) in
+  Alcotest.check rat "original unchanged" (r (-5)) o1;
+  Alcotest.check rat "copy constrained" (r (-3)) o2
+
+(* Random feasible-by-construction LPs: simplex must find an optimum no
+   worse than the known feasible point, and the optimum must be feasible. *)
+let random_lp_gen : (Simplex.model * Rat.t) QCheck.Gen.t =
+ fun st ->
+  let n = 2 + Random.State.int st 4 in
+  let m = Simplex.create () in
+  let vars = List.init n (fun _ -> Simplex.add_var m) in
+  let point = List.map (fun _ -> Random.State.int st 10) vars in
+  let rows = 1 + Random.State.int st 5 in
+  for _ = 1 to rows do
+    let coeffs = List.map (fun _ -> Random.State.int st 7 - 3) vars in
+    let value =
+      List.fold_left2 (fun acc c x -> acc + (c * x)) 0 coeffs point
+    in
+    let slack = Random.State.int st 5 in
+    let terms = List.map2 (fun c v -> (r c, v)) coeffs vars in
+    if Random.State.bool st then
+      Simplex.add_constraint m terms Simplex.Le (r (value + slack))
+    else Simplex.add_constraint m terms Simplex.Ge (r (value - slack))
+  done;
+  let costs = List.map (fun _ -> Random.State.int st 5) vars in
+  Simplex.set_objective m (List.map2 (fun c v -> (r c, v)) costs vars);
+  let feasible_cost =
+    List.fold_left2 (fun acc c x -> acc + (c * x)) 0 costs point
+  in
+  (m, r feasible_cost)
+
+let prop_simplex_sound =
+  QCheck.Test.make ~name:"simplex: optimal <= known feasible point" ~count:200
+    (QCheck.make random_lp_gen) (fun (m, feasible_cost) ->
+      match Simplex.solve m with
+      | Simplex.Optimal { objective; _ } -> Rat.compare objective feasible_cost <= 0
+      | Simplex.Infeasible -> false (* feasible by construction *)
+      | Simplex.Unbounded -> true (* nonneg costs make this rare but legal *))
+
+(* --- ILP --- *)
+
+let test_ilp_integral_passthrough () =
+  let m = Simplex.create () in
+  let x = Simplex.add_var m in
+  Simplex.add_constraint m [ (r 1, x) ] Simplex.Ge (r 3);
+  Simplex.set_objective m [ (r 1, x) ];
+  match Ilp.solve m with
+  | Ilp.Optimal { objective; values } ->
+      Alcotest.check rat "objective" (r 3) objective;
+      check_int "x" 3 values.(x)
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_ilp_branches () =
+  (* min -x - y s.t. 2x + 2y <= 5: LP gives 5/2 total, ILP must settle on
+     x + y = 2. *)
+  let m = Simplex.create () in
+  let x = Simplex.add_var m and y = Simplex.add_var m in
+  Simplex.add_constraint m [ (r 2, x); (r 2, y) ] Simplex.Le (r 5);
+  Simplex.set_objective m [ (r (-1), x); (r (-1), y) ];
+  check_bool "relaxation fractional" true (Ilp.relaxation_is_integral m = Some false);
+  match Ilp.solve m with
+  | Ilp.Optimal { objective; values } ->
+      Alcotest.check rat "objective -2" (r (-2)) objective;
+      check_int "sum integral" 2 (values.(x) + values.(y))
+  | _ -> Alcotest.fail "expected optimal"
+
+let test_ilp_infeasible_by_integrality () =
+  (* 2x = 3 has a fractional LP solution but no integer one. *)
+  let m = Simplex.create () in
+  let x = Simplex.add_var m in
+  Simplex.add_constraint m [ (r 2, x) ] Simplex.Eq (r 3);
+  Simplex.set_objective m [ (r 1, x) ];
+  check_bool "ILP infeasible" true (Ilp.solve m = Ilp.Infeasible)
+
+(* --- MCF --- *)
+
+let test_mcf_no_negative_cycle () =
+  let g = Mcf.create 3 in
+  let _ = Mcf.add_edge g ~src:0 ~dst:1 ~cap:5 ~cost:2 in
+  let _ = Mcf.add_edge g ~src:1 ~dst:2 ~cap:5 ~cost:2 in
+  let _ = Mcf.add_edge g ~src:2 ~dst:0 ~cap:5 ~cost:2 in
+  check_int "all-positive cycle: no flow" 0 (Mcf.min_cost_circulation g)
+
+let test_mcf_cancels_negative_cycle () =
+  let g = Mcf.create 3 in
+  let e1 = Mcf.add_edge g ~src:0 ~dst:1 ~cap:4 ~cost:(-3) in
+  let e2 = Mcf.add_edge g ~src:1 ~dst:2 ~cap:2 ~cost:1 in
+  let e3 = Mcf.add_edge g ~src:2 ~dst:0 ~cap:5 ~cost:1 in
+  (* Cycle cost -1, bottleneck 2. *)
+  check_int "total cost" (-2) (Mcf.min_cost_circulation g);
+  check_int "flow e1" 2 (Mcf.flow g e1);
+  check_int "flow e2" 2 (Mcf.flow g e2);
+  check_int "flow e3" 2 (Mcf.flow g e3)
+
+let test_mcf_parallel_cycles () =
+  let g = Mcf.create 2 in
+  let cheap = Mcf.add_edge g ~src:0 ~dst:1 ~cap:3 ~cost:(-5) in
+  let pricey = Mcf.add_edge g ~src:0 ~dst:1 ~cap:3 ~cost:(-1) in
+  let back = Mcf.add_edge g ~src:1 ~dst:0 ~cap:4 ~cost:2 in
+  (* Saturate the cheap arc (3 units at -3 each), then one more unit through
+     the pricier arc (+1 net): only the cheap cycle is profitable. *)
+  check_int "total" (-9) (Mcf.min_cost_circulation g);
+  check_int "cheap saturated" 3 (Mcf.flow g cheap);
+  check_int "pricey untouched" 0 (Mcf.flow g pricey);
+  check_int "return flow" 3 (Mcf.flow g back)
+
+let test_mcf_residual_distances () =
+  let g = Mcf.create 3 in
+  let _ = Mcf.add_edge g ~src:0 ~dst:1 ~cap:5 ~cost:4 in
+  let _ = Mcf.add_edge g ~src:1 ~dst:2 ~cap:5 ~cost:1 in
+  let _ = Mcf.add_edge g ~src:0 ~dst:2 ~cap:5 ~cost:10 in
+  ignore (Mcf.min_cost_circulation g);
+  let d = Mcf.residual_distances g ~source:0 in
+  check_bool "d0" true (d.(0) = Some 0);
+  check_bool "d1" true (d.(1) = Some 4);
+  check_bool "d2 via 1" true (d.(2) = Some 5)
+
+let test_mcf_validation () =
+  let g = Mcf.create 2 in
+  Alcotest.check_raises "bad node" (Invalid_argument "Mcf.add_edge: node out of range")
+    (fun () -> ignore (Mcf.add_edge g ~src:0 ~dst:7 ~cap:1 ~cost:0));
+  Alcotest.check_raises "negative cap" (Invalid_argument "Mcf.add_edge: negative capacity")
+    (fun () -> ignore (Mcf.add_edge g ~src:0 ~dst:1 ~cap:(-1) ~cost:0))
+
+let qt = Gen.qt
+
+let suite =
+  ( "lp",
+    [
+      Alcotest.test_case "simplex >= constraints" `Quick test_simplex_basic_ge;
+      Alcotest.test_case "simplex <= constraints (max)" `Quick test_simplex_le_max;
+      Alcotest.test_case "simplex equalities" `Quick test_simplex_eq;
+      Alcotest.test_case "simplex infeasible" `Quick test_simplex_infeasible;
+      Alcotest.test_case "simplex unbounded" `Quick test_simplex_unbounded;
+      Alcotest.test_case "simplex negative rhs" `Quick test_simplex_negative_rhs;
+      Alcotest.test_case "simplex degenerate (Bland)" `Quick test_simplex_degenerate;
+      Alcotest.test_case "simplex copy isolation" `Quick test_simplex_copy_isolated;
+      qt prop_simplex_sound;
+      Alcotest.test_case "ilp integral passthrough" `Quick test_ilp_integral_passthrough;
+      Alcotest.test_case "ilp branches on fractional" `Quick test_ilp_branches;
+      Alcotest.test_case "ilp integrality infeasible" `Quick test_ilp_infeasible_by_integrality;
+      Alcotest.test_case "mcf positive cycle idle" `Quick test_mcf_no_negative_cycle;
+      Alcotest.test_case "mcf cancels negative cycle" `Quick test_mcf_cancels_negative_cycle;
+      Alcotest.test_case "mcf picks cheapest cycle" `Quick test_mcf_parallel_cycles;
+      Alcotest.test_case "mcf residual distances" `Quick test_mcf_residual_distances;
+      Alcotest.test_case "mcf validation" `Quick test_mcf_validation;
+    ] )

@@ -1,0 +1,156 @@
+open Whynot.Numeric
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Checked --- *)
+
+let test_checked_basic () =
+  check_int "add" 7 (Checked.add 3 4);
+  check_int "sub" (-1) (Checked.sub 3 4);
+  check_int "mul" 12 (Checked.mul 3 4);
+  check_int "neg" (-3) (Checked.neg 3);
+  check_int "abs" 3 (Checked.abs (-3));
+  check_int "gcd" 6 (Checked.gcd 12 18);
+  check_int "gcd neg" 6 (Checked.gcd (-12) 18);
+  check_int "gcd zero" 5 (Checked.gcd 0 5)
+
+let test_checked_overflow () =
+  let raises f = Alcotest.check_raises "overflow" Checked.Overflow (fun () -> ignore (f ())) in
+  raises (fun () -> Checked.add max_int 1);
+  raises (fun () -> Checked.sub min_int 1);
+  raises (fun () -> Checked.mul max_int 2);
+  raises (fun () -> Checked.mul 2 max_int);
+  raises (fun () -> Checked.neg min_int);
+  raises (fun () -> Checked.abs min_int);
+  check_int "edge ok" max_int (Checked.add (max_int - 1) 1);
+  check_int "min+max" (-1) (Checked.add min_int max_int)
+
+(* --- Rat --- *)
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let test_rat_normalization () =
+  Alcotest.check rat "6/4 = 3/2" (Rat.make 3 2) (Rat.make 6 4);
+  Alcotest.check rat "neg den" (Rat.make (-3) 2) (Rat.make 3 (-2));
+  Alcotest.check rat "zero" Rat.zero (Rat.make 0 17);
+  check_int "den positive" 2 (Rat.den (Rat.make 3 (-2)));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () -> ignore (Rat.make 1 0))
+
+let test_rat_arith () =
+  let half = Rat.make 1 2 and third = Rat.make 1 3 in
+  Alcotest.check rat "1/2+1/3" (Rat.make 5 6) (Rat.add half third);
+  Alcotest.check rat "1/2-1/3" (Rat.make 1 6) (Rat.sub half third);
+  Alcotest.check rat "1/2*1/3" (Rat.make 1 6) (Rat.mul half third);
+  Alcotest.check rat "1/2 / 1/3" (Rat.make 3 2) (Rat.div half third);
+  Alcotest.check rat "inv" (Rat.make 3 1) (Rat.inv third);
+  check_bool "lt" true Rat.(third < half);
+  check_int "floor -3/2" (-2) (Rat.floor (Rat.make (-3) 2));
+  check_int "ceil -3/2" (-1) (Rat.ceil (Rat.make (-3) 2));
+  check_int "floor 3/2" 1 (Rat.floor (Rat.make 3 2));
+  check_int "ceil 3/2" 2 (Rat.ceil (Rat.make 3 2));
+  check_bool "is_integer" true (Rat.is_integer (Rat.of_int 5));
+  check_bool "not integer" false (Rat.is_integer half);
+  check_int "to_int_exn" 5 (Rat.to_int_exn (Rat.of_int 5))
+
+let rat_gen : Rat.t QCheck.Gen.t =
+ fun st ->
+  let num = Random.State.int st 2001 - 1000 in
+  let den = 1 + Random.State.int st 50 in
+  Rat.make num den
+
+let arb_rat = QCheck.make ~print:Rat.to_string rat_gen
+let arb_rat2 = QCheck.pair arb_rat arb_rat
+let arb_rat3 = QCheck.triple arb_rat arb_rat arb_rat
+
+let prop_field =
+  QCheck.Test.make ~name:"rat field laws" ~count:500 arb_rat3 (fun (a, b, c) ->
+      Rat.equal (Rat.add a b) (Rat.add b a)
+      && Rat.equal (Rat.mul a b) (Rat.mul b a)
+      && Rat.equal (Rat.add (Rat.add a b) c) (Rat.add a (Rat.add b c))
+      && Rat.equal (Rat.mul (Rat.mul a b) c) (Rat.mul a (Rat.mul b c))
+      && Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c)))
+
+let prop_sub_div =
+  QCheck.Test.make ~name:"rat sub/div inverses" ~count:500 arb_rat2 (fun (a, b) ->
+      Rat.equal (Rat.add (Rat.sub a b) b) a
+      && (Rat.sign b = 0 || Rat.equal (Rat.mul (Rat.div a b) b) a))
+
+let prop_compare_total =
+  QCheck.Test.make ~name:"rat compare consistent with floats" ~count:500 arb_rat2
+    (fun (a, b) ->
+      let c = Rat.compare a b in
+      let fa = Rat.to_float a and fb = Rat.to_float b in
+      (c < 0 && fa < fb +. 1e-9)
+      || (c > 0 && fa > fb -. 1e-9)
+      || (c = 0 && abs_float (fa -. fb) < 1e-9))
+
+let prop_floor_ceil =
+  QCheck.Test.make ~name:"rat floor/ceil bracket" ~count:500 arb_rat (fun a ->
+      let f = Rat.floor a and c = Rat.ceil a in
+      Rat.(of_int f <= a)
+      && Rat.(a <= of_int c)
+      && c - f <= 1
+      && (Rat.is_integer a = (f = c)))
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Prng.next64 a = Prng.next64 b)
+  done;
+  let c = Prng.create 43 in
+  check_bool "different seed differs" true (Prng.next64 (Prng.create 42) <> Prng.next64 c)
+
+let test_prng_bounds () =
+  let g = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int g 10 in
+    check_bool "int in range" true (v >= 0 && v < 10);
+    let v = Prng.int_in g (-5) 5 in
+    check_bool "int_in range" true (v >= -5 && v <= 5);
+    let f = Prng.float g 2.0 in
+    check_bool "float range" true (f >= 0.0 && f < 2.0)
+  done
+
+let test_prng_uniformity () =
+  let g = Prng.create 11 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Prng.int g 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check_bool "bucket within 10% of uniform" true
+        (abs (c - (n / 10)) < n / 100))
+    buckets
+
+let test_prng_shuffle_permutes () =
+  let g = Prng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let qt = Gen.qt
+
+let suite =
+  ( "numeric",
+    [
+      Alcotest.test_case "checked basics" `Quick test_checked_basic;
+      Alcotest.test_case "checked overflow" `Quick test_checked_overflow;
+      Alcotest.test_case "rat normalization" `Quick test_rat_normalization;
+      Alcotest.test_case "rat arithmetic" `Quick test_rat_arith;
+      qt prop_field;
+      qt prop_sub_div;
+      qt prop_compare_total;
+      qt prop_floor_ceil;
+      Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+      Alcotest.test_case "prng bounds" `Quick test_prng_bounds;
+      Alcotest.test_case "prng uniformity" `Quick test_prng_uniformity;
+      Alcotest.test_case "prng shuffle" `Quick test_prng_shuffle_permutes;
+    ] )

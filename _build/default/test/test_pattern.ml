@@ -1,0 +1,200 @@
+open Whynot
+module Ast = Pattern.Ast
+module Parse = Pattern.Parse
+module Matcher = Pattern.Matcher
+module Tuple = Events.Tuple
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let p s = Parse.pattern_exn s
+
+(* --- AST --- *)
+
+let test_constructors_and_size () =
+  let q = Ast.seq ~atleast:10 [ Ast.event "A"; Ast.and_ [ Ast.event "B"; Ast.event "C" ] ] in
+  check_int "size" 5 (Ast.size q);
+  check_int "depth" 3 (Ast.depth q);
+  check_int "count_and" 1 (Ast.count_and q);
+  check_bool "events" true
+    (Events.Event.Set.equal (Ast.events q) (Events.Event.Set.of_list [ "A"; "B"; "C" ]))
+
+let shape =
+  Alcotest.testable
+    (fun ppf -> function
+      | Ast.Simple -> Format.fprintf ppf "Simple"
+      | Ast.And_no_seq_inside -> Format.fprintf ppf "And_no_seq_inside"
+      | Ast.General -> Format.fprintf ppf "General")
+    ( = )
+
+let test_classify () =
+  Alcotest.check shape "single event" Ast.Simple (Ast.classify (p "E1"));
+  Alcotest.check shape "seq only" Ast.Simple (Ast.classify (p "SEQ(E1, SEQ(E2, E3))"));
+  Alcotest.check shape "flat and" Ast.And_no_seq_inside (Ast.classify (p "AND(E1, E2)"));
+  Alcotest.check shape "and of events under seq" Ast.And_no_seq_inside
+    (Ast.classify (p "SEQ(E1, AND(E2, E3))"));
+  Alcotest.check shape "seq inside and" Ast.General
+    (Ast.classify (p "AND(SEQ(E1, E2), E3)"));
+  Alcotest.check shape "deep seq inside and" Ast.General
+    (Ast.classify (p "SEQ(AND(E0, AND(E1, SEQ(E2, E3))), E4)"));
+  Alcotest.check shape "set join takes worst" Ast.General
+    (Ast.classify_set [ p "SEQ(E1, E2)"; p "AND(SEQ(E3, E4), E5)" ]);
+  Alcotest.check shape "empty set is simple" Ast.Simple (Ast.classify_set [])
+
+let test_validate () =
+  check_bool "valid" true (Result.is_ok (Ast.validate (p "SEQ(E1, E2) ATLEAST 1 WITHIN 2")));
+  check_bool "inverted window" true
+    (Ast.validate (Ast.seq ~atleast:5 ~within:2 [ Ast.event "A"; Ast.event "B" ])
+    = Error (Ast.Inverted_window (5, 2)));
+  check_bool "duplicate event" true
+    (Ast.validate (Ast.seq [ Ast.event "A"; Ast.event "A" ])
+    = Error (Ast.Duplicate_event "A"));
+  check_bool "empty composition" true
+    (Ast.validate (Ast.seq []) = Error Ast.Empty_composition);
+  check_bool "negative bound" true
+    (Ast.validate (Ast.seq ~atleast:(-1) [ Ast.event "A"; Ast.event "B" ])
+    = Error (Ast.Negative_bound (-1)));
+  check_bool "duplicate across set is fine" true
+    (Result.is_ok (Ast.validate_set [ p "SEQ(E1, E2)"; p "AND(E1, E3)" ]))
+
+(* --- Parser --- *)
+
+let test_parse_basics () =
+  check_bool "single event" true (p "E1" = Ast.event "E1");
+  check_bool "keywords case-insensitive" true
+    (p "seq(E1, E2) atleast 3 within 5" = Ast.seq ~atleast:3 ~within:5 [ Ast.event "E1"; Ast.event "E2" ]);
+  check_bool "units hours" true
+    (p "SEQ(E1, E2) ATLEAST 2 hours" = Ast.seq ~atleast:120 [ Ast.event "E1"; Ast.event "E2" ]);
+  check_bool "units minutes" true
+    (p "SEQ(E1, E2) WITHIN 30 minutes" = Ast.seq ~within:30 [ Ast.event "E1"; Ast.event "E2" ]);
+  check_bool "units days" true
+    (p "SEQ(E1, E2) WITHIN 2 d" = Ast.seq ~within:2880 [ Ast.event "E1"; Ast.event "E2" ]);
+  check_bool "window order free" true
+    (p "SEQ(E1, E2) WITHIN 5 ATLEAST 3" = p "SEQ(E1, E2) ATLEAST 3 WITHIN 5")
+
+let test_parse_errors () =
+  let fails s = check_bool s true (Result.is_error (Parse.pattern s)) in
+  fails "SEQ(E1,)";
+  fails "SEQ()";
+  fails "SEQ(E1";
+  fails "E1 E2";
+  fails "SEQ(E1, E2) ATLEAST 5 ATLEAST 6";
+  fails "SEQ(E1, E2) ATLEAST 9 WITHIN 3" (* inverted window caught by validate *);
+  fails "SEQ(E1, E1)" (* duplicate event *);
+  fails "WITHIN 3";
+  fails "SEQ(E1, E2) ATLEAST x";
+  fails "@#!";
+  fails ""
+
+let test_parse_set () =
+  match Parse.pattern_set "SEQ(E1, E2); AND(E3, E4) WITHIN 9" with
+  | Ok [ a; b ] ->
+      check_bool "first" true (a = p "SEQ(E1, E2)");
+      check_bool "second" true (b = p "AND(E3, E4) WITHIN 9")
+  | Ok _ -> Alcotest.fail "wrong arity"
+  | Error e -> Alcotest.fail e
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse round trip" ~count:300 (Gen.pattern ())
+    (fun pat ->
+      match Parse.pattern (Ast.to_string pat) with
+      | Ok pat' -> Ast.equal pat pat'
+      | Error e -> QCheck.Test.fail_reportf "re-parse failed: %s" e)
+
+let prop_validate_generated =
+  QCheck.Test.make ~name:"generated patterns are valid" ~count:300 (Gen.pattern ())
+    (fun pat -> Result.is_ok (Ast.validate pat))
+
+(* --- Matcher --- *)
+
+let test_match_event () =
+  let t = Tuple.of_list [ ("E1", 5) ] in
+  check_bool "present" true (Matcher.matches t (p "E1"));
+  check_bool "missing" false (Matcher.matches t (p "E2"))
+
+let test_match_seq () =
+  let q = p "SEQ(E1, E2, E3)" in
+  check_bool "ordered" true
+    (Matcher.matches (Tuple.of_list [ ("E1", 1); ("E2", 2); ("E3", 3) ]) q);
+  check_bool "equal timestamps allowed" true
+    (Matcher.matches (Tuple.of_list [ ("E1", 2); ("E2", 2); ("E3", 2) ]) q);
+  check_bool "out of order" false
+    (Matcher.matches (Tuple.of_list [ ("E1", 1); ("E2", 5); ("E3", 3) ]) q)
+
+let test_match_seq_window () =
+  let q = p "SEQ(E1, E2) ATLEAST 10 WITHIN 20" in
+  let t d = Tuple.of_list [ ("E1", 100); ("E2", 100 + d) ] in
+  check_bool "below atleast" false (Matcher.matches (t 9) q);
+  check_bool "at atleast" true (Matcher.matches (t 10) q);
+  check_bool "inside" true (Matcher.matches (t 15) q);
+  check_bool "at within" true (Matcher.matches (t 20) q);
+  check_bool "above within" false (Matcher.matches (t 21) q)
+
+let test_match_and () =
+  let q = p "AND(E1, E2) WITHIN 30" in
+  check_bool "either order ok (E1 first)" true
+    (Matcher.matches (Tuple.of_list [ ("E1", 10); ("E2", 35) ]) q);
+  check_bool "either order ok (E2 first)" true
+    (Matcher.matches (Tuple.of_list [ ("E1", 35); ("E2", 10) ]) q);
+  check_bool "too far apart" false
+    (Matcher.matches (Tuple.of_list [ ("E1", 10); ("E2", 41) ]) q)
+
+let test_match_nested () =
+  (* The paper's p0: overlap of two transfers with >= 2h span. *)
+  let q = p "SEQ(AND(E1, E3) WITHIN 30, AND(E2, E4) WITHIN 30) ATLEAST 120" in
+  let t = Tuple.of_list [ ("E1", 1028); ("E2", 1138); ("E3", 1045); ("E4", 1153) ] in
+  check_bool "matches" true (Matcher.matches t q);
+  (* E3 after E2 starts the second AND before the first ends: SEQ broken. *)
+  let t_bad = Tuple.add "E3" 1140 t in
+  check_bool "overlap violation" false (Matcher.matches t_bad q)
+
+let test_match_failure_reporting () =
+  let q = p "SEQ(E1, E2) WITHIN 5" in
+  (match Matcher.span (Tuple.of_list [ ("E1", 0) ]) q with
+  | Error (Matcher.Missing_event "E2") -> ()
+  | _ -> Alcotest.fail "expected Missing_event E2");
+  (match Matcher.span (Tuple.of_list [ ("E1", 9); ("E2", 3) ]) q with
+  | Error (Matcher.Order_violation _) -> ()
+  | _ -> Alcotest.fail "expected Order_violation");
+  (match Matcher.span (Tuple.of_list [ ("E1", 0); ("E2", 9) ]) q with
+  | Error (Matcher.Window_violation _) -> ()
+  | _ -> Alcotest.fail "expected Window_violation");
+  check_bool "explain_failure none on match" true
+    (Matcher.explain_failure (Tuple.of_list [ ("E1", 0); ("E2", 3) ]) [ q ] = None)
+
+let test_match_set () =
+  let ps = [ p "SEQ(E1, E2)"; p "AND(E2, E3) WITHIN 4" ] in
+  check_bool "all match" true
+    (Matcher.matches_set (Tuple.of_list [ ("E1", 0); ("E2", 5); ("E3", 3) ]) ps);
+  check_bool "one fails" false
+    (Matcher.matches_set (Tuple.of_list [ ("E1", 0); ("E2", 5); ("E3", 0) ]) ps)
+
+(* matching is invariant under time shift *)
+let prop_shift_invariance =
+  QCheck.Test.make ~name:"matching invariant under time shift" ~count:300
+    (Gen.pattern_and_tuple ()) (fun (pat, t) ->
+      let shifted = Tuple.map (fun _ ts -> ts + 37) t in
+      Matcher.matches t pat = Matcher.matches shifted pat)
+
+let qt = Gen.qt
+
+let suite =
+  ( "pattern",
+    [
+      Alcotest.test_case "constructors/size/depth" `Quick test_constructors_and_size;
+      Alcotest.test_case "classification (Table 2)" `Quick test_classify;
+      Alcotest.test_case "validation" `Quick test_validate;
+      Alcotest.test_case "parse basics" `Quick test_parse_basics;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "parse pattern set" `Quick test_parse_set;
+      qt prop_roundtrip;
+      qt prop_validate_generated;
+      Alcotest.test_case "match single event" `Quick test_match_event;
+      Alcotest.test_case "match SEQ order" `Quick test_match_seq;
+      Alcotest.test_case "match SEQ window" `Quick test_match_seq_window;
+      Alcotest.test_case "match AND any order" `Quick test_match_and;
+      Alcotest.test_case "match nested (paper p0)" `Quick test_match_nested;
+      Alcotest.test_case "failure reporting" `Quick test_match_failure_reporting;
+      Alcotest.test_case "match pattern set" `Quick test_match_set;
+      qt prop_shift_invariance;
+    ] )

@@ -1,0 +1,71 @@
+open Whynot
+module Pipeline = Explain.Pipeline
+module Tuple = Events.Tuple
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Pattern.Parse.pattern_exn
+
+let p0 = p "SEQ(AND(E1, E3) WITHIN 30, AND(E2, E4) WITHIN 30) ATLEAST 120"
+let t1 = Tuple.of_list [ ("E1", 1028); ("E2", 1138); ("E3", 1045); ("E4", 1153) ]
+let t2 = Tuple.of_list [ ("E1", 1026); ("E2", 1134); ("E3", 1044); ("E4", 1208) ]
+
+let test_already_answer () =
+  check_bool "matching tuple" true (Pipeline.explain [ p0 ] t1 = Pipeline.Already_answer)
+
+let test_inconsistent_route () =
+  let bad = p "SEQ(AND(E1, E3) ATLEAST 30, AND(E2, E4) ATLEAST 30) WITHIN 45" in
+  match Pipeline.explain [ bad ] t2 with
+  | Pipeline.Inconsistent_query r -> check_bool "flagged" false r.consistent
+  | _ -> Alcotest.fail "expected Inconsistent_query"
+
+let test_timestamp_route () =
+  match Pipeline.explain [ p0 ] t2 with
+  | Pipeline.Modify_timestamps r -> check_int "cost 44" 44 r.Explain.Modification.cost
+  | _ -> Alcotest.fail "expected Modify_timestamps"
+
+let test_budget_falls_back_to_query_repair () =
+  match Pipeline.explain ~max_cost:10 [ p0 ] t2 with
+  | Pipeline.Modify_query qr ->
+      check_int "window widening 44" 44 qr.Explain.Query_repair.cost;
+      check_bool "repaired query accepts t2" true
+        (Pattern.Matcher.matches_set t2 qr.patterns)
+  | _ -> Alcotest.fail "expected Modify_query"
+
+let test_budget_generous_keeps_timestamps () =
+  match Pipeline.explain ~max_cost:100 [ p0 ] t2 with
+  | Pipeline.Modify_timestamps _ -> ()
+  | _ -> Alcotest.fail "expected Modify_timestamps under a sufficient budget"
+
+let test_no_explanation () =
+  (* Order violated AND over budget: windows cannot fix event order. *)
+  let q = p "SEQ(E1, E2) WITHIN 10" in
+  let t = Tuple.of_list [ ("E1", 500); ("E2", 0) ] in
+  match Pipeline.explain ~max_cost:3 [ q ] t with
+  | Pipeline.No_explanation -> ()
+  | o -> Alcotest.failf "expected No_explanation, got %a" Pipeline.pp_outcome o
+
+let prop_pipeline_total =
+  QCheck.Test.make ~name:"pipeline always yields a coherent outcome" ~count:150
+    (Gen.pattern_and_tuple ~horizon:120 ()) (fun (pat, t) ->
+      match Pipeline.explain [ pat ] t with
+      | Pipeline.Already_answer -> Pattern.Matcher.matches t pat
+      | Pipeline.Inconsistent_query r -> not r.Explain.Consistency.consistent
+      | Pipeline.Modify_timestamps r ->
+          Pattern.Matcher.matches r.Explain.Modification.repaired pat
+      | Pipeline.Modify_query _ -> false (* no budget given: never this route *)
+      | Pipeline.No_explanation -> false (* Full strategy finds any feasible repair *))
+
+let suite =
+  ( "pipeline",
+    [
+      Alcotest.test_case "already an answer" `Quick test_already_answer;
+      Alcotest.test_case "inconsistent query route" `Quick test_inconsistent_route;
+      Alcotest.test_case "timestamp modification route" `Quick test_timestamp_route;
+      Alcotest.test_case "budget fallback to query repair" `Quick
+        test_budget_falls_back_to_query_repair;
+      Alcotest.test_case "generous budget stays on data" `Quick
+        test_budget_generous_keeps_timestamps;
+      Alcotest.test_case "no explanation" `Quick test_no_explanation;
+      Gen.qt prop_pipeline_total;
+    ] )

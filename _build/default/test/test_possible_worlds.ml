@@ -1,0 +1,97 @@
+open Whynot
+module Pw = Explain.Possible_worlds
+module Tuple = Events.Tuple
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+let p = Pattern.Parse.pattern_exn
+
+let test_world_count () =
+  let u = Pw.of_intervals [ ("A", 0, 2); ("B", 5, 5); ("C", 1, 4) ] in
+  check_int "3 * 1 * 4" 12 (Pw.world_count u);
+  check_int "center A" 1 (Tuple.find (Pw.center u) "A");
+  check_int "center B" 5 (Tuple.find (Pw.center u) "B")
+
+let test_validation () =
+  check_bool "empty interval" true
+    (try ignore (Pw.of_intervals [ ("A", 3, 2) ]); false
+     with Invalid_argument _ -> true);
+  check_bool "duplicate" true
+    (try ignore (Pw.of_intervals [ ("A", 0, 1); ("A", 2, 3) ]); false
+     with Invalid_argument _ -> true);
+  check_bool "negative radius" true
+    (try ignore (Pw.of_tuple ~radius:(-1) Tuple.empty); false
+     with Invalid_argument _ -> true)
+
+let test_confidence_extremes () =
+  let q = [ p "SEQ(A, B) WITHIN 100" ] in
+  let always = Pw.of_intervals [ ("A", 0, 2); ("B", 10, 12) ] in
+  check_float "all worlds match" 1.0 (Pw.confidence_exact always q);
+  let never = Pw.of_intervals [ ("A", 50, 52); ("B", 0, 2) ] in
+  check_float "no world matches" 0.0 (Pw.confidence_exact never q)
+
+let test_confidence_exact_value () =
+  (* A in {0,1}, B in {0,1}: SEQ(A,B) matches iff A <= B: 3 of 4 worlds. *)
+  let u = Pw.of_intervals [ ("A", 0, 1); ("B", 0, 1) ] in
+  check_float "3/4" 0.75 (Pw.confidence_exact u [ p "SEQ(A, B)" ])
+
+let test_confidence_limit () =
+  let u = Pw.of_tuple ~radius:1000 (Tuple.of_list [ ("A", 5000); ("B", 9000) ]) in
+  check_bool "limit enforced" true
+    (try ignore (Pw.confidence_exact u [ p "SEQ(A, B)" ]); false
+     with Invalid_argument _ -> true)
+
+let test_sampled_close_to_exact () =
+  let u = Pw.of_intervals [ ("A", 0, 9); ("B", 0, 9) ] in
+  let q = [ p "SEQ(A, B)" ] in
+  let exact = Pw.confidence_exact u q in
+  let prng = Numeric.Prng.create 99 in
+  let sampled = Pw.confidence_sampled ~samples:20_000 prng u q in
+  check_bool "within 3 points" true (abs_float (exact -. sampled) < 0.03)
+
+let test_most_likely_world () =
+  let q = [ p "SEQ(A, B) ATLEAST 10" ] in
+  let u = Pw.of_intervals [ ("A", 0, 0); ("B", 0, 12) ] in
+  (* centre has B = 6; nearest matching world moves B to 10: distance 4. *)
+  match Pw.most_likely_matching_world u q with
+  | Some (world, dist) ->
+      check_int "B at 10" 10 (Tuple.find world "B");
+      check_int "distance 4" 4 dist;
+      check_bool "matches" true (Pattern.Matcher.matches_set world q)
+  | None -> Alcotest.fail "expected a matching world"
+
+let test_most_likely_none () =
+  let q = [ p "SEQ(A, B) ATLEAST 100" ] in
+  let u = Pw.of_intervals [ ("A", 0, 5); ("B", 0, 5) ] in
+  check_bool "no matching world" true (Pw.most_likely_matching_world u q = None)
+
+(* The paper's Section 7.2 claim, executable: the minimum-change repair is
+   never worse than the best world restricted to the uncertainty box. *)
+let prop_min_change_bounds_possible_worlds =
+  QCheck.Test.make
+    ~name:"min-change repair cost <= best possible-world distance" ~count:100
+    (Gen.pattern_and_tuple ~horizon:40 ~max_events:4 ()) (fun (pat, t) ->
+      let u = Pw.of_tuple ~radius:6 t in
+      match Pw.most_likely_matching_world ~limit:2_000_000 u [ pat ] with
+      | None -> true
+      | Some (_, dist) -> (
+          match Explain.Modification.explain [ pat ] t with
+          | Some { cost; _ } -> cost <= dist
+          | None -> false (* a matching world exists, so the query is consistent *)))
+
+let qt = Gen.qt
+
+let suite =
+  ( "possible_worlds",
+    [
+      Alcotest.test_case "world count / center" `Quick test_world_count;
+      Alcotest.test_case "validation" `Quick test_validation;
+      Alcotest.test_case "confidence extremes" `Quick test_confidence_extremes;
+      Alcotest.test_case "confidence exact value" `Quick test_confidence_exact_value;
+      Alcotest.test_case "enumeration limit" `Quick test_confidence_limit;
+      Alcotest.test_case "sampled close to exact" `Quick test_sampled_close_to_exact;
+      Alcotest.test_case "most likely matching world" `Quick test_most_likely_world;
+      Alcotest.test_case "no matching world" `Quick test_most_likely_none;
+      qt prop_min_change_bounds_possible_worlds;
+    ] )

@@ -1,0 +1,113 @@
+open Whynot
+module Sim = Datagen.Process_sim
+module Tuple = Events.Tuple
+module Trace = Events.Trace
+module Prng = Numeric.Prng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let dep ?(min_delay = 1) ?(max_delay = 10) after = { Sim.after; min_delay; max_delay }
+
+let act ?(requires = []) ?(skip = 0.0) name =
+  { Sim.name; requires; skip_probability = skip }
+
+let linear =
+  Sim.model_exn
+    [ act "A"; act ~requires:[ dep "A" ] "B"; act ~requires:[ dep "B" ] "C" ]
+
+let test_validation () =
+  let err acts msg =
+    match Sim.model acts with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail msg
+  in
+  err [ act "A"; act "A" ] "duplicate names";
+  err [ act ~requires:[ dep "Z" ] "A" ] "unknown dependency";
+  err
+    [ act ~requires:[ dep ~min_delay:5 ~max_delay:2 "B" ] "A"; act "B" ]
+    "inverted delays";
+  err [ act ~skip:1.5 "A" ] "bad probability";
+  err
+    [ act ~requires:[ dep "B" ] "A"; act ~requires:[ dep "A" ] "B" ]
+    "cycle";
+  check_bool "valid model accepted" true (Result.is_ok (Sim.model [ act "A" ]))
+
+let test_topological_order () =
+  let m =
+    Sim.model_exn
+      [ act ~requires:[ dep "A"; dep "B" ] "C"; act "A"; act ~requires:[ dep "A" ] "B" ]
+  in
+  Alcotest.(check (list string)) "topo order" [ "A"; "B"; "C" ] (Sim.activities m)
+
+let test_simulate_respects_delays () =
+  let prng = Prng.create 1 in
+  for _ = 1 to 50 do
+    let t = Sim.simulate_case prng linear in
+    let a = Tuple.find t "A" and b = Tuple.find t "B" and c = Tuple.find t "C" in
+    check_int "A at start" 0 a;
+    check_bool "B delay in range" true (b - a >= 1 && b - a <= 10);
+    check_bool "C delay in range" true (c - b >= 1 && c - b <= 10)
+  done
+
+let test_join_waits_for_all () =
+  let m =
+    Sim.model_exn
+      [
+        act "A";
+        act ~requires:[ dep ~min_delay:100 ~max_delay:100 "A" ] "Slow";
+        act ~requires:[ dep ~min_delay:1 ~max_delay:1 "A" ] "Fast";
+        act ~requires:[ dep ~min_delay:0 ~max_delay:0 "Slow"; dep ~min_delay:0 ~max_delay:0 "Fast" ] "Join";
+      ]
+  in
+  let t = Sim.simulate_case (Prng.create 2) m in
+  check_int "join waits for the slow branch" 100 (Tuple.find t "Join")
+
+let test_skip_propagates () =
+  let m =
+    Sim.model_exn
+      [ act "A"; act ~requires:[ dep "A" ] ~skip:1.0 "B"; act ~requires:[ dep "B" ] "C" ]
+  in
+  let t = Sim.simulate_case (Prng.create 3) m in
+  check_bool "B skipped" false (Tuple.mem "B" t);
+  check_bool "C transitively skipped" false (Tuple.mem "C" t);
+  check_bool "A present" true (Tuple.mem "A" t)
+
+let test_skip_statistics () =
+  let m = Sim.model_exn [ act "A"; act ~requires:[ dep "A" ] ~skip:0.5 "B" ] in
+  let prng = Prng.create 4 in
+  let present = ref 0 in
+  for _ = 1 to 1000 do
+    if Tuple.mem "B" (Sim.simulate_case prng m) then incr present
+  done;
+  check_bool "about half present" true (!present > 400 && !present < 600)
+
+let test_simulate_log () =
+  let prng = Prng.create 5 in
+  let log = Sim.simulate ~start_spread:500 prng linear ~cases:30 in
+  check_int "cases" 30 (Trace.cardinal log);
+  let starts =
+    Trace.fold (fun _ t acc -> Tuple.find t "A" :: acc) log []
+  in
+  check_bool "starts vary" true (List.length (List.sort_uniq compare starts) > 5)
+
+let test_matches_compatible_pattern () =
+  (* windows subsumeing the delay ranges always match *)
+  let q = Pattern.Parse.pattern_exn "SEQ(A, B, C) ATLEAST 2 WITHIN 20" in
+  let prng = Prng.create 6 in
+  let log = Sim.simulate prng linear ~cases:50 in
+  check_int "all simulated cases match" 50
+    (List.length (Cep.Query.answers [ q ] log))
+
+let suite =
+  ( "process_sim",
+    [
+      Alcotest.test_case "model validation" `Quick test_validation;
+      Alcotest.test_case "topological order" `Quick test_topological_order;
+      Alcotest.test_case "delays respected" `Quick test_simulate_respects_delays;
+      Alcotest.test_case "join waits for all" `Quick test_join_waits_for_all;
+      Alcotest.test_case "skip propagates" `Quick test_skip_propagates;
+      Alcotest.test_case "skip statistics" `Quick test_skip_statistics;
+      Alcotest.test_case "simulate a log" `Quick test_simulate_log;
+      Alcotest.test_case "compatible pattern matches" `Quick test_matches_compatible_pattern;
+    ] )

@@ -1,0 +1,160 @@
+open Whynot
+module Qr = Explain.Query_repair
+module Tuple = Events.Tuple
+module Ast = Pattern.Ast
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Pattern.Parse.pattern_exn
+
+let test_no_change_when_matching () =
+  let q = [ p "SEQ(E1, E2) ATLEAST 5 WITHIN 20" ] in
+  let t = Tuple.of_list [ ("E1", 0); ("E2", 10) ] in
+  match Qr.explain q [ t ] with
+  | Ok { cost; changes; patterns } ->
+      check_int "zero cost" 0 cost;
+      check_int "no changes" 0 (List.length changes);
+      check_bool "query unchanged" true (List.for_all2 Ast.equal q patterns)
+  | Error _ -> Alcotest.fail "expected success"
+
+let test_widen_within () =
+  let q = [ p "SEQ(E1, E2) ATLEAST 5 WITHIN 20" ] in
+  let t = Tuple.of_list [ ("E1", 0); ("E2", 35) ] in
+  match Qr.explain q [ t ] with
+  | Ok { cost; changes; patterns } ->
+      check_int "widen by 15" 15 cost;
+      check_int "one change" 1 (List.length changes);
+      check_bool "repaired accepts" true (Pattern.Matcher.matches_set t patterns);
+      let c = List.hd changes in
+      check_bool "within became 35" true (c.new_window.within = Some 35);
+      check_bool "atleast untouched" true (c.new_window.atleast = Some 5)
+  | Error _ -> Alcotest.fail "expected success"
+
+let test_lower_atleast () =
+  let q = [ p "SEQ(E1, E2) ATLEAST 50" ] in
+  let t = Tuple.of_list [ ("E1", 0); ("E2", 30) ] in
+  match Qr.explain q [ t ] with
+  | Ok { cost; changes; _ } ->
+      check_int "lower by 20" 20 cost;
+      check_bool "atleast became 30" true
+        ((List.hd changes).new_window.atleast = Some 30)
+  | Error _ -> Alcotest.fail "expected success"
+
+let test_nested_windows () =
+  (* Example-1 style: the inner AND window and the outer ATLEAST both
+     need adjustment for this tuple. *)
+  let q = [ p "SEQ(AND(E1, E3) WITHIN 30, AND(E2, E4) WITHIN 30) ATLEAST 120" ] in
+  let t2 = Tuple.of_list [ ("E1", 1026); ("E2", 1134); ("E3", 1044); ("E4", 1208) ] in
+  match Qr.explain q [ t2 ] with
+  | Ok { cost; patterns; changes } ->
+      (* only |E4 - E2| = 74 violates its WITHIN 30: widen by 44. *)
+      check_int "widen the second AND by 44" 44 cost;
+      check_int "exactly one window changed" 1 (List.length changes);
+      check_bool "repaired accepts t2" true (Pattern.Matcher.matches_set t2 patterns)
+  | Error _ -> Alcotest.fail "expected success"
+
+let test_order_violation_unfixable () =
+  let q = [ p "SEQ(E1, E2) WITHIN 10" ] in
+  let t = Tuple.of_list [ ("E1", 20); ("E2", 5) ] in
+  match Qr.explain q [ t ] with
+  | Error (Qr.Order_violation _) -> ()
+  | Ok _ -> Alcotest.fail "order violations cannot be window-repaired"
+  | Error f -> Alcotest.failf "wrong failure: %a" Qr.pp_failure f
+
+let test_unbound_event () =
+  let q = [ p "SEQ(E1, E2)" ] in
+  match Qr.explain q [ Tuple.of_list [ ("E1", 0) ] ] with
+  | Error (Qr.Unbound_event "E2") -> ()
+  | _ -> Alcotest.fail "expected Unbound_event"
+
+let test_multiple_tuples () =
+  let q = [ p "SEQ(E1, E2) ATLEAST 10 WITHIN 20" ] in
+  let tuples =
+    [
+      Tuple.of_list [ ("E1", 0); ("E2", 5) ] (* needs atleast <= 5 *);
+      Tuple.of_list [ ("E1", 0); ("E2", 28) ] (* needs within >= 28 *);
+    ]
+  in
+  match Qr.explain q tuples with
+  | Ok { cost; patterns; _ } ->
+      check_int "both directions widened" (5 + 8) cost;
+      check_bool "accepts all expected" true
+        (List.for_all (fun t -> Pattern.Matcher.matches_set t patterns) tuples)
+  | Error _ -> Alcotest.fail "expected success"
+
+let test_changes_ranked_by_cost () =
+  let q = [ p "SEQ(SEQ(E1, E2) WITHIN 5, SEQ(E3, E4) WITHIN 5) WITHIN 100" ] in
+  let t =
+    Tuple.of_list [ ("E1", 0); ("E2", 8) (* +3 *); ("E3", 10); ("E4", 40) (* +25 *) ]
+  in
+  match Qr.explain q [ t ] with
+  | Ok { changes = first :: _ :: _ as changes; _ } ->
+      check_int "two changes" 2 (List.length changes);
+      check_int "biggest first" 25 first.change_cost
+  | Ok _ -> Alcotest.fail "expected two changes"
+  | Error _ -> Alcotest.fail "expected success"
+
+let test_empty_expected_raises () =
+  check_bool "raises" true
+    (try ignore (Qr.explain [ p "E1" ] []); false with Invalid_argument _ -> true)
+
+(* Soundness: a successful query repair always accepts all expected tuples,
+   costs zero iff they already match, and only ever *widens* windows. *)
+let prop_sound =
+  QCheck.Test.make ~name:"query repair: sound, minimal-zero, widening-only"
+    ~count:300 (Gen.pattern_and_tuple ()) (fun (pat, t) ->
+      match Qr.explain [ pat ] [ t ] with
+      | Error (Qr.Order_violation _) -> not (Pattern.Matcher.matches t pat)
+      | Error (Qr.Unbound_event _) -> false (* generator binds all events *)
+      | Ok { patterns; cost; changes } ->
+          let widened_only =
+            List.for_all
+              (fun c ->
+                let ge_old =
+                  match (c.Qr.old_window.within, c.Qr.new_window.within) with
+                  | Some o, Some n -> n >= o
+                  | None, None -> true
+                  | _ -> false
+                in
+                let le_old =
+                  match (c.Qr.old_window.atleast, c.Qr.new_window.atleast) with
+                  | Some o, Some n -> n <= o
+                  | None, None -> true
+                  | _ -> false
+                in
+                ge_old && le_old)
+              changes
+          in
+          List.for_all (fun p' -> Pattern.Matcher.matches t p') patterns
+          && (cost = 0) = Pattern.Matcher.matches t pat
+          && widened_only)
+
+(* Duality with the data repair: after repairing the query, the data repair
+   is free; and vice versa the original query accepts the data repair. *)
+let prop_duality =
+  QCheck.Test.make ~name:"query repair and data repair are dual routes"
+    ~count:150 (Gen.pattern_and_tuple ()) (fun (pat, t) ->
+      match Qr.explain [ pat ] [ t ] with
+      | Error _ -> true
+      | Ok { patterns; _ } -> (
+          match Explain.Modification.explain patterns t with
+          | Some { cost; _ } -> cost = 0
+          | None -> false))
+
+let qt = Gen.qt
+
+let suite =
+  ( "query_repair",
+    [
+      Alcotest.test_case "no change when matching" `Quick test_no_change_when_matching;
+      Alcotest.test_case "widen WITHIN" `Quick test_widen_within;
+      Alcotest.test_case "lower ATLEAST" `Quick test_lower_atleast;
+      Alcotest.test_case "nested windows (Example 1 tuple)" `Quick test_nested_windows;
+      Alcotest.test_case "order violation unfixable" `Quick test_order_violation_unfixable;
+      Alcotest.test_case "unbound event" `Quick test_unbound_event;
+      Alcotest.test_case "multiple expected tuples" `Quick test_multiple_tuples;
+      Alcotest.test_case "changes ranked by cost" `Quick test_changes_ranked_by_cost;
+      Alcotest.test_case "empty expected raises" `Quick test_empty_expected_raises;
+      qt prop_sound;
+      qt prop_duality;
+    ] )

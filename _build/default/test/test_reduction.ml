@@ -1,0 +1,126 @@
+open Whynot
+module Sat = Reduction.Sat
+module Set_cover = Reduction.Set_cover
+module Tuple = Events.Tuple
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- 3SAT --- *)
+
+let lit var positive = { Sat.var; positive }
+
+let test_sat_eval_and_brute () =
+  (* (x0 | x1 | x2) & (!x0 | !x1 | !x2) *)
+  let f =
+    {
+      Sat.num_vars = 3;
+      clauses = [ [ lit 0 true; lit 1 true; lit 2 true ];
+                  [ lit 0 false; lit 1 false; lit 2 false ] ];
+    }
+  in
+  check_bool "satisfiable" true (Sat.brute_force f <> None);
+  check_bool "eval true assignment" true (Sat.eval [| true; false; false |] f);
+  check_bool "eval false assignment" false (Sat.eval [| true; true; true |] f)
+
+let test_sat_unsat_instance () =
+  (* All 8 sign combinations over 3 vars: unsatisfiable. *)
+  let clauses =
+    List.concat_map
+      (fun s0 ->
+        List.concat_map
+          (fun s1 -> List.map (fun s2 -> [ lit 0 s0; lit 1 s1; lit 2 s2 ]) [ true; false ])
+          [ true; false ])
+      [ true; false ]
+  in
+  let f = { Sat.num_vars = 3; clauses } in
+  check_bool "unsat" true (Sat.brute_force f = None);
+  check_bool "reduction inconsistent" false
+    (Explain.Consistency.check ~strategy:Explain.Consistency.Pruned (Sat.to_patterns f)).consistent
+
+let test_sat_reduction_agreement () =
+  let prng = Numeric.Prng.create 42 in
+  for _ = 1 to 25 do
+    let f = Sat.random_3sat prng ~num_vars:3 ~num_clauses:5 in
+    let sat = Sat.brute_force f <> None in
+    let report = Explain.Consistency.check ~strategy:Explain.Consistency.Pruned (Sat.to_patterns f) in
+    check_bool "Theorem 2: consistent iff satisfiable" sat report.consistent;
+    (* And when consistent, the witness decodes to a satisfying assignment. *)
+    match report.witness with
+    | Some w -> (
+        match Sat.assignment_of_witness f w with
+        | Some assignment -> check_bool "decoded assignment satisfies" true (Sat.eval assignment f)
+        | None -> Alcotest.fail "witness missing gadget events")
+    | None -> check_bool "no witness iff unsat" false sat
+  done
+
+let test_sat_validation () =
+  check_bool "random instance well-formed" true
+    (let prng = Numeric.Prng.create 1 in
+     let f = Sat.random_3sat prng ~num_vars:5 ~num_clauses:8 in
+     List.for_all
+       (fun c ->
+         List.length c = 3
+         && List.length (List.sort_uniq compare (List.map (fun l -> l.Sat.var) c)) = 3)
+       f.clauses);
+  check_bool "rejects tiny var count" true
+    (try
+       ignore (Sat.random_3sat (Numeric.Prng.create 1) ~num_vars:2 ~num_clauses:1);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- SET COVER --- *)
+
+let test_set_cover_brute () =
+  let inst = { Set_cover.num_elements = 4; sets = [| [ 0; 1 ]; [ 2; 3 ]; [ 0; 1; 2; 3 ] |] } in
+  Alcotest.(check (option (list int))) "picks the big set" (Some [ 2 ])
+    (Set_cover.brute_force_min_cover inst);
+  check_bool "validates" true (Result.is_ok (Set_cover.validate inst));
+  let bad = { Set_cover.num_elements = 4; sets = [| [ 0; 1 ] |] } in
+  check_bool "uncovered detected" true (Result.is_error (Set_cover.validate bad))
+
+let test_set_cover_reduction_agreement () =
+  let prng = Numeric.Prng.create 7 in
+  for _ = 1 to 8 do
+    let inst =
+      Set_cover.random_instance prng ~num_elements:3 ~num_sets:4 ~density:0.4
+    in
+    let cover_size =
+      List.length (Option.get (Set_cover.brute_force_min_cover inst))
+    in
+    let patterns = Set_cover.to_patterns inst in
+    let t = Set_cover.tuple inst in
+    match
+      Explain.Modification.explain ~strategy:Explain.Modification.Full
+        ~solver:Explain.Modification.Flow patterns t
+    with
+    | Some { cost; repaired; _ } ->
+        check_int "Theorem 3: min cost = min cover size" cover_size cost;
+        (* The moved set events form a cover. *)
+        let chosen = Set_cover.cover_of_repair inst repaired in
+        let covered = Array.make inst.num_elements false in
+        List.iter (fun i -> List.iter (fun e -> covered.(e) <- true) inst.sets.(i)) chosen;
+        check_bool "repair decodes to a cover" true (Array.for_all Fun.id covered)
+    | None -> Alcotest.fail "reduction pattern set must be consistent"
+  done
+
+let test_set_cover_tuple_shape () =
+  let inst = { Set_cover.num_elements = 2; sets = [| [ 0 ]; [ 1 ]; [ 0; 1 ] |] } in
+  let t = Set_cover.tuple inst in
+  check_int "S at 2" 2 (Tuple.find t "S0");
+  check_int "S' at 0" 0 (Tuple.find t "SP1");
+  check_int "U at 1" 1 (Tuple.find t "U0");
+  check_int "cardinal" 8 (Tuple.cardinal t)
+
+let suite =
+  ( "reduction",
+    [
+      Alcotest.test_case "3sat eval + brute force" `Quick test_sat_eval_and_brute;
+      Alcotest.test_case "3sat unsat instance" `Quick test_sat_unsat_instance;
+      Alcotest.test_case "Theorem 2 reduction agreement" `Quick test_sat_reduction_agreement;
+      Alcotest.test_case "3sat generator validity" `Quick test_sat_validation;
+      Alcotest.test_case "set cover brute force" `Quick test_set_cover_brute;
+      Alcotest.test_case "Theorem 3 reduction agreement" `Quick
+        test_set_cover_reduction_agreement;
+      Alcotest.test_case "set cover tuple shape" `Quick test_set_cover_tuple_shape;
+    ] )

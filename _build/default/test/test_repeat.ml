@@ -1,0 +1,125 @@
+(* Bounded Kleene (REPEAT sugar): parser desugaring, batch matching over
+   alias-named tuples, and streaming alias filling in the detector. *)
+
+open Whynot
+module Ast = Pattern.Ast
+module Event = Events.Event
+module Tuple = Events.Tuple
+module Detector = Cep.Detector
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Pattern.Parse.pattern_exn
+
+let test_alias_scheme () =
+  let a = Event.repeat_alias ~base:"B" ~group:2 ~index:3 in
+  check_bool "info recovered" true (Event.alias_info a = Some ("B", 2, 3));
+  check_bool "plain event has none" true (Event.alias_info "B" = None);
+  check_bool "not artificial" false (Event.is_artificial a);
+  check_bool "malformed rejected" true (Event.alias_info "B#x_y" = None)
+
+let test_parse_repeat () =
+  let q = p "REPEAT(B, 3) ATLEAST 5 WITHIN 40" in
+  match q with
+  | Ast.Seq ([ Ast.Event b1; Ast.Event b2; Ast.Event b3 ], w) ->
+      check_bool "aliases in order" true
+        (Event.alias_info b1 = Some ("B", 1, 1)
+        && Event.alias_info b2 = Some ("B", 1, 2)
+        && Event.alias_info b3 = Some ("B", 1, 3));
+      check_bool "window kept" true (w.atleast = Some 5 && w.within = Some 40)
+  | _ -> Alcotest.fail "expected a SEQ of three aliases"
+
+let test_parse_repeat_groups_numbered_apart () =
+  let q = p "SEQ(REPEAT(A, 2), X, REPEAT(A, 2))" in
+  let events = Events.Event.Set.elements (Ast.events q) in
+  check_int "five events" 5 (List.length events);
+  check_bool "valid (no duplicates)" true (Result.is_ok (Ast.validate q))
+
+let test_parse_repeat_errors () =
+  let fails s = check_bool s true (Result.is_error (Pattern.Parse.pattern s)) in
+  fails "REPEAT(B, 0)";
+  fails "REPEAT(B)";
+  fails "REPEAT(SEQ(A, B), 2)";
+  fails "REPEAT(B, 2" (* unclosed *)
+
+let test_batch_matching () =
+  let q = p "SEQ(A, REPEAT(B, 2) WITHIN 10, C)" in
+  let alias i = Event.repeat_alias ~base:"B" ~group:1 ~index:i in
+  let t =
+    Tuple.of_list [ ("A", 0); (alias 1, 5); (alias 2, 9); ("C", 20) ]
+  in
+  check_bool "matches" true (Pattern.Matcher.matches t q);
+  let bad = Tuple.add (alias 2) 40 t in
+  check_bool "copies window enforced" false (Pattern.Matcher.matches bad q)
+
+let inst event timestamp tag = { Detector.event; timestamp; tag }
+
+let test_detector_fills_aliases () =
+  let q = p "SEQ(A, REPEAT(B, 2), C) WITHIN 100" in
+  let d = Detector.create [ q ] in
+  let matches =
+    Detector.feed_all d
+      [ inst "A" 0 "a"; inst "B" 5 "b1"; inst "B" 9 "b2"; inst "C" 20 "c" ]
+  in
+  check_int "one match" 1 (List.length matches);
+  let tags = (List.hd matches).Detector.tags in
+  check_bool "b1 fills the first alias" true
+    (List.assoc (Event.repeat_alias ~base:"B" ~group:1 ~index:1) tags = "b1");
+  check_bool "b2 fills the second" true
+    (List.assoc (Event.repeat_alias ~base:"B" ~group:1 ~index:2) tags = "b2")
+
+let test_detector_counts_combinations () =
+  (* three Bs, choose an ascending pair: C(3,2) = 3 matches *)
+  let q = p "REPEAT(B, 2) WITHIN 100" in
+  let d = Detector.create [ q ] in
+  let matches =
+    Detector.feed_all d [ inst "B" 1 "x"; inst "B" 2 "y"; inst "B" 3 "z" ]
+  in
+  check_int "three ascending pairs" 3 (List.length matches)
+
+let test_detector_not_enough_copies () =
+  let q = p "REPEAT(B, 3) WITHIN 100" in
+  let d = Detector.create [ q ] in
+  let matches = Detector.feed_all d [ inst "B" 1 "x"; inst "B" 2 "y" ] in
+  check_int "two copies never match a 3-repeat" 0 (List.length matches)
+
+let test_detector_repeat_with_window () =
+  (* copies must fit WITHIN 5 of each other region *)
+  let q = p "REPEAT(B, 2) ATLEAST 2 WITHIN 5" in
+  let d = Detector.create [ q ] in
+  let matches =
+    Detector.feed_all d [ inst "B" 0 "x"; inst "B" 1 "y"; inst "B" 4 "z" ]
+  in
+  (* pairs: (0,1) span 1 < atleast 2: no; (0,4) span 4: yes; (1,4) span 3: yes *)
+  check_int "window-respecting pairs" 2 (List.length matches)
+
+let test_consistency_and_repair_with_repeat () =
+  let q = p "SEQ(A, REPEAT(B, 2) ATLEAST 10, C) WITHIN 15" in
+  (* B-copies need >= 10 between first and last; A..C within 15: consistent *)
+  check_bool "consistent" true (Explain.Consistency.check [ q ]).consistent;
+  let impossible = p "SEQ(A, REPEAT(B, 2) ATLEAST 10, C) WITHIN 5" in
+  check_bool "inconsistent" false (Explain.Consistency.check [ impossible ]).consistent;
+  (* repair a tuple over alias events *)
+  let alias i = Event.repeat_alias ~base:"B" ~group:1 ~index:i in
+  let t = Tuple.of_list [ ("A", 0); (alias 1, 1); (alias 2, 3); ("C", 14) ] in
+  match Explain.Modification.explain [ q ] t with
+  | Some { cost; repaired; _ } ->
+      check_bool "repaired matches" true (Pattern.Matcher.matches repaired q);
+      check_bool "cost positive" true (cost > 0)
+  | None -> Alcotest.fail "expected a repair"
+
+let suite =
+  ( "repeat",
+    [
+      Alcotest.test_case "alias naming scheme" `Quick test_alias_scheme;
+      Alcotest.test_case "parse REPEAT" `Quick test_parse_repeat;
+      Alcotest.test_case "groups numbered apart" `Quick test_parse_repeat_groups_numbered_apart;
+      Alcotest.test_case "REPEAT parse errors" `Quick test_parse_repeat_errors;
+      Alcotest.test_case "batch matching over aliases" `Quick test_batch_matching;
+      Alcotest.test_case "detector fills aliases" `Quick test_detector_fills_aliases;
+      Alcotest.test_case "detector combination count" `Quick test_detector_counts_combinations;
+      Alcotest.test_case "not enough copies" `Quick test_detector_not_enough_copies;
+      Alcotest.test_case "repeat with window" `Quick test_detector_repeat_with_window;
+      Alcotest.test_case "consistency + repair with REPEAT" `Quick
+        test_consistency_and_repair_with_repeat;
+    ] )

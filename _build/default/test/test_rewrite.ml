@@ -1,0 +1,91 @@
+open Whynot
+module Ast = Pattern.Ast
+module Rewrite = Pattern.Rewrite
+module Tuple = Events.Tuple
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Pattern.Parse.pattern_exn
+
+let ast = Alcotest.testable Ast.pp Ast.equal
+
+let test_flatten_seq () =
+  Alcotest.check ast "SEQ splice" (p "SEQ(A, B, C, D)")
+    (Rewrite.normalize (p "SEQ(A, SEQ(B, C), D)"));
+  Alcotest.check ast "deep splice" (p "SEQ(A, B, C, D, E)")
+    (Rewrite.normalize (p "SEQ(SEQ(A, SEQ(B, C)), SEQ(D, E))"))
+
+let test_flatten_and () =
+  Alcotest.check ast "AND splice" (p "AND(A, B, C) WITHIN 9")
+    (Rewrite.normalize (p "AND(A, AND(B, C)) WITHIN 9"))
+
+let test_windowed_children_kept () =
+  Alcotest.check ast "windowed SEQ child not spliced"
+    (p "SEQ(A, SEQ(B, C) WITHIN 5, D)")
+    (Rewrite.normalize (p "SEQ(A, SEQ(B, C) WITHIN 5, D)"));
+  Alcotest.check ast "windowed AND child kept"
+    (p "AND(A, AND(B, C) ATLEAST 2)")
+    (Rewrite.normalize (p "AND(A, AND(B, C) ATLEAST 2)"))
+
+let test_singleton_collapse () =
+  Alcotest.check ast "SEQ of one" (p "E1") (Rewrite.normalize (Ast.seq [ Ast.event "E1" ]));
+  Alcotest.check ast "AND of one" (p "E1") (Rewrite.normalize (Ast.and_ [ Ast.event "E1" ]));
+  (* a real window on a composite single event: WITHIN is trivially satisfied *)
+  Alcotest.check ast "trivial window dropped" (p "E1")
+    (Rewrite.normalize (Ast.seq ~within:10 [ Ast.event "E1" ]));
+  (* ATLEAST > 0 on a single event can never match: kept as written *)
+  check_bool "unsatisfiable singleton kept" true
+    (Rewrite.normalize (Ast.seq ~atleast:5 [ Ast.event "E1" ]) <> p "E1")
+
+let test_atleast_zero_dropped () =
+  Alcotest.check ast "ATLEAST 0 dropped" (p "SEQ(A, B) WITHIN 7")
+    (Rewrite.normalize (p "SEQ(A, B) ATLEAST 0 WITHIN 7"))
+
+let test_mixed_kinds_not_spliced () =
+  Alcotest.check ast "AND under SEQ untouched" (p "SEQ(A, AND(B, C))")
+    (Rewrite.normalize (p "SEQ(A, AND(B, C))"))
+
+let test_binding_space_shrinks () =
+  let before = p "AND(AND(A, B), AND(C, D))" in
+  let count q =
+    Tcn.Bindings.count (Tcn.Encode.pattern_set [ q ]).Tcn.Encode.set_bindings
+  in
+  let after = Rewrite.normalize before in
+  Alcotest.check ast "flattened" (p "AND(A, B, C, D)") after;
+  check_int "before: 3 ANDs" (2 * 2 * (2 * 2) * (2 * 2)) (count before);
+  check_int "after: 1 AND over 4" (4 * 4) (count after)
+
+let prop_semantics_preserved =
+  QCheck.Test.make ~name:"normalize preserves matching exactly" ~count:500
+    (Gen.pattern_and_tuple ()) (fun (pat, t) ->
+      Pattern.Matcher.matches t pat = Pattern.Matcher.matches t (Rewrite.normalize pat))
+
+let prop_normalize_valid_and_idempotent =
+  QCheck.Test.make ~name:"normalize output valid and idempotent" ~count:300
+    (Gen.pattern ()) (fun pat ->
+      let n = Rewrite.normalize pat in
+      Result.is_ok (Ast.validate n) && Ast.equal n (Rewrite.normalize n))
+
+let prop_never_grows =
+  QCheck.Test.make ~name:"normalize never grows the pattern or binding space"
+    ~count:300 (Gen.pattern ()) (fun pat ->
+      let count q =
+        Tcn.Bindings.count (Tcn.Encode.pattern_set [ q ]).Tcn.Encode.set_bindings
+      in
+      let n = Rewrite.normalize pat in
+      Ast.size n <= Ast.size pat && count n <= count pat)
+
+let suite =
+  ( "rewrite",
+    [
+      Alcotest.test_case "flatten SEQ" `Quick test_flatten_seq;
+      Alcotest.test_case "flatten AND" `Quick test_flatten_and;
+      Alcotest.test_case "windowed children kept" `Quick test_windowed_children_kept;
+      Alcotest.test_case "singleton collapse" `Quick test_singleton_collapse;
+      Alcotest.test_case "ATLEAST 0 dropped" `Quick test_atleast_zero_dropped;
+      Alcotest.test_case "mixed kinds untouched" `Quick test_mixed_kinds_not_spliced;
+      Alcotest.test_case "binding space shrinks" `Quick test_binding_space_shrinks;
+      Gen.qt prop_semantics_preserved;
+      Gen.qt prop_normalize_valid_and_idempotent;
+      Gen.qt prop_never_grows;
+    ] )

@@ -1,0 +1,50 @@
+open Whynot
+module Scenarios = Datagen.Scenarios
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let per_scenario name f =
+  List.map
+    (fun s -> Alcotest.test_case (name ^ ": " ^ s.Scenarios.name) `Quick (fun () -> f s))
+    Scenarios.all
+
+let clean_simulations_match s =
+  let prng = Numeric.Prng.create 17 in
+  let trace = Scenarios.generate prng s ~cases:40 in
+  check_int "all clean cases match the query" 40
+    (List.length (Cep.Query.answers [ s.Scenarios.query ] trace))
+
+let broken_query_inconsistent s =
+  check_bool "broken variant rejected by Algorithm 1" false
+    (Explain.Consistency.check ~strategy:Explain.Consistency.Pruned
+       [ s.Scenarios.broken_query ])
+      .consistent;
+  check_bool "real query consistent" true
+    (Explain.Consistency.check ~strategy:Explain.Consistency.Pruned
+       [ s.Scenarios.query ])
+      .consistent
+
+let faulted_cases_explainable s =
+  let prng = Numeric.Prng.create 23 in
+  let trace = Scenarios.generate prng s ~cases:30 in
+  let observed = Datagen.Faults.trace prng ~rate:0.4 ~distance:100 trace in
+  let non_answers = Cep.Query.non_answers [ s.Scenarios.query ] observed in
+  check_bool "faults create non-answers" true (non_answers <> []);
+  let repaired = Cep.Query.explain_trace [ s.Scenarios.query ] observed in
+  check_int "everything explainable" 0
+    (List.length (Cep.Query.non_answers [ s.Scenarios.query ] repaired))
+
+let lint_blames_broken s =
+  let report = Explain.Lint.run [ s.Scenarios.broken_query ] in
+  check_bool "some bound flagged fatal" true
+    (List.exists
+       (fun f -> match f.Explain.Lint.verdict with Explain.Lint.Fatal _ -> true | _ -> false)
+       report.findings)
+
+let suite =
+  ( "scenarios",
+    per_scenario "clean cases match" clean_simulations_match
+    @ per_scenario "broken query inconsistent" broken_query_inconsistent
+    @ per_scenario "faulted cases explainable" faulted_cases_explainable
+    @ per_scenario "lint blames the broken bound" lint_blames_broken )

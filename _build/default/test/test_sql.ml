@@ -1,0 +1,99 @@
+open Whynot
+module Sql = Cep.Sql
+module Tuple = Events.Tuple
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let p = Pattern.Parse.pattern_exn
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_paper_example () =
+  (* Section 7.3: AND(E1, E2) WITHIN 30 — two disjuncts, one per order. *)
+  let c = Sql.of_patterns [ p "AND(E1, E2) WITHIN 30" ] in
+  let t d = Tuple.of_list [ ("E1", 100); ("E2", 100 + d) ] in
+  check_bool "in window, E1 first" true (Sql.eval c (t 30));
+  check_bool "in window, E2 first" true (Sql.eval c (t (-30)));
+  check_bool "out of window" false (Sql.eval c (t 31));
+  (* one disjunct per consistent binding: the two orders of the paper's
+     example, plus the two degenerate simultaneous ones (min = max), some
+     possibly deduplicated *)
+  match c with
+  | Sql.Any ds ->
+      check_bool "2 to 4 disjuncts" true (List.length ds >= 2 && List.length ds <= 4)
+  | _ -> Alcotest.fail "expected a disjunction"
+
+let test_seq_single_conjunct () =
+  (* no AND: a single conjunction, as the paper's simple case *)
+  let c = Sql.of_patterns [ p "SEQ(E1, E2) ATLEAST 120 WITHIN 200" ] in
+  (match c with
+  | Sql.All _ | Sql.Cmp _ -> ()
+  | _ -> Alcotest.fail "expected one conjunct");
+  let sql = Sql.to_string c in
+  check_bool "mentions the lower bound" true
+    (contains sql "E1 + 120 <= E2");
+  check_bool "mentions the upper bound" true (contains sql "E2 <= E1 + 200")
+
+let test_inconsistent_is_false () =
+  let c =
+    Sql.of_patterns
+      [ p "SEQ(AND(E1, E3) ATLEAST 30, AND(E2, E4) ATLEAST 30) WITHIN 45" ]
+  in
+  check_bool "False" true (c = Sql.False);
+  check_str "renders as 1 = 0" "1 = 0" (Sql.to_string c)
+
+let test_select () =
+  let s = Sql.select ~table:"Flight" [ p "SEQ(EWR, MCO) ATLEAST 120 WITHIN 200" ] in
+  check_bool "full statement" true (contains s "SELECT * FROM Flight WHERE")
+
+let test_binding_cap () =
+  check_bool "cap enforced" true
+    (try
+       ignore
+         (Sql.of_patterns ~max_bindings:2 [ p "AND(E1, E2, E3)" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_missing_event_false () =
+  let c = Sql.of_patterns [ p "SEQ(E1, E2)" ] in
+  check_bool "unbound column is not a match" false
+    (Sql.eval c (Tuple.of_list [ ("E1", 5) ]))
+
+(* The headline property: the SQL translation is equivalent to the
+   matcher on every tuple. *)
+let prop_sql_equals_matcher =
+  QCheck.Test.make ~name:"SQL translation = matcher (Section 7.3)" ~count:400
+    (Gen.pattern_and_tuple ()) (fun (pat, t) ->
+      match Sql.of_patterns [ pat ] with
+      | c -> Sql.eval c t = Pattern.Matcher.matches t pat
+      | exception Invalid_argument _ -> true (* binding cap *))
+
+let prop_rendered_sql_reparses_nothing =
+  QCheck.Test.make ~name:"rendered SQL is non-empty and balanced" ~count:200
+    (Gen.pattern ()) (fun pat ->
+      match Sql.of_patterns [ pat ] with
+      | c ->
+          let s = Sql.to_string c in
+          let depth =
+            String.fold_left
+              (fun d ch -> if ch = '(' then d + 1 else if ch = ')' then d - 1 else d)
+              0 s
+          in
+          String.length s > 0 && depth = 0
+      | exception Invalid_argument _ -> true)
+
+let suite =
+  ( "sql",
+    [
+      Alcotest.test_case "paper's 7.3 example" `Quick test_paper_example;
+      Alcotest.test_case "simple SEQ conjunct" `Quick test_seq_single_conjunct;
+      Alcotest.test_case "inconsistent query = 1 = 0" `Quick test_inconsistent_is_false;
+      Alcotest.test_case "select statement" `Quick test_select;
+      Alcotest.test_case "binding cap" `Quick test_binding_cap;
+      Alcotest.test_case "missing event" `Quick test_missing_event_false;
+      Gen.qt prop_sql_equals_matcher;
+      Gen.qt prop_rendered_sql_reparses_nothing;
+    ] )

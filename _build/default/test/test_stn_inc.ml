@@ -1,0 +1,116 @@
+open Whynot
+module Condition = Tcn.Condition
+module Stn = Tcn.Stn
+module Stn_inc = Tcn.Stn_inc
+module Tuple = Events.Tuple
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_push_pop_basic () =
+  let inc = Stn_inc.create [ "A"; "B"; "C" ] in
+  check_bool "fresh is consistent" true (Stn_inc.consistent inc);
+  check_bool "push ok" true (Stn_inc.push inc (Condition.interval ~lo:1 ~hi:5 "A" "B"));
+  check_bool "push ok 2" true (Stn_inc.push inc (Condition.interval ~lo:1 ~hi:5 "B" "C"));
+  check_int "depth" 2 (Stn_inc.depth inc);
+  (* contradiction: C before A *)
+  check_bool "contradiction detected" false
+    (Stn_inc.push inc (Condition.interval ~lo:0 ~hi:1 "C" "A"));
+  check_bool "inconsistent now" false (Stn_inc.consistent inc);
+  Stn_inc.pop inc;
+  check_bool "consistent after pop" true (Stn_inc.consistent inc);
+  check_bool "can push again" true
+    (Stn_inc.push inc (Condition.interval ~lo:0 "A" "C"))
+
+let test_push_while_inconsistent_raises () =
+  let inc = Stn_inc.create [ "A"; "B" ] in
+  ignore (Stn_inc.push inc (Condition.interval ~lo:5 ~hi:5 "A" "B"));
+  ignore (Stn_inc.push inc (Condition.interval ~lo:5 ~hi:5 "B" "A"));
+  check_bool "inconsistent" false (Stn_inc.consistent inc);
+  check_bool "push raises" true
+    (try ignore (Stn_inc.push inc (Condition.interval "A" "B")); false
+     with Invalid_argument _ -> true);
+  Stn_inc.pop inc;
+  Stn_inc.pop inc;
+  check_bool "pop on empty raises" true
+    (try Stn_inc.pop inc; false with Invalid_argument _ -> true)
+
+let test_unknown_event () =
+  let inc = Stn_inc.create [ "A" ] in
+  check_bool "unknown event raises" true
+    (try ignore (Stn_inc.push inc (Condition.interval "A" "Z")); false
+     with Invalid_argument _ -> true)
+
+let test_solution () =
+  let inc = Stn_inc.create [ "A"; "B" ] in
+  ignore (Stn_inc.push inc (Condition.interval ~lo:3 ~hi:3 "A" "B"));
+  match Stn_inc.solution inc with
+  | Some t -> check_int "distance respected" 3 (Tuple.find t "B" - Tuple.find t "A")
+  | None -> Alcotest.fail "expected solution"
+
+(* Equivalence with the batch engine under random push/pop sequences. *)
+let prop_matches_batch =
+  QCheck.Test.make ~name:"incremental consistency = batch consistency under pushes"
+    ~count:300 (Gen.intervals ()) (fun phis ->
+      let events =
+        Events.Event.Set.elements (Condition.interval_events phis)
+      in
+      let inc = Stn_inc.create events in
+      let rec push_all prefix = function
+        | [] -> true
+        | phi :: rest ->
+            let prefix = phi :: prefix in
+            let batch = Stn.consistent (Stn.of_intervals ~events prefix) in
+            let ok = Stn_inc.push inc phi in
+            (* each prefix must agree with the batch engine *)
+            if ok <> batch then false
+            else if not ok then true (* stop: caller may not push further *)
+            else push_all prefix rest
+      in
+      push_all [] phis)
+
+let prop_pop_restores =
+  QCheck.Test.make ~name:"pop restores the exact previous state" ~count:200
+    (QCheck.pair (Gen.intervals ()) (Gen.intervals ()))
+    (fun (base, extra) ->
+      let events =
+        Events.Event.Set.elements
+          (Condition.interval_events (base @ extra))
+      in
+      let inc = Stn_inc.create events in
+      let rec push_while = function
+        | [] -> true
+        | phi :: rest -> if Stn_inc.push inc phi then push_while rest else false
+      in
+      if not (push_while base) then QCheck.assume_fail ()
+      else begin
+        let solution_before = Stn_inc.solution inc in
+        let depth_before = Stn_inc.depth inc in
+        (* push the extras (stopping on inconsistency), then pop them all *)
+        let pushed = ref 0 in
+        (try
+           List.iter
+             (fun phi ->
+               incr pushed;
+               if not (Stn_inc.push inc phi) then raise Exit)
+             extra
+         with Exit -> ());
+        for _ = 1 to !pushed do
+          Stn_inc.pop inc
+        done;
+        Stn_inc.depth inc = depth_before
+        && Stn_inc.consistent inc
+        && Stn_inc.solution inc = solution_before
+      end)
+
+let suite =
+  ( "stn_inc",
+    [
+      Alcotest.test_case "push/pop basics" `Quick test_push_pop_basic;
+      Alcotest.test_case "inconsistent state discipline" `Quick
+        test_push_while_inconsistent_raises;
+      Alcotest.test_case "unknown event" `Quick test_unknown_event;
+      Alcotest.test_case "solution extraction" `Quick test_solution;
+      Gen.qt prop_matches_batch;
+      Gen.qt prop_pop_restores;
+    ] )

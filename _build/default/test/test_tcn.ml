@@ -1,0 +1,238 @@
+open Whynot
+module Ast = Pattern.Ast
+module Tuple = Events.Tuple
+module Condition = Tcn.Condition
+module Stn = Tcn.Stn
+module Encode = Tcn.Encode
+module Bindings = Tcn.Bindings
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Pattern.Parse.pattern_exn
+
+(* --- Condition --- *)
+
+let test_interval_holds () =
+  let phi = Condition.interval ~lo:5 ~hi:10 "A" "B" in
+  let t d = Tuple.of_list [ ("A", 100); ("B", 100 + d) ] in
+  check_bool "below" false (Condition.interval_holds (t 4) phi);
+  check_bool "at lo" true (Condition.interval_holds (t 5) phi);
+  check_bool "at hi" true (Condition.interval_holds (t 10) phi);
+  check_bool "above" false (Condition.interval_holds (t 11) phi);
+  check_bool "unbound event" false
+    (Condition.interval_holds (Tuple.of_list [ ("A", 0) ]) phi);
+  let unbounded = Condition.interval ~lo:5 "A" "B" in
+  check_bool "no upper bound" true (Condition.interval_holds (t 1000) unbounded);
+  let exact = Condition.exact "A" "B" in
+  check_bool "exact holds on equality" true (Condition.interval_holds (t 0) exact);
+  check_bool "exact fails otherwise" false (Condition.interval_holds (t 1) exact)
+
+let test_binding_holds () =
+  let gmin = { Condition.bound = "S"; over = [ "A"; "B" ]; kind = Condition.Min } in
+  let gmax = { Condition.bound = "S"; over = [ "A"; "B" ]; kind = Condition.Max } in
+  let t v = Tuple.of_list [ ("S", v); ("A", 3); ("B", 7) ] in
+  check_bool "min ok" true (Condition.binding_holds (t 3) gmin);
+  check_bool "min wrong" false (Condition.binding_holds (t 7) gmin);
+  check_bool "max ok" true (Condition.binding_holds (t 7) gmax);
+  check_bool "max wrong" false (Condition.binding_holds (t 3) gmax);
+  check_bool "unbound member" false
+    (Condition.binding_holds (Tuple.of_list [ ("S", 3); ("A", 3) ]) gmin)
+
+(* --- STN --- *)
+
+let test_stn_consistent_chain () =
+  let phis =
+    [ Condition.interval ~lo:1 ~hi:5 "A" "B"; Condition.interval ~lo:1 ~hi:5 "B" "C" ]
+  in
+  let stn = Stn.of_intervals phis in
+  check_bool "consistent" true (Stn.consistent stn);
+  match Stn.solution stn with
+  | None -> Alcotest.fail "expected solution"
+  | Some t ->
+      check_bool "solution satisfies" true (Condition.intervals_hold t phis);
+      check_bool "non-negative" true (Tuple.fold (fun _ ts acc -> acc && ts >= 0) t true)
+
+let test_stn_negative_cycle () =
+  (* A -> B at least 5, B -> A at least 0 means B-A <= ... contradiction. *)
+  let phis =
+    [ Condition.interval ~lo:5 "A" "B"; Condition.interval ~lo:0 ~hi:2 "B" "A" ]
+  in
+  let stn = Stn.of_intervals phis in
+  check_bool "inconsistent" false (Stn.consistent stn);
+  check_bool "no solution" true (Stn.solution stn = None)
+
+let test_stn_distance_minimal_network () =
+  let phis =
+    [ Condition.interval ~lo:1 ~hi:5 "A" "B"; Condition.interval ~lo:1 ~hi:5 "B" "C" ]
+  in
+  let stn = Stn.of_intervals phis in
+  check_bool "implied upper A->C" true (Stn.distance stn "A" "C" = Some 10);
+  check_bool "implied lower A->C (via -d(C,A))" true (Stn.distance stn "C" "A" = Some (-2));
+  check_bool "isolated unbounded" true
+    (Stn.distance (Stn.of_intervals ~events:[ "A"; "X" ] phis) "A" "X" = None)
+
+let test_stn_solution_near () =
+  let phis = [ Condition.interval ~lo:0 ~hi:10 "A" "B" ] in
+  let stn = Stn.of_intervals phis in
+  let reference = Tuple.of_list [ ("A", 100); ("B", 104) ] in
+  match Stn.solution_near stn reference with
+  | None -> Alcotest.fail "expected solution"
+  | Some t ->
+      check_int "keeps satisfying reference A" 100 (Tuple.find t "A");
+      check_int "keeps satisfying reference B" 104 (Tuple.find t "B")
+
+let prop_stn_solution_satisfies =
+  QCheck.Test.make ~name:"stn: consistent iff solution exists and satisfies"
+    ~count:300 (Gen.intervals ()) (fun phis ->
+      let stn = Stn.of_intervals phis in
+      match Stn.solution stn with
+      | Some t -> Stn.consistent stn && Condition.intervals_hold t phis
+      | None -> not (Stn.consistent stn))
+
+(* Cross-check the O(n^3) consistency with the LP's phase-1 feasibility. *)
+let prop_stn_consistency_equals_lp_feasibility =
+  QCheck.Test.make ~name:"stn consistency = LP feasibility" ~count:200
+    (Gen.intervals ()) (fun phis ->
+      let stn = Stn.of_intervals phis in
+      let events = Events.Event.Set.elements (Condition.interval_events phis) in
+      let t =
+        List.fold_left (fun acc e -> Tuple.add e 50 acc) Tuple.empty events
+      in
+      let lp_feasible = Explain.Lp_repair.repair t phis <> None in
+      Stn.consistent stn = lp_feasible)
+
+let prop_stn_solution_near_feasible =
+  QCheck.Test.make ~name:"stn: solution_near always satisfies" ~count:200
+    (QCheck.make
+       (QCheck.Gen.pair (Gen.intervals_gen ()) (fun st -> Random.State.int st 1000)))
+    (fun (phis, seed) ->
+      let stn = Stn.of_intervals phis in
+      let events = Events.Event.Set.elements (Condition.interval_events phis) in
+      let st = Random.State.make [| seed |] in
+      let reference = Gen.tuple_over events ~horizon:150 st in
+      match Stn.solution_near stn reference with
+      | Some t -> Condition.intervals_hold t phis
+      | None -> not (Stn.consistent stn))
+
+(* --- Encode --- *)
+
+let test_encode_simple_has_no_bindings () =
+  let net = Encode.pattern_set [ p "SEQ(E1, SEQ(E2, E3) WITHIN 9) ATLEAST 2" ] in
+  check_int "no bindings" 0 (List.length net.set_bindings);
+  check_bool "no artificial" true (Events.Event.Set.is_empty net.set_artificial)
+
+let test_encode_and_structure () =
+  let enc = Encode.pattern (p "AND(E1, E2) ATLEAST 3 WITHIN 9") in
+  check_int "two bindings per AND" 2 (List.length enc.bindings);
+  check_int "artificial start+end" 2 (Events.Event.Set.cardinal enc.artificial);
+  (* 4 span intervals + 1 window interval *)
+  check_int "interval count" 5 (List.length enc.intervals);
+  check_bool "start is artificial" true (Events.Event.is_artificial enc.start_event)
+
+let test_encode_example2 () =
+  (* The paper's p0 has 4 binding conditions, each over 2 events: 16 full
+     bindings (Example 4). *)
+  let net =
+    Encode.pattern_set
+      [ p "SEQ(AND(E1, E3) WITHIN 30, AND(E2, E4) WITHIN 30) ATLEAST 120" ]
+  in
+  check_int "4 binding conditions" 4 (List.length net.set_bindings);
+  check_int "16 full bindings" 16 (Bindings.count net.set_bindings)
+
+let test_extend () =
+  let net = Encode.pattern_set [ p "AND(E1, E2)" ] in
+  let t = Tuple.of_list [ ("E1", 10); ("E2", 4) ] in
+  let ext = Encode.extend net t in
+  let s, e =
+    match net.set_bindings with
+    | [ { Condition.bound = s; _ }; { Condition.bound = e; _ } ] -> (s, e)
+    | _ -> Alcotest.fail "expected two bindings"
+  in
+  check_int "AND^s = min" 4 (Tuple.find ext s);
+  check_int "AND^e = max" 10 (Tuple.find ext e)
+
+(* Proposition 5: t |= p iff extended t satisfies (Phi, Gamma). *)
+let prop_encode_equivalence =
+  QCheck.Test.make ~name:"Proposition 5: matcher = network satisfaction" ~count:500
+    (Gen.pattern_and_tuple ()) (fun (pat, t) ->
+      let net = Encode.pattern_set [ pat ] in
+      Pattern.Matcher.matches t pat = Encode.satisfies net t)
+
+(* Corollary 6: for AND-free patterns the interval conditions alone decide. *)
+let prop_simple_encoding_equivalence =
+  QCheck.Test.make ~name:"Corollary 6: simple network equivalence" ~count:300
+    (Gen.pattern_and_tuple ()) (fun (pat, t) ->
+      QCheck.assume (Ast.classify pat = Ast.Simple);
+      let net = Encode.pattern_set [ pat ] in
+      Pattern.Matcher.matches t pat = Condition.intervals_hold t net.set_intervals)
+
+(* --- Bindings --- *)
+
+let gammas_of pat = (Encode.pattern_set [ pat ]).set_bindings
+
+let test_full_binding_enumeration () =
+  let gammas = gammas_of (p "AND(E1, E2, E3)") in
+  check_int "count 3*3" 9 (Bindings.count gammas);
+  let all = List.of_seq (Bindings.full gammas) in
+  check_int "enumerated" 9 (List.length all);
+  (* every choice is one [0,0] interval per binding condition *)
+  check_bool "shape" true
+    (List.for_all
+       (fun phis ->
+         List.length phis = 2
+         && List.for_all (fun phi -> phi.Condition.lo = 0 && phi.Condition.hi = Some 0) phis)
+       all);
+  (* all distinct *)
+  check_int "distinct" 9 (List.length (List.sort_uniq compare all))
+
+let test_empty_bindings () =
+  check_int "count" 1 (Bindings.count []);
+  check_int "full singleton" 1 (List.length (List.of_seq (Bindings.full [])));
+  check_bool "single empty" true (Bindings.single Tuple.empty [] = [])
+
+let test_single_binding_picks_extremes () =
+  let gammas = gammas_of (p "AND(E1, E2, E3)") in
+  let t = Tuple.of_list [ ("E1", 5); ("E2", 1); ("E3", 9) ] in
+  let net = Encode.pattern_set [ p "AND(E1, E2, E3)" ] in
+  let ext = Encode.extend net t in
+  let phis = Bindings.single ext gammas in
+  check_int "one interval per binding" 2 (List.length phis);
+  let bound_to =
+    List.map (fun phi -> (phi.Condition.src, phi.Condition.dst)) phis
+  in
+  check_bool "min picks E2" true (List.exists (fun (_, d) -> d = "E2") bound_to);
+  check_bool "max picks E3" true (List.exists (fun (_, d) -> d = "E3") bound_to)
+
+let prop_sample_in_full =
+  QCheck.Test.make ~name:"sampled binding is a member of the full space" ~count:200
+    (Gen.pattern ()) (fun pat ->
+      let gammas = gammas_of pat in
+      let prng = Whynot.Numeric.Prng.create 5 in
+      let sample = Bindings.sample prng gammas in
+      Seq.exists (fun phis -> phis = sample) (Bindings.full gammas))
+
+let qt = Gen.qt
+
+let suite =
+  ( "tcn",
+    [
+      Alcotest.test_case "interval satisfaction" `Quick test_interval_holds;
+      Alcotest.test_case "binding satisfaction" `Quick test_binding_holds;
+      Alcotest.test_case "stn consistent chain" `Quick test_stn_consistent_chain;
+      Alcotest.test_case "stn negative cycle" `Quick test_stn_negative_cycle;
+      Alcotest.test_case "stn minimal network distances" `Quick test_stn_distance_minimal_network;
+      Alcotest.test_case "stn solution_near anchors" `Quick test_stn_solution_near;
+      qt prop_stn_solution_satisfies;
+      qt prop_stn_consistency_equals_lp_feasibility;
+      qt prop_stn_solution_near_feasible;
+      Alcotest.test_case "encode simple: no bindings" `Quick test_encode_simple_has_no_bindings;
+      Alcotest.test_case "encode AND structure" `Quick test_encode_and_structure;
+      Alcotest.test_case "encode paper Example 2/4" `Quick test_encode_example2;
+      Alcotest.test_case "extend computes min/max" `Quick test_extend;
+      qt prop_encode_equivalence;
+      qt prop_simple_encoding_equivalence;
+      Alcotest.test_case "full binding enumeration" `Quick test_full_binding_enumeration;
+      Alcotest.test_case "empty bindings" `Quick test_empty_bindings;
+      Alcotest.test_case "single binding extremes" `Quick test_single_binding_picks_extremes;
+      qt prop_sample_in_full;
+    ] )

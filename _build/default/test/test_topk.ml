@@ -1,0 +1,87 @@
+open Whynot
+module Topk = Explain.Topk
+module Tuple = Events.Tuple
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Pattern.Parse.pattern_exn
+
+let p0 = p "SEQ(AND(E1, E3) WITHIN 30, AND(E2, E4) WITHIN 30) ATLEAST 120"
+let t2 = Tuple.of_list [ ("E1", 1026); ("E2", 1134); ("E3", 1044); ("E4", 1208) ]
+
+let test_head_is_optimum () =
+  match Topk.explain ~k:5 [ p0 ] t2 with
+  | None -> Alcotest.fail "expected candidates"
+  | Some { candidates; bindings_tried; _ } ->
+      check_int "all 16 bindings visited" 16 bindings_tried;
+      let head = List.hd candidates in
+      check_int "head is the Full optimum (44)" 44 head.cost;
+      check_bool "costs non-decreasing" true
+        (let costs = List.map (fun c -> c.Topk.cost) candidates in
+         List.sort compare costs = costs);
+      check_bool "all candidates match" true
+        (List.for_all
+           (fun c -> Pattern.Matcher.matches c.Topk.repaired p0)
+           candidates);
+      check_bool "candidates distinct" true
+        (let tuples = List.map (fun c -> Tuple.bindings c.Topk.repaired) candidates in
+         List.length (List.sort_uniq compare tuples) = List.length tuples)
+
+let test_k_limits () =
+  match Topk.explain ~k:1 [ p0 ] t2 with
+  | Some { candidates; _ } -> check_int "k=1" 1 (List.length candidates)
+  | None -> Alcotest.fail "expected candidates"
+
+let test_blames () =
+  match Topk.explain ~k:8 [ p0 ] t2 with
+  | None -> Alcotest.fail "expected candidates"
+  | Some { blames; _ } ->
+      check_bool "some event blamed" true (blames <> []);
+      check_bool "frequencies in (0,1]" true
+        (List.for_all (fun b -> b.Topk.frequency > 0.0 && b.Topk.frequency <= 1.0) blames);
+      check_bool "sorted by frequency desc" true
+        (let fs = List.map (fun b -> b.Topk.frequency) blames in
+         List.sort (fun a b -> compare b a) fs = fs);
+      (* the violated AND(E2,E4) pair must dominate the blame list *)
+      let top = (List.hd blames).Topk.event in
+      check_bool "top blame is E2 or E4" true (top = "E2" || top = "E4")
+
+let test_inconsistent_none () =
+  let bad = p "SEQ(AND(E1, E3) ATLEAST 30, AND(E2, E4) ATLEAST 30) WITHIN 45" in
+  check_bool "None on inconsistent" true (Topk.explain [ bad ] t2 = None)
+
+let test_already_matching () =
+  let q = p "SEQ(E1, E2)" in
+  let t = Tuple.of_list [ ("E1", 0); ("E2", 5) ] in
+  match Topk.explain [ q ] t with
+  | Some { candidates; blames; _ } ->
+      check_int "single zero-cost candidate" 0 (List.hd candidates).cost;
+      check_int "nothing blamed" 0 (List.length blames)
+  | None -> Alcotest.fail "expected candidate"
+
+let test_bad_k () =
+  check_bool "k=0 raises" true
+    (try ignore (Topk.explain ~k:0 [ p0 ] t2); false with Invalid_argument _ -> true)
+
+let prop_head_equals_full =
+  QCheck.Test.make ~name:"top-1 equals Algorithm 2 Full optimum" ~count:100
+    (Gen.pattern_and_tuple ~horizon:120 ()) (fun (pat, t) ->
+      match
+        ( Topk.explain ~k:1 [ pat ] t,
+          Explain.Modification.explain ~strategy:Explain.Modification.Full [ pat ] t )
+      with
+      | Some { candidates = [ head ]; _ }, Some full -> head.cost = full.cost
+      | None, None -> true
+      | _ -> false)
+
+let suite =
+  ( "topk",
+    [
+      Alcotest.test_case "head is the optimum" `Quick test_head_is_optimum;
+      Alcotest.test_case "k limits output" `Quick test_k_limits;
+      Alcotest.test_case "blame summary" `Quick test_blames;
+      Alcotest.test_case "inconsistent -> None" `Quick test_inconsistent_none;
+      Alcotest.test_case "already matching" `Quick test_already_matching;
+      Alcotest.test_case "k validation" `Quick test_bad_k;
+      Gen.qt prop_head_equals_full;
+    ] )

@@ -1,0 +1,109 @@
+(* Weighted modification costs: per-event per-unit prices on Formula 1. *)
+
+open Whynot
+module Modification = Explain.Modification
+module Tuple = Events.Tuple
+module Condition = Tcn.Condition
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let p = Pattern.Parse.pattern_exn
+
+let weights_of alist e = Option.value ~default:1 (List.assoc_opt e alist)
+
+let test_weights_steer_the_repair () =
+  (* B - A must be >= 10; both moves cost 5 unweighted. Pricing A high
+     forces the repair onto B, and vice versa. *)
+  let q = p "SEQ(A, B) ATLEAST 10" in
+  let t = Tuple.of_list [ ("A", 20); ("B", 25) ] in
+  let run weights =
+    Option.get (Modification.explain ~weights:(weights_of weights) [ q ] t)
+  in
+  let expensive_a = run [ ("A", 10) ] in
+  check_int "A untouched" 20 (Tuple.find expensive_a.repaired "A");
+  check_int "B moved to 30" 30 (Tuple.find expensive_a.repaired "B");
+  check_int "weighted cost 5" 5 expensive_a.cost;
+  let expensive_b = run [ ("B", 10) ] in
+  check_int "B untouched" 25 (Tuple.find expensive_b.repaired "B");
+  check_int "A moved to 15" 15 (Tuple.find expensive_b.repaired "A");
+  check_int "weighted cost 5 again" 5 expensive_b.cost
+
+let test_zero_weight_is_free () =
+  let q = p "SEQ(A, B) ATLEAST 100" in
+  let t = Tuple.of_list [ ("A", 50); ("B", 60) ] in
+  match Modification.explain ~weights:(weights_of [ ("B", 0) ]) [ q ] t with
+  | Some { cost; repaired; _ } ->
+      check_int "free event absorbs everything" 0 cost;
+      check_int "A untouched" 50 (Tuple.find repaired "A");
+      check_int "B pushed out for free" 150 (Tuple.find repaired "B")
+  | None -> Alcotest.fail "expected repair"
+
+let test_negative_weight_rejected () =
+  let q = p "SEQ(A, B) ATLEAST 10" in
+  let t = Tuple.of_list [ ("A", 20); ("B", 25) ] in
+  check_bool "raises" true
+    (try
+       ignore (Modification.explain ~weights:(weights_of [ ("A", -1) ]) [ q ] t);
+       false
+     with Invalid_argument _ -> true)
+
+let test_default_weights_match_unweighted () =
+  let q = p "SEQ(AND(E1, E3) WITHIN 30, AND(E2, E4) WITHIN 30) ATLEAST 120" in
+  let t = Tuple.of_list [ ("E1", 1026); ("E2", 1134); ("E3", 1044); ("E4", 1208) ] in
+  let weighted =
+    Option.get (Modification.explain ~weights:(fun _ -> 1) [ q ] t)
+  in
+  let plain = Option.get (Modification.explain [ q ] t) in
+  check_int "same optimum" plain.cost weighted.cost
+
+let arb =
+  QCheck.make
+    ~print:(fun ((phis : Condition.interval list), seed) ->
+      Format.asprintf "seed %d over %d conditions" seed (List.length phis))
+    (QCheck.Gen.pair (Gen.intervals_gen ()) (QCheck.Gen.int_bound 10_000))
+
+let weight_fun seed e =
+  (* deterministic pseudo-random weights in 0..4 *)
+  (Hashtbl.hash (seed, e) land 3) + if Hashtbl.hash (e, seed) land 7 = 0 then 0 else 1
+
+let prop_weighted_lp_equals_flow =
+  QCheck.Test.make ~name:"weighted repair: flow optimum = LP optimum" ~count:300 arb
+    (fun (phis, seed) ->
+      let events = Events.Event.Set.elements (Condition.interval_events phis) in
+      let st = Random.State.make [| seed |] in
+      let t = Gen.tuple_over events ~horizon:120 st in
+      let weights = weight_fun seed in
+      match
+        ( Explain.Lp_repair.repair ~weights t phis,
+          Explain.Flow_repair.repair ~weights t phis )
+      with
+      | None, None -> true
+      | Some a, Some b ->
+          a.cost = b.cost && Condition.intervals_hold b.repaired phis
+      | _ -> false)
+
+let prop_weighted_cost_bounds =
+  QCheck.Test.make ~name:"uniform weight w scales the optimum by exactly w"
+    ~count:150 arb (fun (phis, seed) ->
+      let events = Events.Event.Set.elements (Condition.interval_events phis) in
+      let st = Random.State.make [| seed |] in
+      let t = Gen.tuple_over events ~horizon:120 st in
+      match
+        ( Explain.Lp_repair.repair t phis,
+          Explain.Lp_repair.repair ~weights:(fun _ -> 3) t phis )
+      with
+      | None, None -> true
+      | Some plain, Some scaled -> scaled.cost = 3 * plain.cost
+      | _ -> false)
+
+let suite =
+  ( "weights",
+    [
+      Alcotest.test_case "weights steer the repair" `Quick test_weights_steer_the_repair;
+      Alcotest.test_case "zero weight is free" `Quick test_zero_weight_is_free;
+      Alcotest.test_case "negative weight rejected" `Quick test_negative_weight_rejected;
+      Alcotest.test_case "default weights = unweighted" `Quick
+        test_default_weights_match_unweighted;
+      Gen.qt prop_weighted_lp_equals_flow;
+      Gen.qt prop_weighted_cost_bounds;
+    ] )

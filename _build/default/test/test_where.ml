@@ -1,0 +1,152 @@
+open Whynot
+module Where = Cep.Where
+module Attributed = Cep.Attributed
+module Tuple = Events.Tuple
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let lookup_of alist event attr =
+  match List.assoc_opt (event, attr) alist with Some v -> Some v | None -> None
+
+let test_parse_and_eval_cmp () =
+  let e = Where.parse_exn "E1.gate = 'H15'" in
+  check_bool "match" true
+    (Where.eval ~lookup:(lookup_of [ (("E1", "gate"), Where.Str "H15") ]) e);
+  check_bool "mismatch" false
+    (Where.eval ~lookup:(lookup_of [ (("E1", "gate"), Where.Str "B2") ]) e);
+  check_bool "missing attr is false" false (Where.eval ~lookup:(lookup_of []) e)
+
+let test_numeric_ops () =
+  let lookup = lookup_of [ (("E1", "delay"), Where.Int 15) ] in
+  let holds s = Where.eval ~lookup (Where.parse_exn s) in
+  check_bool ">=" true (holds "E1.delay >= 15");
+  check_bool ">" false (holds "E1.delay > 15");
+  check_bool "<=" true (holds "E1.delay <= 20");
+  check_bool "<" true (holds "E1.delay < 20");
+  check_bool "=" true (holds "E1.delay = 15");
+  check_bool "!=" false (holds "E1.delay != 15");
+  check_bool "<>" false (holds "E1.delay <> 15");
+  check_bool "type mismatch eq" false (holds "E1.delay = 'fifteen'");
+  check_bool "type mismatch ne" true (holds "E1.delay != 'fifteen'")
+
+let test_boolean_structure () =
+  let lookup =
+    lookup_of [ (("A", "x"), Where.Int 1); (("B", "y"), Where.Int 2) ]
+  in
+  let holds s = Where.eval ~lookup (Where.parse_exn s) in
+  check_bool "and" true (holds "A.x = 1 AND B.y = 2");
+  check_bool "and fails" false (holds "A.x = 1 AND B.y = 3");
+  check_bool "or" true (holds "A.x = 9 OR B.y = 2");
+  check_bool "not" true (holds "NOT A.x = 9");
+  check_bool "parens" true (holds "(A.x = 9 OR B.y = 2) AND A.x = 1");
+  check_bool "true" true (holds "TRUE");
+  check_bool "case-insensitive keywords" true (holds "not a.x = 9")
+
+let test_parse_errors () =
+  let fails s = check_bool s true (Result.is_error (Where.parse s)) in
+  fails "E1.gate =";
+  fails "E1 = 3";
+  fails "E1.gate ~ 3";
+  fails "(E1.gate = 3";
+  fails "E1.gate = 'unterminated";
+  fails "E1.gate = 3 AND";
+  fails ""
+
+let test_pp_roundtrip () =
+  let inputs =
+    [
+      "E1.gate = 'H15'";
+      "A.x = 1 AND (B.y >= 2 OR NOT C.z != 'q')";
+      "TRUE";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let e = Where.parse_exn s in
+      let e' = Where.parse_exn (Format.asprintf "%a" Where.pp e) in
+      check_bool s true (e = e'))
+    inputs
+
+let test_where_events () =
+  let e = Where.parse_exn "A.x = 1 AND (B.y = 2 OR NOT C.z = 3)" in
+  check_bool "events" true
+    (Events.Event.Set.equal (Where.events e)
+       (Events.Event.Set.of_list [ "A"; "B"; "C" ]))
+
+(* --- attributed traces --- *)
+
+let flights =
+  let record gate e1 e2 matched =
+    let tuple = Tuple.of_list [ ("E1", e1); ("E2", e2) ] in
+    let tuple = if matched then tuple else Tuple.add "E2" (e1 + 500) tuple in
+    {
+      Attributed.tuple;
+      attributes = [ ("E1", [ ("gate", Where.Str gate); ("delay", Where.Int 5) ]) ];
+    }
+  in
+  Attributed.of_list
+    [
+      ("d1", record "H15" 0 100 true);
+      ("d2", record "B2" 0 100 true);
+      ("d3", record "H15" 0 100 false);
+    ]
+
+let query =
+  match
+    Attributed.parse_query ~pattern:"SEQ(E1, E2) ATLEAST 50 WITHIN 200"
+      ~where:"E1.gate = 'H15'" ()
+  with
+  | Ok q -> q
+  | Error e -> failwith e
+
+let test_attributed_answers () =
+  Alcotest.(check (list string)) "answers pass both halves" [ "d1" ]
+    (Attributed.answers query flights);
+  let non = Attributed.pattern_non_answers query flights in
+  check_int "one pattern non-answer" 1 (List.length non);
+  check_bool "it is d3" true (fst (List.hd non) = "d3")
+
+let test_attributed_classify () =
+  let d2 = Option.get (Attributed.find_opt flights "d2") in
+  check_bool "where rejection" true
+    (Attributed.classify query d2 = Attributed.Rejected_by_where);
+  let d1 = Option.get (Attributed.find_opt flights "d1") in
+  check_bool "answer" true (Attributed.classify query d1 = Attributed.Answer);
+  let d3 = Option.get (Attributed.find_opt flights "d3") in
+  check_bool "pattern rejection" true
+    (match Attributed.classify query d3 with
+    | Attributed.Rejected_by_pattern _ -> true
+    | _ -> false)
+
+let test_attributed_explanation_flow () =
+  (* The paper's composition: WHERE filters first, then the timestamp
+     modification explains the pattern non-answers. *)
+  List.iter
+    (fun (_, record) ->
+      match Explain.Modification.explain query.patterns record.Attributed.tuple with
+      | Some { repaired; _ } ->
+          check_bool "explained" true
+            (Pattern.Matcher.matches_set repaired query.patterns)
+      | None -> Alcotest.fail "expected explanation")
+    (Attributed.pattern_non_answers query flights)
+
+let test_timestamps_projection () =
+  let trace = Attributed.timestamps flights in
+  check_int "all ids" 3 (Events.Trace.cardinal trace)
+
+let suite =
+  ( "where",
+    [
+      Alcotest.test_case "comparison parse + eval" `Quick test_parse_and_eval_cmp;
+      Alcotest.test_case "numeric operators" `Quick test_numeric_ops;
+      Alcotest.test_case "boolean structure" `Quick test_boolean_structure;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "pp round trip" `Quick test_pp_roundtrip;
+      Alcotest.test_case "events of predicate" `Quick test_where_events;
+      Alcotest.test_case "attributed answers" `Quick test_attributed_answers;
+      Alcotest.test_case "attributed classify" `Quick test_attributed_classify;
+      Alcotest.test_case "where -> explain composition" `Quick
+        test_attributed_explanation_flow;
+      Alcotest.test_case "timestamps projection" `Quick test_timestamps_projection;
+    ] )

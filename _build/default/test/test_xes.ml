@@ -1,0 +1,136 @@
+open Whynot.Events
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let test_iso8601 () =
+  (match Xes.minutes_of_iso8601 "1970-01-01T00:00:00.000+00:00" with
+  | Ok 0 -> ()
+  | Ok other -> Alcotest.failf "epoch should be 0, got %d" other
+  | Error e -> Alcotest.fail e);
+  (match Xes.minutes_of_iso8601 "1970-01-02T01:30" with
+  | Ok v -> check_int "one day + 90 minutes" (1440 + 90) v
+  | Error e -> Alcotest.fail e);
+  (match Xes.minutes_of_iso8601 "2020-03-01T00:00:00Z" with
+  | Ok v ->
+      (* leap year 2020: Feb has 29 days *)
+      check_int "round trips through civil arithmetic" v
+        (match Xes.minutes_of_iso8601 (Xes.iso8601_of_minutes v) with
+        | Ok v' -> v'
+        | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e);
+  check_bool "garbage rejected" true (Result.is_error (Xes.minutes_of_iso8601 "yesterday"));
+  check_bool "bad month rejected" true
+    (Result.is_error (Xes.minutes_of_iso8601 "2020-13-01T00:00"))
+
+let prop_date_roundtrip =
+  QCheck.Test.make ~name:"iso8601 render/parse round trip" ~count:500
+    QCheck.(int_bound 40_000_000) (fun minutes ->
+      Xes.minutes_of_iso8601 (Xes.iso8601_of_minutes minutes) = Ok minutes)
+
+let sample_log =
+  {xml|<?xml version="1.0" encoding="UTF-8"?>
+<!-- exported by some process mining tool -->
+<log xes.version="1.0" xmlns="http://www.xes-standard.org/">
+  <extension name="Concept" prefix="concept" uri="http://example.org"/>
+  <trace>
+    <string key="concept:name" value="case-7"/>
+    <event>
+      <string key="concept:name" value="Create Fine"/>
+      <date key="time:timestamp" value="2006-07-24T00:00:00.000+02:00"/>
+    </event>
+    <event>
+      <string key="concept:name" value="Send Fine"/>
+      <date key="time:timestamp" value="2006-07-26T10:30:00.000+02:00"/>
+      <string key="org:resource" value="unused"/>
+    </event>
+  </trace>
+  <trace>
+    <string key="concept:name" value="case-9"/>
+    <event>
+      <string key="concept:name" value="Create Fine"/>
+      <date key="time:timestamp" value="2006-08-02T00:00:00.000+02:00"/>
+    </event>
+    <event>
+      <string key="concept:name" value="Create Fine"/>
+      <date key="time:timestamp" value="2006-08-03T00:00:00.000+02:00"/>
+    </event>
+  </trace>
+</log>|xml}
+
+let test_import () =
+  match Xes.of_string sample_log with
+  | Error e -> Alcotest.fail e
+  | Ok (trace, dropped) ->
+      check_int "two traces" 2 (Trace.cardinal trace);
+      check_int "one repeated activity dropped" 1 dropped;
+      let case7 = Option.get (Trace.find_opt trace "case-7") in
+      check_int "two events" 2 (Tuple.cardinal case7);
+      let create = Tuple.find case7 "Create Fine" in
+      let send = Tuple.find case7 "Send Fine" in
+      check_int "2 days 10h30 apart" ((2 * 1440) + 630) (send - create)
+
+let test_roundtrip () =
+  let trace =
+    Trace.of_list
+      [
+        ("a", Tuple.of_list [ ("X", 1000); ("Y", 2000) ]);
+        ("b", Tuple.of_list [ ("X", 1500) ]);
+      ]
+  in
+  match Xes.of_string (Xes.to_string trace) with
+  | Error e -> Alcotest.fail e
+  | Ok (trace', dropped) ->
+      check_int "nothing dropped" 0 dropped;
+      check_bool "equal traces" true
+        (List.for_all2
+           (fun (i1, t1) (i2, t2) -> i1 = i2 && Tuple.equal t1 t2)
+           (Trace.bindings trace) (Trace.bindings trace'))
+
+let test_escaping () =
+  let trace = Trace.of_list [ ("a<b>&\"q\"", Tuple.of_list [ ("E&1", 5) ]) ] in
+  match Xes.of_string (Xes.to_string trace) with
+  | Error e -> Alcotest.fail e
+  | Ok (trace', _) -> (
+      match Trace.bindings trace' with
+      | [ (id, t) ] ->
+          check_str "id escaped and restored" "a<b>&\"q\"" id;
+          check_int "event name too" 5 (Tuple.find t "E&1")
+      | _ -> Alcotest.fail "expected one trace")
+
+let test_errors () =
+  check_bool "not xml" true (Result.is_error (Xes.of_string "hello"));
+  check_bool "wrong root" true (Result.is_error (Xes.of_string "<foo></foo>"));
+  check_bool "mismatched tags" true
+    (Result.is_error (Xes.of_string "<log><trace></log></trace>"));
+  check_bool "bad date" true
+    (Result.is_error
+       (Xes.of_string
+          {xml|<log><trace><event><string key="concept:name" value="A"/><date key="time:timestamp" value="nope"/></event></trace></log>|xml}))
+
+let test_file_io () =
+  let path = Filename.temp_file "whynot" ".xes" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let trace = Trace.of_list [ ("t", Tuple.of_list [ ("A", 42) ]) ] in
+      Xes.write_file path trace;
+      match Xes.read_file path with
+      | Ok (trace', 0) ->
+          check_int "read back" 42
+            (Tuple.find (Option.get (Trace.find_opt trace' "t")) "A")
+      | Ok _ -> Alcotest.fail "unexpected drops"
+      | Error e -> Alcotest.fail e)
+
+let suite =
+  ( "xes",
+    [
+      Alcotest.test_case "iso8601 parsing" `Quick test_iso8601;
+      Gen.qt prop_date_roundtrip;
+      Alcotest.test_case "import sample log" `Quick test_import;
+      Alcotest.test_case "round trip" `Quick test_roundtrip;
+      Alcotest.test_case "escaping" `Quick test_escaping;
+      Alcotest.test_case "error reporting" `Quick test_errors;
+      Alcotest.test_case "file io" `Quick test_file_io;
+    ] )
