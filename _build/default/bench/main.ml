@@ -1,23 +1,29 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (Section 6) plus the repository's ablations, then runs one
-   Bechamel micro-benchmark per table/figure kernel.
+   Bechamel micro-benchmark per table/figure kernel. Every run also writes
+   a JSON report (default BENCH_PR1.json) with per-section wall-clock and
+   the engine's Obs metrics snapshot, so perf changes can be diffed
+   across PRs.
 
    Usage:
      dune exec bench/main.exe                 # standard scale (minutes)
-     dune exec bench/main.exe -- --quick      # smoke scale (seconds)
+     dune exec bench/main.exe -- --quick      # small scale (seconds)
+     dune exec bench/main.exe -- --smoke      # tiny smoke subset (CI budget)
      dune exec bench/main.exe -- --paper      # the paper's full sizes
-     dune exec bench/main.exe -- fig5 fig10   # only selected sections *)
+     dune exec bench/main.exe -- fig5 fig10   # only selected sections
+     dune exec bench/main.exe -- --out o.json # report path *)
 
 open Whynot
 module E = Experiments
 
-type scale = Quick | Standard | Paper
+type scale = Smoke | Quick | Standard | Paper
 
 let scale = ref Standard
 let only : string list ref = ref []
+let report_path = ref "BENCH_PR1.json"
 
 let () =
-  let expect_csv_dir = ref false in
+  let expect_csv_dir = ref false and expect_out = ref false in
   Array.iteri
     (fun i arg ->
       if i > 0 then
@@ -25,22 +31,39 @@ let () =
           E.Harness.set_csv_dir (Some arg);
           expect_csv_dir := false
         end
+        else if !expect_out then begin
+          report_path := arg;
+          expect_out := false
+        end
         else
           match arg with
+          | "--smoke" -> scale := Smoke
           | "--quick" -> scale := Quick
           | "--paper" -> scale := Paper
           | "--standard" -> scale := Standard
           | "--csv" -> expect_csv_dir := true
+          | "--out" -> expect_out := true
           | section -> only := section :: !only)
     Sys.argv
 
+(* The smoke scale reuses the quick parameters but runs only a cheap
+   representative subset of sections, so `dune build @bench-smoke` fits a
+   test-suite time budget. *)
+let smoke_sections = [ "table1"; "table2"; "fig5" ]
+
+let () =
+  if !scale = Smoke && !only = [] then only := smoke_sections
+
 let pick ~quick ~standard ~paper =
-  match !scale with Quick -> quick | Standard -> standard | Paper -> paper
+  match !scale with Smoke | Quick -> quick | Standard -> standard | Paper -> paper
+
+let timings : (string * float) list ref = ref []
 
 let section name f =
   if !only = [] || List.mem name !only then begin
     Format.printf "@.=== %s ===@.@." name;
     let (), dt = E.Harness.time f in
+    timings := (name, dt) :: !timings;
     Format.printf "[section %s took %.1f s]@." name dt
   end
 
@@ -308,10 +331,39 @@ let micro () =
          [ name; human ])
        rows)
 
+let scale_name () =
+  match !scale with
+  | Smoke -> "smoke"
+  | Quick -> "quick"
+  | Standard -> "standard"
+  | Paper -> "paper"
+
+(* Per-scenario wall-clock + the full metrics snapshot (key solver and
+   detector counters included), the perf trajectory's data points. *)
+let write_report () =
+  let open Report.Json in
+  let report =
+    Obj
+      [
+        ("schema", String "whynot.bench/1");
+        ("scale", String (scale_name ()));
+        ( "sections",
+          List
+            (List.rev_map
+               (fun (name, dt) ->
+                 Obj [ ("name", String name); ("seconds", Float dt) ])
+               !timings) );
+        ("metrics", Report.Obs_json.snapshot ());
+      ]
+  in
+  let oc = open_out !report_path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ~indent:2 report ^ "\n"));
+  Format.printf "@.[wrote %s]@." !report_path
+
 let () =
-  Format.printf
-    "whynot benchmark harness — scale: %s@."
-    (match !scale with Quick -> "quick" | Standard -> "standard" | Paper -> "paper");
+  Format.printf "whynot benchmark harness — scale: %s@." (scale_name ());
   section "table1" table1;
   section "table2" table2;
   section "fig5" fig5;
@@ -324,4 +376,5 @@ let () =
   section "fig12a" fig12a;
   section "fig12b" fig12b;
   section "ablations" ablations;
-  section "micro" micro
+  section "micro" micro;
+  write_report ()

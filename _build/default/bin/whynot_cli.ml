@@ -46,7 +46,23 @@ let tuple_id_arg =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON instead of text.")
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "After the command (even on a nonzero exit), print the engine's \
+           metrics snapshot — solver/search counters, state gauges, latency \
+           spans — as JSON on stdout. See docs/OBSERVABILITY.md for the \
+           schema.")
+
 let print_json v = print_endline (Whynot.Report.Json.to_string ~indent:2 v)
+
+(* Registered via [at_exit] so the snapshot is also printed on the
+   [exit 1] paths (inconsistent query, no match, ...). *)
+let setup_metrics enabled =
+  if enabled then
+    at_exit (fun () -> print_json (Whynot.Report.Obs_json.snapshot ()))
 
 let load_trace path =
   match Whynot.Events.Csv_io.read_trace path with
@@ -67,7 +83,8 @@ let selected_tuples trace = function
 (* --- parse --- *)
 
 let parse_cmd =
-  let run query =
+  let run metrics query =
+    setup_metrics metrics;
     List.iter
       (fun p ->
         let shape =
@@ -88,7 +105,7 @@ let parse_cmd =
   in
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse a query and show its structure and encoding size.")
-    Term.(const run $ query_arg)
+    Term.(const run $ metrics_arg $ query_arg)
 
 (* --- check --- *)
 
@@ -102,7 +119,8 @@ let check_cmd =
                 (default: exact full binding)."
           ~docv:"N")
   in
-  let run query samples json =
+  let run metrics query samples json =
+    setup_metrics metrics;
     let strategy =
       match samples with
       | None -> Whynot.Explain.Consistency.Full
@@ -131,12 +149,13 @@ let check_cmd =
        ~doc:
          "Pattern consistency explanation (Algorithm 1): decide whether any \
           assignment of timestamps can satisfy the query.")
-    Term.(const run $ query_arg $ samples_arg $ json_arg)
+    Term.(const run $ metrics_arg $ query_arg $ samples_arg $ json_arg)
 
 (* --- lint --- *)
 
 let lint_cmd =
-  let run query =
+  let run metrics query =
+    setup_metrics metrics;
     let report = Whynot.Explain.Lint.run query in
     if not report.consistent then
       Format.printf
@@ -168,12 +187,13 @@ let lint_cmd =
        ~doc:
          "Analyse a query's windows: report bounds that are dead (implied by \
           the rest of the query) or fatal (make the query unsatisfiable).")
-    Term.(const run $ query_arg)
+    Term.(const run $ metrics_arg $ query_arg)
 
 (* --- match --- *)
 
 let match_cmd =
-  let run query trace_path tuple_id =
+  let run metrics query trace_path tuple_id =
+    setup_metrics metrics;
     let trace = load_trace trace_path in
     List.iter
       (fun (id, t) ->
@@ -186,7 +206,7 @@ let match_cmd =
   in
   Cmd.v
     (Cmd.info "match" ~doc:"Evaluate the query over a trace (one verdict per tuple).")
-    Term.(const run $ query_arg $ trace_arg $ tuple_id_arg)
+    Term.(const run $ metrics_arg $ query_arg $ trace_arg $ tuple_id_arg)
 
 (* --- explain --- *)
 
@@ -198,7 +218,8 @@ let explain_cmd =
           ~doc:"Use the single-binding approximation (Definition 8) instead of \
                 the exact full binding.")
   in
-  let run query trace_path tuple_id single json =
+  let run metrics query trace_path tuple_id single json =
+    setup_metrics metrics;
     let strategy =
       if single then Whynot.Explain.Modification.Single
       else Whynot.Explain.Modification.Full
@@ -255,12 +276,15 @@ let explain_cmd =
        ~doc:
          "Timestamp modification explanation (Algorithm 2): minimally modify \
           each non-answer's timestamps to make it match.")
-    Term.(const run $ query_arg $ trace_arg $ tuple_id_arg $ single_arg $ json_arg)
+    Term.(
+      const run $ metrics_arg $ query_arg $ trace_arg $ tuple_id_arg $ single_arg
+      $ json_arg)
 
 (* --- diagnose --- *)
 
 let diagnose_cmd =
-  let run query trace_path json =
+  let run metrics query trace_path json =
+    setup_metrics metrics;
     let trace = load_trace trace_path in
     let report = Whynot.Explain.Diagnose.run query trace in
     if json then print_json (Whynot.Report.Render.diagnose report)
@@ -271,7 +295,7 @@ let diagnose_cmd =
        ~doc:
          "Aggregate why-not dashboard: failure classes and repair costs over \
           a whole trace.")
-    Term.(const run $ query_arg $ trace_arg $ json_arg)
+    Term.(const run $ metrics_arg $ query_arg $ trace_arg $ json_arg)
 
 (* --- why (top-k explanations) --- *)
 
@@ -279,7 +303,8 @@ let why_cmd =
   let k_arg =
     Arg.(value & opt int 3 & info [ "k" ] ~doc:"Number of candidate explanations.")
   in
-  let run query trace_path tuple_id k =
+  let run metrics query trace_path tuple_id k =
+    setup_metrics metrics;
     let trace = load_trace trace_path in
     List.iter
       (fun (id, t) ->
@@ -311,12 +336,13 @@ let why_cmd =
        ~doc:
          "Ranked why-not explanations: the k cheapest distinct timestamp \
           modifications, with a per-event blame summary.")
-    Term.(const run $ query_arg $ trace_arg $ tuple_id_arg $ k_arg)
+    Term.(const run $ metrics_arg $ query_arg $ trace_arg $ tuple_id_arg $ k_arg)
 
 (* --- fix-query (query modification explanation) --- *)
 
 let fix_query_cmd =
-  let run query trace_path tuple_id =
+  let run metrics query trace_path tuple_id =
+    setup_metrics metrics;
     let trace = load_trace trace_path in
     let expected = List.map snd (selected_tuples trace tuple_id) in
     match Whynot.Explain.Query_repair.explain query expected with
@@ -341,7 +367,7 @@ let fix_query_cmd =
        ~doc:
          "Query modification explanation: minimally relax the query's \
           ATLEAST/WITHIN bounds so the expected tuples become answers.")
-    Term.(const run $ query_arg $ trace_arg $ tuple_id_arg)
+    Term.(const run $ metrics_arg $ query_arg $ trace_arg $ tuple_id_arg)
 
 (* --- detect (streaming) --- *)
 
@@ -360,7 +386,8 @@ let detect_cmd =
       & info [ "horizon" ]
           ~doc:"Time horizon for partial matches (default: the query's root WITHIN).")
   in
-  let run query stream_path horizon =
+  let run metrics query stream_path horizon =
+    setup_metrics metrics;
     let parse_line lineno line =
       match String.split_on_char ',' (String.trim line) with
       | [ e; ts ] | [ e; ts; _ ] -> (
@@ -405,7 +432,7 @@ let detect_cmd =
   Cmd.v
     (Cmd.info "detect"
        ~doc:"Run the streaming detector over an interleaved event stream (CSV).")
-    Term.(const run $ query_arg $ stream_arg $ horizon_arg)
+    Term.(const run $ metrics_arg $ query_arg $ stream_arg $ horizon_arg)
 
 (* --- convert --- *)
 
@@ -418,7 +445,8 @@ let convert_cmd =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT"
          ~doc:"Output trace (.csv or .xes, by extension).")
   in
-  let run input output =
+  let run metrics input output =
+    setup_metrics metrics;
     let load path =
       if Filename.check_suffix path ".xes" then
         match Whynot.Events.Xes.read_file path with
@@ -441,7 +469,7 @@ let convert_cmd =
     (Cmd.info "convert"
        ~doc:"Convert traces between the CSV interchange format and XES \
              (IEEE 1849 process-mining event logs).")
-    Term.(const run $ in_arg $ out_arg)
+    Term.(const run $ metrics_arg $ in_arg $ out_arg)
 
 (* --- generate --- *)
 
@@ -468,7 +496,8 @@ let generate_cmd =
   let distance_arg =
     Arg.(value & opt int 200 & info [ "fault-distance" ] ~doc:"Fault distance.")
   in
-  let run kind out tuples seed rate distance =
+  let run metrics kind out tuples seed rate distance =
+    setup_metrics metrics;
     let prng = Whynot.Numeric.Prng.create seed in
     let trace, query =
       match kind with
@@ -493,7 +522,9 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a synthetic benchmark trace (CSV).")
-    Term.(const run $ kind_arg $ out_arg $ tuples_arg $ seed_arg $ rate_arg $ distance_arg)
+    Term.(
+      const run $ metrics_arg $ kind_arg $ out_arg $ tuples_arg $ seed_arg $ rate_arg
+      $ distance_arg)
 
 let main =
   let doc = "Why-not explanations for event pattern queries (SIGMOD 2021)" in

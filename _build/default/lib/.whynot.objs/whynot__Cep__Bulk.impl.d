@@ -1,1 +1,1 @@
-lib/cep/bulk.ml: Array Domain Events Explain Format List Option Pattern Tcn
+lib/cep/bulk.ml: Array Domain Events Explain Format List Obs Option Pattern Tcn

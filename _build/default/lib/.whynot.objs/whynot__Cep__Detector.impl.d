@@ -1,1 +1,1 @@
-lib/cep/detector.ml: Events Explain Format List Pattern Tcn
+lib/cep/detector.ml: Events Explain Format List Obs Pattern Tcn

@@ -1,1 +1,1 @@
-lib/cep/stream.ml: Events Explain Format List Map Pattern String Tcn
+lib/cep/stream.ml: Events Explain Format List Map Obs Pattern String Tcn

@@ -1,1 +1,1 @@
-lib/explain/consistency.ml: Array Events List Numeric Pattern Seq Tcn
+lib/explain/consistency.ml: Array Events List Numeric Obs Pattern Seq Tcn

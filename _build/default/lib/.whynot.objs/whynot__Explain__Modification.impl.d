@@ -1,1 +1,1 @@
-lib/explain/modification.ml: Events Flow_repair Format Lp_repair Numeric Pattern Seq Tcn
+lib/explain/modification.ml: Events Flow_repair Format Lp_repair Numeric Obs Pattern Seq Tcn

@@ -1,1 +1,1 @@
-lib/explain/pipeline.ml: Consistency Events Format Modification Pattern Query_repair
+lib/explain/pipeline.ml: Consistency Events Format Modification Obs Pattern Query_repair

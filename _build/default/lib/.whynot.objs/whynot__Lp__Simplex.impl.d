@@ -1,1 +1,1 @@
-lib/lp/simplex.ml: Array Format List Numeric
+lib/lp/simplex.ml: Array Format List Numeric Obs

@@ -1,0 +1,1 @@
+lib/obs.ml: Array Atomic Fun Hashtbl List Mutex Option Printf Stdlib String Unix

@@ -1,0 +1,1 @@
+lib/report/obs_json.ml: Json List Obs

@@ -1,0 +1,1 @@
+lib/report/obs_json.mli: Json Obs

@@ -1,1 +1,1 @@
-lib/tcn/stn_inc.ml: Array Condition Events List Seq Stn
+lib/tcn/stn_inc.ml: Array Condition Events List Obs Seq Stn

@@ -2,6 +2,12 @@ module Trace = Events.Trace
 
 let default_domains () = min 8 (Domain.recommended_domain_count ())
 
+let maps_c = Obs.counter "bulk.parallel_maps"
+let items_c = Obs.counter "bulk.items"
+let domains_c = Obs.counter "bulk.domains_spawned"
+let explained_c = Obs.counter "bulk.tuples_explained"
+let repaired_c = Obs.counter "bulk.tuples_repaired"
+
 (* Split [items] into [k] round-robin chunks (balanced even when costs
    correlate with position), run [f] on each chunk in its own domain, and
    reassemble in the original order. *)
@@ -9,9 +15,12 @@ let parallel_map ~domains f items =
   if domains < 1 then invalid_arg "Bulk: domains must be >= 1";
   let items = Array.of_list items in
   let n = Array.length items in
+  Obs.incr maps_c;
+  Obs.add items_c n;
   if domains = 1 || n <= 1 then Array.to_list (Array.map f items)
   else begin
     let k = min domains n in
+    Obs.add domains_c (k - 1);
     let results = Array.make n None in
     let worker w () =
       let out = ref [] in
@@ -44,11 +53,15 @@ let explain_trace ?domains ?strategy ?solver ?max_cost patterns trace =
     match max_cost with None -> true | Some budget -> cost <= budget
   in
   let repair _id tuple =
+    Obs.incr explained_c;
     if Pattern.Matcher.matches_set tuple patterns then tuple
     else
       match Explain.Modification.explain_network ?strategy ?solver net tuple with
-      | Some { repaired; cost; _ } when within_budget cost -> repaired
+      | Some { repaired; cost; _ } when within_budget cost ->
+          Obs.incr repaired_c;
+          repaired
       | Some _ | None | (exception Invalid_argument _) -> tuple
   in
-  map_tuples ?domains repair trace
-  |> List.fold_left (fun acc (id, tuple) -> Trace.add id tuple acc) Trace.empty
+  Obs.with_span "bulk.explain_trace" (fun () ->
+      map_tuples ?domains repair trace
+      |> List.fold_left (fun acc (id, tuple) -> Trace.add id tuple acc) Trace.empty)

@@ -26,9 +26,18 @@ type t = {
   max_partials : int;
   mutable partials : partial list; (* newest first *)
   mutable count : int;
-  mutable dropped : int;
+  mutable dropped : int; (* capacity evictions *)
+  mutable horizon_evicted : int;
   mutable clock : Events.Time.t;
 }
+
+let fed_c = Obs.counter "detector.instances_fed"
+let irrelevant_c = Obs.counter "detector.instances_irrelevant"
+let matches_c = Obs.counter "detector.matches"
+let horizon_c = Obs.counter "detector.evicted_horizon"
+let capacity_c = Obs.counter "detector.dropped_capacity"
+let live_g = Obs.gauge "detector.partials_live"
+let peak_g = Obs.gauge "detector.partials_peak"
 
 let root_within = function
   | Pattern.Ast.Event _ -> None
@@ -72,11 +81,14 @@ let create ?horizon ?(max_partials = 4096) patterns =
     partials = [];
     count = 0;
     dropped = 0;
+    horizon_evicted = 0;
     clock = min_int;
   }
 
 let partial_count t = t.count
 let dropped t = t.dropped
+let dropped_capacity t = t.dropped
+let evicted_horizon t = t.horizon_evicted
 
 (* Targets an instance of a given type may fill: the event itself, plus
    every repeat alias of that base. Aliases are filled canonically in index
@@ -108,14 +120,29 @@ let feed t inst =
   if inst.timestamp < t.clock then
     invalid_arg "Detector.feed: timestamps must be non-decreasing";
   t.clock <- inst.timestamp;
+  Obs.incr fed_c;
+  (* Horizon eviction: a partial whose earliest instance is out of reach of
+     the root window can never complete. This must happen on every feed —
+     including instances of irrelevant types — or dead partials linger (and
+     inflate the buffer) on streams dominated by other event types. *)
+  let alive, expired =
+    List.partition (fun p -> inst.timestamp - p.earliest <= t.horizon) t.partials
+  in
+  (match expired with
+  | [] -> ()
+  | _ ->
+      let n = List.length expired in
+      t.horizon_evicted <- t.horizon_evicted + n;
+      Obs.add horizon_c n;
+      t.partials <- alive;
+      t.count <- t.count - n);
   let targets = targets_of t inst.event in
-  if targets = [] then []
+  if targets = [] then begin
+    Obs.incr irrelevant_c;
+    Obs.gauge_set live_g t.count;
+    []
+  end
   else begin
-    (* Horizon eviction: a partial whose earliest instance is out of reach
-       of the root window can never complete. *)
-    let alive, _expired =
-      List.partition (fun p -> inst.timestamp - p.earliest <= t.horizon) t.partials
-    in
     let extend p target =
       if Tuple.mem target p.assigned || not (alias_ready p.assigned target) then None
       else
@@ -162,13 +189,18 @@ let feed t inst =
           | _ when k = 0 -> []
           | p :: rest -> p :: take (k - 1) rest
         in
-        t.dropped <- t.dropped + (count - t.max_partials);
+        let evicted = count - t.max_partials in
+        t.dropped <- t.dropped + evicted;
+        Obs.add capacity_c evicted;
         (take t.max_partials partials, t.max_partials)
       end
       else (partials, count)
     in
     t.partials <- partials;
     t.count <- count;
+    Obs.gauge_set live_g count;
+    Obs.gauge_max peak_g count;
+    (match matches with [] -> () | _ -> Obs.add matches_c (List.length matches));
     List.map
       (fun p -> { tuple = p.assigned; tags = List.rev p.p_tags })
       matches

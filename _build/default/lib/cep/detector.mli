@@ -55,8 +55,19 @@ val feed_all : t -> instance list -> match_ list
 (** Convenience fold of {!feed}. *)
 
 val partial_count : t -> int
-(** Current size of the partial-match buffer. *)
+(** Current size of the partial-match buffer. Horizon-expired partials
+    are evicted on {e every} feed (even of an irrelevant event type), so
+    this never counts partials that can no longer complete. *)
 
 val dropped : t -> int
 (** Partials evicted by the capacity bound so far (0 means the result is
-    exhaustive). *)
+    exhaustive). Alias of {!dropped_capacity}. *)
+
+val dropped_capacity : t -> int
+(** Partials evicted because the buffer exceeded [max_partials]; these
+    are lost matches. *)
+
+val evicted_horizon : t -> int
+(** Partials discarded because the stream advanced past the horizon;
+    these could never have completed, so they are {e not} lost matches
+    and are accounted separately from {!dropped_capacity}. *)

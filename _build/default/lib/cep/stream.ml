@@ -12,6 +12,13 @@ type verdict =
 
 module M = Map.Make (String)
 
+let feeds_c = Obs.counter "stream.feeds"
+let irrelevant_c = Obs.counter "stream.instances_irrelevant"
+let matched_c = Obs.counter "stream.verdict.matched"
+let failed_c = Obs.counter "stream.verdict.failed"
+let pending_c = Obs.counter "stream.verdict.pending"
+let keys_g = Obs.gauge "stream.keys_live"
+
 type t = {
   patterns : Pattern.Ast.t list;
   net : Tcn.Encode.set;
@@ -50,14 +57,25 @@ let verdict_of t tuple =
         Failed { tuple; failure; explanation }
 
 let feed t ~key event ts =
-  if not (Event.Set.mem event t.required) then Pending
+  Obs.incr feeds_c;
+  if not (Event.Set.mem event t.required) then begin
+    Obs.incr irrelevant_c;
+    Pending
+  end
   else begin
     let tuple =
       match M.find_opt key t.partial with Some tu -> tu | None -> Tuple.empty
     in
     let tuple = Tuple.add event ts tuple in
     t.partial <- M.add key tuple t.partial;
-    verdict_of t tuple
+    Obs.gauge_max keys_g (M.cardinal t.partial);
+    let verdict = verdict_of t tuple in
+    Obs.incr
+      (match verdict with
+      | Matched _ -> matched_c
+      | Failed _ -> failed_c
+      | Pending -> pending_c);
+    verdict
   end
 
 let current t ~key =

@@ -1,4 +1,17 @@
 let header = "tuple_id,event,timestamp"
+let header_fields = String.split_on_char ',' header
+
+(* RFC-4180-style quoting: a field is quoted when it contains a comma, a
+   quote, a CR/LF, or leading/trailing whitespace (unquoted fields are
+   trimmed on read, so bare whitespace would not round-trip). *)
+let needs_quoting s =
+  (s <> "" && (s.[0] = ' ' || s.[String.length s - 1] = ' '))
+  || String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r' || c = '\t') s
+
+let quote_field s =
+  "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+
+let field s = if needs_quoting s then quote_field s else s
 
 let trace_to_string trace =
   let buf = Buffer.create 1024 in
@@ -7,36 +20,136 @@ let trace_to_string trace =
   Trace.fold
     (fun id tuple () ->
       List.iter
-        (fun (e, ts) -> Buffer.add_string buf (Printf.sprintf "%s,%s,%d\n" id e ts))
+        (fun (e, ts) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%s,%d\n" (field id) (field e) ts))
         (Tuple.bindings tuple))
     trace ();
   Buffer.contents buf
 
-let parse_line lineno line =
-  match String.split_on_char ',' (String.trim line) with
-  | [ id; e; ts ] -> (
-      match int_of_string_opt (String.trim ts) with
-      | Some ts -> Ok (String.trim id, String.trim e, ts)
-      | None -> Error (Printf.sprintf "line %d: bad timestamp %S" lineno ts))
-  | _ -> Error (Printf.sprintf "line %d: expected 3 comma-separated fields" lineno)
+(* Quote-aware record reader over the whole input (quoted fields may
+   contain commas and newlines, so records cannot be found by splitting
+   on '\n' first). Returns the records with the line number each started
+   on, or [Error] at the first ambiguous construct — a quote opening
+   mid-field, text following a closing quote, or an unterminated quote —
+   rather than guessing and corrupting data. *)
+let records_of_string input =
+  let n = String.length input in
+  let pos = ref 0 and line = ref 1 in
+  let records = ref [] in
+  let error = ref None in
+  let fail lineno msg = if !error = None then error := Some (lineno, msg) in
+  while !pos < n && !error = None do
+    let start_line = !line in
+    (* parse one record *)
+    let fields = ref [] and buf = Buffer.create 16 in
+    let quoted = ref false (* current field was quoted *) in
+    let finished = ref false in
+    let flush_field () =
+      let raw = Buffer.contents buf in
+      Buffer.clear buf;
+      let v = if !quoted then raw else String.trim raw in
+      quoted := false;
+      fields := v :: !fields
+    in
+    while not !finished && !error = None do
+      if !pos >= n then begin
+        flush_field ();
+        finished := true
+      end
+      else
+        match input.[!pos] with
+        | '\n' ->
+            incr pos;
+            incr line;
+            flush_field ();
+            finished := true
+        | '\r' when !pos + 1 < n && input.[!pos + 1] = '\n' ->
+            pos := !pos + 2;
+            incr line;
+            flush_field ();
+            finished := true
+        | ',' ->
+            incr pos;
+            flush_field ()
+        | '"' when String.trim (Buffer.contents buf) = "" && not !quoted ->
+            (* opening quote (only whitespace seen so far in this field) *)
+            Buffer.clear buf;
+            incr pos;
+            let closed = ref false in
+            while (not !closed) && !error = None do
+              if !pos >= n then fail start_line "unterminated quoted field"
+              else
+                match input.[!pos] with
+                | '"' when !pos + 1 < n && input.[!pos + 1] = '"' ->
+                    Buffer.add_char buf '"';
+                    pos := !pos + 2
+                | '"' ->
+                    incr pos;
+                    closed := true
+                | '\n' as c ->
+                    incr line;
+                    Buffer.add_char buf c;
+                    incr pos
+                | c ->
+                    Buffer.add_char buf c;
+                    incr pos
+            done;
+            quoted := true;
+            (* only whitespace may follow before the delimiter *)
+            while
+              !error = None && !pos < n
+              && (match input.[!pos] with ' ' | '\t' -> true | _ -> false)
+            do
+              incr pos
+            done;
+            if
+              !error = None && !pos < n
+              && not
+                   (match input.[!pos] with
+                   | ',' | '\n' -> true
+                   | '\r' -> !pos + 1 < n && input.[!pos + 1] = '\n'
+                   | _ -> false)
+            then fail !line "text after closing quote"
+        | '"' ->
+            fail !line "quote inside unquoted field (quote the whole field)"
+        | c ->
+            Buffer.add_char buf c;
+            incr pos
+    done;
+    if !error = None then records := (start_line, List.rev !fields) :: !records
+  done;
+  match !error with
+  | Some (lineno, msg) -> Error (Printf.sprintf "line %d: %s" lineno msg)
+  | None -> Ok (List.rev !records)
+
+let is_blank = function [] | [ "" ] -> true | _ -> false
 
 let trace_of_string s =
-  let lines = String.split_on_char '\n' s in
-  let rec go lineno acc = function
-    | [] -> Ok acc
-    | line :: rest ->
-        let trimmed = String.trim line in
-        if trimmed = "" || (lineno = 1 && trimmed = header) then go (lineno + 1) acc rest
-        else (
-          match parse_line lineno trimmed with
-          | Error _ as e -> e
-          | Ok (id, e, ts) ->
-              let tuple =
-                match Trace.find_opt acc id with Some t -> t | None -> Tuple.empty
-              in
-              go (lineno + 1) (Trace.add id (Tuple.add e ts tuple) acc) rest)
-  in
-  go 1 Trace.empty lines
+  match records_of_string s with
+  | Error _ as e -> e
+  | Ok records ->
+      let rec go ~seen_data acc = function
+        | [] -> Ok acc
+        | (_, fields) :: rest when is_blank fields -> go ~seen_data acc rest
+        | (_, fields) :: rest when (not seen_data) && fields = header_fields ->
+            (* the header is recognised on the first non-blank record, not
+               just at line 1 (leading blank lines are common) *)
+            go ~seen_data:true acc rest
+        | (lineno, [ id; e; ts ]) :: rest -> (
+            match int_of_string_opt (String.trim ts) with
+            | Some ts ->
+                let tuple =
+                  match Trace.find_opt acc id with
+                  | Some t -> t
+                  | None -> Tuple.empty
+                in
+                go ~seen_data:true (Trace.add id (Tuple.add e ts tuple) acc) rest
+            | None -> Error (Printf.sprintf "line %d: bad timestamp %S" lineno ts))
+        | (lineno, _) :: _ ->
+            Error (Printf.sprintf "line %d: expected 3 comma-separated fields" lineno)
+      in
+      go ~seen_data:false Trace.empty records
 
 let write_trace path trace =
   let oc = open_out path in

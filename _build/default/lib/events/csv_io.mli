@@ -2,8 +2,16 @@
 
     Long format, one event instance per line: [tuple_id,event,timestamp].
     A header line ["tuple_id,event,timestamp"] is written on export and
-    skipped on import when present. This is the interchange format of the
-    [whynot] CLI. *)
+    skipped on import when it is the first non-blank record. This is the
+    interchange format of the [whynot] CLI.
+
+    Ids and event names are quoted RFC-4180 style on export when they
+    contain commas, quotes, newlines, or leading/trailing whitespace, and
+    unquoted on import — so [trace_of_string (trace_to_string t)] round
+    trips for {e any} id/event strings. Unquoted fields are trimmed;
+    quoted fields are taken verbatim. Ambiguous input (a quote opening
+    mid-field, text after a closing quote, an unterminated quote) is
+    rejected with [Error] rather than guessed at. *)
 
 val trace_to_string : Trace.t -> string
 val trace_of_string : string -> (Trace.t, string) result

@@ -10,6 +10,14 @@ type report = {
   exact : bool;
 }
 
+let checks_c = Obs.counter "consistency.checks"
+let nodes_c = Obs.counter "consistency.search_nodes"
+let consistent_c = Obs.counter "consistency.outcome.consistent"
+let inconsistent_c = Obs.counter "consistency.outcome.inconsistent"
+let strategy_full_c = Obs.counter "consistency.strategy.full"
+let strategy_pruned_c = Obs.counter "consistency.strategy.pruned"
+let strategy_sampled_c = Obs.counter "consistency.strategy.sampled"
+
 let real_events tuple =
   Tuple.fold
     (fun e ts acc -> if Event.is_artificial e then acc else Tuple.add e ts acc)
@@ -49,6 +57,12 @@ let check_network ?(strategy = Full) ?(seed = 0) ?(events = Event.Set.empty)
       { net with Tcn.Encode.set_intervals = pin_intervals pinned @ net.set_intervals }
   in
   let events = Event.Set.union events (all_events net) in
+  Obs.incr checks_c;
+  Obs.incr
+    (match strategy with
+    | Full -> strategy_full_c
+    | Pruned -> strategy_pruned_c
+    | Sampled _ -> strategy_sampled_c);
   let checked = ref 0 in
   let found = ref None in
   (match strategy with
@@ -113,6 +127,8 @@ let check_network ?(strategy = Full) ?(seed = 0) ?(events = Event.Set.empty)
         end
       in
       scan s);
+  Obs.add nodes_c !checked;
+  Obs.incr (if !found <> None then consistent_c else inconsistent_c);
   match !found with
   | Some w ->
       {

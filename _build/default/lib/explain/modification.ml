@@ -11,6 +11,12 @@ type result = {
   exact : bool;
 }
 
+let explains_c = Obs.counter "modification.explains"
+let bindings_c = Obs.counter "modification.bindings_tried"
+let found_c = Obs.counter "modification.outcome.found"
+let none_c = Obs.counter "modification.outcome.none"
+let cost_h = Obs.histogram "modification.cost"
+
 let repair_of solver ?weights ?bounds =
   match solver with
   | Lp -> Lp_repair.repair ?weights ?bounds
@@ -62,9 +68,13 @@ let explain_network ?(strategy = Full) ?(solver = Lp) ?(seed = 0) ?weights ?boun
           | Some (_, best_cost) when best_cost <= cost -> ()
           | _ -> best := Some (repaired, cost)))
     bindings_seq;
+  Obs.incr explains_c;
+  Obs.add bindings_c !tried;
+  Obs.incr (if !best = None then none_c else found_c);
   match !best with
   | None -> None
   | Some (repaired, cost) ->
+      Obs.observe cost_h cost;
       (* Events of the input tuple untouched by the network keep their
          original timestamps. *)
       let repaired = Tuple.union_right tuple (strip_artificial repaired) in

@@ -22,7 +22,22 @@ let pp_outcome ppf = function
         r.Query_repair.changes
   | No_explanation -> Format.fprintf ppf "no plausible explanation found"
 
-let explain ?strategy ?solver ?max_cost patterns tuple =
+let outcome_counter =
+  let already = Obs.counter "pipeline.outcome.already_answer"
+  and inconsistent = Obs.counter "pipeline.outcome.inconsistent_query"
+  and timestamps = Obs.counter "pipeline.outcome.modify_timestamps"
+  and query = Obs.counter "pipeline.outcome.modify_query"
+  and none = Obs.counter "pipeline.outcome.no_explanation" in
+  function
+  | Already_answer -> already
+  | Inconsistent_query _ -> inconsistent
+  | Modify_timestamps _ -> timestamps
+  | Modify_query _ -> query
+  | No_explanation -> none
+
+let explains_c = Obs.counter "pipeline.explains"
+
+let explain_inner ?strategy ?solver ?max_cost patterns tuple =
   if Pattern.Matcher.matches_set tuple patterns then Already_answer
   else
     (* Step 2 of Figure 3: pattern consistency first — no data explanation
@@ -50,3 +65,12 @@ let explain ?strategy ?solver ?max_cost patterns tuple =
               match Query_repair.explain patterns [ tuple ] with
               | Ok qr -> Modify_query qr
               | Error _ -> No_explanation))
+
+let explain ?strategy ?solver ?max_cost patterns tuple =
+  Obs.incr explains_c;
+  let outcome =
+    Obs.with_span "pipeline.explain" (fun () ->
+        explain_inner ?strategy ?solver ?max_cost patterns tuple)
+  in
+  Obs.incr (outcome_counter outcome);
+  outcome

@@ -17,6 +17,13 @@ type outcome =
   | Infeasible
   | Unbounded
 
+let solves_c = Obs.counter "simplex.solves"
+let pivots_c = Obs.counter "simplex.pivots"
+let phase1_c = Obs.counter "simplex.phase1_iters"
+let phase2_c = Obs.counter "simplex.phase2_iters"
+let degenerate_c = Obs.counter "simplex.degenerate_pivots"
+let infeasible_c = Obs.counter "simplex.infeasible"
+
 let create () = { nvars = 0; names = []; constraints = []; objective = [] }
 
 let copy m =
@@ -61,6 +68,8 @@ type tableau = {
 }
 
 let pivot tb r c =
+  Obs.incr pivots_c;
+  if Rat.sign tb.rows.(r).(tb.width) = 0 then Obs.incr degenerate_c;
   let piv = tb.rows.(r).(c) in
   assert (Rat.sign piv <> 0);
   let row = tb.rows.(r) in
@@ -81,7 +90,8 @@ let pivot tb r c =
 (* Bland's rule: entering = smallest eligible column index; leaving = among
    minimum-ratio rows, the one whose basic variable has the smallest index.
    This precludes cycling under degeneracy. *)
-let rec optimize ~allowed tb =
+let rec optimize ~iters ~allowed tb =
+  Obs.incr iters;
   let entering = ref (-1) in
   (try
      for j = 0 to tb.width - 1 do
@@ -112,11 +122,12 @@ let rec optimize ~allowed tb =
     if !best_row < 0 then `Unbounded
     else begin
       pivot tb !best_row c;
-      optimize ~allowed tb
+      optimize ~iters ~allowed tb
     end
   end
 
 let solve m =
+  Obs.incr solves_c;
   let constraints = Array.of_list (List.rev m.constraints) in
   let nrows = Array.length constraints in
   let n = m.nvars in
@@ -183,7 +194,7 @@ let solve m =
             tb.obj.(j) <- Rat.sub tb.obj.(j) tb.rows.(i).(j)
           done)
       tb.basis;
-    match optimize ~allowed:(fun _ -> true) tb with
+    match optimize ~iters:phase1_c ~allowed:(fun _ -> true) tb with
     | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
     | `Optimal ->
         if Rat.sign (Rat.neg tb.obj.(width)) > 0 then raise Exit
@@ -220,7 +231,7 @@ let solve m =
           tb.obj.(j) <- Rat.sub tb.obj.(j) (Rat.mul f tb.rows.(i).(j))
         done)
     tb.basis;
-  match optimize ~allowed:(fun j -> j < art_start) tb with
+  match optimize ~iters:phase2_c ~allowed:(fun j -> j < art_start) tb with
   | `Unbounded -> Unbounded
   | `Optimal ->
       let values = Array.make n Rat.zero in
@@ -234,7 +245,11 @@ let solve m =
       in
       Optimal { objective; values }
 
-let solve m = try solve m with Exit -> Infeasible
+let solve m =
+  try solve m
+  with Exit ->
+    Obs.incr infeasible_c;
+    Infeasible
 
 let pp_outcome ppf = function
   | Infeasible -> Format.fprintf ppf "infeasible"

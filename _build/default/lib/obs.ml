@@ -1,0 +1,195 @@
+type counter = int Atomic.t
+type gauge = int Atomic.t
+
+type histogram = {
+  bounds : int array; (* strictly increasing upper bounds *)
+  buckets : int Atomic.t array; (* length bounds + 1; last = +inf *)
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+}
+
+type span = {
+  s_count : int Atomic.t;
+  total_ns : int Atomic.t;
+  max_ns : int Atomic.t;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Hist of histogram
+  | Span of span
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+  | Span _ -> "span"
+
+(* Get-or-create under the registry lock; the returned handle is then
+   updated lock-free. Handles are meant to be obtained once (at module
+   initialisation), so this lock is never on a hot path. *)
+let register name make select =
+  Mutex.lock lock;
+  let metric =
+    match Hashtbl.find_opt registry name with
+    | Some m -> m
+    | None ->
+        let m = make () in
+        Hashtbl.add registry name m;
+        m
+  in
+  Mutex.unlock lock;
+  match select metric with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Obs: %S is already registered as a %s" name
+           (kind_name metric))
+
+let counter name =
+  register name
+    (fun () -> Counter (Atomic.make 0))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge name =
+  register name
+    (fun () -> Gauge (Atomic.make 0))
+    (function Gauge g -> Some g | _ -> None)
+
+let default_buckets =
+  [| 0; 1; 2; 5; 10; 25; 50; 100; 250; 500; 1000; 2500; 5000; 10000 |]
+
+let histogram ?(buckets = default_buckets) name =
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg "Obs.histogram: bucket bounds must be strictly increasing")
+    buckets;
+  register name
+    (fun () ->
+      Hist
+        {
+          bounds = Array.copy buckets;
+          buckets = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0;
+        })
+    (function Hist h -> Some h | _ -> None)
+
+let span name =
+  register name
+    (fun () ->
+      Span { s_count = Atomic.make 0; total_ns = Atomic.make 0; max_ns = Atomic.make 0 })
+    (function Span s -> Some s | _ -> None)
+
+let incr c = Atomic.incr c
+let add c n = ignore (Atomic.fetch_and_add c n)
+let value c = Atomic.get c
+
+let gauge_set g v = Atomic.set g v
+
+let rec atomic_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then atomic_max cell v
+
+let gauge_max g v = atomic_max g v
+let gauge_value g = Atomic.get g
+
+let observe h v =
+  (* Bounds arrays are short (tens of cells); a linear scan beats binary
+     search at this size and stays branch-predictable. *)
+  let n = Array.length h.bounds in
+  let i = ref 0 in
+  while !i < n && v > h.bounds.(!i) do
+    Stdlib.incr i
+  done;
+  Atomic.incr h.buckets.(!i);
+  Atomic.incr h.h_count;
+  ignore (Atomic.fetch_and_add h.h_sum v)
+
+let with_span name f =
+  let s = span name in
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      let ns = int_of_float (dt *. 1e9) in
+      Atomic.incr s.s_count;
+      ignore (Atomic.fetch_and_add s.total_ns ns);
+      atomic_max s.max_ns ns)
+    f
+
+let find_counter name =
+  Mutex.lock lock;
+  let r = Hashtbl.find_opt registry name in
+  Mutex.unlock lock;
+  match r with Some (Counter c) -> Some (Atomic.get c) | _ -> None
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.iter
+    (fun _ -> function
+      | Counter c | Gauge c -> Atomic.set c 0
+      | Hist h ->
+          Array.iter (fun b -> Atomic.set b 0) h.buckets;
+          Atomic.set h.h_count 0;
+          Atomic.set h.h_sum 0
+      | Span s ->
+          Atomic.set s.s_count 0;
+          Atomic.set s.total_ns 0;
+          Atomic.set s.max_ns 0)
+    registry;
+  Mutex.unlock lock
+
+type hist_snapshot = {
+  h_count : int;
+  h_sum : int;
+  h_buckets : (int option * int) list;
+}
+
+type span_snapshot = { s_count : int; total_ns : int; max_ns : int }
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * hist_snapshot) list;
+  spans : (string * span_snapshot) list;
+}
+
+let snapshot () =
+  Mutex.lock lock;
+  let entries = Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [] in
+  Mutex.unlock lock;
+  let entries = List.sort (fun (a, _) (b, _) -> String.compare a b) entries in
+  let section pred = List.filter_map (fun (name, m) -> Option.map (fun v -> (name, v)) (pred m)) entries in
+  {
+    counters = section (function Counter c -> Some (Atomic.get c) | _ -> None);
+    gauges = section (function Gauge g -> Some (Atomic.get g) | _ -> None);
+    histograms =
+      section (function
+        | Hist h ->
+            Some
+              {
+                h_count = Atomic.get h.h_count;
+                h_sum = Atomic.get h.h_sum;
+                h_buckets =
+                  List.init (Array.length h.buckets) (fun i ->
+                      ( (if i < Array.length h.bounds then Some h.bounds.(i) else None),
+                        Atomic.get h.buckets.(i) ));
+              }
+        | _ -> None);
+    spans =
+      section (function
+        | Span s ->
+            Some
+              {
+                s_count = Atomic.get s.s_count;
+                total_ns = Atomic.get s.total_ns;
+                max_ns = Atomic.get s.max_ns;
+              }
+        | _ -> None);
+  }

@@ -1,0 +1,91 @@
+(** Lightweight observability: global counters, gauges, histograms and
+    timing spans for the engine's hot paths.
+
+    Every metric lives in one process-wide registry keyed by a dotted
+    name ([simplex.pivots], [detector.matches], ...). Call sites obtain a
+    handle once — typically at module initialisation — and then update it
+    with no allocation and no lock on the hot path: all cells are
+    {!Atomic} ints, so updates are safe and lossless under {!Cep.Bulk}'s
+    domains.
+
+    {b Determinism.} Counters, gauges and histograms are pure functions
+    of the work performed, so a {!snapshot} restricted to them is
+    byte-identical across runs on the same input. Spans measure
+    wall-clock time and are not deterministic.
+
+    This module is dependency-free; {!Report.Obs_json} renders a
+    snapshot as JSON. Metric names, units and the snapshot schema are
+    documented in [docs/OBSERVABILITY.md]. *)
+
+type counter
+type gauge
+type histogram
+
+(** {1 Registration (get-or-create, idempotent)} *)
+
+val counter : string -> counter
+(** Monotonic event count. @raise Invalid_argument if the name is
+    already registered as a different metric kind. *)
+
+val gauge : string -> gauge
+(** Point-in-time level (last value wins; or use {!gauge_max} for a
+    high-water mark). @raise Invalid_argument on a kind clash. *)
+
+val histogram : ?buckets:int array -> string -> histogram
+(** Distribution of integer sizes/latencies over fixed, strictly
+    increasing bucket upper bounds ([buckets] defaults to
+    {!default_buckets}; a final +inf bucket is implicit). On repeated
+    registration the first bounds win. @raise Invalid_argument on a kind
+    clash or non-increasing bounds. *)
+
+val default_buckets : int array
+
+(** {1 Hot-path updates} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val gauge_set : gauge -> int -> unit
+val gauge_max : gauge -> int -> unit
+(** [gauge_max g v] raises the gauge to [v] if [v] is larger (atomic). *)
+
+val gauge_value : gauge -> int
+
+val observe : histogram -> int -> unit
+(** Record one sample into the bucket of the smallest bound [>=] sample. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span label f] runs [f ()] and aggregates its wall-clock
+    duration (count / total / max, nanoseconds) under [label]. The
+    duration is recorded even when [f] raises. Span registration is
+    keyed like any other metric; @raise Invalid_argument on a kind
+    clash. *)
+
+(** {1 Snapshot / reset} *)
+
+type hist_snapshot = {
+  h_count : int;
+  h_sum : int;
+  h_buckets : (int option * int) list;
+      (** (upper bound, samples); [None] is the +inf overflow bucket *)
+}
+
+type span_snapshot = { s_count : int; total_ns : int; max_ns : int }
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  histograms : (string * hist_snapshot) list;
+  spans : (string * span_snapshot) list;
+}
+(** All sections sorted by metric name — deterministic apart from the
+    timing fields of [spans]. *)
+
+val find_counter : string -> int option
+(** Current value of a registered counter, by name. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations are kept). *)
+
+val snapshot : unit -> snapshot

@@ -13,8 +13,14 @@ type t = {
   index : int Event.Map.t;
   dist : int array array; (* (n+1)^2, last index = origin pinned at 0 *)
   mutable frames : frame list;
+  mutable nframes : int; (* List.length frames, kept O(1) for metrics *)
   mutable inconsistent : bool;
 }
+
+let pushes_c = Obs.counter "stn_inc.pushes"
+let pops_c = Obs.counter "stn_inc.pops"
+let inconsistent_c = Obs.counter "stn_inc.inconsistency_hits"
+let depth_g = Obs.gauge "stn_inc.max_depth"
 
 let create events =
   let events = Array.of_list (List.sort_uniq Event.compare events) in
@@ -31,7 +37,7 @@ let create events =
     (* t(i) >= 0: arc i -> origin with weight 0 *)
     dist.(i).(n) <- 0
   done;
-  { events; index; dist; frames = []; inconsistent = false }
+  { events; index; dist; frames = []; nframes = 0; inconsistent = false }
 
 let consistent t = not t.inconsistent
 
@@ -67,24 +73,30 @@ let add_arc t u v w saved =
 
 let push t ({ Condition.src; dst; lo; hi } as interval) =
   if t.inconsistent then invalid_arg "Stn_inc.push: inconsistent network (pop first)";
+  Obs.incr pushes_c;
   let u = find_index t src and v = find_index t dst in
   let saved, ok =
     match hi with Some hi -> add_arc t u v hi [] | None -> ([], true)
   in
   let saved, ok = if ok then add_arc t v u (-lo) saved else (saved, ok) in
+  if not ok then Obs.incr inconsistent_c;
   t.inconsistent <- not ok;
   t.frames <- { saved; interval; made_inconsistent = not ok } :: t.frames;
+  t.nframes <- t.nframes + 1;
+  Obs.gauge_max depth_g t.nframes;
   ok
 
 let pop t =
   match t.frames with
   | [] -> invalid_arg "Stn_inc.pop: empty stack"
   | { saved; made_inconsistent; _ } :: rest ->
+      Obs.incr pops_c;
       List.iter (fun (x, y, old) -> t.dist.(x).(y) <- old) saved;
       if made_inconsistent then t.inconsistent <- false;
-      t.frames <- rest
+      t.frames <- rest;
+      t.nframes <- t.nframes - 1
 
-let depth t = List.length t.frames
+let depth t = t.nframes
 
 let solution t =
   if t.inconsistent then None

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Cep Events Explain List Obs Pattern Printf Report Whynot

@@ -92,6 +92,49 @@ let test_csv_roundtrip () =
            (fun (i1, t1) (i2, t2) -> i1 = i2 && Tuple.equal t1 t2)
            (Trace.bindings tr) (Trace.bindings tr'))
 
+(* Regression: ids/event names containing commas, quotes or newlines
+   used to be written raw and then misparsed (wrong field count or
+   corrupted ids). They are now RFC-4180-quoted on write and unquoted on
+   read. *)
+let test_csv_quoting_roundtrip () =
+  let tr =
+    Trace.of_list
+      [
+        ("plain", Tuple.of_list [ ("E1", 1) ]);
+        ("comma,id", Tuple.of_list [ ("E,1", 2); ("E2", 3) ]);
+        ("say \"hi\"", Tuple.of_list [ ("E1", 4) ]);
+        ("two\nlines", Tuple.of_list [ ("E1", 5) ]);
+        (" padded ", Tuple.of_list [ ("E1", 6) ]);
+      ]
+  in
+  let s = Csv_io.trace_to_string tr in
+  match Csv_io.trace_of_string s with
+  | Error e -> Alcotest.fail e
+  | Ok tr' ->
+      check_int "all tuples back" (Trace.cardinal tr) (Trace.cardinal tr');
+      List.iter2
+        (fun (i1, t1) (i2, t2) ->
+          check_str "id round trips" i1 i2;
+          check_bool ("tuple round trips: " ^ i1) true (Tuple.equal t1 t2))
+        (Trace.bindings tr) (Trace.bindings tr')
+
+(* Regression: the header was only recognised at line 1, so a leading
+   blank line turned it into a parse error. *)
+let test_csv_header_after_blanks () =
+  match Csv_io.trace_of_string "\n  \ntuple_id,event,timestamp\nid1,E1,5\n" with
+  | Ok tr -> check_int "header after leading blanks accepted" 1 (Trace.cardinal tr)
+  | Error e -> Alcotest.fail e
+
+let test_csv_ambiguous_rejected () =
+  let expect_error label s =
+    match Csv_io.trace_of_string s with
+    | Error msg -> check_bool (label ^ " reported") true (String.length msg > 0)
+    | Ok _ -> Alcotest.fail ("expected error: " ^ label)
+  in
+  expect_error "quote inside unquoted field" "ab\"cd,E1,5\n";
+  expect_error "unterminated quote" "\"abcd,E1,5\n";
+  expect_error "text after closing quote" "\"ab\"cd,E1,5\n"
+
 let test_csv_errors () =
   (match Csv_io.trace_of_string "a,b\n" with
   | Error msg -> check_bool "field count error" true (String.length msg > 0)
@@ -114,5 +157,9 @@ let suite =
       Alcotest.test_case "tuple union/restrict" `Quick test_tuple_union_restrict;
       Alcotest.test_case "trace operations" `Quick test_trace;
       Alcotest.test_case "csv round trip" `Quick test_csv_roundtrip;
+      Alcotest.test_case "csv quoting round trip" `Quick test_csv_quoting_roundtrip;
+      Alcotest.test_case "csv header after blanks" `Quick test_csv_header_after_blanks;
+      Alcotest.test_case "csv ambiguous input rejected" `Quick
+        test_csv_ambiguous_rejected;
       Alcotest.test_case "csv errors" `Quick test_csv_errors;
     ] )

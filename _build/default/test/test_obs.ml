@@ -1,0 +1,141 @@
+open Whynot
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* Global registry: each test resets all metrics first; names are
+   namespaced under "test." to avoid colliding with engine metrics. *)
+
+let test_counter_semantics () =
+  let c = Obs.counter "test.counter" in
+  Obs.reset ();
+  check_int "starts at zero" 0 (Obs.value c);
+  Obs.incr c;
+  Obs.add c 5;
+  check_int "incr + add" 6 (Obs.value c);
+  (* get-or-create returns the same cell *)
+  let c' = Obs.counter "test.counter" in
+  Obs.incr c';
+  check_int "same cell via re-registration" 7 (Obs.value c);
+  check_bool "find_counter" true (Obs.find_counter "test.counter" = Some 7);
+  check_bool "find_counter missing" true (Obs.find_counter "test.nosuch" = None)
+
+let test_kind_clash_rejected () =
+  ignore (Obs.counter "test.clash");
+  check_bool "gauge over counter name raises" true
+    (try ignore (Obs.gauge "test.clash"); false with Invalid_argument _ -> true);
+  check_bool "histogram over counter name raises" true
+    (try ignore (Obs.histogram "test.clash"); false with Invalid_argument _ -> true)
+
+let test_gauge_semantics () =
+  let g = Obs.gauge "test.gauge" in
+  Obs.reset ();
+  Obs.gauge_set g 5;
+  check_int "set" 5 (Obs.gauge_value g);
+  Obs.gauge_max g 3;
+  check_int "max keeps larger" 5 (Obs.gauge_value g);
+  Obs.gauge_max g 9;
+  check_int "max raises" 9 (Obs.gauge_value g)
+
+let find_hist name (snap : Obs.snapshot) =
+  match List.assoc_opt name snap.histograms with
+  | Some h -> h
+  | None -> Alcotest.failf "histogram %s not in snapshot" name
+
+let test_histogram_buckets () =
+  let h = Obs.histogram ~buckets:[| 10; 20 |] "test.hist" in
+  Obs.reset ();
+  List.iter (Obs.observe h) [ 5; 10; 15; 99 ];
+  let hs = find_hist "test.hist" (Obs.snapshot ()) in
+  check_int "count" 4 hs.Obs.h_count;
+  check_int "sum" 129 hs.Obs.h_sum;
+  Alcotest.(check (list (pair (option int) int)))
+    "bucket placement (le 10 / le 20 / inf)"
+    [ (Some 10, 2); (Some 20, 1); (None, 1) ]
+    hs.Obs.h_buckets;
+  check_bool "non-increasing bounds rejected" true
+    (try ignore (Obs.histogram ~buckets:[| 5; 5 |] "test.hist2"); false
+     with Invalid_argument _ -> true)
+
+let span_count name (snap : Obs.snapshot) =
+  match List.assoc_opt name snap.spans with
+  | Some s -> s.Obs.s_count
+  | None -> Alcotest.failf "span %s not in snapshot" name
+
+let test_span_semantics () =
+  Obs.reset ();
+  let r = Obs.with_span "test.span" (fun () -> 41 + 1) in
+  check_int "with_span returns the result" 42 r;
+  check_int "span counted" 1 (span_count "test.span" (Obs.snapshot ()));
+  check_bool "exception propagates" true
+    (try ignore (Obs.with_span "test.span" (fun () -> raise Exit)); false
+     with Exit -> true);
+  check_int "raising span still counted" 2 (span_count "test.span" (Obs.snapshot ()))
+
+let json_no_timers () =
+  Report.Json.to_string (Report.Obs_json.snapshot ~timers:false ())
+
+(* The same deterministic workload twice, from a reset registry each
+   time: identical snapshots (spans excluded — they time wall-clock). *)
+let test_snapshot_determinism () =
+  let p0 =
+    Pattern.Parse.pattern_exn
+      "SEQ(AND(E1, E3) WITHIN 30, AND(E2, E4) WITHIN 30) ATLEAST 2 hours"
+  in
+  let t2 =
+    Events.Tuple.of_list [ ("E1", 1026); ("E2", 1134); ("E3", 1044); ("E4", 1208) ]
+  in
+  let workload () =
+    Obs.reset ();
+    ignore (Explain.Pipeline.explain [ p0 ] t2);
+    ignore (Explain.Consistency.check ~strategy:Explain.Consistency.Pruned [ p0 ]);
+    json_no_timers ()
+  in
+  let s1 = workload () in
+  let s2 = workload () in
+  check_str "snapshot identical across two identical runs" s1 s2;
+  check_bool "snapshot mentions simplex.pivots" true
+    (let json = Report.Obs_json.snapshot ~timers:false () in
+     match Report.Json.member "counters" json with
+     | Some counters -> (
+         match Report.Json.member "simplex.pivots" counters with
+         | Some (Report.Json.Int n) -> n > 0
+         | _ -> false)
+     | None -> false);
+  check_bool "timers excluded on demand" true
+    (Report.Json.member "spans" (Report.Obs_json.snapshot ~timers:false ()) = None);
+  check_bool "timers included by default" true
+    (Report.Json.member "spans" (Report.Obs_json.snapshot ()) <> None)
+
+(* Counter updates are atomic: concurrent increments from Bulk's domains
+   are lossless. *)
+let test_merge_under_domains () =
+  let c = Obs.counter "test.domains" in
+  Obs.reset ();
+  let trace =
+    Events.Trace.of_list
+      (List.init 64 (fun i ->
+           (Printf.sprintf "t%02d" i, Events.Tuple.of_list [ ("A", i) ])))
+  in
+  let results =
+    Cep.Bulk.map_tuples ~domains:4
+      (fun _id tuple ->
+        Obs.incr c;
+        Events.Tuple.cardinal tuple)
+      trace
+  in
+  check_int "all tuples mapped" 64 (List.length results);
+  check_int "no lost increments under 4 domains" 64 (Obs.value c)
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+      Alcotest.test_case "kind clash rejected" `Quick test_kind_clash_rejected;
+      Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+      Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+      Alcotest.test_case "span semantics" `Quick test_span_semantics;
+      Alcotest.test_case "snapshot determinism" `Quick test_snapshot_determinism;
+      Alcotest.test_case "merge under domains" `Quick test_merge_under_domains;
+    ] )

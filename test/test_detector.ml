@@ -73,7 +73,35 @@ let test_capacity_bound () =
     ignore (Detector.feed d (inst "A" i (string_of_int i)))
   done;
   check_int "capped" 3 (Detector.partial_count d);
-  check_int "evictions counted" 7 (Detector.dropped d)
+  check_int "evictions counted" 7 (Detector.dropped d);
+  check_int "capacity counted as capacity" 7 (Detector.dropped_capacity d);
+  check_int "none horizon-evicted" 0 (Detector.evicted_horizon d)
+
+(* Regression: feed used to return early on instances of irrelevant
+   types, skipping horizon eviction — dead partials lingered (and
+   inflated partial_count) on streams dominated by other event types. *)
+let test_irrelevant_feed_still_evicts () =
+  let d = Detector.create [ p "SEQ(A, B) WITHIN 10" ] in
+  ignore (Detector.feed d (inst "A" 0 "a0"));
+  check_int "one partial" 1 (Detector.partial_count d);
+  (* X is not in the query; by now a0 is far beyond the horizon *)
+  ignore (Detector.feed d (inst "X" 100 "x0"));
+  check_int "dead partial evicted on irrelevant feed" 0 (Detector.partial_count d);
+  check_int "horizon eviction accounted" 1 (Detector.evicted_horizon d)
+
+(* Regression: horizon-expired partials were silently discarded without
+   touching any counter, so "dropped" accounting only covered capacity
+   eviction. The two causes must be distinguishable: capacity evictions
+   are lost matches, horizon evictions are not. *)
+let test_horizon_vs_capacity_counters () =
+  let d = Detector.create [ p "SEQ(A, B) WITHIN 10" ] in
+  ignore (Detector.feed d (inst "A" 0 "a0"));
+  ignore (Detector.feed d (inst "A" 1 "a1"));
+  ignore (Detector.feed d (inst "A" 100 "a2"));
+  check_int "both stale partials evicted by horizon" 2 (Detector.evicted_horizon d);
+  check_int "horizon evictions are not capacity drops" 0 (Detector.dropped_capacity d);
+  check_int "dropped aliases capacity" 0 (Detector.dropped d);
+  check_int "fresh partial lives" 1 (Detector.partial_count d)
 
 let test_create_validation () =
   check_bool "needs horizon" true
@@ -185,6 +213,10 @@ let suite =
       Alcotest.test_case "irrelevant events ignored" `Quick test_irrelevant_events_ignored;
       Alcotest.test_case "out-of-order feed rejected" `Quick test_out_of_order_feed_rejected;
       Alcotest.test_case "capacity bound" `Quick test_capacity_bound;
+      Alcotest.test_case "irrelevant feed still evicts" `Quick
+        test_irrelevant_feed_still_evicts;
+      Alcotest.test_case "horizon vs capacity counters" `Quick
+        test_horizon_vs_capacity_counters;
       Alcotest.test_case "create validation" `Quick test_create_validation;
       Alcotest.test_case "paper pattern over a stream" `Quick test_paper_pattern_stream;
       Gen.qt prop_exhaustive;
