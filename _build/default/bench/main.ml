@@ -20,7 +20,7 @@ type scale = Smoke | Quick | Standard | Paper
 
 let scale = ref Standard
 let only : string list ref = ref []
-let report_path = ref "BENCH_PR1.json"
+let report_path = ref "BENCH_PR2.json"
 
 let () =
   let expect_csv_dir = ref false and expect_out = ref false in
@@ -49,7 +49,7 @@ let () =
 (* The smoke scale reuses the quick parameters but runs only a cheap
    representative subset of sections, so `dune build @bench-smoke` fits a
    test-suite time budget. *)
-let smoke_sections = [ "table1"; "table2"; "fig5" ]
+let smoke_sections = [ "table1"; "table2"; "fig5"; "bnb" ]
 
 let () =
   if !scale = Smoke && !only = [] then only := smoke_sections
@@ -210,6 +210,113 @@ let ablations () =
          tuples cores)
     ~header:[ "domains"; "wall time (ms)" ]
     rows
+
+(* --- branch-and-bound vs flat binding sweep --- *)
+
+let counter_value name = Option.value ~default:0 (Obs.find_counter name)
+
+let bnb () =
+  let ns = pick ~quick:[ 4; 6 ] ~standard:[ 4; 6; 8; 10 ] ~paper:[ 4; 6; 8; 10; 12 ] in
+  let tuples_per_n = pick ~quick:2 ~standard:8 ~paper:12 in
+  let prng = Numeric.Prng.create 7 in
+  let explain ~engine net t =
+    Explain.Modification.explain_network ~strategy:Explain.Modification.Full
+      ~engine net t
+  in
+  let total_flat = ref 0.0 and total_bnb = ref 0.0 and total_par = ref 0.0 in
+  let rows =
+    List.map
+      (fun n ->
+        (* AND(E1..En): n^2 bindings (n [min] choices x n [max] choices) —
+           the binding space actually grows with n, unlike fig10's
+           two-child AND. *)
+        let pattern = Datagen.Workloads.fig11_pattern ~n in
+        let net = Tcn.Encode.pattern_set [ pattern ] in
+        let count = Tcn.Bindings.count net.set_bindings in
+        let instances =
+          List.init tuples_per_n (fun _ ->
+              Datagen.Faults.tuple prng ~rate:0.5 ~distance:400
+                (Datagen.Workloads.random_matching_tuple ~horizon:5000 prng
+                   [ pattern ]))
+        in
+        let run engine =
+          E.Harness.time (fun () ->
+              List.map (fun t -> explain ~engine net t) instances)
+        in
+        let flat_results, flat_dt = run Explain.Modification.Flat in
+        let nodes0 = counter_value "bnb.nodes_expanded" in
+        let bnb_results, bnb_dt = run (Explain.Modification.Bnb { domains = 1 }) in
+        let nodes = counter_value "bnb.nodes_expanded" - nodes0 in
+        let par_results, par_dt =
+          run
+            (Explain.Modification.Bnb
+               { domains = Domain.recommended_domain_count () })
+        in
+        (* The whole point: same optimum, same repaired tuple, on every
+           instance, whichever engine and degree of parallelism. *)
+        List.iter2
+          (fun a b ->
+            match (a, b) with
+            | None, None -> ()
+            | Some ra, Some rb ->
+                assert (ra.Explain.Modification.cost = rb.Explain.Modification.cost);
+                assert (
+                  Events.Tuple.equal ra.Explain.Modification.repaired
+                    rb.Explain.Modification.repaired)
+            | _ -> assert false)
+          flat_results bnb_results;
+        List.iter2
+          (fun a b ->
+            match (a, b) with
+            | None, None -> ()
+            | Some ra, Some rb ->
+                assert (ra.Explain.Modification.cost = rb.Explain.Modification.cost);
+                assert (
+                  Events.Tuple.equal ra.Explain.Modification.repaired
+                    rb.Explain.Modification.repaired)
+            | _ -> assert false)
+          bnb_results par_results;
+        let leaves =
+          List.fold_left
+            (fun acc r ->
+              match r with
+              | Some { Explain.Modification.bindings_tried; _ } ->
+                  acc + bindings_tried
+              | None -> acc)
+            0 bnb_results
+        in
+        total_flat := !total_flat +. flat_dt;
+        total_bnb := !total_bnb +. bnb_dt;
+        total_par := !total_par +. par_dt;
+        [
+          string_of_int n;
+          string_of_int (count * tuples_per_n);
+          string_of_int nodes;
+          string_of_int leaves;
+          E.Harness.ms flat_dt;
+          E.Harness.ms bnb_dt;
+          E.Harness.ms par_dt;
+          Printf.sprintf "%.1fx" (flat_dt /. bnb_dt);
+        ])
+      ns
+  in
+  E.Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "Branch-and-bound vs flat Full sweep (fig11 family, %d faulted \
+          tuple(s) per n, %d core(s))"
+         tuples_per_n
+         (Domain.recommended_domain_count ()))
+    ~header:
+      [ "n"; "|Aleph_Gamma|"; "bnb nodes"; "bnb leaves"; "flat (ms)";
+        "bnb (ms)"; "bnb-par (ms)"; "speedup" ]
+    rows;
+  timings := ("bnb/flat-total", !total_flat) :: !timings;
+  timings := ("bnb/serial-total", !total_bnb) :: !timings;
+  timings := ("bnb/parallel-total", !total_par) :: !timings;
+  Format.printf "bnb speedup over flat: %.2fx serial, %.2fx parallel@."
+    (!total_flat /. !total_bnb)
+    (!total_flat /. !total_par)
 
 (* --- Bechamel micro-benchmarks: one Test.make per table/figure kernel --- *)
 
@@ -375,6 +482,7 @@ let () =
   section "fig11" fig11;
   section "fig12a" fig12a;
   section "fig12b" fig12b;
+  section "bnb" bnb;
   section "ablations" ablations;
   section "micro" micro;
   write_report ()

@@ -98,10 +98,13 @@ let parse_cmd =
           (Ast.size p) (Ast.depth p) shape)
       query;
     let net = Whynot.Tcn.Encode.pattern_set query in
-    Format.printf "encoding: %d interval conditions, %d binding conditions, %d bindings@."
+    let count = Whynot.Tcn.Bindings.count net.set_bindings in
+    Format.printf "encoding: %d interval conditions, %d binding conditions, %s bindings@."
       (List.length net.set_intervals)
       (List.length net.set_bindings)
-      (Whynot.Tcn.Bindings.count net.set_bindings)
+      (if Whynot.Tcn.Bindings.count_is_exact net.set_bindings then
+         string_of_int count
+       else Printf.sprintf ">= %d (overflow)" count)
   in
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse a query and show its structure and encoding size.")
@@ -218,11 +221,29 @@ let explain_cmd =
           ~doc:"Use the single-binding approximation (Definition 8) instead of \
                 the exact full binding.")
   in
-  let run metrics query trace_path tuple_id single json =
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("bnb", `Bnb); ("bnb-par", `Bnb_par); ("flat", `Flat) ]) `Bnb
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Binding search engine for the exact strategy: $(b,bnb) \
+             (branch-and-bound, default), $(b,bnb-par) (branch-and-bound \
+             across all cores), or $(b,flat) (enumerate every binding).")
+  in
+  let run metrics query trace_path tuple_id single engine json =
     setup_metrics metrics;
     let strategy =
       if single then Whynot.Explain.Modification.Single
       else Whynot.Explain.Modification.Full
+    in
+    let engine =
+      match engine with
+      | `Bnb -> Whynot.Explain.Modification.Bnb { domains = 1 }
+      | `Bnb_par ->
+          Whynot.Explain.Modification.Bnb
+            { domains = Domain.recommended_domain_count () }
+      | `Flat -> Whynot.Explain.Modification.Flat
     in
     let trace = load_trace trace_path in
     let report = Whynot.Explain.Consistency.check query in
@@ -244,7 +265,7 @@ let explain_cmd =
       List.map
         (fun (id, t) ->
           let outcome =
-            Whynot.Explain.Pipeline.explain ~strategy query t
+            Whynot.Explain.Pipeline.explain ~strategy ~engine query t
           in
           (id, t, outcome))
         (selected_tuples trace tuple_id)
@@ -278,7 +299,7 @@ let explain_cmd =
           each non-answer's timestamps to make it match.")
     Term.(
       const run $ metrics_arg $ query_arg $ trace_arg $ tuple_id_arg $ single_arg
-      $ json_arg)
+      $ engine_arg $ json_arg)
 
 (* --- diagnose --- *)
 

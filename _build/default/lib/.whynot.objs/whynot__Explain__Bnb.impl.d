@@ -1,0 +1,1 @@
+lib/explain/bnb.ml: Array Atomic Domain Events Fun List Lp_repair Obs Seq Tcn

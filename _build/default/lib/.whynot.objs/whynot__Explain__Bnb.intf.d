@@ -1,0 +1,1 @@
+lib/explain/bnb.mli: Events Lp_repair Tcn

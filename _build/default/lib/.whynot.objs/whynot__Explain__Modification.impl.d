@@ -1,1 +1,1 @@
-lib/explain/modification.ml: Events Flow_repair Format Lp_repair Numeric Obs Pattern Seq Tcn
+lib/explain/modification.ml: Bnb Events Flow_repair Format Hashtbl Lp_repair Numeric Obs Pattern Seq Tcn

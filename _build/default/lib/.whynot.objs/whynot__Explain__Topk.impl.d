@@ -1,1 +1,1 @@
-lib/explain/topk.ml: Events Format Hashtbl List Lp_repair Option Pattern Seq Tcn
+lib/explain/topk.ml: Array Events Format Hashtbl List Lp_repair Option Pattern Tcn

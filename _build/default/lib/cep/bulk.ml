@@ -44,7 +44,7 @@ let map_tuples ?domains f trace =
   let bindings = Trace.bindings trace in
   parallel_map ~domains (fun (id, tuple) -> (id, f id tuple)) bindings
 
-let explain_trace ?domains ?strategy ?solver ?max_cost patterns trace =
+let explain_trace ?domains ?strategy ?engine ?solver ?max_cost patterns trace =
   (match Pattern.Ast.validate_set patterns with
   | Ok () -> ()
   | Error e -> invalid_arg (Format.asprintf "Bulk.explain_trace: %a" Pattern.Ast.pp_error e));
@@ -56,7 +56,9 @@ let explain_trace ?domains ?strategy ?solver ?max_cost patterns trace =
     Obs.incr explained_c;
     if Pattern.Matcher.matches_set tuple patterns then tuple
     else
-      match Explain.Modification.explain_network ?strategy ?solver net tuple with
+      match
+        Explain.Modification.explain_network ?strategy ?engine ?solver net tuple
+      with
       | Some { repaired; cost; _ } when within_budget cost ->
           Obs.incr repaired_c;
           repaired

@@ -36,7 +36,7 @@ let accuracy ~truth ~found =
 let pp_accuracy ppf { precision; recall; f_measure } =
   Format.fprintf ppf "p=%.3f r=%.3f f=%.3f" precision recall f_measure
 
-let explain_trace ?strategy ?solver ?max_cost patterns trace =
+let explain_trace ?strategy ?engine ?solver ?max_cost patterns trace =
   let net = Tcn.Encode.pattern_set patterns in
   let within_budget cost =
     match max_cost with None -> true | Some budget -> cost <= budget
@@ -45,7 +45,10 @@ let explain_trace ?strategy ?solver ?max_cost patterns trace =
     (fun _id tuple ->
       if Pattern.Matcher.matches_set tuple patterns then tuple
       else
-        match Explain.Modification.explain_network ?strategy ?solver net tuple with
+        match
+          Explain.Modification.explain_network ?strategy ?engine ?solver net
+            tuple
+        with
         | Some { repaired; cost; _ } when within_budget cost -> repaired
         | Some _ | None | (exception Invalid_argument _) -> tuple)
     trace

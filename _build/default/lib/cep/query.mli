@@ -24,6 +24,7 @@ val pp_accuracy : Format.formatter -> accuracy -> unit
 
 val explain_trace :
   ?strategy:Explain.Modification.strategy ->
+  ?engine:Explain.Modification.engine ->
   ?solver:Explain.Modification.solver ->
   ?max_cost:int ->
   Pattern.Ast.t list ->

@@ -1,0 +1,317 @@
+module Event = Events.Event
+module Tuple = Events.Tuple
+
+type stats = {
+  nodes_expanded : int;
+  leaves_solved : int;
+  pruned_bound : int;
+  pruned_inconsistent : int;
+  pruned_plausibility : int;
+}
+
+type outcome = { best : (Tuple.t * int) option; stats : stats }
+
+let searches_c = Obs.counter "bnb.searches"
+let nodes_c = Obs.counter "bnb.nodes_expanded"
+let leaves_c = Obs.counter "bnb.leaves_solved"
+let pruned_bound_c = Obs.counter "bnb.pruned_bound"
+let pruned_inconsistent_c = Obs.counter "bnb.pruned_inconsistent"
+let pruned_plausibility_c = Obs.counter "bnb.pruned_plausibility"
+let resolves_c = Obs.counter "bnb.incumbent_resolves"
+let domains_c = Obs.counter "bnb.domains_spawned"
+let zero_stops_c = Obs.counter "bnb.zero_stops"
+let gap_h = Obs.histogram "bnb.lb_gap"
+
+let rec atomic_min cell v =
+  let cur = Atomic.get cell in
+  if v < cur && not (Atomic.compare_and_set cell cur v) then atomic_min cell v
+
+(* Per-domain mutable search state. The closure engine, the grounded
+   counts and the incumbent are all domain-local; only [best_global] and
+   [zero_at] (below) are shared, and only as monotone pruning hints. *)
+type worker = {
+  inc : Tcn.Stn_inc.t;
+  grounded : int array; (* per universe index: pushes grounding the event *)
+  path : Tcn.Condition.interval array; (* binding choice per level *)
+  mutable leaf_lb : int; (* lower bound at the deepest pushed node *)
+  mutable local_best : int;
+  mutable local_tuple : Tuple.t option;
+  mutable local_phi : Tcn.Condition.interval list;
+  mutable local_top : int; (* top-level subtree of the local incumbent *)
+  mutable cutoff_used : bool; (* incumbent solve carried a cutoff row *)
+  mutable nodes : int;
+  mutable leaves : int;
+  mutable pr_bound : int;
+  mutable pr_inc : int;
+  mutable pr_plaus : int;
+}
+
+let search ?(domains = 1)
+    ~(repair :
+        ?cutoff:int ->
+        Tuple.t ->
+        Tcn.Condition.interval list ->
+        Lp_repair.t option) ?weights ?bounds (net : Tcn.Encode.set) tuple =
+  if domains < 1 then invalid_arg "Bnb.search: domains must be >= 1";
+  Obs.incr searches_c;
+  let gammas = Array.of_list net.set_bindings in
+  let ngammas = Array.length gammas in
+  let choices = Array.map Tcn.Bindings.choices gammas in
+  let universe =
+    Event.Set.union
+      (Tcn.Condition.interval_events net.set_intervals)
+      (Tcn.Condition.binding_events net.set_bindings)
+  in
+  let ev = Array.of_list (Event.Set.elements universe) in
+  let n = Array.length ev in
+  let index =
+    Array.to_seqi ev
+    |> Seq.fold_left (fun acc (i, e) -> Event.Map.add e i acc) Event.Map.empty
+  in
+  let idx e = Event.Map.find e index in
+  let ts = Array.map (fun e -> Tuple.find tuple e) ev in
+  let weight_of e =
+    if Event.is_artificial e then 0
+    else match weights with None -> 1 | Some f -> f e
+  in
+  let w_arr = Array.map weight_of ev in
+  Array.iter (fun w -> if w < 0 then invalid_arg "Bnb: negative weight") w_arr;
+  let bnd_arr =
+    Array.map
+      (fun e ->
+        if Event.is_artificial e then None
+        else
+          match bounds with
+          | None -> None
+          | Some f -> (
+              match f e with
+              | Some r when r < 0 -> invalid_arg "Bnb: negative bound"
+              | b -> b))
+      ev
+  in
+  (* Only events whose closure window has been constrained on the current
+     path are guaranteed to appear in every leaf repair below the node, so
+     only those may contribute to an admissible bound. *)
+  let base_grounded = Array.make n false in
+  List.iter
+    (fun { Tcn.Condition.src; dst; _ } ->
+      base_grounded.(idx src) <- true;
+      base_grounded.(idx dst) <- true)
+    net.set_intervals;
+  let relevant =
+    List.filter
+      (fun i -> w_arr.(i) > 0 || bnd_arr.(i) <> None)
+      (List.init n Fun.id)
+  in
+  (* The admissible L1 lower bound: each grounded event independently must
+     move at least the distance from its observed timestamp to its current
+     closure window (windows only shrink deeper in the tree, and every leaf
+     solution is feasible for every prefix closure, so the bound holds for
+     all leaves of the subtree). [None] = some event's minimal forced move
+     already exceeds its plausibility bound: no leaf below is feasible. *)
+  let lower_bound wk =
+    let rec go acc = function
+      | [] -> Some acc
+      | i :: rest ->
+          if not (base_grounded.(i) || wk.grounded.(i) > 0) then go acc rest
+          else
+            let lo, hi = Tcn.Stn_inc.window wk.inc ev.(i) in
+            let c = ts.(i) in
+            let move =
+              if c < lo then lo - c
+              else match hi with Some h when c > h -> c - h | _ -> 0
+            in
+            (match bnd_arr.(i) with
+            | Some r when move > r -> None
+            | _ -> go (acc + (w_arr.(i) * move)) rest)
+    in
+    go 0 relevant
+  in
+  let ground wk { Tcn.Condition.src; dst; _ } delta =
+    let s = idx src and d = idx dst in
+    wk.grounded.(s) <- wk.grounded.(s) + delta;
+    wk.grounded.(d) <- wk.grounded.(d) + delta
+  in
+  let best_global = Atomic.make max_int in
+  (* Earliest top-level subtree (in enumeration order) that reached cost 0:
+     no later subtree can still win, so they stop outright. Earlier
+     subtrees keep running — the sequential sweep would have kept their
+     first zero-cost binding, and determinism requires the same. *)
+  let zero_at = Atomic.make max_int in
+  let dummy_interval = Tcn.Condition.{ src = ""; dst = ""; lo = 0; hi = None } in
+  let make_worker () =
+    let inc = Tcn.Stn_inc.create (Array.to_list ev) in
+    let base_ok =
+      List.for_all (fun phi -> Tcn.Stn_inc.push inc phi) net.set_intervals
+    in
+    ( {
+        inc;
+        grounded = Array.make n 0;
+        path = Array.make ngammas dummy_interval;
+        leaf_lb = 0;
+        local_best = max_int;
+        local_tuple = None;
+        local_phi = [];
+        local_top = 0;
+        cutoff_used = false;
+        nodes = 0;
+        leaves = 0;
+        pr_bound = 0;
+        pr_inc = 0;
+        pr_plaus = 0;
+      },
+      base_ok )
+  in
+  let solve_leaf wk top_idx =
+    let phi_k = Array.to_list wk.path in
+    let g = Atomic.get best_global in
+    let cross = if g = max_int then max_int else g + 1 in
+    (* Strict improvement locally; across domains, keep any leaf at or
+       below the global incumbent so enumeration-order merging stays
+       bit-identical to the sequential sweep. *)
+    let cutoff = min wk.local_best cross in
+    wk.leaves <- wk.leaves + 1;
+    let result =
+      if cutoff = max_int then repair tuple (phi_k @ net.set_intervals)
+      else repair ~cutoff tuple (phi_k @ net.set_intervals)
+    in
+    match result with
+    | None -> ()
+    | Some { Lp_repair.repaired; cost; _ } ->
+        wk.local_best <- cost;
+        wk.local_tuple <- Some repaired;
+        wk.local_phi <- phi_k;
+        wk.local_top <- top_idx;
+        wk.cutoff_used <- cutoff <> max_int;
+        Obs.observe gap_h (cost - wk.leaf_lb);
+        atomic_min best_global cost;
+        if cost = 0 then begin
+          Obs.incr zero_stops_c;
+          atomic_min zero_at top_idx
+        end
+  in
+  let rec descend wk level top_idx =
+    if level = ngammas then solve_leaf wk top_idx
+    else List.iter (fun phi -> try_child wk level top_idx phi) choices.(level)
+  and try_child wk level top_idx phi =
+    if Atomic.get zero_at >= top_idx then begin
+      if Tcn.Stn_inc.push wk.inc phi then begin
+        ground wk phi 1;
+        (match lower_bound wk with
+        | None -> wk.pr_plaus <- wk.pr_plaus + 1
+        | Some lb ->
+            if lb >= wk.local_best || lb > Atomic.get best_global then
+              wk.pr_bound <- wk.pr_bound + 1
+            else begin
+              (* Only a node we branch upon counts as expanded; a push
+                 discarded by its bound is a prune, not an expansion. *)
+              wk.nodes <- wk.nodes + 1;
+              wk.path.(level) <- phi;
+              wk.leaf_lb <- lb;
+              descend wk (level + 1) top_idx
+            end);
+        ground wk phi (-1)
+      end
+      else wk.pr_inc <- wk.pr_inc + 1;
+      Tcn.Stn_inc.pop wk.inc
+    end
+  in
+  let tops = if ngammas = 0 then [||] else Array.of_list choices.(0) in
+  let ntop = if ngammas = 0 then 1 else Array.length tops in
+  (* Round-robin top-level subtrees across domains (the Cep.Bulk chunking
+     pattern); each domain rebuilds the shared prefix network once. *)
+  let run_worker k w_idx () =
+    let wk, base_ok = make_worker () in
+    if base_ok then
+      if ngammas = 0 then begin
+        if w_idx = 0 then
+          match lower_bound wk with
+          | None -> wk.pr_plaus <- wk.pr_plaus + 1
+          | Some lb ->
+              wk.leaf_lb <- lb;
+              solve_leaf wk 0
+      end
+      else begin
+        let i = ref w_idx in
+        while !i < ntop do
+          try_child wk 0 !i tops.(!i);
+          i := !i + k
+        done
+      end;
+    wk
+  in
+  let k = max 1 (min domains ntop) in
+  let workers =
+    if k = 1 then [ run_worker 1 0 () ]
+    else begin
+      Obs.add domains_c (k - 1);
+      let spawned =
+        List.init (k - 1) (fun i -> Domain.spawn (run_worker k (i + 1)))
+      in
+      let own = run_worker k 0 () in
+      own :: List.map Domain.join spawned
+    end
+  in
+  (* Deterministic merge: global enumeration order = (top-level subtree,
+     DFS order inside it), so min-cost with the smallest top index is
+     exactly the first optimal binding the flat sweep would have kept. *)
+  let winner =
+    List.fold_left
+      (fun acc wk ->
+        match wk.local_tuple with
+        | None -> acc
+        | Some t -> (
+            match acc with
+            | Some (c, top, _, _, _)
+              when c < wk.local_best || (c = wk.local_best && top < wk.local_top)
+              ->
+                acc
+            | _ ->
+                Some
+                  (wk.local_best, wk.local_top, t, wk.local_phi, wk.cutoff_used)
+            ))
+      None workers
+  in
+  let best =
+    match winner with
+    | None -> None
+    | Some (cost, _top, repaired, phi_k, cutoff_used) ->
+        if not cutoff_used then Some (repaired, cost)
+        else begin
+          (* The winning solve carried an incumbent-cutoff row, which can
+             select a different vertex among equal-cost optima than the
+             plain model. Re-solve the winning binding without it so the
+             result is bit-identical to the flat sweep. *)
+          Obs.incr resolves_c;
+          match repair tuple (phi_k @ net.set_intervals) with
+          | Some { Lp_repair.repaired; cost = c; _ } ->
+              assert (c = cost);
+              Some (repaired, c)
+          | None -> assert false
+        end
+  in
+  let stats =
+    List.fold_left
+      (fun acc wk ->
+        {
+          nodes_expanded = acc.nodes_expanded + wk.nodes;
+          leaves_solved = acc.leaves_solved + wk.leaves;
+          pruned_bound = acc.pruned_bound + wk.pr_bound;
+          pruned_inconsistent = acc.pruned_inconsistent + wk.pr_inc;
+          pruned_plausibility = acc.pruned_plausibility + wk.pr_plaus;
+        })
+      {
+        nodes_expanded = 0;
+        leaves_solved = 0;
+        pruned_bound = 0;
+        pruned_inconsistent = 0;
+        pruned_plausibility = 0;
+      }
+      workers
+  in
+  Obs.add nodes_c stats.nodes_expanded;
+  Obs.add leaves_c stats.leaves_solved;
+  Obs.add pruned_bound_c stats.pruned_bound;
+  Obs.add pruned_inconsistent_c stats.pruned_inconsistent;
+  Obs.add pruned_plausibility_c stats.pruned_plausibility;
+  { best; stats }

@@ -23,6 +23,7 @@ type t = {
 val repair :
   ?weights:(Events.Event.t -> int) ->
   ?bounds:(Events.Event.t -> int option) ->
+  ?cutoff:int ->
   Events.Tuple.t ->
   Tcn.Condition.interval list ->
   t option
@@ -34,6 +35,9 @@ val repair :
     [bounds] caps how far each real event may move (plausibility: a repair
     shifting a timestamp across days is no explanation); [None] (the
     default everywhere) leaves it unbounded, and too-tight bounds make the
-    repair infeasible ([None] result).
+    repair infeasible ([None] result). [cutoff] is a branch-and-bound
+    incumbent: only repairs of cost strictly below it are wanted, so any
+    instance whose optimum is [>= cutoff] returns [None] (implemented as a
+    budget constraint of [cutoff - 1]; costs are integral).
     @raise Not_found if an event of the conditions is unbound.
     @raise Invalid_argument on a negative weight or bound. *)

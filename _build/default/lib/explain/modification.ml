@@ -2,6 +2,7 @@ module Event = Events.Event
 module Tuple = Events.Tuple
 
 type strategy = Full | Single | Sampled of int
+type engine = Flat | Bnb of { domains : int }
 type solver = Lp | Flow
 
 type result = {
@@ -27,8 +28,8 @@ let strip_artificial tuple =
     (fun e ts acc -> if Event.is_artificial e then acc else Tuple.add e ts acc)
     tuple Tuple.empty
 
-let explain_network ?(strategy = Full) ?(solver = Lp) ?(seed = 0) ?weights ?bounds
-    (net : Tcn.Encode.set) tuple =
+let explain_network ?(strategy = Full) ?(engine = Bnb { domains = 1 })
+    ?(solver = Lp) ?(seed = 0) ?weights ?bounds (net : Tcn.Encode.set) tuple =
   let repair = repair_of solver ?weights ?bounds in
   let required =
     Event.Set.union
@@ -39,60 +40,86 @@ let explain_network ?(strategy = Full) ?(solver = Lp) ?(seed = 0) ?weights ?boun
   if not (Event.Set.for_all (fun e -> Tuple.mem e tuple) required) then
     invalid_arg "Modification.explain: tuple does not bind every pattern event";
   let extended = Tcn.Encode.extend net tuple in
-  let bindings_seq =
-    match strategy with
-    | Full -> Tcn.Bindings.full net.set_bindings
-    | Single -> Seq.return (Tcn.Bindings.single extended net.set_bindings)
-    | Sampled s ->
-        (* The single binding is the cheap informed guess; the samples add
-           exploration around it. *)
-        let prng = Numeric.Prng.create seed in
-        Seq.append
-          (Seq.return (Tcn.Bindings.single extended net.set_bindings))
-          (Seq.init s (fun _ -> Tcn.Bindings.sample prng net.set_bindings))
+  let finish best tried exact =
+    Obs.incr explains_c;
+    Obs.add bindings_c tried;
+    Obs.incr (if best = None then none_c else found_c);
+    match best with
+    | None -> None
+    | Some (repaired, cost) ->
+        Obs.observe cost_h cost;
+        (* Events of the input tuple untouched by the network keep their
+           original timestamps. *)
+        let repaired = Tuple.union_right tuple (strip_artificial repaired) in
+        Some { repaired; cost; bindings_tried = tried; exact }
   in
-  let best = ref None in
-  let tried = ref 0 in
-  Seq.iter
-    (fun phi_k ->
-      incr tried;
-      let intervals = phi_k @ net.set_intervals in
-      (* An O(n^3) consistency check screens out infeasible bindings before
-         paying for an LP solve. *)
-      if not (Tcn.Stn.consistent (Tcn.Stn.of_intervals intervals)) then ()
-      else
-      match repair extended intervals with
-      | None -> ()
-      | Some { Lp_repair.repaired; cost; _ } -> (
-          match !best with
-          | Some (_, best_cost) when best_cost <= cost -> ()
-          | _ -> best := Some (repaired, cost)))
-    bindings_seq;
-  Obs.incr explains_c;
-  Obs.add bindings_c !tried;
-  Obs.incr (if !best = None then none_c else found_c);
-  match !best with
-  | None -> None
-  | Some (repaired, cost) ->
-      Obs.observe cost_h cost;
-      (* Events of the input tuple untouched by the network keep their
-         original timestamps. *)
-      let repaired = Tuple.union_right tuple (strip_artificial repaired) in
-      Some
-        {
-          repaired;
-          cost;
-          bindings_tried = !tried;
-          exact = (match strategy with Full -> true | Single | Sampled _ -> false);
-        }
+  match (strategy, engine) with
+  | Full, Bnb { domains } ->
+      let { Bnb.best; stats } =
+        Bnb.search ~domains ~repair ?weights ?bounds net extended
+      in
+      finish best stats.Bnb.leaves_solved true
+  | (Full | Single | Sampled _), _ ->
+      let bindings_seq =
+        match strategy with
+        | Full -> Tcn.Bindings.full net.set_bindings
+        | Single -> Seq.return (Tcn.Bindings.single extended net.set_bindings)
+        | Sampled s ->
+            (* The single binding is the cheap informed guess; the samples add
+               exploration around it. *)
+            let prng = Numeric.Prng.create seed in
+            Seq.append
+              (Seq.return (Tcn.Bindings.single extended net.set_bindings))
+              (Seq.init s (fun _ -> Tcn.Bindings.sample prng net.set_bindings))
+      in
+      (* Random sampling repeats itself (and often re-draws the single
+         binding); solving a binding twice buys nothing, so only distinct
+         bindings are tried and counted. *)
+      let seen =
+        match strategy with
+        | Sampled _ -> Some (Hashtbl.create 16)
+        | Full | Single -> None
+      in
+      let best = ref None in
+      let tried = ref 0 in
+      Seq.iter
+        (fun phi_k ->
+          let fresh =
+            match seen with
+            | None -> true
+            | Some h ->
+                if Hashtbl.mem h phi_k then false
+                else begin
+                  Hashtbl.add h phi_k ();
+                  true
+                end
+          in
+          if fresh then begin
+            incr tried;
+            let intervals = phi_k @ net.set_intervals in
+            (* An O(n^3) consistency check screens out infeasible bindings
+               before paying for an LP solve. *)
+            if not (Tcn.Stn.consistent (Tcn.Stn.of_intervals intervals)) then ()
+            else
+              match repair extended intervals with
+              | None -> ()
+              | Some { Lp_repair.repaired; cost; _ } -> (
+                  match !best with
+                  | Some (_, best_cost) when best_cost <= cost -> ()
+                  | _ -> best := Some (repaired, cost))
+          end)
+        bindings_seq;
+      finish !best !tried (strategy = Full)
 
-let explain ?strategy ?solver ?seed ?weights ?bounds patterns tuple =
+let explain ?strategy ?engine ?solver ?seed ?weights ?bounds patterns tuple =
   (match Pattern.Ast.validate_set patterns with
   | Ok () -> ()
   | Error e ->
       invalid_arg (Format.asprintf "Modification.explain: %a" Pattern.Ast.pp_error e));
   let net = Tcn.Encode.pattern_set patterns in
-  let result = explain_network ?strategy ?solver ?seed ?weights ?bounds net tuple in
+  let result =
+    explain_network ?strategy ?engine ?solver ?seed ?weights ?bounds net tuple
+  in
   (match result with
   | Some { repaired; cost; _ } ->
       (* Every produced explanation must actually turn the tuple into an

@@ -22,6 +22,16 @@
     ([None]) — the "does not apply" verdict of Section 1.1.2. *)
 
 type strategy = Full | Single | Sampled of int
+
+type engine = Flat | Bnb of { domains : int }
+(** How the [Full] strategy explores [Aleph_Gamma]. [Flat] is the textbook
+    sweep: every binding, one Floyd–Warshall closure plus one solve each.
+    [Bnb] is the branch-and-bound search of {!Bnb} over an incremental
+    closure with cost-bound pruning — same result, bit-identical, usually
+    far fewer solves; [domains > 1] additionally spreads top-level subtrees
+    over that many OCaml domains. The default is [Bnb { domains = 1 }].
+    [Single] and [Sampled] have no binding tree; they ignore [engine]. *)
+
 type solver = Lp | Flow
 
 type result = {
@@ -30,11 +40,16 @@ type result = {
           imprecise timestamps modified *)
   cost : int;  (** Delta(t, t') of Formula 1 *)
   bindings_tried : int;
+      (** bindings actually solved: [|Aleph_Gamma|] for [Full]+[Flat],
+          the (strictly smaller on non-trivial sets) number of leaves the
+          branch-and-bound could not prune for [Full]+[Bnb], and the
+          number of {e distinct} bindings drawn for [Sampled] *)
   exact : bool;  (** true iff the strategy guarantees the optimum *)
 }
 
 val explain :
   ?strategy:strategy ->
+  ?engine:engine ->
   ?solver:solver ->
   ?seed:int ->
   ?weights:(Events.Event.t -> int) ->
@@ -50,6 +65,7 @@ val explain :
 
 val explain_network :
   ?strategy:strategy ->
+  ?engine:engine ->
   ?solver:solver ->
   ?seed:int ->
   ?weights:(Events.Event.t -> int) ->

@@ -37,7 +37,7 @@ let outcome_counter =
 
 let explains_c = Obs.counter "pipeline.explains"
 
-let explain_inner ?strategy ?solver ?max_cost patterns tuple =
+let explain_inner ?strategy ?engine ?solver ?max_cost patterns tuple =
   if Pattern.Matcher.matches_set tuple patterns then Already_answer
   else
     (* Step 2 of Figure 3: pattern consistency first — no data explanation
@@ -47,7 +47,9 @@ let explain_inner ?strategy ?solver ?max_cost patterns tuple =
     in
     if not consistency.Consistency.consistent then Inconsistent_query consistency
     else
-      let modification = Modification.explain ?strategy ?solver patterns tuple in
+      let modification =
+        Modification.explain ?strategy ?engine ?solver patterns tuple
+      in
       let within_budget cost =
         match max_cost with None -> true | Some budget -> cost <= budget
       in
@@ -66,11 +68,11 @@ let explain_inner ?strategy ?solver ?max_cost patterns tuple =
               | Ok qr -> Modify_query qr
               | Error _ -> No_explanation))
 
-let explain ?strategy ?solver ?max_cost patterns tuple =
+let explain ?strategy ?engine ?solver ?max_cost patterns tuple =
   Obs.incr explains_c;
   let outcome =
     Obs.with_span "pipeline.explain" (fun () ->
-        explain_inner ?strategy ?solver ?max_cost patterns tuple)
+        explain_inner ?strategy ?engine ?solver ?max_cost patterns tuple)
   in
   Obs.incr (outcome_counter outcome);
   outcome

@@ -26,6 +26,7 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 val explain :
   ?strategy:Modification.strategy ->
+  ?engine:Modification.engine ->
   ?solver:Modification.solver ->
   ?max_cost:int ->
   Pattern.Ast.t list ->

@@ -65,17 +65,46 @@ let explain ?(k = 3) patterns tuple =
   in
   let tried = ref 0 in
   let candidates = ref [] in
-  Seq.iter
-    (fun phi_k ->
-      incr tried;
-      let intervals = phi_k @ net.set_intervals in
-      if Tcn.Stn.consistent (Tcn.Stn.of_intervals intervals) then
-        match Lp_repair.repair extended intervals with
-        | None -> ()
-        | Some { repaired; cost; _ } ->
-            let repaired = Tuple.union_right tuple (strip_artificial repaired) in
-            candidates := { repaired; cost; binding = phi_k } :: !candidates)
-    (Tcn.Bindings.full net.set_bindings);
+  (* Depth-first over the binding tree on one incremental closure, so
+     shared binding prefixes share their consistency work and whole
+     inconsistent subtrees are skipped without enumerating their leaves.
+     Leaf order equals {!Tcn.Bindings.full} enumeration order. *)
+  let gammas = Array.of_list net.set_bindings in
+  let ngammas = Array.length gammas in
+  let choices = Array.map Tcn.Bindings.choices gammas in
+  let universe =
+    Event.Set.union
+      (Tcn.Condition.interval_events net.set_intervals)
+      (Tcn.Condition.binding_events net.set_bindings)
+  in
+  let inc = Tcn.Stn_inc.create (Event.Set.elements universe) in
+  let base_ok =
+    List.for_all (fun phi -> Tcn.Stn_inc.push inc phi) net.set_intervals
+  in
+  let dummy = Tcn.Condition.exact "" "" in
+  let path = Array.make ngammas dummy in
+  let solve_leaf () =
+    incr tried;
+    let phi_k = Array.to_list path in
+    match Lp_repair.repair extended (phi_k @ net.set_intervals) with
+    | None -> ()
+    | Some { repaired; cost; _ } ->
+        let repaired = Tuple.union_right tuple (strip_artificial repaired) in
+        candidates := { repaired; cost; binding = phi_k } :: !candidates
+  in
+  let rec dfs level =
+    if level = ngammas then solve_leaf ()
+    else
+      List.iter
+        (fun phi ->
+          if Tcn.Stn_inc.push inc phi then begin
+            path.(level) <- phi;
+            dfs (level + 1)
+          end;
+          Tcn.Stn_inc.pop inc)
+        choices.(level)
+  in
+  if base_ok then dfs 0;
   match !candidates with
   | [] -> None
   | all ->

@@ -26,6 +26,8 @@ type t = {
   candidates : candidate list;  (** cheapest first, pairwise distinct repairs *)
   blames : blame list;  (** most frequently blamed first *)
   bindings_tried : int;
+      (** consistent full bindings actually solved; inconsistent subtrees
+          are pruned by the incremental closure without enumeration *)
 }
 
 val explain :

@@ -15,7 +15,18 @@ let full gammas =
   product gammas
 
 let count gammas =
-  List.fold_left (fun acc g -> acc * List.length g.Condition.over) 1 gammas
+  (* [over] sizes multiply fast (|Aleph_Gamma| is exponential in the number
+     of AND nodes); saturate instead of silently wrapping negative. *)
+  List.fold_left
+    (fun acc g ->
+      if acc = max_int then max_int
+      else
+        match Numeric.Checked.mul acc (List.length g.Condition.over) with
+        | product -> product
+        | exception Numeric.Checked.Overflow -> max_int)
+    1 gammas
+
+let count_is_exact gammas = count gammas <> max_int
 
 let single t gammas =
   let pick { Condition.bound; over; kind } =

@@ -18,7 +18,14 @@ val full : Condition.binding list -> Condition.interval list Seq.t
     [Gamma] is empty. *)
 
 val count : Condition.binding list -> int
-(** [|Aleph_Gamma|] = product of the [over] sizes. *)
+(** [|Aleph_Gamma|] = product of the [over] sizes, computed with
+    overflow-checked multiplication ({!Numeric.Checked.mul}) and saturated
+    at [max_int] — a count of [max_int] means "too many to represent", never
+    a silently wrapped (possibly negative) product. Use {!count_is_exact} to
+    distinguish saturation from an exact count. *)
+
+val count_is_exact : Condition.binding list -> bool
+(** Whether {!count} is the exact cardinality (i.e. did not saturate). *)
 
 val single : Events.Tuple.t -> Condition.binding list -> Condition.interval list
 (** The single binding of Definition 8 w.r.t. a reference tuple: for a

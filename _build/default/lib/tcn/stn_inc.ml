@@ -98,6 +98,19 @@ let pop t =
 
 let depth t = t.nframes
 
+let events t = t.events
+
+let window t e =
+  if t.inconsistent then invalid_arg "Stn_inc.window: inconsistent network";
+  let i = find_index t e in
+  let n = Array.length t.events in
+  (* Rows/columns of the origin (pinned at 0) are the unary projections of
+     the closure: t(e) <= d(origin, e) and t(e) >= -d(e, origin). The
+     implicit non-negative domain keeps the lower bound at >= 0. *)
+  let lo = -t.dist.(i).(n) in
+  let hi = if t.dist.(n).(i) >= inf then None else Some t.dist.(n).(i) in
+  (lo, hi)
+
 let solution t =
   if t.inconsistent then None
   else

@@ -1,0 +1,1 @@
+test/test_bnb.ml: Alcotest Datagen Events Explain Gen Hashtbl Numeric Pattern QCheck Whynot

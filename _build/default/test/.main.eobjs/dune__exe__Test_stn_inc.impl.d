@@ -1,1 +1,1 @@
-test/test_stn_inc.ml: Alcotest Events Gen List QCheck Tcn Whynot
+test/test_stn_inc.ml: Alcotest Events Gen List Printf QCheck Random Tcn Whynot

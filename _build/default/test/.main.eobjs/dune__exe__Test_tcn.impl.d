@@ -1,1 +1,1 @@
-test/test_tcn.ml: Alcotest Events Explain Gen List Pattern QCheck Random Seq Tcn Whynot
+test/test_tcn.ml: Alcotest Events Explain Gen List Pattern Printf QCheck Random Seq Tcn Whynot

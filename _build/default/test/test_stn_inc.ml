@@ -103,6 +103,87 @@ let prop_pop_restores =
         && Stn_inc.solution inc = solution_before
       end)
 
+(* Deep random push/pop interleavings: after every operation the maintained
+   network must agree — consistency and every closure window — with a fresh
+   network replaying the live stack from scratch. This is the exact-undo
+   guarantee the branch-and-bound search rests on. *)
+let test_push_pop_stress () =
+  let st = Random.State.make [| 4711 |] in
+  let events = List.init 6 (fun i -> Printf.sprintf "E%d" i) in
+  let random_interval () =
+    let pick () = List.nth events (Random.State.int st 6) in
+    let src = pick () in
+    let dst = ref (pick ()) in
+    while !dst = src do
+      dst := pick ()
+    done;
+    let lo = Random.State.int st 40 - 15 in
+    let hi =
+      if Random.State.bool st then Some (lo + Random.State.int st 30) else None
+    in
+    { Condition.src; dst = !dst; lo; hi }
+  in
+  let inc = Stn_inc.create events in
+  let stack = ref [] in
+  for step = 1 to 400 do
+    (if (!stack = [] || Random.State.int st 3 > 0) && Stn_inc.consistent inc
+     then begin
+       let phi = random_interval () in
+       ignore (Stn_inc.push inc phi);
+       stack := phi :: !stack
+     end
+     else if !stack <> [] then begin
+       Stn_inc.pop inc;
+       stack := List.tl !stack
+     end);
+    let fresh = Stn_inc.create events in
+    List.iter
+      (fun phi -> if Stn_inc.consistent fresh then ignore (Stn_inc.push fresh phi))
+      (List.rev !stack);
+    check_bool
+      (Printf.sprintf "consistency agrees at step %d (depth %d)" step
+         (List.length !stack))
+      (Stn_inc.consistent fresh) (Stn_inc.consistent inc);
+    if Stn_inc.consistent inc then
+      List.iter
+        (fun e ->
+          Alcotest.(check (pair int (option int)))
+            (Printf.sprintf "window of %s agrees at step %d" e step)
+            (Stn_inc.window fresh e) (Stn_inc.window inc e))
+        events
+  done
+
+(* Closure windows are tight: pinning an event at either end of its window
+   keeps the network (over the non-negative time domain) consistent, and
+   pinning it just outside breaks it. *)
+let prop_window_tight =
+  QCheck.Test.make ~name:"closure windows are tight unary projections"
+    ~count:200 (Gen.intervals ()) (fun phis ->
+      let events =
+        Events.Event.Set.elements (Condition.interval_events phis)
+      in
+      let inc = Stn_inc.create events in
+      if not (List.for_all (fun phi -> Stn_inc.push inc phi) phis) then
+        QCheck.assume_fail ()
+      else begin
+        let big = 1_000_000_000 in
+        let pinned e v =
+          let absolute =
+            (e, v, v) :: List.map (fun e' -> (e', 0, big)) events
+          in
+          Stn.consistent (Stn.of_intervals ~events ~absolute phis)
+        in
+        List.for_all
+          (fun e ->
+            let lo, hi = Stn_inc.window inc e in
+            pinned e lo
+            && (lo = 0 || not (pinned e (lo - 1)))
+            && match hi with
+               | None -> true
+               | Some h -> pinned e h && not (pinned e (h + 1)))
+          events
+      end)
+
 let suite =
   ( "stn_inc",
     [
@@ -111,6 +192,9 @@ let suite =
         test_push_while_inconsistent_raises;
       Alcotest.test_case "unknown event" `Quick test_unknown_event;
       Alcotest.test_case "solution extraction" `Quick test_solution;
+      Alcotest.test_case "push/pop stress interleavings" `Quick
+        test_push_pop_stress;
       Gen.qt prop_matches_batch;
       Gen.qt prop_pop_restores;
+      Gen.qt prop_window_tight;
     ] )

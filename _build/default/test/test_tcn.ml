@@ -190,6 +190,23 @@ let test_empty_bindings () =
   check_int "full singleton" 1 (List.length (List.of_seq (Bindings.full [])));
   check_bool "single empty" true (Bindings.single Tuple.empty [] = [])
 
+let test_count_saturates () =
+  (* |Aleph_Gamma| is exponential in the number of AND nodes; the product
+     must saturate at max_int instead of silently wrapping negative. *)
+  let wide i =
+    {
+      Condition.bound = Printf.sprintf "B%d" i;
+      over = List.init 512 (fun j -> Printf.sprintf "G%d_%d" i j);
+      kind = Condition.Min;
+    }
+  in
+  let huge = List.init 7 wide in
+  check_int "saturated at max_int" max_int (Bindings.count huge);
+  check_bool "saturation flagged" false (Bindings.count_is_exact huge);
+  let small = gammas_of (p "AND(E1, E2, E3)") in
+  check_bool "small space is exact" true (Bindings.count_is_exact small);
+  check_bool "count never negative" true (Bindings.count huge > 0)
+
 let test_single_binding_picks_extremes () =
   let gammas = gammas_of (p "AND(E1, E2, E3)") in
   let t = Tuple.of_list [ ("E1", 5); ("E2", 1); ("E3", 9) ] in
@@ -233,6 +250,7 @@ let suite =
       qt prop_simple_encoding_equivalence;
       Alcotest.test_case "full binding enumeration" `Quick test_full_binding_enumeration;
       Alcotest.test_case "empty bindings" `Quick test_empty_bindings;
+      Alcotest.test_case "count saturates on overflow" `Quick test_count_saturates;
       Alcotest.test_case "single binding extremes" `Quick test_single_binding_picks_extremes;
       qt prop_sample_in_full;
     ] )

@@ -14,6 +14,7 @@
 val explain_trace :
   ?domains:int ->
   ?strategy:Explain.Modification.strategy ->
+  ?engine:Explain.Modification.engine ->
   ?solver:Explain.Modification.solver ->
   ?max_cost:int ->
   Pattern.Ast.t list ->

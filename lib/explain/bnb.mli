@@ -1,0 +1,75 @@
+(** Branch-and-bound binding search for the exact [Full] strategy.
+
+    The flat sweep of {!Modification} enumerates [Aleph_Gamma] (the full
+    cartesian product of binding choices), paying an O(n^3) Floyd–Warshall
+    closure plus an LP/flow solve per binding. This engine traverses the
+    binding tree instead — one level per binding condition, one child per
+    {!Tcn.Bindings.choices} element — over a single {!Tcn.Stn_inc} network
+    maintained by push/pop, so shared binding prefixes share their closure
+    work (O(n^2) per edge instead of O(n^3) per leaf).
+
+    At every node an admissible lower bound on the repair cost of {e any}
+    leaf below it is read off the incremental closure: each event that is
+    grounded on the current path (it appears in the base interval
+    conditions or in a pushed binding choice, so it is constrained in
+    every completion) must move at least the L1 distance from its observed
+    timestamp to its closure window, at its weight. Closure windows only
+    shrink along a root-to-leaf path and every leaf solution is feasible
+    for every prefix closure, hence admissibility. Subtrees whose bound
+    reaches the incumbent are pruned; so are subtrees in which some
+    event's minimal forced move already exceeds its plausibility bound.
+    The incumbent is also threaded into the leaf solver as a [cutoff], and
+    the whole search stops early once a zero-cost repair is found.
+
+    The search returns {e exactly} what the flat sweep returns — the first
+    binding (in {!Tcn.Bindings.full} enumeration order) attaining the
+    minimum repair cost, solved by the same deterministic solver — and the
+    property tests assert bit-identical tuples. With [domains > 1],
+    top-level subtrees are distributed round-robin across that many
+    domains ({!Cep.Bulk}'s chunking pattern); each domain rebuilds the
+    prefix network once and results are merged in enumeration order, so
+    the outcome is deterministic regardless of scheduling (per-search
+    statistics and the [bnb.*] observability counters may vary with
+    timing, the result never does). *)
+
+type stats = {
+  nodes_expanded : int;
+      (** nodes branched upon: consistent pushes that survived the bound
+          checks and had their subtree explored *)
+  leaves_solved : int;  (** LP/flow solves attempted at full bindings *)
+  pruned_bound : int;  (** subtrees cut because lower bound >= incumbent *)
+  pruned_inconsistent : int;  (** pushes refused by the incremental closure *)
+  pruned_plausibility : int;
+      (** subtrees cut because a forced move exceeds its plausibility bound *)
+}
+
+type outcome = {
+  best : (Events.Tuple.t * int) option;
+      (** repaired extended tuple and optimal cost; [None] when no binding
+          is consistent and feasible *)
+  stats : stats;
+}
+
+val search :
+  ?domains:int ->
+  repair:
+    (?cutoff:int ->
+    Events.Tuple.t ->
+    Tcn.Condition.interval list ->
+    Lp_repair.t option) ->
+  ?weights:(Events.Event.t -> int) ->
+  ?bounds:(Events.Event.t -> int option) ->
+  Tcn.Encode.set ->
+  Events.Tuple.t ->
+  outcome
+(** [search ~repair net extended] explores the binding tree of
+    [net.set_bindings]. [extended] must bind every event of the network
+    (artificial included — pass the result of {!Tcn.Encode.extend}).
+    [repair] is the leaf solver, typically {!Lp_repair.repair} or
+    {!Flow_repair.repair} partially applied; it must honour [cutoff] as
+    "return [None] unless the optimum is strictly below". [weights] and
+    [bounds] must be the same functions given to the solver — the lower
+    bound uses them, and admissibility depends on the agreement.
+    [domains] (default 1) caps the number of OCaml domains used.
+    @raise Invalid_argument on [domains < 1], a negative weight or a
+    negative bound. *)

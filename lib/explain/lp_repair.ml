@@ -14,7 +14,7 @@ type vars = { u : int; v : int }
 
 let default_weight e = if Event.is_artificial e then 0 else 1
 
-let build ?(weights = default_weight) ?(bounds = fun _ -> None) tuple intervals =
+let build ?(weights = default_weight) ?(bounds = fun _ -> None) ?cutoff tuple intervals =
   let events = Event.Set.elements (Tcn.Condition.interval_events intervals) in
   let model = Simplex.create () in
   let vars =
@@ -39,6 +39,13 @@ let build ?(weights = default_weight) ?(bounds = fun _ -> None) tuple intervals 
       events
   in
   Simplex.set_objective model objective;
+  (* Incumbent cutoff (branch-and-bound): only repairs strictly cheaper
+     than [cutoff] are of interest, and costs are integral, so a budget
+     constraint of [cutoff - 1] makes every dominated binding infeasible
+     instead of paying for its exact optimum. *)
+  (match cutoff with
+  | Some c -> Simplex.add_constraint model objective Simplex.Le (Rat.of_int (c - 1))
+  | None -> ());
   List.iter
     (fun { Tcn.Condition.src; dst; lo; hi } ->
       let vs = Event.Map.find src vars and vd = Event.Map.find dst vars in
@@ -97,8 +104,10 @@ let cost_of ?(weights = default_weight) tuple repaired =
         | None -> acc)
     repaired 0
 
-let repair ?weights ?bounds tuple intervals =
-  let model, vars, _events = build ?weights ?bounds tuple intervals in
+let repair ?weights ?bounds ?cutoff tuple intervals =
+  if (match cutoff with Some c -> c <= 0 | None -> false) then None
+  else
+  let model, vars, _events = build ?weights ?bounds ?cutoff tuple intervals in
   match Simplex.solve model with
   | Simplex.Infeasible -> None
   | Simplex.Unbounded ->

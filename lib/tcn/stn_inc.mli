@@ -35,6 +35,19 @@ val pop : t -> unit
 val depth : t -> int
 (** Number of pushes not yet popped. *)
 
+val events : t -> Events.Event.t array
+(** The fixed event universe in internal index order. *)
+
+val window : t -> Events.Event.t -> Events.Time.t * Events.Time.t option
+(** [(lo, hi)] — the exact unary projection of the current closure onto
+    one event: every feasible assignment has [lo <= t(e)], and [t(e) <= h]
+    when [hi = Some h] ([None] = unbounded above). Because the matrix is a
+    shortest-path closure these bounds are tight (minimal-network
+    property), and they only shrink under further pushes — the heart of
+    the branch-and-bound lower bound of {!Explain.Bnb}.
+    @raise Invalid_argument if the network is inconsistent or the event
+    unknown. *)
+
 val solution : t -> Events.Tuple.t option
 (** A feasible non-negative assignment for the currently-pushed conditions
     ([None] if inconsistent). *)

@@ -215,6 +215,17 @@ let test_modification_missing_event () =
     (try ignore (Modification.explain [ q ] (Tuple.of_list [ ("E1", 0) ])); false
      with Invalid_argument _ -> true)
 
+let test_modification_sampled_dedupes () =
+  (* AND(E1, E2, E3) has 9 bindings; drawing 100 samples must solve (and
+     report) each distinct binding at most once. *)
+  let q = p "AND(E1, E2, E3) WITHIN 40" in
+  let t = Tuple.of_list [ ("E1", 0); ("E2", 90); ("E3", 55) ] in
+  match Modification.explain ~strategy:(Modification.Sampled 100) [ q ] t with
+  | Some { bindings_tried; _ } ->
+      check_bool "tried counts distinct bindings only" true (bindings_tried <= 9);
+      check_bool "at least the single binding" true (bindings_tried >= 1)
+  | None -> Alcotest.fail "expected repair"
+
 let test_modification_untouched_events_kept () =
   let q = p "SEQ(E1, E2) WITHIN 2" in
   let t = Tuple.of_list [ ("E1", 0); ("E2", 50); ("Unrelated", 7) ] in
@@ -346,6 +357,8 @@ let suite =
         test_modification_missing_event;
       Alcotest.test_case "modification keeps untouched events" `Quick
         test_modification_untouched_events_kept;
+      Alcotest.test_case "modification sampled dedupes" `Quick
+        test_modification_sampled_dedupes;
       qt prop_modification_full_sound;
       qt prop_modification_single_upper_bound;
       qt prop_modification_flow_equals_lp;
