@@ -1,9 +1,9 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (Section 6) plus the repository's ablations, then runs one
    Bechamel micro-benchmark per table/figure kernel. Every run also writes
-   a JSON report (default BENCH_PR1.json) with per-section wall-clock and
+   a JSON report (default BENCH.json) with per-section wall-clock and
    the engine's Obs metrics snapshot, so perf changes can be diffed
-   across PRs.
+   across PRs with the compare mode below.
 
    Usage:
      dune exec bench/main.exe                 # standard scale (minutes)
@@ -11,19 +11,91 @@
      dune exec bench/main.exe -- --smoke      # tiny smoke subset (CI budget)
      dune exec bench/main.exe -- --paper      # the paper's full sizes
      dune exec bench/main.exe -- fig5 fig10   # only selected sections
-     dune exec bench/main.exe -- --out o.json # report path *)
+     dune exec bench/main.exe -- --out o.json # report path
+     dune exec bench/main.exe -- --trace t.jsonl --trace-format jsonl
+     dune exec bench/main.exe -- compare A.json B.json [--threshold PCT]
+
+   The compare mode is the perf regression gate: it diffs two bench
+   reports on their deterministic work metrics (pivots, nodes,
+   evictions, ...) and exits nonzero when any regressed past the
+   threshold. Timings are printed but never gate. *)
 
 open Whynot
 module E = Experiments
+
+(* --- compare mode: the perf regression gate --- *)
+
+let compare_mode () =
+  let threshold = ref 2.0 in
+  let files = ref [] in
+  let expect_threshold = ref false in
+  Array.iteri
+    (fun i arg ->
+      if i > 1 then
+        if !expect_threshold then begin
+          (match float_of_string_opt arg with
+          | Some t -> threshold := t
+          | None ->
+              prerr_endline "bench compare: --threshold expects a number";
+              exit 2);
+          expect_threshold := false
+        end
+        else
+          match arg with
+          | "--threshold" -> expect_threshold := true
+          | f -> files := f :: !files)
+    Sys.argv;
+  match List.rev !files with
+  | [ base_path; cur_path ] -> (
+      let load path =
+        match In_channel.with_open_text path In_channel.input_all with
+        | exception Sys_error msg -> Error msg
+        | text -> (
+            match Report.Json.of_string text with
+            | Ok v -> Ok v
+            | Error msg -> Error (path ^ ": " ^ msg))
+      in
+      match (load base_path, load cur_path) with
+      | Ok baseline, Ok current -> (
+          match
+            Report.Bench_compare.run ~threshold:!threshold ~baseline ~current
+              ()
+          with
+          | Ok r ->
+              Format.printf "comparing %s (baseline) -> %s@." base_path
+                cur_path;
+              Format.printf "%a@?" Report.Bench_compare.pp r;
+              exit (if Report.Bench_compare.passed r then 0 else 1)
+          | Error msg ->
+              prerr_endline ("bench compare: " ^ msg);
+              exit 2)
+      | Error msg, _ | _, Error msg ->
+          prerr_endline ("bench compare: " ^ msg);
+          exit 2)
+  | _ ->
+      prerr_endline
+        "usage: bench compare BASELINE.json CURRENT.json [--threshold PCT]";
+      exit 2
+
+let () =
+  if Array.length Sys.argv >= 2 && Sys.argv.(1) = "compare" then
+    compare_mode ()
 
 type scale = Smoke | Quick | Standard | Paper
 
 let scale = ref Standard
 let only : string list ref = ref []
-let report_path = ref "BENCH_PR2.json"
+let report_path = ref "BENCH.json"
+let trace_path : string option ref = ref None
+let trace_format = ref Report.Trace_json.Jsonl
+let trace_sample = ref 1
 
 let () =
-  let expect_csv_dir = ref false and expect_out = ref false in
+  let expect_csv_dir = ref false
+  and expect_out = ref false
+  and expect_trace = ref false
+  and expect_trace_format = ref false
+  and expect_trace_sample = ref false in
   Array.iteri
     (fun i arg ->
       if i > 0 then
@@ -35,6 +107,26 @@ let () =
           report_path := arg;
           expect_out := false
         end
+        else if !expect_trace then begin
+          trace_path := Some arg;
+          expect_trace := false
+        end
+        else if !expect_trace_format then begin
+          (match Report.Trace_json.format_of_string arg with
+          | Some f -> trace_format := f
+          | None ->
+              prerr_endline "bench: --trace-format expects jsonl|chrome|folded";
+              exit 2);
+          expect_trace_format := false
+        end
+        else if !expect_trace_sample then begin
+          (match int_of_string_opt arg with
+          | Some n when n >= 1 -> trace_sample := n
+          | _ ->
+              prerr_endline "bench: --trace-sample expects an integer >= 1";
+              exit 2);
+          expect_trace_sample := false
+        end
         else
           match arg with
           | "--smoke" -> scale := Smoke
@@ -43,13 +135,25 @@ let () =
           | "--standard" -> scale := Standard
           | "--csv" -> expect_csv_dir := true
           | "--out" -> expect_out := true
+          | "--trace" -> expect_trace := true
+          | "--trace-format" -> expect_trace_format := true
+          | "--trace-sample" -> expect_trace_sample := true
           | section -> only := section :: !only)
     Sys.argv
+
+let () =
+  match !trace_path with
+  | None -> ()
+  | Some path ->
+      Obs.Trace.configure ~sample:!trace_sample ();
+      at_exit (fun () ->
+          Report.Trace_json.write_file ~format:!trace_format path
+            (Obs.Trace.events ()))
 
 (* The smoke scale reuses the quick parameters but runs only a cheap
    representative subset of sections, so `dune build @bench-smoke` fits a
    test-suite time budget. *)
-let smoke_sections = [ "table1"; "table2"; "fig5"; "bnb" ]
+let smoke_sections = [ "table1"; "table2"; "fig5"; "bnb"; "trace" ]
 
 let () =
   if !scale = Smoke && !only = [] then only := smoke_sections
@@ -438,6 +542,62 @@ let micro () =
          [ name; human ])
        rows)
 
+(* --- tracing overhead (acceptance: < 5% on a standard explain run) --- *)
+
+(* Captured before the trace section runs its extra workload, so the
+   report's metrics cover exactly the same work as a run without the
+   trace section — keeping `compare` parity with earlier bench reports.
+   The trace section must therefore stay ordered last. *)
+let metrics_before_trace : Report.Json.t option ref = ref None
+let trace_overhead : (string * Report.Json.t) list ref = ref []
+
+let trace_section () =
+  metrics_before_trace := Some (Report.Obs_json.snapshot ());
+  let n = pick ~quick:6 ~standard:8 ~paper:10 in
+  let tuples = pick ~quick:4 ~standard:12 ~paper:16 in
+  let prng = Numeric.Prng.create 11 in
+  let pattern = Datagen.Workloads.fig11_pattern ~n in
+  let net = Tcn.Encode.pattern_set [ pattern ] in
+  let instances =
+    List.init tuples (fun _ ->
+        Datagen.Faults.tuple prng ~rate:0.5 ~distance:400
+          (Datagen.Workloads.random_matching_tuple ~horizon:5000 prng
+             [ pattern ]))
+  in
+  let run () =
+    List.iter
+      (fun t ->
+        ignore
+          (Explain.Modification.explain_network
+             ~strategy:Explain.Modification.Full net t))
+      instances
+  in
+  run () (* warm-up *);
+  let was_enabled = Obs.Trace.enabled_now () in
+  Obs.Trace.disable ();
+  let (), off_dt = E.Harness.time run in
+  (* Respect a user-supplied --trace ring (keep appending to it);
+     otherwise configure a throwaway one at default sampling. *)
+  if was_enabled then Obs.Trace.enable () else Obs.Trace.configure ();
+  let e0 = Obs.Trace.emitted () and d0 = Obs.Trace.dropped () in
+  let (), on_dt = E.Harness.time run in
+  let emitted = Obs.Trace.emitted () - e0
+  and dropped = Obs.Trace.dropped () - d0 in
+  if not was_enabled then Obs.Trace.disable ();
+  let overhead_pct = (on_dt -. off_dt) /. off_dt *. 100.0 in
+  Format.printf
+    "tracing off: %.3f s   on: %.3f s   overhead: %+.2f%%   (%d event(s), %d \
+     dropped)@."
+    off_dt on_dt overhead_pct emitted dropped;
+  trace_overhead :=
+    [
+      ("off_seconds", Report.Json.Float off_dt);
+      ("on_seconds", Report.Json.Float on_dt);
+      ("overhead_pct", Report.Json.Float overhead_pct);
+      ("events_emitted", Report.Json.Int emitted);
+      ("events_dropped", Report.Json.Int dropped);
+    ]
+
 let scale_name () =
   match !scale with
   | Smoke -> "smoke"
@@ -449,19 +609,28 @@ let scale_name () =
    detector counters included), the perf trajectory's data points. *)
 let write_report () =
   let open Report.Json in
+  let metrics =
+    match !metrics_before_trace with
+    | Some m -> m
+    | None -> Report.Obs_json.snapshot ()
+  in
   let report =
     Obj
-      [
-        ("schema", String "whynot.bench/1");
-        ("scale", String (scale_name ()));
-        ( "sections",
-          List
-            (List.rev_map
-               (fun (name, dt) ->
-                 Obj [ ("name", String name); ("seconds", Float dt) ])
-               !timings) );
-        ("metrics", Report.Obs_json.snapshot ());
-      ]
+      ([
+         ("schema", String "whynot.bench/1");
+         ("scale", String (scale_name ()));
+         ( "sections",
+           List
+             (List.rev_map
+                (fun (name, dt) ->
+                  Obj [ ("name", String name); ("seconds", Float dt) ])
+                !timings) );
+         ("metrics", metrics);
+       ]
+      @
+      match !trace_overhead with
+      | [] -> []
+      | fields -> [ ("trace_overhead", Obj fields) ])
   in
   let oc = open_out !report_path in
   Fun.protect
@@ -485,4 +654,6 @@ let () =
   section "bnb" bnb;
   section "ablations" ablations;
   section "micro" micro;
+  (* Must stay last: see [metrics_before_trace]. *)
+  section "trace" trace_section;
   write_report ()

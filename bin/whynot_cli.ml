@@ -29,12 +29,12 @@ let query_arg =
           "Event pattern query: one or more patterns separated by ';', e.g. \
            'SEQ(AND(E1, E3) WITHIN 30, AND(E2, E4) WITHIN 30) ATLEAST 2 hours'.")
 
-let trace_arg =
+let input_arg =
   Arg.(
     required
     & opt (some file) None
-    & info [ "t"; "trace" ] ~docv:"CSV"
-        ~doc:"Trace file (CSV: tuple_id,event,timestamp).")
+    & info [ "t"; "input" ] ~docv:"CSV"
+        ~doc:"Input trace file (CSV: tuple_id,event,timestamp).")
 
 let tuple_id_arg =
   Arg.(
@@ -56,13 +56,64 @@ let metrics_arg =
            spans — as JSON on stdout. See docs/OBSERVABILITY.md for the \
            schema.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a structured execution trace of the run (per-query spans \
+           and search events) to $(docv). See docs/OBSERVABILITY.md for the \
+           schema.")
+
+let trace_format_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("jsonl", Whynot.Report.Trace_json.Jsonl);
+             ("chrome", Whynot.Report.Trace_json.Chrome);
+             ("folded", Whynot.Report.Trace_json.Folded);
+           ])
+        Whynot.Report.Trace_json.Jsonl
+    & info [ "trace-format" ] ~docv:"FMT"
+        ~doc:
+          "Trace output format: $(b,jsonl) (one JSON event per line, \
+           default), $(b,chrome) (chrome://tracing / Perfetto trace-event \
+           JSON), or $(b,folded) (flamegraph folded stacks).")
+
+let trace_sample_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "trace-sample" ] ~docv:"N"
+        ~doc:
+          "Record every $(docv)-th top-level query trace (deterministic by \
+           arrival order; default 1 = trace every query).")
+
 let print_json v = print_endline (Whynot.Report.Json.to_string ~indent:2 v)
 
-(* Registered via [at_exit] so the snapshot is also printed on the
+(* Registered via [at_exit] so the snapshot/trace is also written on the
    [exit 1] paths (inconsistent query, no match, ...). *)
-let setup_metrics enabled =
-  if enabled then
-    at_exit (fun () -> print_json (Whynot.Report.Obs_json.snapshot ()))
+let setup_obs metrics trace_file trace_format trace_sample =
+  if metrics then
+    at_exit (fun () -> print_json (Whynot.Report.Obs_json.snapshot ()));
+  match trace_file with
+  | None -> ()
+  | Some path ->
+      if trace_sample < 1 then begin
+        Printf.eprintf "whynot: --trace-sample must be >= 1\n";
+        exit 2
+      end;
+      Whynot.Obs.Trace.configure ~sample:trace_sample ();
+      at_exit (fun () ->
+          Whynot.Report.Trace_json.write_file ~format:trace_format path
+            (Whynot.Obs.Trace.events ()))
+
+let obs_term =
+  Term.(
+    const setup_obs $ metrics_arg $ trace_out_arg $ trace_format_arg
+    $ trace_sample_arg)
 
 let load_trace path =
   match Whynot.Events.Csv_io.read_trace path with
@@ -83,8 +134,7 @@ let selected_tuples trace = function
 (* --- parse --- *)
 
 let parse_cmd =
-  let run metrics query =
-    setup_metrics metrics;
+  let run () query =
     List.iter
       (fun p ->
         let shape =
@@ -108,7 +158,7 @@ let parse_cmd =
   in
   Cmd.v
     (Cmd.info "parse" ~doc:"Parse a query and show its structure and encoding size.")
-    Term.(const run $ metrics_arg $ query_arg)
+    Term.(const run $ obs_term $ query_arg)
 
 (* --- check --- *)
 
@@ -122,8 +172,7 @@ let check_cmd =
                 (default: exact full binding)."
           ~docv:"N")
   in
-  let run metrics query samples json =
-    setup_metrics metrics;
+  let run () query samples json =
     let strategy =
       match samples with
       | None -> Whynot.Explain.Consistency.Full
@@ -152,13 +201,12 @@ let check_cmd =
        ~doc:
          "Pattern consistency explanation (Algorithm 1): decide whether any \
           assignment of timestamps can satisfy the query.")
-    Term.(const run $ metrics_arg $ query_arg $ samples_arg $ json_arg)
+    Term.(const run $ obs_term $ query_arg $ samples_arg $ json_arg)
 
 (* --- lint --- *)
 
 let lint_cmd =
-  let run metrics query =
-    setup_metrics metrics;
+  let run () query =
     let report = Whynot.Explain.Lint.run query in
     if not report.consistent then
       Format.printf
@@ -190,13 +238,12 @@ let lint_cmd =
        ~doc:
          "Analyse a query's windows: report bounds that are dead (implied by \
           the rest of the query) or fatal (make the query unsatisfiable).")
-    Term.(const run $ metrics_arg $ query_arg)
+    Term.(const run $ obs_term $ query_arg)
 
 (* --- match --- *)
 
 let match_cmd =
-  let run metrics query trace_path tuple_id =
-    setup_metrics metrics;
+  let run () query trace_path tuple_id =
     let trace = load_trace trace_path in
     List.iter
       (fun (id, t) ->
@@ -209,7 +256,7 @@ let match_cmd =
   in
   Cmd.v
     (Cmd.info "match" ~doc:"Evaluate the query over a trace (one verdict per tuple).")
-    Term.(const run $ metrics_arg $ query_arg $ trace_arg $ tuple_id_arg)
+    Term.(const run $ obs_term $ query_arg $ input_arg $ tuple_id_arg)
 
 (* --- explain --- *)
 
@@ -231,8 +278,7 @@ let explain_cmd =
              (branch-and-bound, default), $(b,bnb-par) (branch-and-bound \
              across all cores), or $(b,flat) (enumerate every binding).")
   in
-  let run metrics query trace_path tuple_id single engine json =
-    setup_metrics metrics;
+  let run () query trace_path tuple_id single engine json =
     let strategy =
       if single then Whynot.Explain.Modification.Single
       else Whynot.Explain.Modification.Full
@@ -298,14 +344,13 @@ let explain_cmd =
          "Timestamp modification explanation (Algorithm 2): minimally modify \
           each non-answer's timestamps to make it match.")
     Term.(
-      const run $ metrics_arg $ query_arg $ trace_arg $ tuple_id_arg $ single_arg
+      const run $ obs_term $ query_arg $ input_arg $ tuple_id_arg $ single_arg
       $ engine_arg $ json_arg)
 
 (* --- diagnose --- *)
 
 let diagnose_cmd =
-  let run metrics query trace_path json =
-    setup_metrics metrics;
+  let run () query trace_path json =
     let trace = load_trace trace_path in
     let report = Whynot.Explain.Diagnose.run query trace in
     if json then print_json (Whynot.Report.Render.diagnose report)
@@ -316,7 +361,7 @@ let diagnose_cmd =
        ~doc:
          "Aggregate why-not dashboard: failure classes and repair costs over \
           a whole trace.")
-    Term.(const run $ metrics_arg $ query_arg $ trace_arg $ json_arg)
+    Term.(const run $ obs_term $ query_arg $ input_arg $ json_arg)
 
 (* --- why (top-k explanations) --- *)
 
@@ -324,8 +369,7 @@ let why_cmd =
   let k_arg =
     Arg.(value & opt int 3 & info [ "k" ] ~doc:"Number of candidate explanations.")
   in
-  let run metrics query trace_path tuple_id k =
-    setup_metrics metrics;
+  let run () query trace_path tuple_id k =
     let trace = load_trace trace_path in
     List.iter
       (fun (id, t) ->
@@ -357,13 +401,12 @@ let why_cmd =
        ~doc:
          "Ranked why-not explanations: the k cheapest distinct timestamp \
           modifications, with a per-event blame summary.")
-    Term.(const run $ metrics_arg $ query_arg $ trace_arg $ tuple_id_arg $ k_arg)
+    Term.(const run $ obs_term $ query_arg $ input_arg $ tuple_id_arg $ k_arg)
 
 (* --- fix-query (query modification explanation) --- *)
 
 let fix_query_cmd =
-  let run metrics query trace_path tuple_id =
-    setup_metrics metrics;
+  let run () query trace_path tuple_id =
     let trace = load_trace trace_path in
     let expected = List.map snd (selected_tuples trace tuple_id) in
     match Whynot.Explain.Query_repair.explain query expected with
@@ -388,7 +431,7 @@ let fix_query_cmd =
        ~doc:
          "Query modification explanation: minimally relax the query's \
           ATLEAST/WITHIN bounds so the expected tuples become answers.")
-    Term.(const run $ metrics_arg $ query_arg $ trace_arg $ tuple_id_arg)
+    Term.(const run $ obs_term $ query_arg $ input_arg $ tuple_id_arg)
 
 (* --- detect (streaming) --- *)
 
@@ -407,8 +450,7 @@ let detect_cmd =
       & info [ "horizon" ]
           ~doc:"Time horizon for partial matches (default: the query's root WITHIN).")
   in
-  let run metrics query stream_path horizon =
-    setup_metrics metrics;
+  let run () query stream_path horizon =
     let parse_line lineno line =
       match String.split_on_char ',' (String.trim line) with
       | [ e; ts ] | [ e; ts; _ ] -> (
@@ -453,7 +495,7 @@ let detect_cmd =
   Cmd.v
     (Cmd.info "detect"
        ~doc:"Run the streaming detector over an interleaved event stream (CSV).")
-    Term.(const run $ metrics_arg $ query_arg $ stream_arg $ horizon_arg)
+    Term.(const run $ obs_term $ query_arg $ stream_arg $ horizon_arg)
 
 (* --- convert --- *)
 
@@ -466,8 +508,7 @@ let convert_cmd =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT"
          ~doc:"Output trace (.csv or .xes, by extension).")
   in
-  let run metrics input output =
-    setup_metrics metrics;
+  let run () input output =
     let load path =
       if Filename.check_suffix path ".xes" then
         match Whynot.Events.Xes.read_file path with
@@ -490,7 +531,7 @@ let convert_cmd =
     (Cmd.info "convert"
        ~doc:"Convert traces between the CSV interchange format and XES \
              (IEEE 1849 process-mining event logs).")
-    Term.(const run $ metrics_arg $ in_arg $ out_arg)
+    Term.(const run $ obs_term $ in_arg $ out_arg)
 
 (* --- generate --- *)
 
@@ -517,8 +558,7 @@ let generate_cmd =
   let distance_arg =
     Arg.(value & opt int 200 & info [ "fault-distance" ] ~doc:"Fault distance.")
   in
-  let run metrics kind out tuples seed rate distance =
-    setup_metrics metrics;
+  let run () kind out tuples seed rate distance =
     let prng = Whynot.Numeric.Prng.create seed in
     let trace, query =
       match kind with
@@ -544,7 +584,7 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Generate a synthetic benchmark trace (CSV).")
     Term.(
-      const run $ metrics_arg $ kind_arg $ out_arg $ tuples_arg $ seed_arg $ rate_arg
+      const run $ obs_term $ kind_arg $ out_arg $ tuples_arg $ seed_arg $ rate_arg
       $ distance_arg)
 
 let main =

@@ -52,8 +52,11 @@ let explain_trace ?domains ?strategy ?engine ?solver ?max_cost patterns trace =
   let within_budget cost =
     match max_cost with None -> true | Some budget -> cost <= budget
   in
+  (* Each tuple is its own top-level trace (worker domains start with a
+     fresh trace context), so --trace-sample applies per tuple. *)
   let repair _id tuple =
     Obs.incr explained_c;
+    Obs.Trace.with_trace "bulk.tuple" @@ fun () ->
     if Pattern.Matcher.matches_set tuple patterns then tuple
     else
       match

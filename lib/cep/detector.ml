@@ -121,6 +121,8 @@ let feed t inst =
     invalid_arg "Detector.feed: timestamps must be non-decreasing";
   t.clock <- inst.timestamp;
   Obs.incr fed_c;
+  Obs.Trace.with_trace "detector.feed" @@ fun () ->
+
   (* Horizon eviction: a partial whose earliest instance is out of reach of
      the root window can never complete. This must happen on every feed —
      including instances of irrelevant types — or dead partials linger (and
@@ -134,12 +136,17 @@ let feed t inst =
       let n = List.length expired in
       t.horizon_evicted <- t.horizon_evicted + n;
       Obs.add horizon_c n;
+      if Obs.Trace.should_emit () then
+        Obs.Trace.emit
+          (Obs.Trace.Detector_evict { reason = Horizon; count = n });
       t.partials <- alive;
       t.count <- t.count - n);
   let targets = targets_of t inst.event in
   if targets = [] then begin
     Obs.incr irrelevant_c;
     Obs.gauge_set live_g t.count;
+    if Obs.Trace.should_emit () then
+      Obs.Trace.emit (Obs.Trace.Detector_admit { live = t.count });
     []
   end
   else begin
@@ -192,6 +199,9 @@ let feed t inst =
         let evicted = count - t.max_partials in
         t.dropped <- t.dropped + evicted;
         Obs.add capacity_c evicted;
+        if Obs.Trace.should_emit () then
+          Obs.Trace.emit
+            (Obs.Trace.Detector_evict { reason = Capacity; count = evicted });
         (take t.max_partials partials, t.max_partials)
       end
       else (partials, count)
@@ -200,7 +210,15 @@ let feed t inst =
     t.count <- count;
     Obs.gauge_set live_g count;
     Obs.gauge_max peak_g count;
-    (match matches with [] -> () | _ -> Obs.add matches_c (List.length matches));
+    if Obs.Trace.should_emit () then
+      Obs.Trace.emit (Obs.Trace.Detector_admit { live = count });
+    (match matches with
+    | [] -> ()
+    | _ ->
+        let n = List.length matches in
+        Obs.add matches_c n;
+        if Obs.Trace.should_emit () then
+          Obs.Trace.emit (Obs.Trace.Detector_match { count = n }));
     List.map
       (fun p -> { tuple = p.assigned; tags = List.rev p.p_tags })
       matches

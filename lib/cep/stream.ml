@@ -62,7 +62,8 @@ let feed t ~key event ts =
     Obs.incr irrelevant_c;
     Pending
   end
-  else begin
+  else
+    Obs.Trace.with_trace "stream.feed" @@ fun () ->
     let tuple =
       match M.find_opt key t.partial with Some tu -> tu | None -> Tuple.empty
     in
@@ -75,8 +76,17 @@ let feed t ~key event ts =
       | Matched _ -> matched_c
       | Failed _ -> failed_c
       | Pending -> pending_c);
+    if Obs.Trace.should_emit () then
+      Obs.Trace.emit
+        (Obs.Trace.Stream_verdict
+           {
+             verdict =
+               (match verdict with
+               | Matched _ -> "matched"
+               | Failed _ -> "failed"
+               | Pending -> "pending");
+           });
     verdict
-  end
 
 let current t ~key =
   match M.find_opt key t.partial with Some tu -> tu | None -> Tuple.empty

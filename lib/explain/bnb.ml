@@ -54,6 +54,7 @@ let search ?(domains = 1)
         Lp_repair.t option) ?weights ?bounds (net : Tcn.Encode.set) tuple =
   if domains < 1 then invalid_arg "Bnb.search: domains must be >= 1";
   Obs.incr searches_c;
+  Obs.Trace.with_span "bnb.search" @@ fun () ->
   let gammas = Array.of_list net.set_bindings in
   let ngammas = Array.length gammas in
   let choices = Array.map Tcn.Bindings.choices gammas in
@@ -185,8 +186,12 @@ let search ?(domains = 1)
         wk.cutoff_used <- cutoff <> max_int;
         Obs.observe gap_h (cost - wk.leaf_lb);
         atomic_min best_global cost;
+        if Obs.Trace.should_emit () then
+          Obs.Trace.emit (Obs.Trace.Bnb_incumbent { cost });
         if cost = 0 then begin
           Obs.incr zero_stops_c;
+          if Obs.Trace.should_emit () then
+            Obs.Trace.emit (Obs.Trace.Bnb_zero_stop { top = top_idx });
           atomic_min zero_at top_idx
         end
   in
@@ -198,21 +203,41 @@ let search ?(domains = 1)
       if Tcn.Stn_inc.push wk.inc phi then begin
         ground wk phi 1;
         (match lower_bound wk with
-        | None -> wk.pr_plaus <- wk.pr_plaus + 1
+        | None ->
+            wk.pr_plaus <- wk.pr_plaus + 1;
+            if Obs.Trace.should_emit () then
+              Obs.Trace.emit
+                (Obs.Trace.Bnb_prune { reason = Plausibility; gap = 0 })
         | Some lb ->
-            if lb >= wk.local_best || lb > Atomic.get best_global then
-              wk.pr_bound <- wk.pr_bound + 1
+            if lb >= wk.local_best || lb > Atomic.get best_global then begin
+              wk.pr_bound <- wk.pr_bound + 1;
+              if Obs.Trace.should_emit () then
+                let g = min wk.local_best (Atomic.get best_global) in
+                Obs.Trace.emit
+                  (Obs.Trace.Bnb_prune
+                     {
+                       reason = Bound;
+                       gap = (if g = max_int then 0 else lb - g);
+                     })
+            end
             else begin
               (* Only a node we branch upon counts as expanded; a push
                  discarded by its bound is a prune, not an expansion. *)
               wk.nodes <- wk.nodes + 1;
+              if Obs.Trace.should_emit () then
+                Obs.Trace.emit (Obs.Trace.Bnb_node { level });
               wk.path.(level) <- phi;
               wk.leaf_lb <- lb;
               descend wk (level + 1) top_idx
             end);
         ground wk phi (-1)
       end
-      else wk.pr_inc <- wk.pr_inc + 1;
+      else begin
+        wk.pr_inc <- wk.pr_inc + 1;
+        if Obs.Trace.should_emit () then
+          Obs.Trace.emit
+            (Obs.Trace.Bnb_prune { reason = Inconsistent; gap = 0 })
+      end;
       Tcn.Stn_inc.pop wk.inc
     end
   in
@@ -245,8 +270,13 @@ let search ?(domains = 1)
     if k = 1 then [ run_worker 1 0 () ]
     else begin
       Obs.add domains_c (k - 1);
+      (* Worker domains start with a fresh trace context; adopt the
+         spawning trace so their spans and events join its tree. *)
+      let tctx = Obs.Trace.context () in
       let spawned =
-        List.init (k - 1) (fun i -> Domain.spawn (run_worker k (i + 1)))
+        List.init (k - 1) (fun i ->
+            Domain.spawn (fun () ->
+                Obs.Trace.with_context tctx (run_worker k (i + 1))))
       in
       let own = run_worker k 0 () in
       own :: List.map Domain.join spawned

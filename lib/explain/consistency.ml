@@ -57,6 +57,7 @@ let check_network ?(strategy = Full) ?(seed = 0) ?(events = Event.Set.empty)
       { net with Tcn.Encode.set_intervals = pin_intervals pinned @ net.set_intervals }
   in
   let events = Event.Set.union events (all_events net) in
+  Obs.Trace.with_trace "consistency.check" @@ fun () ->
   Obs.incr checks_c;
   Obs.incr
     (match strategy with

@@ -40,6 +40,7 @@ let explain_network ?(strategy = Full) ?(engine = Bnb { domains = 1 })
   if not (Event.Set.for_all (fun e -> Tuple.mem e tuple) required) then
     invalid_arg "Modification.explain: tuple does not bind every pattern event";
   let extended = Tcn.Encode.extend net tuple in
+  Obs.Trace.with_trace "modification.explain" @@ fun () ->
   let finish best tried exact =
     Obs.incr explains_c;
     Obs.add bindings_c tried;

@@ -71,8 +71,12 @@ let explain_inner ?strategy ?engine ?solver ?max_cost patterns tuple =
 let explain ?strategy ?engine ?solver ?max_cost patterns tuple =
   Obs.incr explains_c;
   let outcome =
-    Obs.with_span "pipeline.explain" (fun () ->
-        explain_inner ?strategy ?engine ?solver ?max_cost patterns tuple)
+    (* The pipeline is the outermost layer, so this is usually the call
+       that starts the per-query trace; nested instrumented layers
+       attach to it as child spans. *)
+    Obs.Trace.with_trace "pipeline.explain" (fun () ->
+        Obs.with_span "pipeline.explain" (fun () ->
+            explain_inner ?strategy ?engine ?solver ?max_cost patterns tuple))
   in
   Obs.incr (outcome_counter outcome);
   outcome

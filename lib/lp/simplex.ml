@@ -184,6 +184,8 @@ let solve m =
      raw costs (1 on artificial columns), then basic columns are priced out
      by subtracting their rows. *)
   if num_art > 0 then begin
+    if Obs.Trace.should_emit () then
+      Obs.Trace.emit (Obs.Trace.Simplex_phase { phase = 1 });
     for j = art_start to width - 1 do
       tb.obj.(j) <- Rat.one
     done;
@@ -231,6 +233,8 @@ let solve m =
           tb.obj.(j) <- Rat.sub tb.obj.(j) (Rat.mul f tb.rows.(i).(j))
         done)
     tb.basis;
+  if Obs.Trace.should_emit () then
+    Obs.Trace.emit (Obs.Trace.Simplex_phase { phase = 2 });
   match optimize ~iters:phase2_c ~allowed:(fun j -> j < art_start) tb with
   | `Unbounded -> Unbounded
   | `Optimal ->
@@ -245,11 +249,29 @@ let solve m =
       in
       Optimal { objective; values }
 
-let solve m =
+let solve_checked m =
   try solve m
   with Exit ->
     Obs.incr infeasible_c;
     Infeasible
+
+(* Direct call when tracing is off: the span wrapper (and its closure)
+   exists only on the sampled-in path. *)
+let solve m =
+  if Obs.Trace.should_emit () then
+    Obs.Trace.with_span "simplex.solve" (fun () ->
+        let outcome = solve_checked m in
+        Obs.Trace.emit
+          (Obs.Trace.Simplex_outcome
+             {
+               outcome =
+                 (match outcome with
+                 | Optimal _ -> "optimal"
+                 | Infeasible -> "infeasible"
+                 | Unbounded -> "unbounded");
+             });
+        outcome)
+  else solve_checked m
 
 let pp_outcome ppf = function
   | Infeasible -> Format.fprintf ppf "infeasible"

@@ -111,16 +111,23 @@ let observe h v =
   Atomic.incr h.h_count;
   ignore (Atomic.fetch_and_add h.h_sum v)
 
+(* Bumped by [reset]; an in-flight [with_span] that straddles a reset
+   would otherwise record a pre-reset start time into a zeroed cell. *)
+let generation = Atomic.make 0
+
 let with_span name f =
   let s = span name in
+  let g0 = Atomic.get generation in
   let t0 = Unix.gettimeofday () in
   Fun.protect
     ~finally:(fun () ->
-      let dt = Unix.gettimeofday () -. t0 in
-      let ns = int_of_float (dt *. 1e9) in
-      Atomic.incr s.s_count;
-      ignore (Atomic.fetch_and_add s.total_ns ns);
-      atomic_max s.max_ns ns)
+      if Atomic.get generation = g0 then begin
+        let dt = Unix.gettimeofday () -. t0 in
+        let ns = int_of_float (dt *. 1e9) in
+        Atomic.incr s.s_count;
+        ignore (Atomic.fetch_and_add s.total_ns ns);
+        atomic_max s.max_ns ns
+      end)
     f
 
 let find_counter name =
@@ -130,6 +137,7 @@ let find_counter name =
   match r with Some (Counter c) -> Some (Atomic.get c) | _ -> None
 
 let reset () =
+  Atomic.incr generation;
   Mutex.lock lock;
   Hashtbl.iter
     (fun _ -> function
@@ -193,3 +201,237 @@ let snapshot () =
               }
         | _ -> None);
   }
+
+(* --- structured tracing ------------------------------------------------ *)
+
+module Trace = struct
+  type prune_reason = Bound | Inconsistent | Plausibility
+  type evict_reason = Horizon | Capacity
+
+  type kind =
+    | Span_open of { name : string; parent : int }
+    | Span_close of { name : string }
+    | Bnb_node of { level : int }
+    | Bnb_prune of { reason : prune_reason; gap : int }
+    | Bnb_incumbent of { cost : int }
+    | Bnb_zero_stop of { top : int }
+    | Stn_push of { depth : int; consistent : bool }
+    | Stn_pop of { depth : int }
+    | Simplex_phase of { phase : int }
+    | Simplex_outcome of { outcome : string }
+    | Detector_admit of { live : int }
+    | Detector_evict of { reason : evict_reason; count : int }
+    | Detector_match of { count : int }
+    | Stream_verdict of { verdict : string }
+    | Mark of { label : string }
+
+  type event = {
+    ts_ns : int;
+    dom : int;
+    trace_id : int;
+    span : int;
+    kind : kind;
+  }
+
+  let prune_reason_name = function
+    | Bound -> "bound"
+    | Inconsistent -> "inconsistent"
+    | Plausibility -> "plausibility"
+
+  let evict_reason_name = function Horizon -> "horizon" | Capacity -> "capacity"
+
+  let kind_name = function
+    | Span_open _ -> "span.open"
+    | Span_close _ -> "span.close"
+    | Bnb_node _ -> "bnb.node"
+    | Bnb_prune _ -> "bnb.prune"
+    | Bnb_incumbent _ -> "bnb.incumbent"
+    | Bnb_zero_stop _ -> "bnb.zero_stop"
+    | Stn_push _ -> "stn.push"
+    | Stn_pop _ -> "stn.pop"
+    | Simplex_phase _ -> "simplex.phase"
+    | Simplex_outcome _ -> "simplex.outcome"
+    | Detector_admit _ -> "detector.admit"
+    | Detector_evict _ -> "detector.evict"
+    | Detector_match _ -> "detector.match"
+    | Stream_verdict _ -> "stream.verdict"
+    | Mark _ -> "mark"
+
+  let kind_names =
+    [
+      "span.open"; "span.close"; "bnb.node"; "bnb.prune"; "bnb.incumbent";
+      "bnb.zero_stop"; "stn.push"; "stn.pop"; "simplex.phase";
+      "simplex.outcome"; "detector.admit"; "detector.evict"; "detector.match";
+      "stream.verdict"; "mark";
+    ]
+
+  (* Shared state. The ring is claim-then-write: a writer reserves slot i
+     with one fetch-and-add and fills it; a reservation past the end is a
+     drop. Every slot is written by exactly one domain, so the only
+     cross-domain contention is on the cursor itself. *)
+  let enabled = Atomic.make false
+  let sample_every = Atomic.make 1
+  let ring : event option array Atomic.t = Atomic.make [||]
+  let cursor = Atomic.make 0
+  let dropped_n = Atomic.make 0
+  let trace_seq = Atomic.make 0
+  let span_seq = Atomic.make 0
+
+  (* Domain-local trace context: which trace this domain is inside, the
+     current span, and whether the trace was sampled in. *)
+  type ctx = {
+    mutable depth : int; (* nesting of [with_trace] *)
+    mutable c_active : bool;
+    mutable c_trace : int;
+    mutable c_span : int;
+  }
+
+  let ctx_key =
+    Domain.DLS.new_key (fun () ->
+        { depth = 0; c_active = false; c_trace = 0; c_span = 0 })
+
+  let ctx () = Domain.DLS.get ctx_key
+
+  let default_capacity = 1 lsl 18
+
+  let reset_ctx () =
+    let c = ctx () in
+    c.depth <- 0;
+    c.c_active <- false;
+    c.c_trace <- 0;
+    c.c_span <- 0
+
+  let configure ?(capacity = default_capacity) ?(sample = 1) () =
+    if capacity < 1 then invalid_arg "Obs.Trace.configure: capacity must be >= 1";
+    if sample < 1 then invalid_arg "Obs.Trace.configure: sample must be >= 1";
+    Atomic.set enabled false;
+    Atomic.set ring (Array.make capacity None);
+    Atomic.set cursor 0;
+    Atomic.set dropped_n 0;
+    Atomic.set trace_seq 0;
+    Atomic.set span_seq 0;
+    Atomic.set sample_every sample;
+    reset_ctx ();
+    Atomic.set enabled true
+
+  let clear () =
+    let cap = Array.length (Atomic.get ring) in
+    if cap > 0 then begin
+      let was = Atomic.get enabled in
+      configure ~capacity:cap ~sample:(Atomic.get sample_every) ();
+      Atomic.set enabled was
+    end
+
+  let enable () =
+    if Array.length (Atomic.get ring) = 0 then configure ()
+    else Atomic.set enabled true
+
+  let disable () = Atomic.set enabled false
+  let enabled_now () = Atomic.get enabled
+  let sampling () = Atomic.get sample_every
+  let capacity () = Array.length (Atomic.get ring)
+
+  (* The hot-path guard: one atomic load when tracing is off (the common
+     case), so instrumented sites allocate nothing unless this is true. *)
+  let should_emit () = Atomic.get enabled && (ctx ()).c_active
+
+  let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+  let record ~span kind =
+    let c = ctx () in
+    let b = Atomic.get ring in
+    let i = Atomic.fetch_and_add cursor 1 in
+    if i < Array.length b then
+      b.(i) <-
+        Some
+          {
+            ts_ns = now_ns ();
+            dom = (Domain.self () :> int);
+            trace_id = c.c_trace;
+            span;
+            kind;
+          }
+    else Atomic.incr dropped_n
+
+  let emit kind = if should_emit () then record ~span:(ctx ()).c_span kind
+
+  let with_span name f =
+    if not (should_emit ()) then f ()
+    else begin
+      let c = ctx () in
+      let parent = c.c_span in
+      let id = 1 + Atomic.fetch_and_add span_seq 1 in
+      record ~span:id (Span_open { name; parent });
+      c.c_span <- id;
+      Fun.protect
+        ~finally:(fun () ->
+          c.c_span <- parent;
+          record ~span:id (Span_close { name }))
+        f
+    end
+
+  let with_trace name f =
+    if not (Atomic.get enabled) then f ()
+    else begin
+      let c = ctx () in
+      if c.depth > 0 then begin
+        (* Nested query scope: stay in the enclosing trace, just open a
+           child span (suppressed with the rest if the trace was sampled
+           out). *)
+        c.depth <- c.depth + 1;
+        Fun.protect
+          ~finally:(fun () -> c.depth <- c.depth - 1)
+          (fun () -> with_span name f)
+      end
+      else begin
+        let n = 1 + Atomic.fetch_and_add trace_seq 1 in
+        let active = (n - 1) mod Atomic.get sample_every = 0 in
+        c.depth <- 1;
+        c.c_active <- active;
+        c.c_trace <- n;
+        c.c_span <- 0;
+        Fun.protect
+          ~finally:(fun () ->
+            c.depth <- 0;
+            c.c_active <- false;
+            c.c_trace <- 0;
+            c.c_span <- 0)
+          (fun () -> with_span name f)
+      end
+    end
+
+  type context = { x_active : bool; x_trace : int; x_span : int }
+
+  let context () =
+    let c = ctx () in
+    {
+      x_active = c.c_active && Atomic.get enabled;
+      x_trace = c.c_trace;
+      x_span = c.c_span;
+    }
+
+  let with_context x f =
+    let c = ctx () in
+    let saved = (c.depth, c.c_active, c.c_trace, c.c_span) in
+    c.depth <- (if x.x_trace > 0 then 1 else 0);
+    c.c_active <- x.x_active;
+    c.c_trace <- x.x_trace;
+    c.c_span <- x.x_span;
+    Fun.protect
+      ~finally:(fun () ->
+        let d, a, t, s = saved in
+        c.depth <- d;
+        c.c_active <- a;
+        c.c_trace <- t;
+        c.c_span <- s)
+      f
+
+  let emitted () = Atomic.get cursor
+  let dropped () = Atomic.get dropped_n
+  let recorded () = min (Atomic.get cursor) (Array.length (Atomic.get ring))
+
+  let events () =
+    let b = Atomic.get ring in
+    let n = min (Atomic.get cursor) (Array.length b) in
+    List.filter_map (fun i -> b.(i)) (List.init n Fun.id)
+end

@@ -86,6 +86,158 @@ val find_counter : string -> int option
 (** Current value of a registered counter, by name. *)
 
 val reset : unit -> unit
-(** Zero every registered metric (registrations are kept). *)
+(** Zero every registered metric (registrations are kept). A
+    {!with_span} in flight across a [reset] records {e nothing}: its
+    start time predates the reset, so folding it into the zeroed cell
+    would fabricate pre-reset wall-clock. *)
 
 val snapshot : unit -> snapshot
+
+(** Structured, low-overhead execution tracing layered on the registry.
+
+    A {e trace} is one top-level query — one {!Trace.with_trace} scope:
+    a pipeline explain, a consistency check, a detector feed. Inside it,
+    {!Trace.with_span} opens nested scopes forming the trace tree, and
+    {!Trace.emit} records typed point events (search prunes, STN
+    pushes, simplex phases, ...). Events land in one process-wide
+    bounded ring buffer: a writer claims a slot with a single
+    fetch-and-add (lock-free, domain-safe); claims past the end are
+    counted as drops, never blocked on.
+
+    {b Cost.} With tracing disabled (the default), every instrumented
+    site reduces to one atomic load and a branch — no allocation, no
+    ring traffic. [with_trace]/[with_span] are identity wrappers. With
+    tracing enabled, a sampled-out trace suppresses all its spans and
+    events at the same single-load cost.
+
+    {b Sampling.} [configure ~sample:n] records every [n]-th top-level
+    trace (the 1st, [n+1]-th, ... by arrival order of [with_trace]),
+    deterministically: sampling depends only on the trace sequence
+    number, never on time or randomness.
+
+    {b Determinism.} Trace/span IDs are dense sequence numbers reset by
+    [configure]/[clear]; on a single domain the event order is the
+    execution order, so two identical runs yield identical event
+    streams apart from the [ts_ns] fields ({!Report.Trace_json} can
+    strip those). Cross-domain interleaving in the ring is not
+    deterministic.
+
+    Renderers (JSONL, Chrome trace-event, folded flamegraph stacks)
+    live in {!Report.Trace_json}; the event schema is documented in
+    [docs/OBSERVABILITY.md]. *)
+module Trace : sig
+  type prune_reason = Bound | Inconsistent | Plausibility
+  type evict_reason = Horizon | Capacity
+
+  type kind =
+    | Span_open of { name : string; parent : int }
+    | Span_close of { name : string }
+    | Bnb_node of { level : int }  (** a search node was branched upon *)
+    | Bnb_prune of { reason : prune_reason; gap : int }
+        (** subtree cut; [gap] = lower bound − incumbent for [Bound] *)
+    | Bnb_incumbent of { cost : int }  (** new best leaf cost *)
+    | Bnb_zero_stop of { top : int }  (** zero-cost incumbent ended the search *)
+    | Stn_push of { depth : int; consistent : bool }
+    | Stn_pop of { depth : int }
+    | Simplex_phase of { phase : int }  (** phase 1/2 started *)
+    | Simplex_outcome of { outcome : string }
+    | Detector_admit of { live : int }  (** live partials after a feed *)
+    | Detector_evict of { reason : evict_reason; count : int }
+    | Detector_match of { count : int }
+    | Stream_verdict of { verdict : string }
+    | Mark of { label : string }  (** generic instant event *)
+
+  type event = {
+    ts_ns : int;  (** wall-clock, nanoseconds *)
+    dom : int;  (** domain that emitted the event *)
+    trace_id : int;  (** 1-based top-level trace sequence number *)
+    span : int;
+        (** enclosing span id (0 = trace root); for [Span_open]/[Span_close]
+            the id of the span itself *)
+    kind : kind;
+  }
+
+  val prune_reason_name : prune_reason -> string
+  val evict_reason_name : evict_reason -> string
+
+  val kind_name : kind -> string
+  (** Dotted event-type name ([bnb.prune], [stn.push], ...). *)
+
+  val kind_names : string list
+  (** Every name {!kind_name} can return — the catalog the docs lint
+      checks against [docs/OBSERVABILITY.md]. *)
+
+  (** {1 Lifecycle} *)
+
+  val default_capacity : int
+
+  val configure : ?capacity:int -> ?sample:int -> unit -> unit
+  (** Allocate a fresh ring of [capacity] events (default
+      {!default_capacity}), set the sampling period (default 1 = every
+      trace), zero all ids/counters and enable tracing.
+      @raise Invalid_argument if [capacity < 1] or [sample < 1]. *)
+
+  val enable : unit -> unit
+  (** Re-enable after {!disable} (configures with defaults if never
+      configured). The ring and ids are kept. *)
+
+  val disable : unit -> unit
+  val enabled_now : unit -> bool
+
+  val clear : unit -> unit
+  (** Drop all events and reset ids, keeping capacity, sampling and the
+      enabled flag. No-op if never configured. *)
+
+  val sampling : unit -> int
+  val capacity : unit -> int
+
+  (** {1 Hot path} *)
+
+  val should_emit : unit -> bool
+  (** True iff tracing is enabled {e and} the calling domain is inside a
+      sampled-in trace. Instrumented sites guard with this before
+      constructing a {!kind}, so a disabled tracer costs one atomic
+      load and zero allocation. *)
+
+  val emit : kind -> unit
+  (** Record one event under the current span. Cheap no-op when
+      {!should_emit} is false. *)
+
+  val with_trace : string -> (unit -> 'a) -> 'a
+  (** Top-level query scope: starts a new trace (subject to sampling)
+      and opens its root span. Nested calls do {e not} start a new
+      trace — they open a child span of the enclosing one, so
+      instrumented layers compose safely. Exception-safe. *)
+
+  val with_span : string -> (unit -> 'a) -> 'a
+  (** Child span of the current span; identity when no sampled-in trace
+      is active. Exception-safe: the close event is recorded even when
+      [f] raises. *)
+
+  (** {1 Cross-domain propagation} *)
+
+  type context
+
+  val context : unit -> context
+  (** Capture the calling domain's trace position (trace id, span,
+      active flag) — e.g. before [Domain.spawn]. *)
+
+  val with_context : context -> (unit -> 'a) -> 'a
+  (** Run [f] inside the captured position, so a worker domain's spans
+      and events join the spawning trace's tree. *)
+
+  (** {1 Reading the ring} *)
+
+  val events : unit -> event list
+  (** Recorded events in claim order. Call after worker domains have
+      been joined; slots claimed but not yet written are skipped. *)
+
+  val emitted : unit -> int
+  (** Events emitted since configure/clear, recorded or dropped. *)
+
+  val recorded : unit -> int
+
+  val dropped : unit -> int
+  (** Exact count of events lost to ring overrun:
+      [emitted () = recorded () + dropped ()]. *)
+end

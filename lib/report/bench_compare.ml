@@ -1,0 +1,150 @@
+(* Diff two BENCH json reports ("whynot.bench/1" schema) on their
+   deterministic work metrics. Counters and gauges are pure functions of
+   the work performed, so any relative change past the threshold is a
+   real behaviour change, not noise — those gate. Section timings are
+   machine- and load-dependent, so they are reported but never gate. *)
+
+type delta = {
+  key : string;
+  base : float;
+  cur : float;
+  pct : float;  (** (cur - base) / base * 100, when base <> 0 *)
+}
+
+type report = {
+  threshold : float;
+  regressions : delta list;  (** work metrics up more than [threshold] % *)
+  improvements : delta list;  (** work metrics down more than [threshold] % *)
+  new_work : delta list;  (** base 0, current nonzero — informational *)
+  vanished : delta list;  (** present in base, absent or zero in current *)
+  timings : delta list;  (** matching sections, informational only *)
+}
+
+let passed r = r.regressions = []
+
+let num_fields path json =
+  let member k = function
+    | Json.Obj fields -> List.assoc_opt k fields
+    | _ -> None
+  in
+  let rec walk acc = function
+    | [] -> acc
+    | k :: rest -> (
+        match acc with Some j -> walk (member k j) rest | None -> None)
+  in
+  match walk (Some json) path with
+  | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (k, v) ->
+          match v with
+          | Json.Int n -> Some (k, float_of_int n)
+          | Json.Float f -> Some (k, f)
+          | _ -> None)
+        fields
+  | _ -> []
+
+let section_times json =
+  match Json.member "sections" json with
+  | Some (Json.List items) ->
+      List.filter_map
+        (fun item ->
+          match
+            (Json.member "name" item, Json.member "seconds" item)
+          with
+          | Some (Json.String name), Some s ->
+              Option.map (fun v -> (name, v)) (Json.to_float s)
+          | _ -> None)
+        items
+  | _ -> []
+
+let run ?(threshold = 2.0) ~baseline ~current () =
+  match (Json.member "schema" baseline, Json.member "schema" current) with
+  | Some (Json.String "whynot.bench/1"), Some (Json.String "whynot.bench/1")
+    ->
+      let work json =
+        num_fields [ "metrics"; "counters" ] json
+        @ List.map
+            (fun (k, v) -> ("gauge:" ^ k, v))
+            (num_fields [ "metrics"; "gauges" ] json)
+      in
+      let base_work = work baseline and cur_work = work current in
+      let regressions = ref []
+      and improvements = ref []
+      and new_work = ref []
+      and vanished = ref [] in
+      List.iter
+        (fun (key, base) ->
+          match List.assoc_opt key cur_work with
+          | None when base <> 0. ->
+              vanished := { key; base; cur = 0.; pct = -100. } :: !vanished
+          | None -> ()
+          | Some cur ->
+              if base = 0. then (
+                if cur <> 0. then
+                  new_work := { key; base; cur; pct = 0. } :: !new_work)
+              else
+                let pct = (cur -. base) /. base *. 100. in
+                let d = { key; base; cur; pct } in
+                if pct > threshold then regressions := d :: !regressions
+                else if pct < -.threshold then
+                  improvements := d :: !improvements)
+        base_work;
+      let timings =
+        let base_t = section_times baseline in
+        List.filter_map
+          (fun (key, cur) ->
+            Option.map
+              (fun base ->
+                let pct =
+                  if base = 0. then 0. else (cur -. base) /. base *. 100.
+                in
+                { key; base; cur; pct })
+              (List.assoc_opt key base_t))
+          (section_times current)
+      in
+      Ok
+        {
+          threshold;
+          regressions = List.rev !regressions;
+          improvements = List.rev !improvements;
+          new_work = List.rev !new_work;
+          vanished = List.rev !vanished;
+          timings;
+        }
+  | _ -> Error "not a whynot.bench/1 report (missing or wrong \"schema\")"
+
+let pp ppf r =
+  let metric ppf d =
+    Format.fprintf ppf "  %-36s %12.0f -> %12.0f  (%+.2f%%)" d.key d.base
+      d.cur d.pct
+  in
+  let section title ds =
+    if ds <> [] then (
+      Format.fprintf ppf "%s:@." title;
+      List.iter (fun d -> Format.fprintf ppf "%a@." metric d) ds)
+  in
+  section "REGRESSIONS (work metrics, gating)" r.regressions;
+  section "improvements (work metrics)" r.improvements;
+  if r.new_work <> [] then (
+    Format.fprintf ppf "new work metrics (absent or zero in baseline):@.";
+    List.iter
+      (fun d -> Format.fprintf ppf "  %-36s %30.0f@." d.key d.cur)
+      r.new_work);
+  if r.vanished <> [] then (
+    Format.fprintf ppf "vanished work metrics:@.";
+    List.iter
+      (fun d -> Format.fprintf ppf "  %-36s %12.0f -> (absent)@." d.key d.base)
+      r.vanished);
+  if r.timings <> [] then (
+    Format.fprintf ppf "timings (informational, never gate):@.";
+    List.iter
+      (fun d ->
+        Format.fprintf ppf "  %-36s %10.3fs -> %10.3fs  (%+.2f%%)@." d.key
+          d.base d.cur d.pct)
+      r.timings);
+  if passed r then
+    Format.fprintf ppf "PASS: no work metric regressed past %.2f%%@."
+      r.threshold
+  else
+    Format.fprintf ppf "FAIL: %d work metric(s) regressed past %.2f%%@."
+      (List.length r.regressions) r.threshold

@@ -1,0 +1,34 @@
+(** Regression gate over two bench reports ([whynot.bench/1] JSON, as
+    written by [bench/main.exe]).
+
+    Deterministic work metrics — the [metrics.counters] and
+    [metrics.gauges] sections — gate: a counter that grew more than
+    [threshold] percent over the baseline is a regression (more pivots,
+    more nodes, more evictions for the same workload). Wall-clock
+    section timings are machine-dependent and are reported but never
+    gate. *)
+
+type delta = { key : string; base : float; cur : float; pct : float }
+
+type report = {
+  threshold : float;  (** gating threshold, percent *)
+  regressions : delta list;
+  improvements : delta list;
+  new_work : delta list;  (** zero/absent in baseline — informational *)
+  vanished : delta list;  (** nonzero in baseline, absent in current *)
+  timings : delta list;  (** informational only *)
+}
+
+val run :
+  ?threshold:float ->
+  baseline:Json.t ->
+  current:Json.t ->
+  unit ->
+  (report, string) result
+(** [threshold] defaults to 2.0 (percent). [Error] when either document
+    is not a [whynot.bench/1] report. *)
+
+val passed : report -> bool
+(** True iff [regressions] is empty. *)
+
+val pp : Format.formatter -> report -> unit

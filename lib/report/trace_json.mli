@@ -1,0 +1,33 @@
+(** Renderers for {!Obs.Trace} event streams.
+
+    Three formats over the same events:
+    - [Jsonl] — one JSON object per line per event; [~timings:false]
+      strips the [ts_ns] field, making the output byte-identical across
+      identical runs (asserted in tests).
+    - [Chrome] — the Chrome trace-event JSON array; load the file in
+      [chrome://tracing] or Perfetto. Spans become B/E duration events,
+      point events become thread-scoped instants; [pid] is the trace id,
+      [tid] the emitting domain.
+    - [Folded] — folded flamegraph stacks ("a;b;c <self-ns>" lines),
+      aggregated across traces; feed to [flamegraph.pl] or any folded
+      renderer. Weights are span {e self} times in nanoseconds.
+
+    The schemas are documented in [docs/OBSERVABILITY.md]. *)
+
+type format = Jsonl | Chrome | Folded
+
+val format_name : format -> string
+val format_of_string : string -> format option
+
+val jsonl : ?timings:bool -> Obs.Trace.event list -> string
+(** [timings] defaults to [true]. *)
+
+val chrome : Obs.Trace.event list -> string
+(** Timestamps are microseconds relative to the first event. *)
+
+val folded : Obs.Trace.event list -> string
+
+val render : ?timings:bool -> format -> Obs.Trace.event list -> string
+(** [timings] only affects [Jsonl]. *)
+
+val write_file : ?timings:bool -> format:format -> string -> Obs.Trace.event list -> unit

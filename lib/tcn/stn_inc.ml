@@ -84,6 +84,8 @@ let push t ({ Condition.src; dst; lo; hi } as interval) =
   t.frames <- { saved; interval; made_inconsistent = not ok } :: t.frames;
   t.nframes <- t.nframes + 1;
   Obs.gauge_max depth_g t.nframes;
+  if Obs.Trace.should_emit () then
+    Obs.Trace.emit (Obs.Trace.Stn_push { depth = t.nframes; consistent = ok });
   ok
 
 let pop t =
@@ -94,7 +96,9 @@ let pop t =
       List.iter (fun (x, y, old) -> t.dist.(x).(y) <- old) saved;
       if made_inconsistent then t.inconsistent <- false;
       t.frames <- rest;
-      t.nframes <- t.nframes - 1
+      t.nframes <- t.nframes - 1;
+      if Obs.Trace.should_emit () then
+        Obs.Trace.emit (Obs.Trace.Stn_pop { depth = t.nframes })
 
 let depth t = t.nframes
 

@@ -88,6 +88,60 @@ let prop_dead_bounds_removable =
           | _ -> true)
         report.findings)
 
+(* --- metrics lint: docs/OBSERVABILITY.md must name every metric --- *)
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Span metrics register at first call, not at module init, so run one
+   explain through each entry point to materialize the full registry
+   before snapshotting it. *)
+let materialize_registry () =
+  let p0 = Pattern.Parse.pattern_exn "SEQ(A, B) WITHIN 20" in
+  let t = Events.Tuple.of_list [ ("A", 0); ("B", 50) ] in
+  ignore (Explain.Pipeline.explain [ p0 ] t);
+  ignore (Cep.Bulk.explain_trace [ p0 ] (Events.Trace.of_list [ ("t0", t) ]));
+  let detector = Cep.Detector.create [ p0 ] in
+  ignore (Cep.Detector.feed detector { Cep.Detector.event = "A"; timestamp = 0; tag = "x" });
+  let stream = Cep.Stream.create [ p0 ] in
+  ignore (Cep.Stream.feed stream ~key:"k" "A" 0)
+
+let test_metrics_documented () =
+  materialize_registry ();
+  let docs =
+    (* dune runtest runs in _build/default/test with ../docs staged as a
+       dep; the fallbacks cover running the executable by hand. *)
+    let candidates =
+      [
+        "../docs/OBSERVABILITY.md";
+        "docs/OBSERVABILITY.md";
+        "../../docs/OBSERVABILITY.md";
+        "../../../docs/OBSERVABILITY.md";
+      ]
+    in
+    match List.find_opt Sys.file_exists candidates with
+    | Some path -> In_channel.with_open_text path In_channel.input_all
+    | None -> Alcotest.fail "docs/OBSERVABILITY.md not found"
+  in
+  let snap = Obs.snapshot () in
+  let registry_names =
+    List.map fst snap.Obs.counters
+    @ List.map fst snap.Obs.gauges
+    @ List.map fst snap.Obs.histograms
+    @ List.map fst snap.Obs.spans
+    |> List.filter (fun n -> not (String.starts_with ~prefix:"test." n))
+  in
+  let missing =
+    List.filter
+      (fun name -> not (contains_substring docs name))
+      (registry_names @ Obs.Trace.kind_names)
+  in
+  Alcotest.(check (list string))
+    "every registered metric and trace-event name appears in docs/OBSERVABILITY.md"
+    [] missing
+
 let suite =
   ( "lint",
     [
@@ -97,5 +151,7 @@ let suite =
       Alcotest.test_case "fatal bound blamed (paper 1.1.1)" `Quick test_fatal_bound;
       Alcotest.test_case "normalization savings" `Quick test_normalization_savings;
       Alcotest.test_case "window-less query" `Quick test_no_windows;
+      Alcotest.test_case "metrics documented (@metrics-lint)" `Quick
+        test_metrics_documented;
       Gen.qt prop_dead_bounds_removable;
     ] )

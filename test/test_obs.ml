@@ -108,6 +108,17 @@ let test_snapshot_determinism () =
   check_bool "timers included by default" true
     (Report.Json.member "spans" (Report.Obs_json.snapshot ()) <> None)
 
+(* A span in flight across a reset must not fold its pre-reset start
+   time into the zeroed cell. *)
+let test_reset_during_span () =
+  Obs.reset ();
+  Obs.with_span "test.reset_span" (fun () -> Obs.reset ());
+  check_int "straddling span records nothing"
+    0 (span_count "test.reset_span" (Obs.snapshot ()));
+  ignore (Obs.with_span "test.reset_span" (fun () -> ()));
+  check_int "next span records normally"
+    1 (span_count "test.reset_span" (Obs.snapshot ()))
+
 (* Counter updates are atomic: concurrent increments from Bulk's domains
    are lossless. *)
 let test_merge_under_domains () =
@@ -128,6 +139,29 @@ let test_merge_under_domains () =
   check_int "all tuples mapped" 64 (List.length results);
   check_int "no lost increments under 4 domains" 64 (Obs.value c)
 
+(* Raw domains hammering one cell of each metric kind: every update
+   lands (counters/histograms are lossless; gauge_max keeps the max). *)
+let test_hammer_under_domains () =
+  let c = Obs.counter "test.hammer.counter" in
+  let g = Obs.gauge "test.hammer.gauge" in
+  let h = Obs.histogram ~buckets:[| 10 |] "test.hammer.hist" in
+  Obs.reset ();
+  let per_domain = 25_000 in
+  let worker base () =
+    for i = 1 to per_domain do
+      Obs.incr c;
+      Obs.gauge_max g ((base * per_domain) + i);
+      Obs.observe h (i mod 20)
+    done
+  in
+  let spawned = List.init 3 (fun k -> Domain.spawn (worker (k + 1))) in
+  worker 0 ();
+  List.iter Domain.join spawned;
+  check_int "counter lossless under 4 domains" (4 * per_domain) (Obs.value c);
+  check_int "gauge_max kept the maximum" (4 * per_domain) (Obs.gauge_value g);
+  let hs = find_hist "test.hammer.hist" (Obs.snapshot ()) in
+  check_int "histogram lossless under 4 domains" (4 * per_domain) hs.Obs.h_count
+
 let suite =
   ( "obs",
     [
@@ -137,5 +171,7 @@ let suite =
       Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
       Alcotest.test_case "span semantics" `Quick test_span_semantics;
       Alcotest.test_case "snapshot determinism" `Quick test_snapshot_determinism;
+      Alcotest.test_case "reset during span" `Quick test_reset_during_span;
       Alcotest.test_case "merge under domains" `Quick test_merge_under_domains;
+      Alcotest.test_case "hammer under domains" `Quick test_hammer_under_domains;
     ] )
