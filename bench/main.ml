@@ -527,7 +527,8 @@ let micro () =
         in
         (name, ns_per_run) :: acc)
       results []
-    |> List.sort compare
+    |> List.sort (fun (na, ta) (nb, tb) ->
+           match String.compare na nb with 0 -> Float.compare ta tb | c -> c)
   in
   E.Harness.print_table ~title:"Bechamel micro-benchmarks (per-call latency)"
     ~header:[ "kernel"; "time per call" ]

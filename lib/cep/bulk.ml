@@ -7,6 +7,7 @@ let items_c = Obs.counter "bulk.items"
 let domains_c = Obs.counter "bulk.domains_spawned"
 let explained_c = Obs.counter "bulk.tuples_explained"
 let repaired_c = Obs.counter "bulk.tuples_repaired"
+let failed_c = Obs.counter "bulk.tuples_failed"
 
 (* Split [items] into [k] round-robin chunks (balanced even when costs
    correlate with position), run [f] on each chunk in its own domain, and
@@ -65,7 +66,12 @@ let explain_trace ?domains ?strategy ?engine ?solver ?max_cost patterns trace =
       | Some { repaired; cost; _ } when within_budget cost ->
           Obs.incr repaired_c;
           repaired
-      | Some _ | None | (exception Invalid_argument _) -> tuple
+      | Some _ | None -> tuple
+      | exception Invalid_argument _ ->
+          (* Repair gave up on this tuple (e.g. binding blow-up); keep it
+             as-is but account for the failure instead of hiding it. *)
+          Obs.incr failed_c;
+          tuple
   in
   Obs.with_span "bulk.explain_trace" (fun () ->
       map_tuples ?domains repair trace

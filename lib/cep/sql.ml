@@ -14,6 +14,27 @@ type condition =
   | All of condition list
   | Any of condition list
 
+let compare_comparison a b =
+  let c = Event.compare a.left b.left in
+  if c <> 0 then c
+  else
+    let c = Event.compare a.right b.right in
+    if c <> 0 then c else Int.compare a.offset b.offset
+
+let rec compare_condition a b =
+  match (a, b) with
+  | True, True | False, False -> 0
+  | Cmp x, Cmp y -> compare_comparison x y
+  | All xs, All ys | Any xs, Any ys -> List.compare compare_condition xs ys
+  | True, _ -> -1
+  | _, True -> 1
+  | False, _ -> -1
+  | _, False -> 1
+  | Cmp _, _ -> -1
+  | _, Cmp _ -> 1
+  | All _, _ -> -1
+  | _, All _ -> 1
+
 (* Resolve the [0,0] equalities of one grounded binding: every artificial
    event maps to the real event it is pinned to (bindings are listed
    bottom-up, so members resolve transitively). *)
@@ -53,7 +74,7 @@ let conjunct_of_binding intervals phi_k =
   in
   if List.mem False comparisons then False
   else
-    match List.sort_uniq compare comparisons with
+    match List.sort_uniq compare_condition comparisons with
     | [] -> True
     | [ one ] -> one
     | several -> All several
@@ -88,7 +109,7 @@ let of_patterns ?(max_bindings = 4096) patterns =
              match conjunct_of_binding net.set_intervals phi_k with
              | False -> None
              | c -> Some c)
-    |> List.of_seq |> List.sort_uniq compare
+    |> List.of_seq |> List.sort_uniq compare_condition
   in
   match disjuncts with
   | [] -> False

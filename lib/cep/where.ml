@@ -40,8 +40,8 @@ let rec events = function
 let compare_values op a b =
   let c =
     match (a, b) with
-    | Int x, Int y -> Some (compare x y)
-    | Str x, Str y -> Some (compare x y)
+    | Int x, Int y -> Some (Int.compare x y)
+    | Str x, Str y -> Some (String.compare x y)
     | Int _, Str _ | Str _, Int _ -> None
   in
   match (c, op) with
@@ -120,7 +120,10 @@ let tokenize input =
     else if is_digit c || (c = '-' && !i + 1 < n && is_digit input.[!i + 1]) then begin
       let j = ref (!i + 1) in
       while !j < n && is_digit input.[!j] do incr j done;
-      push (Tint (int_of_string (String.sub input !i (!j - !i)))) pos;
+      let digits = String.sub input !i (!j - !i) in
+      (match int_of_string_opt digits with
+      | Some v -> push (Tint v) pos
+      | None -> fail pos "integer literal out of range: %s" digits);
       i := !j
     end
     else if is_ident_start c then begin

@@ -52,6 +52,7 @@ let parse_xml input =
   let pos = ref 0 in
   let fail msg = raise (Xml_error (!pos, msg)) in
   let peek () = if !pos < n then Some input.[!pos] else None in
+  let peek_is c = !pos < n && Char.equal input.[!pos] c in
   let skip_ws () =
     while
       match peek () with
@@ -103,7 +104,7 @@ let parse_xml input =
   let read_attr () =
     let key = read_name () in
     skip_ws ();
-    if peek () <> Some '=' then fail "expected '='";
+    if not (peek_is '=') then fail "expected '='";
     incr pos;
     skip_ws ();
     let quote =
@@ -116,7 +117,7 @@ let parse_xml input =
     while (match peek () with Some c when c <> quote -> true | _ -> false) do
       incr pos
     done;
-    if peek () <> Some quote then fail "unterminated attribute";
+    if not (peek_is quote) then fail "unterminated attribute";
     let value = unescape (String.sub input start (!pos - start)) in
     incr pos;
     (key, value)
@@ -145,7 +146,7 @@ let parse_xml input =
   in
   let rec read_element () =
     skip_misc ();
-    if peek () <> Some '<' then fail "expected '<'";
+    if not (peek_is '<') then fail "expected '<'";
     incr pos;
     let tag = read_name () in
     let rec attrs acc =
@@ -153,7 +154,7 @@ let parse_xml input =
       match peek () with
       | Some '/' ->
           incr pos;
-          if peek () <> Some '>' then fail "expected '>'";
+          if not (peek_is '>') then fail "expected '>'";
           incr pos;
           { tag; attrs = List.rev acc; children = [] }
       | Some '>' ->
@@ -163,7 +164,7 @@ let parse_xml input =
           let close = read_name () in
           if close <> tag then fail (Printf.sprintf "mismatched </%s>" close);
           skip_ws ();
-          if peek () <> Some '>' then fail "expected '>'";
+          if not (peek_is '>') then fail "expected '>'";
           incr pos;
           { tag; attrs = List.rev acc; children }
       | Some _ -> attrs (read_attr () :: acc)
@@ -197,17 +198,20 @@ let parse_xml input =
 
 let attr key xml = List.assoc_opt key xml.attrs
 
+let attr_is key value xml =
+  match attr key xml with Some v -> String.equal v value | None -> false
+
 let find_string_attr key xml =
   List.find_map
     (fun child ->
-      if child.tag = "string" && attr "key" child = Some key then attr "value" child
+      if child.tag = "string" && attr_is "key" key child then attr "value" child
       else None)
     xml.children
 
 let find_date_attr key xml =
   List.find_map
     (fun child ->
-      if child.tag = "date" && attr "key" child = Some key then attr "value" child
+      if child.tag = "date" && attr_is "key" key child then attr "value" child
       else None)
     xml.children
 
@@ -277,7 +281,7 @@ let to_string trace =
         (Printf.sprintf "    <string key=\"concept:name\" value=\"%s\"/>\n"
            (xml_escape id));
       let events =
-        Tuple.bindings tuple |> List.sort (fun (_, a) (_, b) -> compare a b)
+        Tuple.bindings tuple |> List.sort (fun (_, a) (_, b) -> Int.compare a b)
       in
       List.iter
         (fun (e, ts) ->

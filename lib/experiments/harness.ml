@@ -67,8 +67,8 @@ let write_csv ~title ~header rows dir =
     (fun () -> output_string oc (csv_of_table ~header rows))
 
 let print_table ~title ~header rows =
-  print_string (format_table ~title ~header rows);
-  print_newline ();
+  Report.Sink.print (format_table ~title ~header rows);
+  Report.Sink.print "\n";
   match !csv_dir with
   | Some dir -> write_csv ~title ~header rows dir
   | None -> ()

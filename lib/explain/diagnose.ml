@@ -20,14 +20,14 @@ let classes_of table =
     (fun description tuples acc -> { description; tuples = List.rev tuples } :: acc)
     table []
   |> List.sort (fun a b ->
-         match compare (List.length b.tuples) (List.length a.tuples) with
-         | 0 -> compare a.description b.description
+         match Int.compare (List.length b.tuples) (List.length a.tuples) with
+         | 0 -> String.compare a.description b.description
          | c -> c)
 
 let median = function
   | [] -> None
   | xs ->
-      let sorted = List.sort compare xs in
+      let sorted = List.sort Int.compare xs in
       Some (List.nth sorted (List.length sorted / 2))
 
 let run ?(with_costs = true) patterns trace =
@@ -65,7 +65,12 @@ let run ?(with_costs = true) patterns trace =
             | Some r -> costs := (id, r.Modification.cost) :: !costs
             | None | (exception Invalid_argument _) -> ())
     trace ();
-  let repair_costs = List.sort compare !costs in
+  let repair_costs =
+    List.sort
+      (fun (ida, ca) (idb, cb) ->
+        match String.compare ida idb with 0 -> Int.compare ca cb | c -> c)
+      !costs
+  in
   {
     total = !total;
     answers = !answers;

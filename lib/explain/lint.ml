@@ -80,22 +80,41 @@ let windowed_nodes patterns =
 
 (* Replace the window of the node at [path] (pattern index first). *)
 let map_window patterns path f =
+  let bad fmt =
+    Format.kasprintf
+      (fun msg ->
+        invalid_arg
+          (Printf.sprintf "Lint.map_window: %s (path %s)" msg
+             (String.concat "." (List.map string_of_int path))))
+      fmt
+  in
+  let step i children =
+    if i < 0 || i >= List.length children then
+      bad "index %d out of range (node has %d children)" i (List.length children)
+  in
   let rec go p = function
     | [] -> (
         match p with
         | Ast.Seq (children, w) -> Ast.Seq (children, f w)
         | Ast.And (children, w) -> Ast.And (children, f w)
-        | Ast.Event _ -> p)
+        | Ast.Event _ -> bad "path ends at an event, which has no window")
     | i :: rest -> (
         match p with
-        | Ast.Seq (children, w) -> Ast.Seq (List.mapi (fun j c -> if j = i then go c rest else c) children, w)
-        | Ast.And (children, w) -> Ast.And (List.mapi (fun j c -> if j = i then go c rest else c) children, w)
-        | Ast.Event _ -> p)
+        | Ast.Seq (children, w) ->
+            step i children;
+            Ast.Seq (List.mapi (fun j c -> if j = i then go c rest else c) children, w)
+        | Ast.And (children, w) ->
+            step i children;
+            Ast.And (List.mapi (fun j c -> if j = i then go c rest else c) children, w)
+        | Ast.Event _ -> bad "path descends into an event leaf")
   in
   match path with
   | pat_index :: rest ->
+      if pat_index < 0 || pat_index >= List.length patterns then
+        bad "pattern index %d out of range (%d patterns)" pat_index
+          (List.length patterns);
       List.mapi (fun i p -> if i = pat_index then go p rest else p) patterns
-  | [] -> patterns
+  | [] -> bad "empty path"
 
 let binding_cap = 20_000
 

@@ -47,7 +47,9 @@ val map_window :
   (Pattern.Ast.window -> Pattern.Ast.window) ->
   Pattern.Ast.t list
 (** Rewrite the window of the node at a finding's [path] (pattern index
-    first) — apply a finding, e.g. erase a dead bound. *)
+    first) — apply a finding, e.g. erase a dead bound.
+    @raise Invalid_argument if the path is empty, an index is out of range,
+    or the path reaches an [Event] leaf (events carry no window). *)
 
 val run : Pattern.Ast.t list -> t
 (** @raise Invalid_argument on an invalid pattern set. Worst case

@@ -84,7 +84,7 @@ let most_likely_matching_world ?limit t patterns =
   let candidates e lo hi =
     let c = Tuple.find centre e in
     List.init (hi - lo + 1) (fun i -> lo + i)
-    |> List.sort (fun a b -> compare (abs (a - c)) (abs (b - c)))
+    |> List.sort (fun a b -> Int.compare (abs (a - c)) (abs (b - c)))
   in
   let rec enumerate world cost = function
     | [] -> (

@@ -148,7 +148,7 @@ let explain patterns expected =
       assert (
         List.for_all (fun t -> Pattern.Matcher.matches_set t patterns') expected);
       let changes =
-        List.sort (fun a b -> compare b.change_cost a.change_cost) changes
+        List.sort (fun a b -> Int.compare b.change_cost a.change_cost) changes
       in
       Ok
         {

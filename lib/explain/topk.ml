@@ -47,8 +47,8 @@ let blames_of tuple candidates =
       :: acc)
     stats []
   |> List.sort (fun a b ->
-         match compare b.frequency a.frequency with
-         | 0 -> compare b.mean_shift a.mean_shift
+         match Float.compare b.frequency a.frequency with
+         | 0 -> Float.compare b.mean_shift a.mean_shift
          | c -> c)
 
 let explain ?(k = 3) patterns tuple =
@@ -111,8 +111,13 @@ let explain ?(k = 3) patterns tuple =
       let distinct =
         List.sort
           (fun a b ->
-            match compare a.cost b.cost with
-            | 0 -> compare (Tuple.bindings a.repaired) (Tuple.bindings b.repaired)
+            match Int.compare a.cost b.cost with
+            | 0 ->
+                List.compare
+                  (fun (e1, t1) (e2, t2) ->
+                    match Event.compare e1 e2 with 0 -> Int.compare t1 t2 | c -> c)
+                  (Tuple.bindings a.repaired)
+                  (Tuple.bindings b.repaired)
             | c -> c)
           all
         |> List.fold_left

@@ -14,9 +14,9 @@ let num_nodes g = g.n
 
 let grow g =
   let cap_now = Array.length g.to_ in
-  if g.m + 2 > cap_now then begin
-    let ncap = max 16 (2 * cap_now) in
-    let extend a = Array.append a (Array.make (ncap - cap_now) 0) in
+  if g.m + 2 > cap_now (* check: idx - arc-array sizes *) then begin
+    let ncap = max 16 (2 * cap_now) (* check: idx - arc-array sizes *) in
+    let extend a = Array.append a (Array.make (ncap - cap_now) 0) (* check: idx - arc-array sizes *) in
     g.to_ <- extend g.to_;
     g.cap <- extend g.cap;
     g.cost <- extend g.cost;
@@ -36,7 +36,7 @@ let add_edge g ~src ~dst ~cap ~cost =
   g.to_.(e + 1) <- src;
   g.from_.(e + 1) <- dst;
   g.cap.(e + 1) <- 0;
-  g.cost.(e + 1) <- -cost;
+  g.cost.(e + 1) <- Numeric.Checked.neg cost;
   g.m <- g.m + 2;
   e
 
@@ -52,8 +52,9 @@ let find_negative_cycle g =
     for e = 0 to g.m - 1 do
       if g.cap.(e) > 0 then begin
         let u = g.from_.(e) and v = g.to_.(e) in
-        if dist.(u) + g.cost.(e) < dist.(v) then begin
-          dist.(v) <- dist.(u) + g.cost.(e);
+        let cand = Numeric.Checked.add dist.(u) g.cost.(e) in
+        if cand < dist.(v) then begin
+          dist.(v) <- cand;
           pred.(v) <- e;
           updated_node := v
         end
@@ -87,9 +88,9 @@ let min_cost_circulation g =
         in
         List.iter
           (fun e ->
-            g.cap.(e) <- g.cap.(e) - bottleneck;
-            g.cap.(e lxor 1) <- g.cap.(e lxor 1) + bottleneck;
-            total := !total + (bottleneck * g.cost.(e)))
+            g.cap.(e) <- g.cap.(e) - bottleneck (* check: arith - bottleneck <= cap by construction *);
+            g.cap.(e lxor 1) <- Numeric.Checked.add g.cap.(e lxor 1) bottleneck;
+            total := Numeric.Checked.add !total (Numeric.Checked.mul bottleneck g.cost.(e)))
           cycle;
         loop ()
   in
@@ -118,7 +119,7 @@ let residual_distances g ~source =
         match dist.(g.from_.(e)) with
         | None -> ()
         | Some du ->
-            let cand = du + g.cost.(e) in
+            let cand = Numeric.Checked.add du g.cost.(e) in
             let better =
               match dist.(g.to_.(e)) with None -> true | Some dv -> cand < dv
             in

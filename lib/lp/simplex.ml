@@ -153,8 +153,8 @@ let solve m =
       (fun acc (_, sense, _) -> match sense with Ge | Eq -> acc + 1 | Le -> acc)
       0 normalized
   in
-  let art_start = n + num_slack in
-  let width = n + num_slack + num_art in
+  let art_start = n + num_slack (* check: idx - tableau column counts *) in
+  let width = n + num_slack + num_art (* check: idx - tableau column counts *) in
   let rows = Array.init nrows (fun _ -> Array.make (width + 1) Rat.zero) in
   let basis = Array.make nrows (-1) in
   let next_slack = ref n and next_art = ref art_start in

@@ -35,13 +35,13 @@ let mul a b =
 let inv a = if a.num = 0 then raise Division_by_zero else make a.den a.num
 let div a b = mul a (inv b)
 let abs a = { a with num = Checked.abs a.num }
-let sign a = Stdlib.compare a.num 0
+let sign a = Int.compare a.num 0
 
 let compare a b =
   (* Same trick as [add]: compare a.num*db with b.num*da. *)
   let g = Checked.gcd a.den b.den in
   let db = b.den / g and da = a.den / g in
-  Stdlib.compare (Checked.mul a.num db) (Checked.mul b.num da)
+  Int.compare (Checked.mul a.num db) (Checked.mul b.num da)
 
 let equal a b = a.num = b.num && a.den = b.den
 let min a b = if compare a b <= 0 then a else b

@@ -7,6 +7,10 @@ type t =
   | Seq of t list * window
   | And of t list * window
 
+let compare_window w v =
+  let c = Option.compare Int.compare w.atleast v.atleast in
+  if c <> 0 then c else Option.compare Int.compare w.within v.within
+
 let no_window = { atleast = None; within = None }
 let window ?atleast ?within () = { atleast; within }
 let event e = Event e
@@ -20,7 +24,7 @@ let rec compare p q =
   | _, Event _ -> 1
   | Seq (ps, w), Seq (qs, v) | And (ps, w), And (qs, v) ->
       let c = List.compare compare ps qs in
-      if c <> 0 then c else Stdlib.compare w v
+      if c <> 0 then c else compare_window w v
   | Seq _, And _ -> -1
   | And _, Seq _ -> 1
 

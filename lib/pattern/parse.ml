@@ -30,6 +30,23 @@ exception Parse_error of int * string
 
 let fail pos fmt = Format.kasprintf (fun msg -> raise (Parse_error (pos, msg))) fmt
 
+(* 1-based line/column of a byte offset, for messages on multi-line input. *)
+let line_col input pos =
+  let limit = min pos (String.length input) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to limit - 1 do
+    if input.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, limit - !bol + 1)
+
+let error_message input pos msg =
+  let line, col = line_col input pos in
+  Printf.sprintf "parse error at line %d, column %d (offset %d): %s" line col pos
+    msg
+
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 
 let is_ident_char c =
@@ -62,7 +79,10 @@ let tokenize input =
     else if is_digit c then begin
       let j = ref !i in
       while !j < n && is_digit input.[!j] do incr j done;
-      push (Int (int_of_string (String.sub input !i (!j - !i)))) pos;
+      let digits = String.sub input !i (!j - !i) in
+      (match int_of_string_opt digits with
+      | Some v -> push (Int v) pos
+      | None -> fail pos "integer literal out of range: %s" digits);
       i := !j
     end
     else if is_ident_start c then begin
@@ -209,8 +229,7 @@ let pattern input =
     p
   with
   | p -> run_validated p
-  | exception Parse_error (pos, msg) ->
-      Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  | exception Parse_error (pos, msg) -> Error (error_message input pos msg)
 
 let pattern_exn input =
   match pattern input with Ok p -> p | Error msg -> invalid_arg msg
@@ -239,5 +258,4 @@ let pattern_set input =
               Result.map (fun p -> p :: acc) (run_validated p)))
         (Ok []) ps
       |> Result.map List.rev
-  | exception Parse_error (pos, msg) ->
-      Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  | exception Parse_error (pos, msg) -> Error (error_message input pos msg)

@@ -21,7 +21,8 @@
     unbounded Kleene open; this is the bounded fragment. *)
 
 val pattern : string -> (Ast.t, string) result
-(** Parse a single pattern; the error message includes the offset. *)
+(** Parse a single pattern; the error message includes the 1-based line and
+    column of the failure plus the byte offset. *)
 
 val pattern_exn : string -> Ast.t
 (** @raise Invalid_argument on parse or validation failure. *)

@@ -38,7 +38,7 @@ let brute_force_min_cover { num_elements; sets } =
     end
   in
   go 0 [] (Array.make num_elements false) 0;
-  Option.map (fun (_, chosen) -> List.sort compare chosen) !best
+  Option.map (fun (_, chosen) -> List.sort Int.compare chosen) !best
 
 let random_instance prng ~num_elements ~num_sets ~density =
   let sets = Array.make num_sets [] in
@@ -57,7 +57,7 @@ let random_instance prng ~num_elements ~num_sets ~density =
         sets.(i) <- e :: sets.(i)
       end)
     covered;
-  { num_elements; sets = Array.map (List.sort_uniq compare) sets }
+  { num_elements; sets = Array.map (List.sort_uniq Int.compare) sets }
 
 let set_event i = Printf.sprintf "S%d" i
 let anchor_event i = Printf.sprintf "SP%d" i

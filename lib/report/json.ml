@@ -79,6 +79,7 @@ let of_string input =
   let pos = ref 0 in
   let fail msg = raise (Bad (!pos, msg)) in
   let peek () = if !pos < n then Some input.[!pos] else None in
+  let peek_is c = !pos < n && Char.equal input.[!pos] c in
   let advance () = incr pos in
   let rec skip_ws () =
     match peek () with
@@ -88,8 +89,7 @@ let of_string input =
     | _ -> ()
   in
   let expect c =
-    if peek () = Some c then advance ()
-    else fail (Printf.sprintf "expected %C" c)
+    if peek_is c then advance () else fail (Printf.sprintf "expected %C" c)
   in
   let literal word value =
     if !pos + String.length word <= n && String.sub input !pos (String.length word) = word
@@ -162,7 +162,7 @@ let of_string input =
     | Some '[' ->
         advance ();
         skip_ws ();
-        if peek () = Some ']' then (advance (); List [])
+        if peek_is ']' then (advance (); List [])
         else begin
           let rec items acc =
             let v = parse_value () in
@@ -181,7 +181,7 @@ let of_string input =
     | Some '{' ->
         advance ();
         skip_ws ();
-        if peek () = Some '}' then (advance (); Obj [])
+        if peek_is '}' then (advance (); Obj [])
         else begin
           let rec fields acc =
             skip_ws ();

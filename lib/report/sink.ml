@@ -1,0 +1,4 @@
+let out = ref print_string
+let print s = !out s
+let set f = out := f
+let reset () = out := print_string

@@ -1,0 +1,13 @@
+(** Where human-readable experiment output goes. Library code must not write
+    to stdout directly (enforced by whynot-check's no-stdout rule); modules
+    that render tables route them through this sink, which defaults to stdout
+    and can be redirected by embedders and tests. *)
+
+val print : string -> unit
+(** Write through the current sink (default: stdout). *)
+
+val set : (string -> unit) -> unit
+(** Redirect the sink, e.g. to a [Buffer] in tests. *)
+
+val reset : unit -> unit
+(** Restore the default stdout sink. *)

@@ -137,7 +137,8 @@ let folded events =
       | _ -> ())
     events;
   Hashtbl.fold (fun path ns acc -> (path, ns) :: acc) totals []
-  |> List.sort compare
+  |> List.sort (fun (pa, na) (pb, nb) ->
+         match String.compare pa pb with 0 -> Int.compare na nb | c -> c)
   |> List.map (fun (path, ns) -> Printf.sprintf "%s %d\n" path ns)
   |> String.concat ""
 

@@ -14,7 +14,9 @@ let exact src dst = { src; dst; lo = 0; hi = Some 0 }
 let interval_holds t { src; dst; lo; hi } =
   match (Tuple.find_opt t src, Tuple.find_opt t dst) with
   | Some ts, Some td ->
-      let d = td - ts in
+      (* Saturating difference: adversarial timestamps must not wrap the
+         comparison around. *)
+      let d = Weight.sat_add td (Weight.neg ts) in
       d >= lo && (match hi with None -> true | Some hi -> d <= hi)
   | _ -> false
 

@@ -1,9 +1,13 @@
 module Event = Events.Event
 module Tuple = Events.Tuple
 
-(* Distances use a large sentinel for "unbounded"; Floyd–Warshall sums stay
-   far from overflow because input bounds are timestamps. *)
-let inf = max_int / 4
+(* Distances use [Weight.inf] for "unbounded". User-supplied bounds are
+   clamped into [-inf, inf] on entry and propagation sums saturate, so
+   adversarially large bounds can never silently wrap. *)
+let inf = Weight.inf
+let clamp = Weight.clamp
+let neg = Weight.neg
+let sat_add = Weight.sat_add
 
 type t = {
   events : Event.t array;
@@ -40,22 +44,22 @@ let of_intervals ?(events = []) ?(absolute = []) intervals =
   List.iter
     (fun { Condition.src; dst; lo; hi } ->
       let i = Event.Map.find src index and j = Event.Map.find dst index in
-      (match hi with Some hi -> tighten i j hi | None -> ());
-      tighten j i (-lo))
+      (match hi with Some hi -> tighten i j (clamp hi) | None -> ());
+      tighten j i (neg (clamp lo)))
     intervals;
   (* absolute bounds: t(e) - t(origin) in [lo, hi] with the origin at 0 *)
   List.iter
     (fun (e, lo, hi) ->
       let i = Event.Map.find e index in
-      tighten n i hi;
-      tighten i n (-lo))
+      tighten n i (clamp hi);
+      tighten i n (neg (clamp lo)))
     absolute;
   for k = 0 to n do
     for i = 0 to n do
       if dist.(i).(k) < inf then
         for j = 0 to n do
           if dist.(k).(j) < inf then
-            let via = dist.(i).(k) + dist.(k).(j) in
+            let via = sat_add dist.(i).(k) dist.(k).(j) in
             if via < dist.(i).(j) then dist.(i).(j) <- via
         done
     done
@@ -94,8 +98,10 @@ let assign_greedy t pick =
       for j = 0 to n do
         if assigned.(j) then begin
           (* value_i - value_j <= dist(j)(i)  and  value_j - value_i <= dist(i)(j) *)
-          if t.dist.(j).(i) < inf then upper := min !upper (value.(j) + t.dist.(j).(i));
-          if t.dist.(i).(j) < inf then lower := max !lower (value.(j) - t.dist.(i).(j))
+          if t.dist.(j).(i) < inf then
+            upper := min !upper (sat_add value.(j) t.dist.(j).(i));
+          if t.dist.(i).(j) < inf then
+            lower := max !lower (sat_add value.(j) (neg t.dist.(i).(j)))
         end
       done;
       let lower = if !lower = min_int then 0 else !lower in

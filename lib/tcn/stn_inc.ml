@@ -1,6 +1,6 @@
 module Event = Events.Event
 
-let inf = max_int / 4
+let inf = Weight.inf
 
 type frame = {
   saved : (int * int * int) list; (* (x, y, previous distance) *)
@@ -50,8 +50,9 @@ let find_index t e =
    the cells saved (prepended to [saved]) and whether a negative cycle
    appeared (in which case nothing was modified). *)
 let add_arc t u v w saved =
+  let w = Weight.clamp w in
   let d = t.dist in
-  if d.(v).(u) < inf && d.(v).(u) + w < 0 then (saved, false)
+  if d.(v).(u) < inf && Weight.sat_add d.(v).(u) w < 0 then (saved, false)
   else if w >= d.(u).(v) then (saved, true) (* not tightening *)
   else begin
     let n = Array.length t.events in
@@ -60,7 +61,7 @@ let add_arc t u v w saved =
       if d.(x).(u) < inf then
         for y = 0 to n do
           if d.(v).(y) < inf then begin
-            let cand = d.(x).(u) + w + d.(v).(y) in
+            let cand = Weight.sat_add3 d.(x).(u) w d.(v).(y) in
             if cand < d.(x).(y) then begin
               saved := (x, y, d.(x).(y)) :: !saved;
               d.(x).(y) <- cand
@@ -78,7 +79,10 @@ let push t ({ Condition.src; dst; lo; hi } as interval) =
   let saved, ok =
     match hi with Some hi -> add_arc t u v hi [] | None -> ([], true)
   in
-  let saved, ok = if ok then add_arc t v u (-lo) saved else (saved, ok) in
+  let saved, ok =
+    if ok then add_arc t v u (Weight.neg (Weight.clamp lo)) saved
+    else (saved, ok)
+  in
   if not ok then Obs.incr inconsistent_c;
   t.inconsistent <- not ok;
   t.frames <- { saved; interval; made_inconsistent = not ok } :: t.frames;
@@ -111,7 +115,7 @@ let window t e =
   (* Rows/columns of the origin (pinned at 0) are the unary projections of
      the closure: t(e) <= d(origin, e) and t(e) >= -d(e, origin). The
      implicit non-negative domain keeps the lower bound at >= 0. *)
-  let lo = -t.dist.(i).(n) in
+  let lo = Weight.neg t.dist.(i).(n) in
   let hi = if t.dist.(n).(i) >= inf then None else Some t.dist.(n).(i) in
   (lo, hi)
 

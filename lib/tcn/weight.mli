@@ -1,0 +1,23 @@
+(** Distance-graph weights with an "unbounded" sentinel.
+
+    STN distance matrices use [inf] as the sentinel for "no bound". Weights
+    entering a network are clamped into [[-inf, inf]] and propagation sums
+    saturate instead of wrapping, so adversarially large user bounds can
+    never corrupt a shortest-path closure. *)
+
+val inf : int
+(** The "unbounded" sentinel ([max_int / 4]): large enough to dominate any
+    clamped weight, small enough that sums of two weights never wrap. *)
+
+val clamp : int -> int
+(** Pin a weight into [[-inf, inf]]. *)
+
+val neg : int -> int
+(** Negation that cannot wrap ([neg min_int = max_int]). *)
+
+val sat_add : int -> int -> int
+(** Saturating addition: a sum that would wrap is pinned to
+    [max_int] / [min_int] instead. *)
+
+val sat_add3 : int -> int -> int -> int
+(** [sat_add3 a b c = sat_add (sat_add a b) c]. *)

@@ -51,6 +51,18 @@ let test_map_tuples_order_and_coverage () =
       check_bool "order preserved" true (id = Printf.sprintf "t%02d" i && v = 2 * i))
     results
 
+(* Regression: tuples whose repair attempt raises used to be kept silently;
+   the failure is now recorded in the bulk.tuples_failed counter. *)
+let test_failed_tuples_accounted () =
+  let patterns = [ Pattern.Parse.pattern_exn "SEQ(A, B)" ] in
+  (* misses event B entirely, so explain_network rejects it outright *)
+  let observed = Trace.of_list [ ("t1", Tuple.of_list [ ("A", 0) ]) ] in
+  let before = Option.value ~default:0 (Obs.find_counter "bulk.tuples_failed") in
+  let out = Bulk.explain_trace ~domains:1 patterns observed in
+  let after = Option.value ~default:0 (Obs.find_counter "bulk.tuples_failed") in
+  check_bool "tuple kept unchanged" true (traces_equal observed out);
+  check_int "failure counted" 1 (after - before)
+
 let test_single_domain_and_empty () =
   let trace = Trace.empty in
   check_int "empty trace" 0 (List.length (Bulk.map_tuples ~domains:4 (fun _ _ -> ()) trace));
@@ -70,5 +82,7 @@ let suite =
       Alcotest.test_case "budget respected" `Slow test_budget_respected;
       Alcotest.test_case "map order and coverage" `Quick test_map_tuples_order_and_coverage;
       Alcotest.test_case "edge cases" `Quick test_single_domain_and_empty;
+      Alcotest.test_case "failed tuples accounted" `Quick
+        test_failed_tuples_accounted;
       Alcotest.test_case "more domains than tuples" `Quick test_more_domains_than_tuples;
     ] )

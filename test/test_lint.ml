@@ -142,6 +142,28 @@ let test_metrics_documented () =
     "every registered metric and trace-event name appears in docs/OBSERVABILITY.md"
     [] missing
 
+let test_map_window_bad_paths () =
+  let ps = p "SEQ(A, B) WITHIN 20" in
+  let raises name f =
+    check_bool name true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  raises "empty path" (fun () -> Lint.map_window ps [] Fun.id);
+  raises "pattern index out of range" (fun () -> Lint.map_window ps [ 5 ] Fun.id);
+  raises "negative pattern index" (fun () -> Lint.map_window ps [ -1 ] Fun.id);
+  raises "child index out of range" (fun () -> Lint.map_window ps [ 0; 7 ] Fun.id);
+  raises "path ends at an event" (fun () -> Lint.map_window ps [ 0; 0 ] Fun.id);
+  raises "path through an event leaf" (fun () ->
+      Lint.map_window ps [ 0; 0; 0 ] Fun.id);
+  (* a valid path still rewrites the window *)
+  match Lint.map_window ps [ 0 ] (fun w -> { w with Pattern.Ast.within = None }) with
+  | [ Pattern.Ast.Seq (_, w) ] ->
+      check_bool "window erased" true (w.Pattern.Ast.within = None)
+  | _ -> Alcotest.fail "expected the rewritten SEQ"
+
 let suite =
   ( "lint",
     [
@@ -151,6 +173,8 @@ let suite =
       Alcotest.test_case "fatal bound blamed (paper 1.1.1)" `Quick test_fatal_bound;
       Alcotest.test_case "normalization savings" `Quick test_normalization_savings;
       Alcotest.test_case "window-less query" `Quick test_no_windows;
+      Alcotest.test_case "map_window rejects bad paths" `Quick
+        test_map_window_bad_paths;
       Alcotest.test_case "metrics documented (@metrics-lint)" `Quick
         test_metrics_documented;
       Gen.qt prop_dead_bounds_removable;

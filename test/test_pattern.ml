@@ -86,6 +86,27 @@ let test_parse_errors () =
   fails "@#!";
   fails ""
 
+let contains msg needle =
+  let nl = String.length needle and ml = String.length msg in
+  let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+  go 0
+
+let test_parse_error_positions () =
+  let check_has name needle = function
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" name
+    | Error msg ->
+        check_bool (Printf.sprintf "%s: %S in %S" name needle msg) true
+          (contains msg needle)
+  in
+  (* failure on line 3 of a multi-line pattern set *)
+  let input = "SEQ(E1, E2);\nAND(E3, E4) WITHIN 9;\nSEQ(E5,)" in
+  check_has "line of failure" "line 3" (Parse.pattern_set input);
+  check_has "column of failure" "column 8" (Parse.pattern_set input);
+  check_has "single-line position" "line 1, column 5" (Parse.pattern "SEQ(,E1)");
+  (* an oversized integer literal is a parse error, not an escaping Failure *)
+  check_has "huge duration literal" "out of range"
+    (Parse.pattern "SEQ(E1, E2) WITHIN 99999999999999999999")
+
 let test_parse_set () =
   match Parse.pattern_set "SEQ(E1, E2); AND(E3, E4) WITHIN 9" with
   | Ok [ a; b ] ->
@@ -186,6 +207,7 @@ let suite =
       Alcotest.test_case "validation" `Quick test_validate;
       Alcotest.test_case "parse basics" `Quick test_parse_basics;
       Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "parse error positions" `Quick test_parse_error_positions;
       Alcotest.test_case "parse pattern set" `Quick test_parse_set;
       qt prop_roundtrip;
       qt prop_validate_generated;

@@ -1,0 +1,184 @@
+(* Fixture tests for the whynot-check static-analysis engine: each rule has
+   at least one flagged (positive) and one clean (negative) fixture, checked
+   at the engine level so the dune alias stays a thin wrapper. *)
+
+module Engine = Whynot_check.Engine
+module Config = Whynot_check.Config
+module Diag = Whynot_check.Diag
+module Baseline = Whynot_check.Baseline
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let config = Config.default
+
+let analyze ?(filename = "lib/fixture.ml") source =
+  match Engine.check_source ~config ~filename source with
+  | Ok pair -> pair
+  | Error msg -> Alcotest.failf "fixture failed to parse: %s" msg
+
+let rules ?filename source =
+  let fr, _ = analyze ?filename source in
+  List.map (fun d -> d.Diag.rule) fr.Engine.diags
+
+let count rule ds = List.length (List.filter (String.equal rule) ds)
+
+let test_poly_compare () =
+  check_int "structured (=) flagged" 1
+    (count "poly-compare" (rules "let f x = x = Some 1"));
+  check_int "structured (<>) flagged" 1
+    (count "poly-compare" (rules "let f x = x <> Some 'a'"));
+  check_int "bare compare flagged" 1
+    (count "poly-compare" (rules "let f xs = List.sort compare xs"));
+  check_int "physical equality flagged" 1
+    (count "poly-compare" (rules "let f a b = a == b"));
+  check_int "Stdlib.compare flagged" 1
+    (count "poly-compare" (rules "let f a b = Stdlib.compare a b"));
+  (* negatives *)
+  check_int "Int.compare clean" 0
+    (count "poly-compare" (rules "let f xs = List.sort Int.compare xs"));
+  check_int "int literal (=) clean" 0
+    (count "poly-compare" (rules "let f x = x = 1"));
+  check_int "nullary constructor (=) clean" 0
+    (count "poly-compare" (rules "let f x = x = None"));
+  check_int "locally defined compare clean" 0
+    (count "poly-compare"
+       (rules "let compare a b = Int.compare a b\nlet f xs = List.sort compare xs"))
+
+let test_checked_arith () =
+  let in_tcn = rules ~filename:"lib/tcn/fixture.ml" in
+  check_int "bare (+) flagged in lib/tcn" 1
+    (count "checked-arith" (in_tcn "let f a b = a + b"));
+  check_int "bare unary negation flagged" 1
+    (count "checked-arith" (in_tcn "let f a = -a"));
+  (* negatives *)
+  check_int "small literal operand exempt" 0
+    (count "checked-arith" (in_tcn "let f a = a + 1"));
+  check_int "Checked module clean" 0
+    (count "checked-arith" (in_tcn "let f a b = Numeric.Checked.add a b"));
+  check_int "outside configured paths clean" 0
+    (count "checked-arith" (rules ~filename:"lib/cep/fixture.ml" "let f a b = a + b"));
+  (* an annotated site lands in the suppressed bucket, not the findings *)
+  let fr, suppressed =
+    analyze ~filename:"lib/tcn/fixture.ml"
+      "let f a b = a + b (* check: idx - fixture reason *)"
+  in
+  check_int "annotation suppresses the finding" 0 (List.length fr.Engine.diags);
+  check_int "suppressed is recorded" 1 (List.length suppressed)
+
+let test_exn_swallow () =
+  check_int "catch-all swallow flagged" 1
+    (count "exn-swallow" (rules "let f g = try g () with _ -> 0"));
+  check_int "named catch-all swallow flagged" 1
+    (count "exn-swallow" (rules "let f g = try g () with e -> ignore e; 0"));
+  (* negatives *)
+  check_int "re-raise clean" 0
+    (count "exn-swallow" (rules "let f g = try g () with e -> raise e"));
+  check_int "recorded to Obs clean" 0
+    (count "exn-swallow"
+       (rules "let f g c = try g () with _ -> Obs.incr c; 0"));
+  check_int "specific constructor clean" 0
+    (count "exn-swallow" (rules "let f g = try g () with Not_found -> 0"))
+
+let test_no_stdout () =
+  check_int "print_string flagged in lib" 1
+    (count "no-stdout" (rules "let f () = print_string \"hi\""));
+  check_int "Printf.printf flagged in lib" 1
+    (count "no-stdout" (rules "let f x = Printf.printf \"%d\" x"));
+  (* negatives *)
+  check_int "lib/report is allowed" 0
+    (count "no-stdout"
+       (rules ~filename:"lib/report/fixture.ml" "let f () = print_string \"hi\""));
+  check_int "bin is allowed" 0
+    (count "no-stdout"
+       (rules ~filename:"bin/fixture.ml" "let f () = print_string \"hi\""));
+  check_int "stderr is fine" 0
+    (count "no-stdout" (rules "let f x = Printf.eprintf \"%d\" x"))
+
+let test_domain_safety () =
+  let spawning =
+    "let total = ref 0\n\
+     let run f = ignore (Domain.spawn f)\n\
+     let bump () = incr total\n"
+  in
+  check_int "unguarded toplevel ref mutation flagged" 1
+    (count "domain-safety" (rules spawning));
+  let guarded =
+    "let m = Mutex.create ()\n\
+     let total = ref 0\n\
+     let run f = ignore (Domain.spawn f)\n\
+     let bump () = Mutex.lock m; incr total; Mutex.unlock m\n"
+  in
+  check_int "mutex-guarded mutation clean" 0 (count "domain-safety" (rules guarded));
+  let no_domains = "let total = ref 0\nlet bump () = incr total\n" in
+  check_int "no Domain.spawn, no rule" 0 (count "domain-safety" (rules no_domains))
+
+let test_metrics_doc () =
+  let fr, _ = analyze "let c = Obs.counter \"fixture.metric\"" in
+  check_int "registration site collected" 1 (List.length fr.Engine.metrics);
+  check_int "undocumented name reported" 1
+    (List.length (Engine.missing_metric_diags ~docs:"unrelated text" fr.Engine.metrics));
+  check_int "documented name clean" 0
+    (List.length
+       (Engine.missing_metric_diags ~docs:"| `fixture.metric` | counter |"
+          fr.Engine.metrics));
+  let test_prefixed, _ = analyze "let c = Obs.counter \"test.only\"" in
+  check_int "test.* names are exempt" 0
+    (List.length
+       (Engine.missing_metric_diags ~docs:"nothing" test_prefixed.Engine.metrics))
+
+let test_baseline_and_gate () =
+  let d =
+    {
+      Diag.file = "lib/fixture.ml";
+      line = 3;
+      col = 1;
+      rule = "poly-compare";
+      severity = Diag.Error;
+      message = "fixture";
+    }
+  in
+  let entry reason file rule line = { Baseline.file; rule; line; reason } in
+  let b = [ entry "documented exception" "lib/fixture.ml" "poly-compare" (Some 3) ] in
+  let kept, baselined, stale = Baseline.apply b [ d ] in
+  check_int "matching entry absorbs the diag" 0 (List.length kept);
+  check_int "baselined recorded" 1 (List.length baselined);
+  check_int "no stale entries" 0 (List.length stale);
+  let stale_b = [ entry "gone" "lib/other.ml" "no-stdout" None ] in
+  let kept, _, stale = Baseline.apply stale_b [ d ] in
+  check_int "unmatched diag kept" 1 (List.length kept);
+  check_int "unmatched entry is stale" 1 (List.length stale);
+  let result findings errors =
+    {
+      Engine.findings;
+      suppressed = [];
+      baselined = [];
+      stale_baseline = [];
+      errors;
+      files_scanned = 1;
+    }
+  in
+  check_int "clean gates 0" 0 (Engine.gate (result [] []));
+  check_int "findings gate 1" 1 (Engine.gate (result [ d ] []));
+  check_int "infrastructure gates 2" 2 (Engine.gate (result [] [ "io error" ]))
+
+let test_parse_failure_is_error () =
+  check_bool "unparsable fixture is an infrastructure error" true
+    (match
+       Engine.check_source ~config ~filename:"lib/broken.ml" "let = = ="
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let suite =
+  ( "static_analysis",
+    [
+      Alcotest.test_case "poly-compare fixtures" `Quick test_poly_compare;
+      Alcotest.test_case "checked-arith fixtures" `Quick test_checked_arith;
+      Alcotest.test_case "exn-swallow fixtures" `Quick test_exn_swallow;
+      Alcotest.test_case "no-stdout fixtures" `Quick test_no_stdout;
+      Alcotest.test_case "domain-safety fixtures" `Quick test_domain_safety;
+      Alcotest.test_case "metrics-doc fixtures" `Quick test_metrics_doc;
+      Alcotest.test_case "baseline and exit gating" `Quick test_baseline_and_gate;
+      Alcotest.test_case "parse failure is infrastructure" `Quick
+        test_parse_failure_is_error;
+    ] )

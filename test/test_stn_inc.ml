@@ -48,6 +48,18 @@ let test_solution () =
   | Some t -> check_int "distance respected" 3 (Tuple.find t "B" - Tuple.find t "A")
   | None -> Alcotest.fail "expected solution"
 
+(* Regression: a huge lower bound used to wrap [add_arc]'s negative-cycle
+   test, so a clearly impossible pair of pushes was accepted as consistent. *)
+let test_extreme_bounds_no_wrap () =
+  let inc = Stn_inc.create [ "A"; "B" ] in
+  check_bool "huge lower bound accepted" true
+    (Stn_inc.push inc (Condition.interval ~lo:max_int "A" "B"));
+  check_bool "opposing bound detected as inconsistent" false
+    (Stn_inc.push inc (Condition.interval ~lo:2 "B" "A"));
+  check_bool "network flagged inconsistent" false (Stn_inc.consistent inc);
+  Stn_inc.pop inc;
+  check_bool "pop restores consistency" true (Stn_inc.consistent inc)
+
 (* Equivalence with the batch engine under random push/pop sequences. *)
 let prop_matches_batch =
   QCheck.Test.make ~name:"incremental consistency = batch consistency under pushes"
@@ -194,6 +206,8 @@ let suite =
       Alcotest.test_case "solution extraction" `Quick test_solution;
       Alcotest.test_case "push/pop stress interleavings" `Quick
         test_push_pop_stress;
+      Alcotest.test_case "extreme bounds saturate" `Quick
+        test_extreme_bounds_no_wrap;
       Gen.qt prop_matches_batch;
       Gen.qt prop_pop_restores;
       Gen.qt prop_window_tight;

@@ -228,6 +228,28 @@ let prop_sample_in_full =
       let sample = Bindings.sample prng gammas in
       Seq.exists (fun phis -> phis = sample) (Bindings.full gammas))
 
+(* Regression: adversarially large bounds used to wrap the closure sums and
+   report an impossible network as consistent. Weights are now clamped into
+   the sentinel range and sums saturate. *)
+let test_stn_extreme_bounds () =
+  let stn =
+    Stn.of_intervals
+      [ Condition.interval ~lo:max_int "A" "B"; Condition.interval ~lo:2 "B" "A" ]
+  in
+  check_bool "huge opposing lower bounds are inconsistent" false
+    (Stn.consistent stn);
+  let ok =
+    Stn.of_intervals [ Condition.interval ~lo:(max_int / 2) "A" "B" ]
+  in
+  check_bool "one huge bound alone stays consistent" true (Stn.consistent ok)
+
+let test_interval_holds_extreme_timestamps () =
+  (* t(B) - t(A) must saturate, not wrap to a small positive number. *)
+  let phi = Condition.interval ~lo:0 "A" "B" in
+  let t = Tuple.of_list [ ("A", max_int - 1); ("B", min_int + 1) ] in
+  check_bool "B long before A does not satisfy lo=0" false
+    (Condition.interval_holds t phi)
+
 let qt = Gen.qt
 
 let suite =
@@ -239,6 +261,9 @@ let suite =
       Alcotest.test_case "stn negative cycle" `Quick test_stn_negative_cycle;
       Alcotest.test_case "stn minimal network distances" `Quick test_stn_distance_minimal_network;
       Alcotest.test_case "stn solution_near anchors" `Quick test_stn_solution_near;
+      Alcotest.test_case "stn extreme bounds saturate" `Quick test_stn_extreme_bounds;
+      Alcotest.test_case "interval extreme timestamps saturate" `Quick
+        test_interval_holds_extreme_timestamps;
       qt prop_stn_solution_satisfies;
       qt prop_stn_consistency_equals_lp_feasibility;
       qt prop_stn_solution_near_feasible;

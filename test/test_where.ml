@@ -51,7 +51,9 @@ let test_parse_errors () =
   fails "(E1.gate = 3";
   fails "E1.gate = 'unterminated";
   fails "E1.gate = 3 AND";
-  fails ""
+  fails "";
+  (* an oversized integer literal is a parse error, not an escaping Failure *)
+  fails "E1.gate = 99999999999999999999"
 
 let test_pp_roundtrip () =
   let inputs =

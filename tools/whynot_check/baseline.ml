@@ -1,0 +1,69 @@
+(* Checked-in per-site exceptions (tools/whynot_check/baseline.json).
+
+   The baseline is for deliberate, documented exceptions — not for parking
+   violations. Every entry must carry a [reason]; entries that no longer
+   match any finding are reported as stale (warning) so the file cannot
+   silently rot. An entry without a [line] matches the rule anywhere in the
+   file (for whole-file exemptions like generated code). *)
+
+module Json = Whynot.Report.Json
+
+type entry = {
+  file : string;
+  rule : string;
+  line : int option;
+  reason : string;
+}
+
+type t = entry list
+
+let empty : t = []
+
+let of_json json =
+  match json with
+  | Json.List items ->
+      let parse item =
+        match
+          ( Json.member "file" item |> Option.map Json.to_string_opt,
+            Json.member "rule" item |> Option.map Json.to_string_opt,
+            Json.member "reason" item |> Option.map Json.to_string_opt )
+        with
+        | Some (Some file), Some (Some rule), Some (Some reason) ->
+            Ok
+              {
+                file;
+                rule;
+                line = Option.bind (Json.member "line" item) Json.to_int;
+                reason;
+              }
+        | _ -> Error "baseline entry needs string fields \"file\", \"rule\", \"reason\""
+      in
+      List.fold_left
+        (fun acc item ->
+          Result.bind acc (fun acc ->
+              Result.map (fun e -> e :: acc) (parse item)))
+        (Ok []) items
+      |> Result.map List.rev
+  | _ -> Error "baseline must be a JSON array"
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      match Json.of_string text with
+      | Ok json -> of_json json
+      | Error msg -> Error (path ^ ": " ^ msg))
+
+let matches entry (d : Diag.t) =
+  entry.file = d.file && entry.rule = d.rule
+  && match entry.line with None -> true | Some l -> l = d.line
+
+(* Partition findings into (kept, baselined) and report stale entries. *)
+let apply (t : t) diags =
+  let kept, baselined =
+    List.partition (fun d -> not (List.exists (fun e -> matches e d) t)) diags
+  in
+  let stale =
+    List.filter (fun e -> not (List.exists (fun d -> matches e d) diags)) t
+  in
+  (kept, baselined, stale)

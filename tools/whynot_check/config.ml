@@ -1,0 +1,82 @@
+(* Rule configuration. The checked-in tools/whynot_check/config.json is the
+   source of truth for the repo; [default] mirrors it so the engine is usable
+   (and testable) without any file. *)
+
+module Json = Whynot.Report.Json
+
+let all_rules =
+  [
+    "domain-safety";
+    "checked-arith";
+    "poly-compare";
+    "exn-swallow";
+    "no-stdout";
+    "metrics-doc";
+  ]
+
+type t = {
+  rules : string list;  (** enabled rule ids *)
+  domain_roots : string list;
+      (** files treated as Domain-parallel even without a [Domain.spawn]
+          call of their own (shared-state modules used from spawned code) *)
+  checked_arith_paths : string list;
+      (** directories whose int arithmetic must be checked/annotated *)
+  checked_arith_max_literal : int;
+      (** [e + k] with a literal |k| <= this is exempt (index arithmetic) *)
+  no_stdout_deny : string list;  (** directories where stdout is banned... *)
+  no_stdout_allow : string list;  (** ...minus these carve-outs *)
+  docs_path : string;  (** metric-name catalog for metrics-doc *)
+}
+
+let default =
+  {
+    rules = all_rules;
+    domain_roots = [ "lib/obs.ml" ];
+    checked_arith_paths = [ "lib/tcn"; "lib/lp" ];
+    checked_arith_max_literal = 64;
+    no_stdout_deny = [ "lib" ];
+    no_stdout_allow = [ "lib/report" ];
+    docs_path = "docs/OBSERVABILITY.md";
+  }
+
+let enabled t rule = List.mem rule t.rules
+
+let string_list ?(default = []) name json =
+  match Json.member name json with
+  | Some (Json.List items) ->
+      List.filter_map Json.to_string_opt items
+  | _ -> default
+
+let of_json json =
+  let d = default in
+  {
+    rules = string_list ~default:d.rules "rules" json;
+    domain_roots = string_list ~default:d.domain_roots "domain_roots" json;
+    checked_arith_paths =
+      string_list ~default:d.checked_arith_paths "checked_arith_paths" json;
+    checked_arith_max_literal =
+      (match Json.member "checked_arith_max_literal" json with
+      | Some v -> Option.value ~default:d.checked_arith_max_literal (Json.to_int v)
+      | None -> d.checked_arith_max_literal);
+    no_stdout_deny = string_list ~default:d.no_stdout_deny "no_stdout_deny" json;
+    no_stdout_allow =
+      string_list ~default:d.no_stdout_allow "no_stdout_allow" json;
+    docs_path =
+      (match Json.member "docs_path" json with
+      | Some v -> Option.value ~default:d.docs_path (Json.to_string_opt v)
+      | None -> d.docs_path);
+  }
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      match Json.of_string text with
+      | Ok json -> Ok (of_json json)
+      | Error msg -> Error (path ^ ": " ^ msg))
+
+(* [file] is repo-relative with '/' separators. *)
+let under dir file =
+  file = dir || String.starts_with ~prefix:(dir ^ "/") file
+
+let under_any dirs file = List.exists (fun d -> under d file) dirs

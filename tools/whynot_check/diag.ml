@@ -1,0 +1,51 @@
+(* A single finding. [file] is repo-relative with '/' separators; [line] is
+   1-based, [col] 0-based (compiler convention, clickable in editors). *)
+
+type severity = Error | Warning
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  severity : severity;
+  message : string;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let of_location ~file ~rule ~severity ~message (loc : Location.t) =
+  {
+    file;
+    line = loc.loc_start.pos_lnum;
+    col = loc.loc_start.pos_cnum - loc.loc_start.pos_bol;
+    rule;
+    severity;
+    message;
+  }
+
+let pp ppf d =
+  Format.fprintf ppf "%s:%d:%d [%s] %s: %s" d.file d.line d.col d.rule
+    (severity_name d.severity) d.message
+
+let to_json d =
+  Whynot.Report.Json.Obj
+    [
+      ("file", Whynot.Report.Json.String d.file);
+      ("line", Whynot.Report.Json.Int d.line);
+      ("col", Whynot.Report.Json.Int d.col);
+      ("rule", Whynot.Report.Json.String d.rule);
+      ("severity", Whynot.Report.Json.String (severity_name d.severity));
+      ("message", Whynot.Report.Json.String d.message);
+    ]

@@ -1,0 +1,179 @@
+(* Driver: parse every .ml under the roots with compiler-libs, run the rule
+   passes, resolve inline suppressions and the baseline, and aggregate the
+   cross-file metrics-doc check. *)
+
+module Json = Whynot.Report.Json
+
+type metric_site = { m_name : string; m_file : string; m_loc : Location.t }
+
+type file_result = {
+  diags : Diag.t list;
+  metrics : metric_site list;
+}
+
+type result = {
+  findings : Diag.t list;  (** after suppressions and baseline, sorted *)
+  suppressed : Diag.t list;  (** dropped by an inline (* check: *) comment *)
+  baselined : Diag.t list;  (** dropped by a baseline entry *)
+  stale_baseline : Baseline.entry list;
+  errors : string list;  (** IO / parse failures — infrastructure, not findings *)
+  files_scanned : int;
+}
+
+(* Parse and check one compilation unit given as source text. Returns raw
+   findings (suppressions already applied — they are per-line properties of
+   the source) and the metric registration sites for aggregation. *)
+let check_source ~config ~filename source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf filename;
+  match Parse.implementation lexbuf with
+  | exception exn ->
+      let msg =
+        match exn with
+        | Syntaxerr.Error _ -> "syntax error"
+        | exn -> Printexc.to_string exn
+      in
+      Error (Printf.sprintf "%s: cannot parse: %s" filename msg)
+  | structure ->
+      let suppressions = Suppress.scan source in
+      let raw = ref [] and suppressed = ref [] and metrics = ref [] in
+      let add ~rule loc message =
+        let d =
+          Diag.of_location ~file:filename ~rule ~severity:Diag.Error ~message loc
+        in
+        if Suppress.suppresses suppressions ~line:d.Diag.line ~rule then
+          suppressed := d :: !suppressed
+        else raw := d :: !raw
+      in
+      let add_metric name loc =
+        metrics := { m_name = name; m_file = filename; m_loc = loc } :: !metrics
+      in
+      let ctx = { Rules.file = filename; config; add; add_metric } in
+      Rules.check ctx structure;
+      Ok ({ diags = List.rev !raw; metrics = List.rev !metrics }, List.rev !suppressed)
+
+(* The metrics-doc aggregation: every registered metric / trace name must
+   appear (as a substring, same as the runtime @metrics-lint) in the docs
+   catalog. [docs = None] means the catalog could not be read — reported as
+   an infrastructure error by the caller, not here. *)
+let missing_metric_diags ~docs metrics =
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  metrics
+  |> List.filter (fun m ->
+         (not (String.starts_with ~prefix:"test." m.m_name))
+         && not (contains docs m.m_name))
+  |> List.map (fun m ->
+         Diag.of_location ~file:m.m_file ~rule:"metrics-doc" ~severity:Diag.Error
+           ~message:
+             (Printf.sprintf
+                "metric/trace name %S is not documented in the observability \
+                 catalog — add it to docs/OBSERVABILITY.md"
+                m.m_name)
+           m.m_loc)
+
+let list_ml_files roots =
+  let files = ref [] in
+  let rec walk path =
+    match Sys.is_directory path with
+    | true ->
+        Sys.readdir path |> Array.to_list |> List.sort String.compare
+        |> List.iter (fun entry ->
+               if not (String.starts_with ~prefix:"." entry || entry = "_build")
+               then walk (Filename.concat path entry))
+    | false -> if Filename.check_suffix path ".ml" then files := path :: !files
+    | exception Sys_error _ -> ()
+  in
+  List.iter walk roots;
+  List.rev !files
+
+let run ~config ?(baseline = Baseline.empty) ?docs roots =
+  let files = list_ml_files roots in
+  let errors = ref [] in
+  let docs_text =
+    match docs with
+    | Some text -> Some text
+    | None -> (
+        match In_channel.with_open_text config.Config.docs_path In_channel.input_all with
+        | text -> Some text
+        | exception Sys_error msg ->
+            if Config.enabled config "metrics-doc" then
+              errors := ("metrics-doc: cannot read docs catalog: " ^ msg) :: !errors;
+            None)
+  in
+  let per_file =
+    List.filter_map
+      (fun path ->
+        match In_channel.with_open_text path In_channel.input_all with
+        | exception Sys_error msg ->
+            errors := msg :: !errors;
+            None
+        | source -> (
+            match check_source ~config ~filename:path source with
+            | Ok pair -> Some pair
+            | Error msg ->
+                errors := msg :: !errors;
+                None))
+      files
+  in
+  let diags = List.concat_map (fun (fr, _) -> fr.diags) per_file in
+  let suppressed = List.concat_map (fun (_, s) -> s) per_file in
+  let metrics = List.concat_map (fun (fr, _) -> fr.metrics) per_file in
+  let metric_diags =
+    match docs_text with
+    | Some docs when Config.enabled config "metrics-doc" ->
+        missing_metric_diags ~docs metrics
+    | _ -> []
+  in
+  let findings, baselined, stale_baseline =
+    Baseline.apply baseline (diags @ metric_diags)
+  in
+  {
+    findings = List.sort Diag.compare findings;
+    suppressed = List.sort Diag.compare suppressed;
+    baselined = List.sort Diag.compare baselined;
+    stale_baseline;
+    errors = List.rev !errors;
+    files_scanned = List.length files;
+  }
+
+(* Exit-code gating: 0 clean, 1 findings, 2 infrastructure (IO/parse). *)
+let gate r =
+  if r.errors <> [] then 2
+  else if List.exists (fun d -> d.Diag.severity = Diag.Error) r.findings then 1
+  else 0
+
+let summary_json r =
+  let count rule =
+    List.length (List.filter (fun d -> d.Diag.rule = rule) r.findings)
+  in
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("files_scanned", Json.Int r.files_scanned);
+      ("findings", Json.List (List.map Diag.to_json r.findings));
+      ("suppressed", Json.List (List.map Diag.to_json r.suppressed));
+      ("baselined", Json.List (List.map Diag.to_json r.baselined));
+      ( "stale_baseline",
+        Json.List
+          (List.map
+             (fun (e : Baseline.entry) ->
+               Json.Obj
+                 [
+                   ("file", Json.String e.file);
+                   ("rule", Json.String e.rule);
+                   ( "line",
+                     match e.line with Some l -> Json.Int l | None -> Json.Null );
+                   ("reason", Json.String e.reason);
+                 ])
+             r.stale_baseline) );
+      ("errors", Json.List (List.map (fun e -> Json.String e) r.errors));
+      ( "summary",
+        Json.Obj
+          (List.map (fun rule -> (rule, Json.Int (count rule))) Config.all_rules)
+      );
+      ("exit_code", Json.Int (gate r));
+    ]

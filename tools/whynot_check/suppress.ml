@@ -1,0 +1,74 @@
+(* Inline per-site suppressions: a [(* check: token, token - reason *)]
+   comment suppresses matching findings on its own line and, when it is the
+   only thing on its line, on the next line as well (annotation-above style).
+
+   Tokens are matched against a rule id or one of its short aliases, so the
+   annotation can say what the site is ([idx] for index arithmetic,
+   [sentinel] for saturating sentinel sums) rather than repeat the rule
+   name. *)
+
+let aliases = function
+  | "checked-arith" -> [ "idx"; "sentinel"; "arith"; "impl" ]
+  | "poly-compare" -> [ "poly"; "physical-eq" ]
+  | "domain-safety" -> [ "domain"; "race" ]
+  | "exn-swallow" -> [ "swallow" ]
+  | "no-stdout" -> [ "stdout" ]
+  | _ -> []
+
+type t = (int * string list) list
+(** line number -> suppression tokens in effect on that line *)
+
+let marker = "(* check:"
+
+(* Line number (1-based) of each byte offset, computed lazily via a scan. *)
+let scan source : t =
+  let n = String.length source in
+  let entries = ref [] in
+  let line = ref 1 in
+  let line_start = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    (if source.[!i] = '\n' then begin
+       incr line;
+       line_start := !i + 1
+     end
+     else if
+       !i + String.length marker <= n
+       && String.sub source !i (String.length marker) = marker
+     then begin
+       (* extract tokens up to the closing "*)" or end of the token part
+          (an optional "- reason" tail is ignored) *)
+       let start = !i + String.length marker in
+       let close = ref start in
+       while
+         !close + 1 < n && not (source.[!close] = '*' && source.[!close + 1] = ')')
+       do
+         incr close
+       done;
+       let body = String.sub source start (!close - start) in
+       let body =
+         match String.index_opt body '-' with
+         | Some dash -> String.sub body 0 dash
+         | None -> body
+       in
+       let tokens =
+         String.split_on_char ',' body
+         |> List.map String.trim
+         |> List.filter (fun s -> s <> "")
+       in
+       let only_thing_on_line =
+         let rec blank j = j >= !i || ((source.[j] = ' ' || source.[j] = '\t') && blank (j + 1)) in
+         blank !line_start
+       in
+       entries := (!line, tokens) :: !entries;
+       if only_thing_on_line then entries := (!line + 1, tokens) :: !entries
+     end);
+    incr i
+  done;
+  !entries
+
+let suppresses (t : t) ~line ~rule =
+  let accepted = rule :: aliases rule in
+  List.exists
+    (fun (l, tokens) -> l = line && List.exists (fun tok -> List.mem tok accepted) tokens)
+    t

@@ -1,0 +1,116 @@
+(* whynot-check: static-analysis gate for the repo's correctness invariants.
+
+   Usage:
+     whynot_check [--config FILE] [--baseline FILE] [--docs FILE]
+                  [--rules r1,r2] [--json FILE] [--list-rules] [--quiet]
+                  ROOT...
+
+   Exit codes: 0 clean, 1 findings, 2 infrastructure error (unreadable or
+   unparsable input, bad config/baseline). *)
+
+module Config = Whynot_check.Config
+module Baseline = Whynot_check.Baseline
+module Engine = Whynot_check.Engine
+module Diag = Whynot_check.Diag
+
+let usage () =
+  prerr_endline
+    "usage: whynot_check [--config FILE] [--baseline FILE] [--docs FILE]\n\
+    \                    [--rules r1,r2] [--json FILE] [--list-rules] [--quiet]\n\
+    \                    ROOT...";
+  exit 2
+
+let () =
+  let config = ref None and baseline = ref None and docs = ref None in
+  let rules = ref None and json_out = ref None and quiet = ref false in
+  let roots = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--config" :: v :: rest ->
+        config := Some v;
+        parse_args rest
+    | "--baseline" :: v :: rest ->
+        baseline := Some v;
+        parse_args rest
+    | "--docs" :: v :: rest ->
+        docs := Some v;
+        parse_args rest
+    | "--rules" :: v :: rest ->
+        rules := Some (String.split_on_char ',' v |> List.map String.trim);
+        parse_args rest
+    | "--json" :: v :: rest ->
+        json_out := Some v;
+        parse_args rest
+    | "--list-rules" :: _ ->
+        List.iter print_endline Config.all_rules;
+        exit 0
+    | "--quiet" :: rest ->
+        quiet := true;
+        parse_args rest
+    | arg :: _ when String.starts_with ~prefix:"--" arg -> usage ()
+    | root :: rest ->
+        roots := root :: !roots;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let roots = List.rev !roots in
+  if roots = [] then usage ();
+  let config =
+    match !config with
+    | None -> Config.default
+    | Some path -> (
+        match Config.load path with
+        | Ok c -> c
+        | Error msg ->
+            prerr_endline ("whynot_check: bad config: " ^ msg);
+            exit 2)
+  in
+  let config =
+    match !rules with
+    | None -> config
+    | Some rules ->
+        (match List.find_opt (fun r -> not (List.mem r Config.all_rules)) rules with
+        | Some r ->
+            prerr_endline ("whynot_check: unknown rule: " ^ r);
+            exit 2
+        | None -> ());
+        { config with Config.rules }
+  in
+  let config =
+    match !docs with
+    | None -> config
+    | Some path -> { config with Config.docs_path = path }
+  in
+  let baseline =
+    match !baseline with
+    | None -> Baseline.empty
+    | Some path -> (
+        match Baseline.load path with
+        | Ok b -> b
+        | Error msg ->
+            prerr_endline ("whynot_check: bad baseline: " ^ msg);
+            exit 2)
+  in
+  let result = Engine.run ~config ~baseline roots in
+  (match !json_out with
+  | None -> ()
+  | Some path ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc
+            (Whynot.Report.Json.to_string ~indent:2 (Engine.summary_json result));
+          Out_channel.output_char oc '\n'));
+  if not !quiet then begin
+    List.iter (fun d -> Format.printf "%a@." Diag.pp d) result.Engine.findings;
+    List.iter
+      (fun (e : Baseline.entry) ->
+        Format.printf "%s [%s] warning: stale baseline entry (%s)@." e.file
+          e.rule e.reason)
+      result.Engine.stale_baseline;
+    List.iter (fun msg -> Format.eprintf "whynot_check: %s@." msg) result.Engine.errors;
+    let n = List.length result.Engine.findings in
+    Format.printf "whynot-check: %d file(s), %d finding(s), %d suppressed, %d baselined@."
+      result.Engine.files_scanned n
+      (List.length result.Engine.suppressed)
+      (List.length result.Engine.baselined)
+  end;
+  exit (Engine.gate result)
