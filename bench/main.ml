@@ -153,7 +153,7 @@ let () =
 (* The smoke scale reuses the quick parameters but runs only a cheap
    representative subset of sections, so `dune build @bench-smoke` fits a
    test-suite time budget. *)
-let smoke_sections = [ "table1"; "table2"; "fig5"; "bnb"; "trace" ]
+let smoke_sections = [ "table1"; "table2"; "fig5"; "bnb"; "trace"; "serve" ]
 
 let () =
   if !scale = Smoke && !only = [] then only := smoke_sections
@@ -599,6 +599,20 @@ let trace_section () =
       ("events_dropped", Report.Json.Int dropped);
     ]
 
+(* --- serve: scrape cost and per-event ingest latency --- *)
+
+(* The domain-spawning workload lives in [Serve_load] (keeping this file
+   free of Domain.spawn for the domain-safety rule); ordered after the
+   trace section so its counters stay out of the report's metrics
+   snapshot (compare parity with earlier reports). *)
+let serve_stats : (string * Report.Json.t) list ref = ref []
+
+let serve_section () =
+  serve_stats :=
+    Serve_load.run
+      ~events:(pick ~quick:2_000 ~standard:10_000 ~paper:40_000)
+      ~scrapes:(pick ~quick:50 ~standard:200 ~paper:500)
+
 let scale_name () =
   match !scale with
   | Smoke -> "smoke"
@@ -628,10 +642,13 @@ let write_report () =
                 !timings) );
          ("metrics", metrics);
        ]
+      @ (match !trace_overhead with
+        | [] -> []
+        | fields -> [ ("trace_overhead", Obj fields) ])
       @
-      match !trace_overhead with
+      match !serve_stats with
       | [] -> []
-      | fields -> [ ("trace_overhead", Obj fields) ])
+      | fields -> [ ("serve", Obj fields) ])
   in
   let oc = open_out !report_path in
   Fun.protect
@@ -655,6 +672,9 @@ let () =
   section "bnb" bnb;
   section "ablations" ablations;
   section "micro" micro;
-  (* Must stay last: see [metrics_before_trace]. *)
+  (* Trace and serve must stay after every workload section: the trace
+     section snapshots [metrics_before_trace] first, keeping its own and
+     serve's counter traffic out of the report. *)
   section "trace" trace_section;
+  section "serve" serve_section;
   write_report ()

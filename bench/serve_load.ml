@@ -1,0 +1,118 @@
+(* The serve bench workload: boots the telemetry service in-process on an
+   ephemeral port, replays a generated stream through POST /ingest while a
+   second domain scrapes /metrics concurrently, then measures quiet-stream
+   scrape cost. Doubles as the CI smoke check that the service mode boots:
+   the scraped exposition must parse and its ingest counter must match the
+   events fed exactly.
+
+   Isolated in its own module so the file that spawns domains carries no
+   module-level mutable state (domain-safety rule): everything mutable
+   here is function-local or an Atomic. *)
+
+open Whynot
+module E = Experiments
+
+let run ~events ~scrapes =
+  let query =
+    match Pattern.Parse.pattern_set "SEQ(E1, E2) WITHIN 20" with
+    | Ok q -> q
+    | Error msg -> failwith msg
+  in
+  let ingested0 =
+    Option.value ~default:0 (Obs.find_counter "serve.ingest.lines")
+  in
+  let service = Serve.Service.create ~max_partials:512 query in
+  let server = Serve.Http.listen ~port:0 () in
+  let port = Serve.Http.port server in
+  let http_domain =
+    Domain.spawn (fun () ->
+        Serve.Http.serve server (Serve.Service.handle service))
+  in
+  let stop_scraper = Atomic.make false in
+  let scraper =
+    Domain.spawn (fun () ->
+        let n = ref 0 in
+        while not (Atomic.get stop_scraper) do
+          match Serve.Http.get ~port "/metrics" with
+          | Ok (200, _) -> Stdlib.incr n
+          | Ok _ | Error _ -> ()
+        done;
+        !n)
+  in
+  let batch = 500 in
+  let buf = Buffer.create (batch * 16) in
+  let sent = ref 0 in
+  let (), ingest_dt =
+    E.Harness.time (fun () ->
+        while !sent < events do
+          Buffer.clear buf;
+          let k = min batch (events - !sent) in
+          for i = 0 to k - 1 do
+            let seq = !sent + i in
+            (* Alternating E1/E2 with strictly increasing timestamps: a
+               steady stream of in-window matches under bounded partials. *)
+            Buffer.add_string buf
+              (Printf.sprintf "E%d,%d,s%d\n" (1 + (seq mod 2)) (seq * 3) seq)
+          done;
+          (match Serve.Http.post ~port "/ingest" (Buffer.contents buf) with
+          | Ok (200, _) -> ()
+          | Ok (st, body) ->
+              failwith (Printf.sprintf "ingest HTTP %d: %s" st body)
+          | Error msg -> failwith ("ingest: " ^ msg));
+          sent := !sent + k
+        done)
+  in
+  Atomic.set stop_scraper true;
+  let concurrent_scrapes = Domain.join scraper in
+  let last_body = ref "" in
+  let (), scrape_dt =
+    E.Harness.time (fun () ->
+        for _ = 1 to scrapes do
+          match Serve.Http.get ~port "/metrics" with
+          | Ok (200, body) -> last_body := body
+          | Ok (st, _) -> failwith (Printf.sprintf "scrape HTTP %d" st)
+          | Error msg -> failwith ("scrape: " ^ msg)
+        done)
+  in
+  Serve.Http.stop server;
+  Domain.join http_domain;
+  let ingested =
+    Option.value ~default:0 (Obs.find_counter "serve.ingest.lines")
+    - ingested0
+  in
+  if ingested <> events then
+    failwith
+      (Printf.sprintf "serve: fed %d event(s) but serve.ingest.lines says %d"
+         events ingested);
+  (match Report.Prom_text.parse_values !last_body with
+  | Error msg -> failwith ("serve: /metrics did not parse: " ^ msg)
+  | Ok samples -> (
+      let find name =
+        List.find_map
+          (fun (n, v) -> if String.equal n name then Some v else None)
+          samples
+      in
+      match find "whynot_serve_ingest_lines" with
+      | Some v when int_of_float v - ingested0 = events -> ()
+      | Some v ->
+          failwith
+            (Printf.sprintf
+               "serve: scraped whynot_serve_ingest_lines %.0f, expected %d" v
+               (ingested0 + events))
+      | None -> failwith "serve: whynot_serve_ingest_lines missing from scrape"));
+  let matches = Option.value ~default:0 (Obs.find_counter "serve.matches") in
+  let ingest_us = ingest_dt /. float_of_int events *. 1e6 in
+  let scrape_us = scrape_dt /. float_of_int scrapes *. 1e6 in
+  Format.printf
+    "ingest: %d event(s) in %.3f s (%.1f us/event, %d match(es)) with %d \
+     concurrent scrape(s)@.scrape: %d quiet scrape(s), %.1f us each@."
+    events ingest_dt ingest_us matches concurrent_scrapes scrapes scrape_us;
+  [
+    ("events", Report.Json.Int events);
+    ("ingest_seconds", Report.Json.Float ingest_dt);
+    ("ingest_us_per_event", Report.Json.Float ingest_us);
+    ("matches", Report.Json.Int matches);
+    ("concurrent_scrapes", Report.Json.Int concurrent_scrapes);
+    ("quiet_scrapes", Report.Json.Int scrapes);
+    ("scrape_us_per_call", Report.Json.Float scrape_us);
+  ]

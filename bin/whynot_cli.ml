@@ -451,29 +451,13 @@ let detect_cmd =
           ~doc:"Time horizon for partial matches (default: the query's root WITHIN).")
   in
   let run () query stream_path horizon =
-    let parse_line lineno line =
-      match String.split_on_char ',' (String.trim line) with
-      | [ e; ts ] | [ e; ts; _ ] -> (
-          match int_of_string_opt (String.trim ts) with
-          | Some timestamp ->
-              let tag =
-                match String.split_on_char ',' line with
-                | [ _; _; tag ] -> String.trim tag
-                | _ -> Printf.sprintf "#%d" lineno
-              in
-              { Whynot.Cep.Detector.event = String.trim e; timestamp; tag }
-          | None ->
-              Printf.eprintf "line %d: bad timestamp\n" lineno;
-              exit 2)
-      | _ ->
-          Printf.eprintf "line %d: expected event,timestamp[,tag]\n" lineno;
-          exit 2
-    in
     let instances =
-      In_channel.with_open_text stream_path In_channel.input_lines
-      |> List.filteri (fun i line -> not (i = 0 && String.trim line = "event,timestamp,tag"))
-      |> List.filter (fun line -> String.trim line <> "")
-      |> List.mapi (fun i line -> parse_line (i + 1) line)
+      let lines = In_channel.with_open_text stream_path In_channel.input_lines in
+      match Whynot.Serve.Ingest.parse_lines lines with
+      | Ok instances -> instances
+      | Error e ->
+          Printf.eprintf "%s\n" (Whynot.Serve.Ingest.error_to_string e);
+          exit 2
     in
     let detector = Whynot.Cep.Detector.create ?horizon query in
     let matches = Whynot.Cep.Detector.feed_all detector instances in
@@ -496,6 +480,133 @@ let detect_cmd =
     (Cmd.info "detect"
        ~doc:"Run the streaming detector over an interleaved event stream (CSV).")
     Term.(const run $ obs_term $ query_arg $ stream_arg $ horizon_arg)
+
+(* --- serve (live telemetry service) --- *)
+
+let serve_cmd =
+  let port_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:
+            "TCP port to listen on (127.0.0.1 only). Default 0 picks an \
+             ephemeral port; the chosen port is printed on stderr.")
+  in
+  let horizon_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "horizon" ]
+          ~doc:"Time horizon for partial matches (default: the query's root WITHIN).")
+  in
+  let max_partials_arg =
+    Arg.(
+      value
+      & opt int Whynot.Serve.Service.default_max_partials
+      & info [ "max-partials" ] ~docv:"N"
+          ~doc:"Capacity bound on the detector's partial-match buffer.")
+  in
+  let stdin_arg =
+    Arg.(
+      value & flag
+      & info [ "stdin" ]
+          ~doc:
+            "Feed events from stdin (CSV lines: event,timestamp[,tag]) \
+             instead of POST /ingest; match verdicts print to stdout as \
+             JSONL and the server exits at EOF. The HTTP endpoints \
+             (/metrics, /health, /ready) stay available throughout.")
+  in
+  let log_level_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("off", None);
+               ("error", Some Whynot.Obs.Log.Error);
+               ("warn", Some Whynot.Obs.Log.Warn);
+               ("info", Some Whynot.Obs.Log.Info);
+               ("debug", Some Whynot.Obs.Log.Debug);
+             ])
+          (Some Whynot.Obs.Log.Warn)
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Structured JSON log verbosity on stderr: $(b,off), $(b,error), \
+             $(b,warn) (default), $(b,info) (per-match events), or \
+             $(b,debug) (per-request events). See docs/SERVING.md for the \
+             line schema.")
+  in
+  let run () query port horizon max_partials use_stdin log_level =
+    Whynot.Obs.Log.set_level log_level;
+    let help =
+      (* HELP text for /metrics comes from the metric catalog when the
+         repo's docs are around; a deployed binary falls back to the
+         dotted source names. *)
+      let docs_path = "docs/OBSERVABILITY.md" in
+      if Sys.file_exists docs_path then
+        let docs = In_channel.with_open_text docs_path In_channel.input_all in
+        Whynot.Report.Prom_text.help_of_markdown docs
+      else fun _ -> None
+    in
+    let service =
+      Whynot.Serve.Service.create ?horizon ~max_partials
+        ~http_ingest:(not use_stdin) ~help query
+    in
+    let server = Whynot.Serve.Http.listen ~port () in
+    let port = Whynot.Serve.Http.port server in
+    Whynot.Serve.Service.log_start ~port;
+    Printf.eprintf
+      "whynot serve: listening on http://127.0.0.1:%d (metrics at /metrics)\n%!"
+      port;
+    let handler = Whynot.Serve.Service.handle service in
+    if use_stdin then begin
+      (* The detector stays on this domain (the HTTP loop only reads
+         atomics: ingest over HTTP answers 503 in this mode). *)
+      let http_domain =
+        Domain.spawn (fun () -> Whynot.Serve.Http.serve server handler)
+      in
+      let rec loop lineno =
+        match In_channel.input_line stdin with
+        | None -> ()
+        | Some line ->
+            (match
+               Whynot.Serve.Service.ingest_line service ~lineno line
+             with
+            | Ok matches ->
+                List.iter
+                  (fun m ->
+                    print_endline
+                      (Whynot.Report.Json.to_string
+                         (Whynot.Serve.Service.match_json m)))
+                  matches
+            | Error reason ->
+                Printf.eprintf "whynot serve: line %d: %s\n" lineno reason);
+            loop (lineno + 1)
+      in
+      loop 1;
+      Whynot.Serve.Service.log_stop service;
+      Whynot.Serve.Http.stop server;
+      Domain.join http_domain
+    end
+    else begin
+      let stop _signal =
+        Whynot.Serve.Service.log_stop service;
+        Whynot.Serve.Http.stop server
+      in
+      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+      Whynot.Serve.Http.serve server handler
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the detector as a long-lived telemetry service: Prometheus \
+          /metrics, /health, /ready, and line-delimited event ingest \
+          (POST /ingest or --stdin) with JSONL match verdicts.")
+    Term.(
+      const run $ obs_term $ query_arg $ port_arg $ horizon_arg
+      $ max_partials_arg $ stdin_arg $ log_level_arg)
 
 (* --- convert --- *)
 
@@ -600,6 +711,7 @@ let main =
       why_cmd;
       fix_query_cmd;
       detect_cmd;
+      serve_cmd;
       convert_cmd;
       generate_cmd;
     ]

@@ -115,8 +115,15 @@ let observe h v =
    would otherwise record a pre-reset start time into a zeroed cell. *)
 let generation = Atomic.make 0
 
-let with_span name f =
+let span_hist_suffix = ".duration_us"
+
+let with_span ?hist_buckets name f =
   let s = span name in
+  let h =
+    match hist_buckets with
+    | None -> None
+    | Some buckets -> Some (histogram ~buckets (name ^ span_hist_suffix))
+  in
   let g0 = Atomic.get generation in
   let t0 = Unix.gettimeofday () in
   Fun.protect
@@ -126,15 +133,22 @@ let with_span name f =
         let ns = int_of_float (dt *. 1e9) in
         Atomic.incr s.s_count;
         ignore (Atomic.fetch_and_add s.total_ns ns);
-        atomic_max s.max_ns ns
+        atomic_max s.max_ns ns;
+        match h with None -> () | Some h -> observe h (ns / 1000)
       end)
     f
 
-let find_counter name =
+let find name =
   Mutex.lock lock;
   let r = Hashtbl.find_opt registry name in
   Mutex.unlock lock;
-  match r with Some (Counter c) -> Some (Atomic.get c) | _ -> None
+  r
+
+let find_counter name =
+  match find name with Some (Counter c) -> Some (Atomic.get c) | _ -> None
+
+let find_gauge name =
+  match find name with Some (Gauge g) -> Some (Atomic.get g) | _ -> None
 
 let reset () =
   Atomic.incr generation;
@@ -161,6 +175,19 @@ type hist_snapshot = {
 
 type span_snapshot = { s_count : int; total_ns : int; max_ns : int }
 
+let hist_snapshot_of (h : histogram) =
+  {
+    h_count = Atomic.get h.h_count;
+    h_sum = Atomic.get h.h_sum;
+    h_buckets =
+      List.init (Array.length h.buckets) (fun i ->
+          ( (if i < Array.length h.bounds then Some h.bounds.(i) else None),
+            Atomic.get h.buckets.(i) ));
+  }
+
+let find_histogram name =
+  match find name with Some (Hist h) -> Some (hist_snapshot_of h) | _ -> None
+
 type snapshot = {
   counters : (string * int) list;
   gauges : (string * int) list;
@@ -178,18 +205,7 @@ let snapshot () =
     counters = section (function Counter c -> Some (Atomic.get c) | _ -> None);
     gauges = section (function Gauge g -> Some (Atomic.get g) | _ -> None);
     histograms =
-      section (function
-        | Hist h ->
-            Some
-              {
-                h_count = Atomic.get h.h_count;
-                h_sum = Atomic.get h.h_sum;
-                h_buckets =
-                  List.init (Array.length h.buckets) (fun i ->
-                      ( (if i < Array.length h.bounds then Some h.bounds.(i) else None),
-                        Atomic.get h.buckets.(i) ));
-              }
-        | _ -> None);
+      section (function Hist h -> Some (hist_snapshot_of h) | _ -> None);
     spans =
       section (function
         | Span s ->
@@ -434,4 +450,156 @@ module Trace = struct
     let b = Atomic.get ring in
     let n = min (Atomic.get cursor) (Array.length b) in
     List.filter_map (fun i -> b.(i)) (List.init n Fun.id)
+end
+
+(* --- leveled structured logging ---------------------------------------- *)
+
+module Log = struct
+  type level = Error | Warn | Info | Debug
+
+  let level_name = function
+    | Error -> "error"
+    | Warn -> "warn"
+    | Info -> "info"
+    | Debug -> "debug"
+
+  let level_of_string = function
+    | "error" -> Some Error
+    | "warn" | "warning" -> Some Warn
+    | "info" -> Some Info
+    | "debug" -> Some Debug
+    | _ -> None
+
+  let rank = function Error -> 1 | Warn -> 2 | Info -> 3 | Debug -> 4
+
+  (* 0 = logging disabled; otherwise the rank of the most verbose level
+     still emitted. An atomic so worker domains see level changes and the
+     disabled-path check is one atomic load. *)
+  let current = Atomic.make 0
+
+  let set_level = function
+    | None -> Atomic.set current 0
+    | Some l -> Atomic.set current (rank l)
+
+  let level () =
+    match Atomic.get current with
+    | 1 -> Some Error
+    | 2 -> Some Warn
+    | 3 -> Some Info
+    | 4 -> Some Debug
+    | _ -> None
+
+  let enabled l = rank l <= Atomic.get current
+
+  type value = Str of string | Num of int | Flt of float | Bool of bool
+
+  (* The output hook. {!Report.Sink.log} presents this channel alongside
+     the report sink (it delegates here — Obs cannot depend on Report
+     without a module cycle). Held in an Atomic so worker domains see
+     redirections. *)
+  let default_sink s =
+    output_string stderr s;
+    flush stderr
+
+  let sink : (string -> unit) Atomic.t = Atomic.make default_sink
+  let write s = (Atomic.get sink) s
+  let set_sink f = Atomic.set sink f
+  let reset_sink () = Atomic.set sink default_sink
+
+  let lines_c = counter "log.lines"
+
+  let add_escaped b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 32 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  let add_value b = function
+    | Str s ->
+        Buffer.add_char b '"';
+        add_escaped b s;
+        Buffer.add_char b '"'
+    | Num n -> Buffer.add_string b (string_of_int n)
+    | Flt f ->
+        if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.6g" f)
+        else Buffer.add_string b "null"
+    | Bool bo -> Buffer.add_string b (if bo then "true" else "false")
+
+  let emit lvl event fields =
+    if enabled lvl then begin
+      incr lines_c;
+      let b = Buffer.create 128 in
+      Buffer.add_string b "{\"ts_ms\":";
+      Buffer.add_string b
+        (string_of_int (int_of_float (Unix.gettimeofday () *. 1e3)));
+      Buffer.add_string b ",\"level\":\"";
+      Buffer.add_string b (level_name lvl);
+      Buffer.add_string b "\",\"event\":\"";
+      add_escaped b event;
+      Buffer.add_char b '"';
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string b ",\"";
+          add_escaped b k;
+          Buffer.add_string b "\":";
+          add_value b v)
+        fields;
+      Buffer.add_string b "}\n";
+      write (Buffer.contents b)
+    end
+
+  (* The event-type catalog the engine itself emits — like
+     {!Trace.kind_names}, every member must be documented in
+     docs/OBSERVABILITY.md (enforced by @metrics-lint and whynot-check's
+     metrics-doc rule). *)
+  let event_names =
+    [
+      "serve.start"; "serve.stop"; "serve.request"; "serve.error";
+      "ingest.error"; "detector.match"; "detector.evict"; "detector.pressure";
+    ]
+end
+
+(* --- runtime / GC gauges ------------------------------------------------ *)
+
+module Runtime = struct
+  let minor_collections_g = gauge "runtime.gc.minor_collections"
+  let major_collections_g = gauge "runtime.gc.major_collections"
+  let compactions_g = gauge "runtime.gc.compactions"
+  let heap_words_g = gauge "runtime.gc.heap_words"
+  let top_heap_words_g = gauge "runtime.gc.top_heap_words"
+  let minor_words_g = gauge "runtime.gc.minor_words"
+  let promoted_words_g = gauge "runtime.gc.promoted_words"
+  let major_words_g = gauge "runtime.gc.major_words"
+  let uptime_ms_g = gauge "runtime.uptime_ms"
+  let trace_emitted_g = gauge "trace.emitted"
+  let trace_recorded_g = gauge "trace.recorded"
+  let trace_dropped_g = gauge "trace.dropped"
+  let trace_capacity_g = gauge "trace.capacity"
+
+  let started = Unix.gettimeofday ()
+
+  let refresh () =
+    let s = Gc.quick_stat () in
+    gauge_set minor_collections_g s.Gc.minor_collections;
+    gauge_set major_collections_g s.Gc.major_collections;
+    gauge_set compactions_g s.Gc.compactions;
+    gauge_set heap_words_g s.Gc.heap_words;
+    gauge_set top_heap_words_g s.Gc.top_heap_words;
+    gauge_set minor_words_g (int_of_float s.Gc.minor_words);
+    gauge_set promoted_words_g (int_of_float s.Gc.promoted_words);
+    gauge_set major_words_g (int_of_float s.Gc.major_words);
+    gauge_set uptime_ms_g
+      (int_of_float ((Unix.gettimeofday () -. started) *. 1e3));
+    gauge_set trace_emitted_g (Trace.emitted ());
+    gauge_set trace_recorded_g (Trace.recorded ());
+    gauge_set trace_dropped_g (Trace.dropped ());
+    gauge_set trace_capacity_g (Trace.capacity ())
 end

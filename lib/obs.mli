@@ -55,12 +55,19 @@ val gauge_value : gauge -> int
 val observe : histogram -> int -> unit
 (** Record one sample into the bucket of the smallest bound [>=] sample. *)
 
-val with_span : string -> (unit -> 'a) -> 'a
+val with_span : ?hist_buckets:int array -> string -> (unit -> 'a) -> 'a
 (** [with_span label f] runs [f ()] and aggregates its wall-clock
     duration (count / total / max, nanoseconds) under [label]. The
     duration is recorded even when [f] raises. Span registration is
     keyed like any other metric; @raise Invalid_argument on a kind
-    clash. *)
+    clash.
+
+    With [hist_buckets], each duration is additionally observed — in
+    {e microseconds} — into a histogram registered as
+    [label ^ ".duration_us"] with those bucket bounds, so percentile
+    (p50/p95) latency series can be derived from the [_bucket] counts
+    exposed by {!Report.Prom_text}. As with {!histogram}, the first
+    registration's bounds win. *)
 
 (** {1 Snapshot / reset} *)
 
@@ -84,6 +91,12 @@ type snapshot = {
 
 val find_counter : string -> int option
 (** Current value of a registered counter, by name. *)
+
+val find_gauge : string -> int option
+(** Current value of a registered gauge, by name. *)
+
+val find_histogram : string -> hist_snapshot option
+(** Snapshot of a registered histogram, by name. *)
 
 val reset : unit -> unit
 (** Zero every registered metric (registrations are kept). A
@@ -240,4 +253,78 @@ module Trace : sig
   val dropped : unit -> int
   (** Exact count of events lost to ring overrun:
       [emitted () = recorded () + dropped ()]. *)
+end
+
+(** Leveled structured JSON logging.
+
+    One JSON object per line, written through {!Report.Sink.log}
+    (default: stderr, flushed per line), so a long-running service is
+    debuggable without attaching a tracer and without polluting
+    machine-readable stdout. Line shape:
+
+    {v {"ts_ms":<int>,"level":"info","event":"<type>",<field>:<value>,...} v}
+
+    Field order is fixed ([ts_ms], [level], [event], then the call's
+    fields in order); keys and string values are JSON-escaped. Logging
+    is disabled by default; the disabled hot path is one atomic load.
+    Event-type names emitted by the engine are listed in
+    {!Log.event_names} and documented in [docs/OBSERVABILITY.md]
+    (enforced by the docs lint). *)
+module Log : sig
+  type level = Error | Warn | Info | Debug
+
+  val level_name : level -> string
+  val level_of_string : string -> level option
+  (** Accepts ["error"], ["warn"]/["warning"], ["info"], ["debug"]. *)
+
+  val set_level : level option -> unit
+  (** [Some l] emits events at [l] and above (Error < Warn < Info <
+      Debug); [None] disables logging entirely (the default). *)
+
+  val level : unit -> level option
+
+  val enabled : level -> bool
+  (** Whether an event at this level would currently be emitted. *)
+
+  type value = Str of string | Num of int | Flt of float | Bool of bool
+
+  val write : string -> unit
+  (** Write a raw line through the current log output hook (default:
+      stderr, flushed per line). {!Report.Sink.log} is an alias. *)
+
+  val set_sink : (string -> unit) -> unit
+  (** Redirect log output, e.g. to a [Buffer] in tests or a file in a
+      deployment. {!Report.Sink.set_log} is an alias. *)
+
+  val reset_sink : unit -> unit
+  (** Restore the default stderr output. *)
+
+  val emit : level -> string -> (string * value) list -> unit
+  (** [emit lvl event fields] writes one log line (cheap no-op when the
+      level is suppressed). [event] is a dotted event-type name from
+      {!event_names} for engine events; embedders may use their own
+      names. Non-finite [Flt] values render as [null]. Also bumps the
+      [log.lines] counter. *)
+
+  val event_names : string list
+  (** Every event type the engine itself emits — the catalog the docs
+      lint checks against [docs/OBSERVABILITY.md]. *)
+end
+
+(** Process-level runtime gauges: OCaml GC statistics, process uptime,
+    and {!Trace} ring occupancy. Registered (at zero) when the library
+    initialises; {!Runtime.refresh} loads current values — a scrape
+    endpoint calls it right before {!snapshot}, so the gauges are
+    point-in-time at each scrape rather than continuously maintained.
+    Uses [Gc.quick_stat] (no major-heap walk), so refresh is cheap. *)
+module Runtime : sig
+  val refresh : unit -> unit
+  (** Update the [runtime.*] and [trace.*] gauges: GC counters and word
+      counts from [Gc.quick_stat] ([runtime.gc.minor_collections],
+      [runtime.gc.major_collections], [runtime.gc.compactions],
+      [runtime.gc.heap_words], [runtime.gc.top_heap_words],
+      [runtime.gc.minor_words], [runtime.gc.promoted_words],
+      [runtime.gc.major_words]), [runtime.uptime_ms] since library
+      initialisation, and the trace ring's [trace.emitted],
+      [trace.recorded], [trace.dropped], [trace.capacity]. *)
 end

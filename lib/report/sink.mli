@@ -1,7 +1,11 @@
 (** Where human-readable experiment output goes. Library code must not write
     to stdout directly (enforced by whynot-check's no-stdout rule); modules
     that render tables route them through this sink, which defaults to stdout
-    and can be redirected by embedders and tests. *)
+    and can be redirected by embedders and tests.
+
+    A second, independent channel carries structured log lines ({!Obs.Log});
+    it defaults to {e stderr} so logs never interleave with machine-readable
+    stdout output (JSON reports, JSONL match verdicts). *)
 
 val print : string -> unit
 (** Write through the current sink (default: stdout). *)
@@ -11,3 +15,14 @@ val set : (string -> unit) -> unit
 
 val reset : unit -> unit
 (** Restore the default stdout sink. *)
+
+val log : string -> unit
+(** Write one structured log line through the log channel (default:
+    stderr, flushed per line). *)
+
+val set_log : (string -> unit) -> unit
+(** Redirect the log channel, e.g. to a [Buffer] in tests or a file in a
+    deployment. *)
+
+val reset_log : unit -> unit
+(** Restore the default stderr log channel. *)

@@ -1,0 +1,271 @@
+(* Minimal dependency-free HTTP/1.1 responder over Unix sockets: a single
+   sequential accept loop, one request per connection (Connection: close).
+   Sequential handling is a feature here, not a limitation — it serializes
+   every route through one thread, so the handler may touch non-thread-safe
+   state (the detector) without locks. Scrape traffic is tiny and ingest
+   batches are bounded, so head-of-line blocking is acceptable. *)
+
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = { status : int; content_type : string; body : string }
+
+let reason_of = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 413 -> "Content Too Large"
+  | 503 -> "Service Unavailable"
+  | _ -> "Error"
+
+let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8")
+    body =
+  { status; content_type; body }
+
+(* Bounds chosen for a loopback telemetry port: enough for any scrape or
+   reasonable ingest batch, small enough that a misdirected upload cannot
+   balloon the process. *)
+let max_head_bytes = 64 * 1024
+let max_body_bytes = 16 * 1024 * 1024
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.equal (String.sub s i m) sub then Some i
+    else go (i + 1)
+  in
+  if m = 0 then Some from else go from
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let write_response fd (r : response) =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\n\
+       Content-Type: %s\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n"
+      r.status (reason_of r.status) r.content_type (String.length r.body)
+  in
+  write_all fd (head ^ r.body)
+
+let parse_head head =
+  match String.split_on_char '\n' head with
+  | [] -> Error "empty request"
+  | request_line :: header_lines -> (
+      let strip_cr s =
+        let n = String.length s in
+        if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+      in
+      match
+        String.split_on_char ' ' (strip_cr request_line)
+        |> List.filter (fun t -> not (String.equal t ""))
+      with
+      | meth :: path :: _ ->
+          let headers =
+            List.filter_map
+              (fun line ->
+                let line = strip_cr line in
+                match String.index_opt line ':' with
+                | None -> None
+                | Some i ->
+                    Some
+                      ( String.lowercase_ascii
+                          (String.trim (String.sub line 0 i)),
+                        String.trim
+                          (String.sub line (i + 1)
+                             (String.length line - i - 1)) ))
+              header_lines
+          in
+          Ok (meth, path, headers)
+      | _ -> Error "malformed request line")
+
+let header_value headers name =
+  List.find_map
+    (fun (n, v) -> if String.equal n name then Some v else None)
+    headers
+
+(* Read one full request from [fd]. Errors carry the status to answer
+   with (400 for malformed input, 413 for oversized bodies). *)
+let recv_request fd =
+  let chunk = Bytes.create 4096 in
+  let buf = Buffer.create 1024 in
+  let refill () =
+    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+    if n > 0 then Buffer.add_subbytes buf chunk 0 n;
+    n
+  in
+  let rec head_end () =
+    match find_sub (Buffer.contents buf) "\r\n\r\n" 0 with
+    | Some i -> Ok (i + 4)
+    | None ->
+        if Buffer.length buf > max_head_bytes then
+          Error (400, "request headers too large")
+        else if refill () = 0 then Error (400, "truncated request")
+        else head_end ()
+  in
+  match head_end () with
+  | Error _ as e -> e
+  | Ok body_start -> (
+      match parse_head (String.sub (Buffer.contents buf) 0 (body_start - 4)) with
+      | Error msg -> Error (400, msg)
+      | Ok (meth, path, headers) -> (
+          let content_length =
+            match header_value headers "content-length" with
+            | None -> Ok 0
+            | Some v -> (
+                match int_of_string_opt v with
+                | Some n when n >= 0 -> Ok n
+                | _ -> Error (400, "bad content-length"))
+          in
+          match content_length with
+          | Error _ as e -> e
+          | Ok len when len > max_body_bytes -> Error (413, "body too large")
+          | Ok len ->
+              let rec fill_body () =
+                if Buffer.length buf >= body_start + len then
+                  Ok
+                    {
+                      meth;
+                      path;
+                      headers;
+                      body = String.sub (Buffer.contents buf) body_start len;
+                    }
+                else if refill () = 0 then Error (400, "truncated body")
+                else fill_body ()
+              in
+              fill_body ()))
+
+type t = { sock : Unix.file_descr; port : int; stopping : bool Atomic.t }
+
+let listen ?(backlog = 16) ~port () =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen sock backlog;
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  { sock; port; stopping = Atomic.make false }
+
+let port t = t.port
+let stopping t = Atomic.get t.stopping
+
+let serve t handler =
+  let handle_conn fd =
+    Fun.protect
+      ~finally:(fun () ->
+        match Unix.close fd with
+        | () -> ()
+        | exception Unix.Unix_error _ -> ())
+      (fun () ->
+        match recv_request fd with
+        | Error (status, msg) ->
+            write_response fd (response ~status (msg ^ "\n"))
+        | Ok req -> write_response fd (handler req))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      match Unix.close t.sock with
+      | () -> ()
+      | exception Unix.Unix_error _ -> ())
+    (fun () ->
+      while not (Atomic.get t.stopping) do
+        match Unix.accept t.sock with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | fd, _ ->
+            if Atomic.get t.stopping then Unix.close fd
+            else (
+              match handle_conn fd with
+              | () -> ()
+              | exception Unix.Unix_error _ ->
+                  (* A client that vanished mid-request (reset, timeout)
+                     must not take the server down. *)
+                  ())
+      done)
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* The accept loop may be blocked in [accept]; poke it awake with a
+       throwaway loopback connection. *)
+    match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error _ -> ()
+    | s -> (
+        match
+          Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_loopback, t.port))
+        with
+        | () | (exception Unix.Unix_error _) -> (
+            match Unix.close s with
+            | () -> ()
+            | exception Unix.Unix_error _ -> ()))
+  end
+
+(* --- tiny loopback client, used by tests and the bench scrape loop --- *)
+
+let parse_response raw =
+  match find_sub raw "\r\n\r\n" 0 with
+  | None -> Error "malformed response: no header terminator"
+  | Some i -> (
+      let body = String.sub raw (i + 4) (String.length raw - i - 4) in
+      let status_line =
+        match find_sub raw "\r\n" 0 with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      match
+        String.split_on_char ' ' status_line
+        |> List.filter (fun t -> not (String.equal t ""))
+      with
+      | _http :: code :: _ -> (
+          match int_of_string_opt code with
+          | Some status -> Ok (status, body)
+          | None -> Error "malformed response: bad status code")
+      | _ -> Error "malformed response: bad status line")
+
+let request ?(body = "") ~port ~meth path =
+  let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      match Unix.close s with
+      | () -> ()
+      | exception Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      write_all s
+        (Printf.sprintf
+           "%s %s HTTP/1.1\r\n\
+            Host: localhost\r\n\
+            Content-Length: %d\r\n\
+            Connection: close\r\n\
+            \r\n\
+            %s"
+           meth path (String.length body) body);
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = Unix.read s chunk 0 (Bytes.length chunk) in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      parse_response (Buffer.contents buf))
+
+let get ~port path = request ~port ~meth:"GET" path
+let post ~port path body = request ~body ~port ~meth:"POST" path

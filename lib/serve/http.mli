@@ -1,0 +1,61 @@
+(** Minimal dependency-free HTTP/1.1 responder over Unix loopback sockets.
+
+    One sequential accept loop, one request per connection
+    ([Connection: close]). Sequential handling serializes every route
+    through the thread running {!serve}, so handlers may touch
+    non-thread-safe state (the detector) without locks; {!stop} is the
+    only cross-thread entry point. Binds 127.0.0.1 only — this is a
+    telemetry port, not a public server. *)
+
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+  body : string;
+}
+
+type response = { status : int; content_type : string; body : string }
+
+val response : ?status:int -> ?content_type:string -> string -> response
+(** [status] defaults to 200, [content_type] to
+    [text/plain; charset=utf-8]. *)
+
+type t
+
+val listen : ?backlog:int -> port:int -> unit -> t
+(** Bind and listen on [127.0.0.1:port]; [~port:0] picks an ephemeral
+    port (read it back with {!port}). @raise Unix.Unix_error when the
+    port is taken. *)
+
+val port : t -> int
+
+val serve : t -> (request -> response) -> unit
+(** Run the accept loop on the calling thread until {!stop} is called
+    (possibly from another thread or domain). Malformed or oversized
+    requests are answered with 400/413 without reaching the handler;
+    client I/O errors are swallowed. Closes the listening socket on
+    return. *)
+
+val stopping : t -> bool
+
+val stop : t -> unit
+(** Ask the accept loop to exit: sets the stop flag and wakes a blocked
+    [accept] with a throwaway loopback connection. Idempotent. *)
+
+(** {1 Loopback client}
+
+    Blocking one-shot requests against [127.0.0.1]; used by the tests and
+    the bench scrape loop. @raise Unix.Unix_error when the connection is
+    refused. *)
+
+val request :
+  ?body:string ->
+  port:int ->
+  meth:string ->
+  string ->
+  (int * string, string) result
+(** [request ~port ~meth path] returns [(status, body)]. *)
+
+val get : port:int -> string -> (int * string, string) result
+val post : port:int -> string -> string -> (int * string, string) result
+(** [post ~port path body]. *)

@@ -1,0 +1,39 @@
+type error = { line : int; reason : string }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.line e.reason
+let header = "event,timestamp,tag"
+
+let parse_line ~lineno line =
+  let trimmed = String.trim line in
+  if String.equal trimmed "" then Ok None
+  else if lineno = 1 && String.equal trimmed header then Ok None
+  else
+    let fail reason = Error { line = lineno; reason } in
+    let instance e ts tag =
+      match int_of_string_opt (String.trim ts) with
+      | None -> fail "bad timestamp"
+      | Some timestamp ->
+          let event = String.trim e in
+          if String.equal event "" then fail "empty event name"
+          else
+            let tag =
+              let tag = String.trim tag in
+              if String.equal tag "" then Printf.sprintf "#%d" lineno else tag
+            in
+            Ok (Some { Cep.Detector.event; timestamp; tag })
+    in
+    match String.split_on_char ',' trimmed with
+    | [ e; ts ] -> instance e ts ""
+    | [ e; ts; tag ] -> instance e ts tag
+    | _ -> fail "expected event,timestamp[,tag]"
+
+let parse_lines lines =
+  let rec go acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+        match parse_line ~lineno l with
+        | Error e -> Error e
+        | Ok None -> go acc (lineno + 1) rest
+        | Ok (Some i) -> go (i :: acc) (lineno + 1) rest)
+  in
+  go [] 1 lines

@@ -1,0 +1,22 @@
+(** Line-delimited event ingest: the CSV stream format
+    ([event,timestamp[,tag]]) shared by the [detect] subcommand, the
+    [serve] ingest endpoint and the stdin feed. Parsing is separated from
+    feeding so every entry point rejects malformed input identically. *)
+
+type error = { line : int; reason : string }
+
+val error_to_string : error -> string
+(** ["line N: <reason>"]. *)
+
+val header : string
+(** The canonical CSV header ([event,timestamp,tag]); skipped when it
+    appears as line 1. *)
+
+val parse_line :
+  lineno:int -> string -> (Cep.Detector.instance option, error) result
+(** Parse one stream line. [Ok None] for blank lines and for the
+    {!header} on line 1. A missing or empty tag defaults to ["#<lineno>"].
+    [lineno] is 1-based. *)
+
+val parse_lines : string list -> (Cep.Detector.instance list, error) result
+(** All-or-nothing {!parse_line} over a document, numbering from 1. *)

@@ -1,0 +1,179 @@
+let requests_c = Obs.counter "serve.requests"
+let errors_c = Obs.counter "serve.errors"
+let scrapes_c = Obs.counter "serve.scrapes"
+let ingest_lines_c = Obs.counter "serve.ingest.lines"
+let ingest_errors_c = Obs.counter "serve.ingest.errors"
+let matches_c = Obs.counter "serve.matches"
+
+(* Scrape latencies in microseconds: loopback render-and-serialize lands in
+   the sub-millisecond decades, with headroom for GC-disturbed outliers. *)
+let scrape_buckets = [| 50; 100; 250; 500; 1000; 2500; 5000; 10000; 50000 |]
+let prom_content_type = "text/plain; version=0.0.4; charset=utf-8"
+let jsonl_content_type = "application/x-ndjson"
+
+type t = {
+  detector : Cep.Detector.t;
+  max_partials : int;
+  http_ingest : bool;
+  help : string -> string option;
+  ready : bool Atomic.t;
+  next_line : int Atomic.t;
+  pressured : bool Atomic.t;
+}
+
+let default_max_partials = 4096
+
+let create ?horizon ?(max_partials = default_max_partials)
+    ?(http_ingest = true) ?(help = fun _ -> None) query =
+  {
+    detector = Cep.Detector.create ?horizon ~max_partials query;
+    max_partials;
+    http_ingest;
+    help;
+    ready = Atomic.make true;
+    next_line = Atomic.make 1;
+    pressured = Atomic.make false;
+  }
+
+let detector t = t.detector
+let log_start ~port = Obs.Log.emit Info "serve.start" [ ("port", Num port) ]
+
+let log_stop t =
+  Atomic.set t.ready false;
+  Obs.Log.emit Info "serve.stop" []
+
+let match_json (m : Cep.Detector.match_) =
+  Report.Json.Obj
+    [
+      ("type", Report.Json.String "match");
+      ( "tags",
+        Report.Json.Obj
+          (List.map (fun (e, tag) -> (e, Report.Json.String tag)) m.tags) );
+      ( "timestamps",
+        Report.Json.Obj
+          (List.map
+             (fun (e, ts) -> (e, Report.Json.Int ts))
+             (Events.Tuple.bindings m.tuple)) );
+    ]
+
+let feed t (inst : Cep.Detector.instance) =
+  let dropped0 = Cep.Detector.dropped_capacity t.detector in
+  match Cep.Detector.feed t.detector inst with
+  | exception Invalid_argument reason ->
+      Obs.incr ingest_errors_c;
+      Obs.Log.emit Warn "ingest.error"
+        [
+          ("event", Str inst.event);
+          ("timestamp", Num inst.timestamp);
+          ("reason", Str reason);
+        ];
+      Error reason
+  | matches ->
+      Obs.incr ingest_lines_c;
+      Obs.add matches_c (List.length matches);
+      if Obs.Log.enabled Info then
+        List.iter
+          (fun (m : Cep.Detector.match_) ->
+            Obs.Log.emit Info "detector.match"
+              (List.map (fun (e, tag) -> (e, Obs.Log.Str tag)) m.tags))
+          matches;
+      let dropped1 = Cep.Detector.dropped_capacity t.detector in
+      if dropped1 > dropped0 then
+        Obs.Log.emit Warn "detector.evict"
+          [ ("count", Num (dropped1 - dropped0)); ("total", Num dropped1) ];
+      let live = Cep.Detector.partial_count t.detector in
+      (* Log the pressure edge, not the steady state: once above 80% of
+         capacity warn once, and re-arm only after falling below half. *)
+      if live * 5 >= t.max_partials * 4 then begin
+        if not (Atomic.exchange t.pressured true) then
+          Obs.Log.emit Warn "detector.pressure"
+            [ ("live", Num live); ("max_partials", Num t.max_partials) ]
+      end
+      else if live * 2 < t.max_partials then Atomic.set t.pressured false;
+      Ok matches
+
+let ingest_line t ~lineno line =
+  match Ingest.parse_line ~lineno line with
+  | Ok None -> Ok []
+  | Error e ->
+      Obs.incr ingest_errors_c;
+      Obs.Log.emit Warn "ingest.error"
+        [ ("line", Num e.line); ("reason", Str e.reason) ];
+      Error e.reason
+  | Ok (Some inst) -> feed t inst
+
+let metrics_body t =
+  Obs.with_span ~hist_buckets:scrape_buckets "serve.scrape" (fun () ->
+      Obs.Runtime.refresh ();
+      Report.Prom_text.render ~help:t.help (Obs.snapshot ()))
+
+let ingest_body t body =
+  let out = Buffer.create 256 in
+  let jsonl json =
+    Buffer.add_string out (Report.Json.to_string json);
+    Buffer.add_char out '\n'
+  in
+  List.iter
+    (fun line ->
+      (* Line numbers keep counting across requests so default tags stay
+         unique over the life of the stream. *)
+      let lineno = Atomic.fetch_and_add t.next_line 1 in
+      match ingest_line t ~lineno line with
+      | Ok matches -> List.iter (fun m -> jsonl (match_json m)) matches
+      | Error reason ->
+          jsonl
+            (Report.Json.Obj
+               [
+                 ("type", Report.Json.String "error");
+                 ("line", Report.Json.Int lineno);
+                 ("reason", Report.Json.String reason);
+               ]))
+    (String.split_on_char '\n' body);
+  Http.response ~content_type:jsonl_content_type (Buffer.contents out)
+
+let handle t (req : Http.request) =
+  Obs.incr requests_c;
+  let method_not_allowed =
+    Http.response ~status:405 "method not allowed\n"
+  in
+  let resp =
+    (* Dispatch on path first so a known route with the wrong method is a
+       405, and only unknown paths answer 404. *)
+    match req.path with
+    | "/metrics" ->
+        if String.equal req.meth "GET" then begin
+          Obs.incr scrapes_c;
+          Http.response ~content_type:prom_content_type (metrics_body t)
+        end
+        else method_not_allowed
+    | "/health" ->
+        if String.equal req.meth "GET" then Http.response "ok\n"
+        else method_not_allowed
+    | "/ready" ->
+        if String.equal req.meth "GET" then
+          if Atomic.get t.ready then Http.response "ready\n"
+          else Http.response ~status:503 "stopping\n"
+        else method_not_allowed
+    | "/ingest" ->
+        if String.equal req.meth "POST" then
+          if t.http_ingest then ingest_body t req.body
+          else Http.response ~status:503 "ingest is fed from stdin\n"
+        else method_not_allowed
+    | _ -> Http.response ~status:404 "not found\n"
+  in
+  if resp.status >= 400 then begin
+    Obs.incr errors_c;
+    Obs.Log.emit Warn "serve.error"
+      [
+        ("method", Str req.meth);
+        ("path", Str req.path);
+        ("status", Num resp.status);
+      ]
+  end;
+  Obs.Log.emit Debug "serve.request"
+    [
+      ("method", Str req.meth);
+      ("path", Str req.path);
+      ("status", Num resp.status);
+    ];
+  resp

@@ -1,0 +1,74 @@
+(** The telemetry service: routes, detector feeding, counters and log
+    events behind [whynot serve].
+
+    Routes (see [docs/SERVING.md]):
+    - [GET /metrics] — Prometheus text exposition of the full {!Obs}
+      snapshot, with {!Obs.Runtime.refresh} run first so runtime gauges
+      are point-in-time;
+    - [GET /health] — liveness (always 200 while the process runs);
+    - [GET /ready] — readiness (503 once {!log_stop} has been called);
+    - [POST /ingest] — line-delimited CSV events ([event,timestamp[,tag]]);
+      responds with JSONL: one [{"type":"match",...}] object per completed
+      match and one [{"type":"error",...}] per rejected line.
+
+    All detector access happens inside {!handle}/{!ingest_line}, which the
+    caller must keep on a single thread (the {!Http.serve} loop does).
+
+    Counters: [serve.requests], [serve.errors], [serve.scrapes],
+    [serve.ingest.lines], [serve.ingest.errors], [serve.matches]; scrape
+    latency lands in the [serve.scrape] span and its
+    [serve.scrape.duration_us] histogram. Log events emitted here are
+    listed in {!Obs.Log.event_names}; both catalogs are documented in
+    [docs/OBSERVABILITY.md]. *)
+
+type t
+
+val default_max_partials : int
+(** 4096, mirroring {!Cep.Detector.create}'s default — the service pins
+    it explicitly so pressure warnings know the real bound. *)
+
+val create :
+  ?horizon:int ->
+  ?max_partials:int ->
+  ?http_ingest:bool ->
+  ?help:(string -> string option) ->
+  Pattern.Ast.t list ->
+  t
+(** [http_ingest] (default true) controls whether [POST /ingest] feeds
+    the detector; pass [false] when events arrive on stdin and the HTTP
+    loop runs on another domain, so the detector stays single-domain
+    (ingest then answers 503). [help] supplies HELP text for [/metrics]
+    keyed by dotted metric name (see {!Report.Prom_text.help_of_markdown}).
+    @raise Invalid_argument like {!Cep.Detector.create}. *)
+
+val detector : t -> Cep.Detector.t
+
+val handle : t -> Http.request -> Http.response
+(** Route one request; bumps counters and emits [serve.request] /
+    [serve.error] log events. Never raises on bad input — unknown paths
+    are 404, unknown methods 405. *)
+
+val ingest_line : t -> lineno:int -> string -> (Cep.Detector.match_ list, string) result
+(** Parse and feed one stream line (blank lines and the line-1 header are
+    [Ok \[\]]); the error is the bare reason, without the line number.
+    Used directly by the stdin feed; [POST /ingest] goes
+    through the same path with a shared running line counter. Emits
+    [detector.match] / [detector.evict] / [detector.pressure] /
+    [ingest.error] log events as appropriate. *)
+
+val match_json : Cep.Detector.match_ -> Report.Json.t
+(** The JSONL match verdict:
+    [{"type":"match","tags":{...},"timestamps":{...}}]. *)
+
+val metrics_body : t -> string
+(** The [/metrics] payload (refresh runtime gauges, snapshot, render). *)
+
+val prom_content_type : string
+val jsonl_content_type : string
+
+val log_start : port:int -> unit
+(** Emit the [serve.start] log event. *)
+
+val log_stop : t -> unit
+(** Mark the service not-ready (readiness flips to 503) and emit
+    [serve.stop]. *)

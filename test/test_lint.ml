@@ -106,7 +106,11 @@ let materialize_registry () =
   let detector = Cep.Detector.create [ p0 ] in
   ignore (Cep.Detector.feed detector { Cep.Detector.event = "A"; timestamp = 0; tag = "x" });
   let stream = Cep.Stream.create [ p0 ] in
-  ignore (Cep.Stream.feed stream ~key:"k" "A" 0)
+  ignore (Cep.Stream.feed stream ~key:"k" "A" 0);
+  (* the serve counters and the scrape span register when the service
+     renders a scrape body, no listening socket needed *)
+  let service = Serve.Service.create [ p0 ] in
+  ignore (Serve.Service.metrics_body service)
 
 let test_metrics_documented () =
   materialize_registry ();
@@ -126,20 +130,35 @@ let test_metrics_documented () =
     | None -> Alcotest.fail "docs/OBSERVABILITY.md not found"
   in
   let snap = Obs.snapshot () in
+  let keep names =
+    List.filter
+      (fun n -> not (String.starts_with ~prefix:"test." n))
+      (List.map fst names)
+  in
   let registry_names =
-    List.map fst snap.Obs.counters
-    @ List.map fst snap.Obs.gauges
-    @ List.map fst snap.Obs.histograms
-    @ List.map fst snap.Obs.spans
-    |> List.filter (fun n -> not (String.starts_with ~prefix:"test." n))
+    keep snap.Obs.counters @ keep snap.Obs.gauges @ keep snap.Obs.histograms
+    @ keep snap.Obs.spans
+  in
+  (* Samples on /metrics carry mangled names: counters, gauges and
+     histograms expose the mangled name directly; spans surface as a
+     _seconds summary. All of those must be documented too, alongside
+     the raw names, the trace kinds and the structured-log events. *)
+  let exposition_names =
+    List.map Report.Prom_text.mangle
+      (keep snap.Obs.counters @ keep snap.Obs.gauges @ keep snap.Obs.histograms)
+    @ List.map
+        (fun n -> Report.Prom_text.mangle n ^ Report.Prom_text.span_suffix)
+        (keep snap.Obs.spans)
   in
   let missing =
     List.filter
       (fun name -> not (contains_substring docs name))
-      (registry_names @ Obs.Trace.kind_names)
+      (registry_names @ exposition_names @ Obs.Trace.kind_names
+     @ Obs.Log.event_names)
   in
   Alcotest.(check (list string))
-    "every registered metric and trace-event name appears in docs/OBSERVABILITY.md"
+    "every registered metric, exposition, trace and log name appears in \
+     docs/OBSERVABILITY.md"
     [] missing
 
 let test_map_window_bad_paths () =

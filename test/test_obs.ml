@@ -4,6 +4,14 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let check_str = Alcotest.(check string)
 
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh
+    && (String.equal (String.sub haystack i nn) needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
 (* Global registry: each test resets all metrics first; names are
    namespaced under "test." to avoid colliding with engine metrics. *)
 
@@ -58,6 +66,110 @@ let test_histogram_buckets () =
     (try ignore (Obs.histogram ~buckets:[| 5; 5 |] "test.hist2"); false
      with Invalid_argument _ -> true)
 
+let test_find_accessors () =
+  let g = Obs.gauge "test.gauge" in
+  let h = Obs.histogram ~buckets:[| 10; 20 |] "test.hist" in
+  Obs.reset ();
+  Obs.gauge_set g 42;
+  Obs.observe h 15;
+  check_bool "find_gauge" true (Obs.find_gauge "test.gauge" = Some 42);
+  check_bool "find_gauge missing" true (Obs.find_gauge "test.nosuch" = None);
+  (match Obs.find_histogram "test.hist" with
+  | Some hs ->
+      check_int "find_histogram count" 1 hs.Obs.h_count;
+      check_int "find_histogram sum" 15 hs.Obs.h_sum
+  | None -> Alcotest.fail "find_histogram missed a registered histogram");
+  check_bool "find_histogram missing" true
+    (Obs.find_histogram "test.nosuch" = None);
+  check_bool "find_histogram ignores other kinds" true
+    (Obs.find_histogram "test.gauge" = None)
+
+let test_span_latency_histogram () =
+  Obs.reset ();
+  let out =
+    Obs.with_span ~hist_buckets:[| 1_000; 1_000_000 |] "test.latspan"
+      (fun () -> 99)
+  in
+  check_int "wrapped value returned" 99 out;
+  (match Obs.find_histogram "test.latspan.duration_us" with
+  | Some hs ->
+      check_int "one duration observed" 1 hs.Obs.h_count;
+      check_int "derived histogram keeps the requested bounds" 2
+        (List.length (List.filter (fun (b, _) -> b <> None) hs.Obs.h_buckets))
+  | None -> Alcotest.fail "with_span ~hist_buckets did not register");
+  ignore
+    (Obs.with_span ~hist_buckets:[| 1_000; 1_000_000 |] "test.latspan"
+       (fun () -> 0));
+  (match Obs.find_histogram "test.latspan.duration_us" with
+  | Some hs -> check_int "durations accumulate" 2 hs.Obs.h_count
+  | None -> Alcotest.fail "histogram vanished");
+  (* plain spans never grow a histogram *)
+  ignore (Obs.with_span "test.plainspan" (fun () -> ()));
+  check_bool "no histogram without hist_buckets" true
+    (Obs.find_histogram "test.plainspan.duration_us" = None)
+
+let test_log () =
+  let captured = Buffer.create 256 in
+  Obs.Log.set_sink (Buffer.add_string captured);
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.reset_sink ();
+      Obs.Log.set_level None)
+    (fun () ->
+      Obs.Log.set_level None;
+      Obs.Log.emit Warn "test.silent" [];
+      check_int "disabled level writes nothing" 0 (Buffer.length captured);
+      check_bool "log.lines untouched when filtered" true
+        (Obs.find_counter "log.lines" = Some 0);
+      Obs.Log.set_level (Some Obs.Log.Warn);
+      check_bool "warn enabled at warn" true (Obs.Log.enabled Obs.Log.Warn);
+      check_bool "error enabled at warn" true (Obs.Log.enabled Obs.Log.Error);
+      check_bool "info filtered at warn" false (Obs.Log.enabled Obs.Log.Info);
+      Obs.Log.emit Info "test.filtered" [];
+      check_int "info filtered writes nothing" 0 (Buffer.length captured);
+      Obs.Log.emit Warn "test.event"
+        [
+          ("text", Obs.Log.Str "a\"b\nc");
+          ("n", Obs.Log.Num 7);
+          ("x", Obs.Log.Flt 1.5);
+          ("flag", Obs.Log.Bool true);
+        ];
+      let line = Buffer.contents captured in
+      check_bool "one JSON line emitted" true
+        (String.length line > 0 && line.[String.length line - 1] = '\n');
+      check_bool "level field" true
+        (contains line "\"level\":\"warn\"");
+      check_bool "event field" true
+        (contains line "\"event\":\"test.event\"");
+      check_bool "string values escaped" true
+        (contains line "\"text\":\"a\\\"b\\nc\"");
+      check_bool "numeric fields" true (contains line "\"n\":7");
+      check_bool "float fields" true (contains line "\"x\":1.5");
+      check_bool "bool fields" true (contains line "\"flag\":true");
+      check_bool "line counted" true (Obs.find_counter "log.lines" = Some 1);
+      check_bool "level_of_string round-trips" true
+        (Obs.Log.level_of_string "debug" = Some Obs.Log.Debug
+        && Obs.Log.level_of_string "warning" = Some Obs.Log.Warn
+        && Obs.Log.level_of_string "loud" = None);
+      check_bool "current level readable" true
+        (Obs.Log.level () = Some Obs.Log.Warn))
+
+let test_runtime_refresh () =
+  Obs.Runtime.refresh ();
+  check_bool "heap words gauge populated" true
+    (match Obs.find_gauge "runtime.gc.heap_words" with
+    | Some n -> n > 0
+    | None -> false);
+  check_bool "minor collections gauge present" true
+    (Obs.find_gauge "runtime.gc.minor_collections" <> None);
+  check_bool "uptime monotone and nonnegative" true
+    (match Obs.find_gauge "runtime.uptime_ms" with
+    | Some n -> n >= 0
+    | None -> false);
+  check_bool "trace capacity mirrored" true
+    (Obs.find_gauge "trace.capacity" <> None)
+
 let span_count name (snap : Obs.snapshot) =
   match List.assoc_opt name snap.spans with
   | Some s -> s.Obs.s_count
@@ -74,10 +186,24 @@ let test_span_semantics () =
   check_int "raising span still counted" 2 (span_count "test.span" (Obs.snapshot ()))
 
 let json_no_timers () =
-  Report.Json.to_string (Report.Obs_json.snapshot ~timers:false ())
+  (* Latency histograms (".duration_us") record wall-clock like spans do,
+     so they are stripped alongside timers for determinism checks. *)
+  let snap = Obs.snapshot () in
+  let snap =
+    {
+      snap with
+      Obs.histograms =
+        List.filter
+          (fun (name, _) ->
+            not (String.ends_with ~suffix:".duration_us" name))
+          snap.Obs.histograms;
+    }
+  in
+  Report.Json.to_string (Report.Obs_json.render ~timers:false snap)
 
 (* The same deterministic workload twice, from a reset registry each
-   time: identical snapshots (spans excluded — they time wall-clock). *)
+   time: identical snapshots (spans and latency histograms excluded —
+   they time wall-clock). *)
 let test_snapshot_determinism () =
   let p0 =
     Pattern.Parse.pattern_exn
@@ -170,6 +296,11 @@ let suite =
       Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
       Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
       Alcotest.test_case "span semantics" `Quick test_span_semantics;
+      Alcotest.test_case "find accessors" `Quick test_find_accessors;
+      Alcotest.test_case "span latency histogram" `Quick
+        test_span_latency_histogram;
+      Alcotest.test_case "structured log" `Quick test_log;
+      Alcotest.test_case "runtime refresh" `Quick test_runtime_refresh;
       Alcotest.test_case "snapshot determinism" `Quick test_snapshot_determinism;
       Alcotest.test_case "reset during span" `Quick test_reset_during_span;
       Alcotest.test_case "merge under domains" `Quick test_merge_under_domains;

@@ -1,0 +1,285 @@
+open Whynot
+module Http = Serve.Http
+module Ingest = Serve.Ingest
+module Service = Serve.Service
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let queries s = [ Pattern.Parse.pattern_exn s ]
+
+(* --- Ingest: the CSV line grammar shared by `detect` and `serve` --- *)
+
+let test_ingest_lines () =
+  let ok_instance = function
+    | Ok (Some (i : Cep.Detector.instance)) -> i
+    | Ok None -> Alcotest.fail "expected an instance, got a skip"
+    | Error e -> Alcotest.failf "unexpected error: %s" (Ingest.error_to_string e)
+  in
+  let i = ok_instance (Ingest.parse_line ~lineno:2 "A,17,x1") in
+  check_str "event" "A" i.Cep.Detector.event;
+  check_int "timestamp" 17 i.Cep.Detector.timestamp;
+  check_str "tag" "x1" i.Cep.Detector.tag;
+  let d = ok_instance (Ingest.parse_line ~lineno:5 "B,3") in
+  check_str "missing tag defaults to line marker" "#5" d.Cep.Detector.tag;
+  let d2 = ok_instance (Ingest.parse_line ~lineno:7 "B,3,") in
+  check_str "empty tag also defaults" "#7" d2.Cep.Detector.tag;
+  check_bool "blank line skipped" true
+    (Ingest.parse_line ~lineno:4 "   " = Ok None);
+  check_bool "header skipped on line 1" true
+    (Ingest.parse_line ~lineno:1 Ingest.header = Ok None);
+  check_bool "header mid-stream is an error" true
+    (match Ingest.parse_line ~lineno:3 Ingest.header with
+    | Error { Ingest.line = 3; _ } -> true
+    | _ -> false);
+  check_bool "bad timestamp rejected" true
+    (match Ingest.parse_line ~lineno:9 "A,soon" with
+    | Error { Ingest.line = 9; reason } ->
+        String.equal reason "bad timestamp"
+    | _ -> false);
+  check_bool "empty event rejected" true
+    (match Ingest.parse_line ~lineno:2 ",5" with
+    | Error _ -> true
+    | _ -> false);
+  check_str "error rendering carries the line" "line 9: bad timestamp"
+    (Ingest.error_to_string { Ingest.line = 9; reason = "bad timestamp" });
+  (* all-or-nothing batch parse *)
+  check_bool "batch parses with header and blanks" true
+    (match
+       Ingest.parse_lines [ "event,timestamp,tag"; "A,1,x"; ""; "B,2" ]
+     with
+    | Ok [ _; _ ] -> true
+    | _ -> false);
+  check_bool "batch fails on first bad line" true
+    (match Ingest.parse_lines [ "A,1,x"; "B,oops"; "C,3,z" ] with
+    | Error { Ingest.line = 2; _ } -> true
+    | _ -> false)
+
+(* --- Service.handle: routing without a socket --- *)
+
+let req ?(body = "") meth path = { Http.meth; path; headers = []; body }
+
+let test_routing () =
+  let s = Service.create (queries "SEQ(A, B) WITHIN 20") in
+  let r = Service.handle s (req "GET" "/health") in
+  check_int "health 200" 200 r.Http.status;
+  let r = Service.handle s (req "GET" "/ready") in
+  check_int "ready 200 while running" 200 r.Http.status;
+  let r = Service.handle s (req "GET" "/metrics") in
+  check_int "metrics 200" 200 r.Http.status;
+  check_str "prometheus content type" Service.prom_content_type
+    r.Http.content_type;
+  check_bool "exposition parses" true
+    (match Report.Prom_text.parse_values r.Http.body with
+    | Ok (_ :: _) -> true
+    | _ -> false);
+  let r = Service.handle s (req "GET" "/nosuch") in
+  check_int "unknown path 404" 404 r.Http.status;
+  let r = Service.handle s (req "POST" "/metrics") in
+  check_int "wrong method 405" 405 r.Http.status;
+  Service.log_stop s;
+  let r = Service.handle s (req "GET" "/ready") in
+  check_int "ready 503 after stop" 503 r.Http.status;
+  let r = Service.handle s (req "GET" "/health") in
+  check_int "health still 200 after stop" 200 r.Http.status
+
+let test_stdin_mode_rejects_http_ingest () =
+  let s = Service.create ~http_ingest:false (queries "SEQ(A, B) WITHIN 20") in
+  let r = Service.handle s (req ~body:"A,1,x\n" "POST" "/ingest") in
+  check_int "ingest 503 when fed from stdin" 503 r.Http.status
+
+let test_ingest_route () =
+  let s = Service.create (queries "SEQ(A, B) WITHIN 20") in
+  let r =
+    Service.handle s (req ~body:"A,1,x\nB,5,y\nC,bad\n" "POST" "/ingest")
+  in
+  check_int "ingest answers 200 even with bad lines" 200 r.Http.status;
+  check_str "jsonl content type" Service.jsonl_content_type r.Http.content_type;
+  let lines =
+    List.filter
+      (fun l -> not (String.equal l ""))
+      (String.split_on_char '\n' r.Http.body)
+  in
+  check_int "one match and one error object" 2 (List.length lines);
+  check_bool "match verdict serialized" true
+    (List.exists
+       (fun l -> String.starts_with ~prefix:"{\"type\":\"match\"" l)
+       lines);
+  check_bool "error carries the running line number" true
+    (List.exists
+       (fun l ->
+         String.starts_with ~prefix:"{\"type\":\"error\",\"line\":3" l)
+       lines);
+  (* line numbers persist across POSTs (the first batch consumed lines
+     1-4, counting its trailing newline), so a header in the second batch
+     is past line 1 and therefore an error, not a skip *)
+  let r2 = Service.handle s (req ~body:"event,timestamp,tag\n" "POST" "/ingest") in
+  check_bool "header after the first batch is rejected" true
+    (String.starts_with ~prefix:"{\"type\":\"error\",\"line\":5" r2.Http.body)
+
+let test_ingest_line_results () =
+  let s = Service.create (queries "SEQ(A, B) WITHIN 20") in
+  check_bool "pending instance yields no match" true
+    (Service.ingest_line s ~lineno:1 "A,1,x" = Ok []);
+  (match Service.ingest_line s ~lineno:2 "B,5,y" with
+  | Ok [ m ] ->
+      check_bool "completed match binds both tags" true
+        (List.length m.Cep.Detector.tags = 2)
+  | _ -> Alcotest.fail "expected exactly one match");
+  check_bool "bare reason, no line prefix" true
+    (Service.ingest_line s ~lineno:3 "A,zap" = Error "bad timestamp");
+  check_bool "decreasing timestamp surfaces as an ingest error" true
+    (match Service.ingest_line s ~lineno:4 "A,0,z" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+(* --- Http: the responder itself, loopback end-to-end --- *)
+
+let with_server handler f =
+  let server = Http.listen ~port:0 () in
+  let d = Domain.spawn (fun () -> Http.serve server handler) in
+  Fun.protect
+    ~finally:(fun () ->
+      Http.stop server;
+      Domain.join d)
+    (fun () -> f (Http.port server))
+
+let test_http_end_to_end () =
+  with_server
+    (fun r ->
+      if String.equal r.Http.path "/echo" then
+        Http.response (r.Http.meth ^ ":" ^ r.Http.body)
+      else Http.response ~status:404 "nope\n")
+    (fun port ->
+      (match Http.get ~port "/echo" with
+      | Ok (200, body) -> check_str "GET round-trip" "GET:" body
+      | other ->
+          Alcotest.failf "GET failed: %s"
+            (match other with
+            | Ok (st, b) -> Printf.sprintf "HTTP %d %s" st b
+            | Error e -> e)
+      );
+      (match Http.post ~port "/echo" "payload" with
+      | Ok (200, body) -> check_str "POST body round-trip" "POST:payload" body
+      | _ -> Alcotest.fail "POST failed");
+      match Http.get ~port "/other" with
+      | Ok (404, _) -> ()
+      | _ -> Alcotest.fail "expected 404")
+
+let test_http_rejects_malformed () =
+  with_server
+    (fun _ -> Http.response "ok")
+    (fun port ->
+      (* raw garbage: no request line terminator then EOF *)
+      let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let msg = "GARBAGE\r\n\r\n" in
+      ignore (Unix.write_substring s msg 0 (String.length msg));
+      let buf = Bytes.create 1024 in
+      let n = Unix.read s buf 0 (Bytes.length buf) in
+      Unix.close s;
+      let raw = Bytes.sub_string buf 0 n in
+      check_bool "malformed request answered with 400" true
+        (String.starts_with ~prefix:"HTTP/1.1 400" raw))
+
+(* --- The acceptance scenario: replayed stream under concurrent scrape,
+   scraped counters equal to the post-run registry exactly --- *)
+
+let test_replay_under_scrape () =
+  let events = 2_000 in
+  let service = Service.create ~max_partials:256 (queries "SEQ(E1, E2) WITHIN 20") in
+  let server = Http.listen ~port:0 () in
+  let port = Http.port server in
+  let http_domain =
+    Domain.spawn (fun () -> Http.serve server (Service.handle service))
+  in
+  let stop_scraper = Atomic.make false in
+  let scraper =
+    Domain.spawn (fun () ->
+        let n = ref 0 in
+        while not (Atomic.get stop_scraper) do
+          match Http.get ~port "/metrics" with
+          | Ok (200, _) -> incr n
+          | Ok _ | Error _ -> ()
+        done;
+        !n)
+  in
+  let matches0 = Option.value ~default:0 (Obs.find_counter "serve.matches") in
+  let lines0 =
+    Option.value ~default:0 (Obs.find_counter "serve.ingest.lines")
+  in
+  let batch = Buffer.create 4096 in
+  let sent = ref 0 in
+  while !sent < events do
+    Buffer.clear batch;
+    let k = min 250 (events - !sent) in
+    for i = 0 to k - 1 do
+      let seq = !sent + i in
+      Buffer.add_string batch
+        (Printf.sprintf "E%d,%d,s%d\n" (1 + (seq mod 2)) (seq * 3) seq)
+    done;
+    (match Http.post ~port "/ingest" (Buffer.contents batch) with
+    | Ok (200, _) -> ()
+    | Ok (st, b) -> Alcotest.failf "ingest HTTP %d: %s" st b
+    | Error e -> Alcotest.failf "ingest: %s" e);
+    sent := !sent + k
+  done;
+  Atomic.set stop_scraper true;
+  let concurrent = Domain.join scraper in
+  (* final quiescent scrape, then silence the server before snapshotting *)
+  let final =
+    match Http.get ~port "/metrics" with
+    | Ok (200, body) -> body
+    | _ -> Alcotest.fail "final scrape failed"
+  in
+  Http.stop server;
+  Domain.join http_domain;
+  check_bool "at least one concurrent scrape landed" true (concurrent > 0);
+  check_int "every line ingested" events
+    (Option.value ~default:0 (Obs.find_counter "serve.ingest.lines") - lines0);
+  check_bool "stream produced matches" true
+    (Option.value ~default:0 (Obs.find_counter "serve.matches") > matches0);
+  let samples =
+    match Report.Prom_text.parse_values final with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "final scrape did not parse: %s" e
+  in
+  let sample key =
+    List.find_map
+      (fun (k, v) -> if String.equal k key then Some v else None)
+      samples
+  in
+  (* The server went quiet after the final scrape, so every counter the
+     scrape reported must equal the post-run registry value exactly. *)
+  let snap = Obs.snapshot () in
+  List.iter
+    (fun (name, value) ->
+      if not (String.starts_with ~prefix:"test." name) then
+        match sample (Report.Prom_text.mangle name) with
+        | Some v ->
+            check_int (Printf.sprintf "scraped %s equals the registry" name)
+              value (int_of_float v)
+        | None ->
+            Alcotest.failf "counter %s missing from the scrape" name)
+    snap.Obs.counters;
+  (* runtime gauges refresh on scrape: the uptime gauge must have moved *)
+  check_bool "runtime gauges refreshed on scrape" true
+    (match sample "whynot_runtime_uptime_ms" with
+    | Some v -> v >= 0.0
+    | None -> false)
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "ingest line grammar" `Quick test_ingest_lines;
+      Alcotest.test_case "routing" `Quick test_routing;
+      Alcotest.test_case "stdin mode rejects HTTP ingest" `Quick
+        test_stdin_mode_rejects_http_ingest;
+      Alcotest.test_case "POST /ingest JSONL verdicts" `Quick test_ingest_route;
+      Alcotest.test_case "ingest_line results" `Quick test_ingest_line_results;
+      Alcotest.test_case "http end-to-end" `Quick test_http_end_to_end;
+      Alcotest.test_case "http rejects malformed input" `Quick
+        test_http_rejects_malformed;
+      Alcotest.test_case "replay under concurrent scrape" `Quick
+        test_replay_under_scrape;
+    ] )

@@ -113,14 +113,51 @@ let test_domain_safety () =
   check_int "no Domain.spawn, no rule" 0 (count "domain-safety" (rules no_domains))
 
 let test_metrics_doc () =
+  let missing ~docs source =
+    let fr, _ = analyze source in
+    List.length (Engine.missing_metric_diags ~docs fr.Engine.metrics)
+  in
   let fr, _ = analyze "let c = Obs.counter \"fixture.metric\"" in
   check_int "registration site collected" 1 (List.length fr.Engine.metrics);
-  check_int "undocumented name reported" 1
+  (* one diag per missing required name: the raw name and its exposition name *)
+  check_int "undocumented name reported" 2
     (List.length (Engine.missing_metric_diags ~docs:"unrelated text" fr.Engine.metrics));
-  check_int "documented name clean" 0
-    (List.length
-       (Engine.missing_metric_diags ~docs:"| `fixture.metric` | counter |"
-          fr.Engine.metrics));
+  (* counters need the raw name AND the exposition name documented *)
+  check_int "raw name alone is not enough" 1
+    (missing ~docs:"| `fixture.metric` | counter |"
+       "let c = Obs.counter \"fixture.metric\"");
+  check_int "raw + exposition name clean" 0
+    (missing
+       ~docs:"| `fixture.metric` | counter | `whynot_fixture_metric` |"
+       "let c = Obs.counter \"fixture.metric\"");
+  (* spans map to a _seconds summary, not the bare mangled name *)
+  check_int "span needs its _seconds series" 1
+    (missing ~docs:"| `fixture.span` | `whynot_fixture_span` |"
+       "let f g = Obs.with_span \"fixture.span\" g");
+  check_int "span with _seconds clean" 0
+    (missing ~docs:"| `fixture.span` | `whynot_fixture_span_seconds` |"
+       "let f g = Obs.with_span \"fixture.span\" g");
+  (* ~hist_buckets derives a .duration_us histogram that must be documented
+     (raw and exposition names, hence two diags when absent) *)
+  check_int "hist_buckets span also requires the derived histogram" 2
+    (missing ~docs:"| `fixture.span` | `whynot_fixture_span_seconds` |"
+       "let f b g = Obs.with_span ~hist_buckets:b \"fixture.span\" g");
+  check_int "derived histogram documented clean" 0
+    (missing
+       ~docs:
+         "| `fixture.span` | `whynot_fixture_span_seconds` |\n\
+          | `fixture.span.duration_us` | `whynot_fixture_span_duration_us` |"
+       "let f b g = Obs.with_span ~hist_buckets:b \"fixture.span\" g");
+  (* Log/Trace names are internal-only: raw name suffices *)
+  check_int "log event raw name clean" 0
+    (missing ~docs:"| `fixture.event` | info |"
+       "let f () = Obs.Log.emit Obs.Log.Info \"fixture.event\" []");
+  check_int "catalog entries collected raw-only" 0
+    (missing ~docs:"`fixture.a` and `fixture.b`"
+       "let event_names = [ \"fixture.a\"; \"fixture.b\" ]");
+  check_int "catalog entries still reported when absent" 2
+    (missing ~docs:"nothing"
+       "let event_names = [ \"fixture.a\"; \"fixture.b\" ]");
   let test_prefixed, _ = analyze "let c = Obs.counter \"test.only\"" in
   check_int "test.* names are exempt" 0
     (List.length

@@ -4,7 +4,14 @@
 
 module Json = Whynot.Report.Json
 
-type metric_site = { m_name : string; m_file : string; m_loc : Location.t }
+type metric_site = {
+  m_name : string;
+  m_kind : string;
+      (* registrar name ("counter", "with_span", ...) or "trace"/"log"/
+         "catalog" for names with no exposition-format series *)
+  m_file : string;
+  m_loc : Location.t;
+}
 
 type file_result = {
   diags : Diag.t list;
@@ -45,17 +52,30 @@ let check_source ~config ~filename source =
           suppressed := d :: !suppressed
         else raw := d :: !raw
       in
-      let add_metric name loc =
-        metrics := { m_name = name; m_file = filename; m_loc = loc } :: !metrics
+      let add_metric ~kind name loc =
+        metrics :=
+          { m_name = name; m_kind = kind; m_file = filename; m_loc = loc }
+          :: !metrics
       in
       let ctx = { Rules.file = filename; config; add; add_metric } in
       Rules.check ctx structure;
       Ok ({ diags = List.rev !raw; metrics = List.rev !metrics }, List.rev !suppressed)
 
-(* The metrics-doc aggregation: every registered metric / trace name must
-   appear (as a substring, same as the runtime @metrics-lint) in the docs
-   catalog. [docs = None] means the catalog could not be read — reported as
-   an infrastructure error by the caller, not here. *)
+(* The metrics-doc aggregation: every registered metric / trace / log name
+   must appear (as a substring, same as the runtime @metrics-lint) in the
+   docs catalog — and for metrics with a Prometheus exposition form, so
+   must the exposition name(s) {!Report.Prom_text} derives, keeping the
+   /metrics surface documented end to end. [docs = None] means the catalog
+   could not be read — reported as an infrastructure error by the caller,
+   not here. *)
+let required_doc_names m =
+  let mangled = Whynot.Report.Prom_text.mangle m.m_name in
+  match m.m_kind with
+  | "counter" | "gauge" | "histogram" -> [ m.m_name; mangled ]
+  | "span" | "with_span" ->
+      [ m.m_name; mangled ^ Whynot.Report.Prom_text.span_suffix ]
+  | _ -> [ m.m_name ]
+
 let missing_metric_diags ~docs metrics =
   let contains haystack needle =
     let nh = String.length haystack and nn = String.length needle in
@@ -63,17 +83,25 @@ let missing_metric_diags ~docs metrics =
     nn = 0 || go 0
   in
   metrics
-  |> List.filter (fun m ->
-         (not (String.starts_with ~prefix:"test." m.m_name))
-         && not (contains docs m.m_name))
-  |> List.map (fun m ->
-         Diag.of_location ~file:m.m_file ~rule:"metrics-doc" ~severity:Diag.Error
-           ~message:
-             (Printf.sprintf
-                "metric/trace name %S is not documented in the observability \
-                 catalog — add it to docs/OBSERVABILITY.md"
-                m.m_name)
-           m.m_loc)
+  |> List.concat_map (fun m ->
+         if String.starts_with ~prefix:"test." m.m_name then []
+         else
+           required_doc_names m
+           |> List.filter (fun name -> not (contains docs name))
+           |> List.map (fun name ->
+                  let derived =
+                    if String.equal name m.m_name then ""
+                    else Printf.sprintf " (exposition name of %S)" m.m_name
+                  in
+                  Diag.of_location ~file:m.m_file ~rule:"metrics-doc"
+                    ~severity:Diag.Error
+                    ~message:
+                      (Printf.sprintf
+                         "metric/trace/log name %S%s is not documented in \
+                          the observability catalog — add it to \
+                          docs/OBSERVABILITY.md"
+                         name derived)
+                    m.m_loc))
 
 let list_ml_files roots =
   let files = ref [] in

@@ -9,8 +9,11 @@ type ctx = {
   file : string;  (** repo-relative, '/'-separated *)
   config : Config.t;
   add : rule:string -> Location.t -> string -> unit;
-  add_metric : string -> Location.t -> unit;
-      (** metric/trace-name registration sites, aggregated by the engine *)
+  add_metric : kind:string -> string -> Location.t -> unit;
+      (** metric/trace/log-name registration sites, aggregated by the
+          engine; [kind] is the registrar ("counter", "with_span", ...) or
+          "trace"/"log"/"catalog" for names with no exposition form, and
+          decides which derived exposition names the docs must carry *)
 }
 
 (* --- shared helpers --------------------------------------------------- *)
@@ -377,7 +380,18 @@ let domain_safety ctx structure =
 (* --- metrics-doc ------------------------------------------------------ *)
 
 let metric_registrars =
-  [ "counter"; "gauge"; "histogram"; "span"; "with_span"; "with_trace" ]
+  [ "counter"; "gauge"; "histogram"; "span"; "with_span"; "with_trace"; "emit" ]
+
+(* [Obs.Trace.*] names trace events / spans and [Obs.Log.emit] names log
+   events — neither has an exposition-format series, so they collapse to
+   the raw-only kinds "trace"/"log". Everything else keeps its registrar
+   name; the engine derives the exposition names the docs must also carry
+   (see [Engine.required_doc_names]). *)
+let metric_kind path fn =
+  if List.mem "Trace" path then "trace"
+  else if List.mem "Log" path then "log"
+  else if String.equal fn "with_trace" then "trace"
+  else fn
 
 let metrics_doc ctx structure =
   let it =
@@ -393,11 +407,31 @@ let metrics_doc ctx structure =
                      && (match last path with
                         | Some fn -> List.mem fn metric_registrars
                         | None -> false) ->
+                  let fn = Option.value ~default:"" (last path) in
+                  let kind = metric_kind path fn in
+                  let latency_histogram =
+                    (* [Obs.with_span ~hist_buckets] registers a derived
+                       [<name>.duration_us] histogram at call time; its
+                       names must be documented like any other histogram. *)
+                    String.equal kind "with_span"
+                    && List.exists
+                         (fun (lbl, _) ->
+                           match lbl with
+                           | Asttypes.Labelled "hist_buckets"
+                           | Asttypes.Optional "hist_buckets" ->
+                               true
+                           | _ -> false)
+                         args
+                  in
                   List.iter
-                    (fun (_, arg) ->
-                      match arg.pexp_desc with
-                      | Pexp_constant (Pconst_string (name, _, _)) ->
-                          ctx.add_metric name arg.pexp_loc
+                    (fun (lbl, arg) ->
+                      match (lbl, arg.pexp_desc) with
+                      | ( Asttypes.Nolabel,
+                          Pexp_constant (Pconst_string (name, _, _)) ) ->
+                          ctx.add_metric ~kind name arg.pexp_loc;
+                          if latency_histogram then
+                            ctx.add_metric ~kind:"histogram"
+                              (name ^ ".duration_us") arg.pexp_loc
                       | _ -> ())
                     args
               | _ -> ())
@@ -410,9 +444,10 @@ let metrics_doc ctx structure =
               List.iter
                 (fun vb ->
                   match vb.pvb_pat.ppat_desc with
-                  | Ppat_var { txt = "kind_names"; _ } ->
-                      (* the Obs.Trace event-kind catalog: a literal string
-                         list; every member must be documented too *)
+                  | Ppat_var { txt = ("kind_names" | "event_names"); _ } ->
+                      (* the Obs.Trace event-kind and Obs.Log event-type
+                         catalogs: literal string lists; every member must
+                         be documented too (raw names only) *)
                       let rec strings e =
                         match e.pexp_desc with
                         | Pexp_construct
@@ -420,7 +455,7 @@ let metrics_doc ctx structure =
                               Some { pexp_desc = Pexp_tuple [ hd; tl ]; _ } ) ->
                             (match hd.pexp_desc with
                             | Pexp_constant (Pconst_string (s, _, _)) ->
-                                ctx.add_metric s hd.pexp_loc
+                                ctx.add_metric ~kind:"catalog" s hd.pexp_loc
                             | _ -> ());
                             strings tl
                         | _ -> ()
