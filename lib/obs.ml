@@ -176,13 +176,22 @@ type hist_snapshot = {
 type span_snapshot = { s_count : int; total_ns : int; max_ns : int }
 
 let hist_snapshot_of (h : histogram) =
+  (* [observe] bumps a bucket cell before [h_count], so reading h_count
+     here independently could lag the bucket total mid-ingest and yield
+     an exposition where the +Inf cumulative exceeds [_count]. Read the
+     cells once and derive the count as their sum — the Prometheus
+     invariant (+Inf cumulative = _count) then holds by construction.
+     [h_sum] is read first (it is written last) so the sum never covers
+     an observation the buckets have not seen. *)
+  let h_sum = Atomic.get h.h_sum in
+  let cells = Array.map Atomic.get h.buckets in
   {
-    h_count = Atomic.get h.h_count;
-    h_sum = Atomic.get h.h_sum;
+    h_count = Array.fold_left ( + ) 0 cells;
+    h_sum;
     h_buckets =
-      List.init (Array.length h.buckets) (fun i ->
+      List.init (Array.length cells) (fun i ->
           ( (if i < Array.length h.bounds then Some h.bounds.(i) else None),
-            Atomic.get h.buckets.(i) ));
+            cells.(i) ));
   }
 
 let find_histogram name =

@@ -19,9 +19,20 @@ let reason_of = function
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
   | 413 -> "Content Too Large"
   | 503 -> "Service Unavailable"
   | _ -> "Error"
+
+(* A peer that resets the connection mid-write must surface as a
+   catchable EPIPE from [Unix.write], not as SIGPIPE — the signal's
+   default disposition would kill the whole process. Forced before any
+   socket I/O ([listen] and [request]). *)
+let ignore_sigpipe =
+  lazy
+    (match Sys.set_signal Sys.sigpipe Sys.Signal_ignore with
+    | () -> ()
+    | exception Invalid_argument _ -> (* no SIGPIPE on this platform *) ())
 
 let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8")
     body =
@@ -98,15 +109,22 @@ let header_value headers name =
     (fun (n, v) -> if String.equal n name then Some v else None)
     headers
 
+exception Read_timed_out
+
 (* Read one full request from [fd]. Errors carry the status to answer
-   with (400 for malformed input, 413 for oversized bodies). *)
+   with (400 for malformed input, 408 for a read timeout, 413 for
+   oversized bodies). A timeout relies on the caller having set
+   SO_RCVTIMEO on [fd]; without it reads block indefinitely. *)
 let recv_request fd =
   let chunk = Bytes.create 4096 in
   let buf = Buffer.create 1024 in
   let refill () =
-    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
-    if n > 0 then Buffer.add_subbytes buf chunk 0 n;
-    n
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | n ->
+        if n > 0 then Buffer.add_subbytes buf chunk 0 n;
+        n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        raise Read_timed_out
   in
   let rec head_end () =
     match find_sub (Buffer.contents buf) "\r\n\r\n" 0 with
@@ -117,41 +135,46 @@ let recv_request fd =
         else if refill () = 0 then Error (400, "truncated request")
         else head_end ()
   in
-  match head_end () with
-  | Error _ as e -> e
-  | Ok body_start -> (
-      match parse_head (String.sub (Buffer.contents buf) 0 (body_start - 4)) with
-      | Error msg -> Error (400, msg)
-      | Ok (meth, path, headers) -> (
-          let content_length =
-            match header_value headers "content-length" with
-            | None -> Ok 0
-            | Some v -> (
-                match int_of_string_opt v with
-                | Some n when n >= 0 -> Ok n
-                | _ -> Error (400, "bad content-length"))
-          in
-          match content_length with
-          | Error _ as e -> e
-          | Ok len when len > max_body_bytes -> Error (413, "body too large")
-          | Ok len ->
-              let rec fill_body () =
-                if Buffer.length buf >= body_start + len then
-                  Ok
-                    {
-                      meth;
-                      path;
-                      headers;
-                      body = String.sub (Buffer.contents buf) body_start len;
-                    }
-                else if refill () = 0 then Error (400, "truncated body")
-                else fill_body ()
-              in
-              fill_body ()))
+  try
+    match head_end () with
+    | Error _ as e -> e
+    | Ok body_start -> (
+        match
+          parse_head (String.sub (Buffer.contents buf) 0 (body_start - 4))
+        with
+        | Error msg -> Error (400, msg)
+        | Ok (meth, path, headers) -> (
+            let content_length =
+              match header_value headers "content-length" with
+              | None -> Ok 0
+              | Some v -> (
+                  match int_of_string_opt v with
+                  | Some n when n >= 0 -> Ok n
+                  | _ -> Error (400, "bad content-length"))
+            in
+            match content_length with
+            | Error _ as e -> e
+            | Ok len when len > max_body_bytes -> Error (413, "body too large")
+            | Ok len ->
+                let rec fill_body () =
+                  if Buffer.length buf >= body_start + len then
+                    Ok
+                      {
+                        meth;
+                        path;
+                        headers;
+                        body = String.sub (Buffer.contents buf) body_start len;
+                      }
+                  else if refill () = 0 then Error (400, "truncated body")
+                  else fill_body ()
+                in
+                fill_body ()))
+  with Read_timed_out -> Error (408, "request read timed out")
 
 type t = { sock : Unix.file_descr; port : int; stopping : bool Atomic.t }
 
 let listen ?(backlog = 16) ~port () =
+  Lazy.force ignore_sigpipe;
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -166,7 +189,13 @@ let listen ?(backlog = 16) ~port () =
 let port t = t.port
 let stopping t = Atomic.get t.stopping
 
-let serve t handler =
+(* Per-connection I/O deadline. The accept loop is sequential, so a
+   client that connects and then sends nothing would otherwise wedge
+   every route (and [stop], whose wake-up poke only unblocks [accept],
+   not a read stuck inside a connection). *)
+let default_io_timeout = 10.0
+
+let serve ?(io_timeout = default_io_timeout) t handler =
   let handle_conn fd =
     Fun.protect
       ~finally:(fun () ->
@@ -174,6 +203,10 @@ let serve t handler =
         | () -> ()
         | exception Unix.Unix_error _ -> ())
       (fun () ->
+        if io_timeout > 0. then begin
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO io_timeout;
+          Unix.setsockopt_float fd Unix.SO_SNDTIMEO io_timeout
+        end;
         match recv_request fd with
         | Error (status, msg) ->
             write_response fd (response ~status (msg ^ "\n"))
@@ -238,6 +271,7 @@ let parse_response raw =
       | _ -> Error "malformed response: bad status line")
 
 let request ?(body = "") ~port ~meth path =
+  Lazy.force ignore_sigpipe;
   let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () ->

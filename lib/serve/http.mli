@@ -29,12 +29,16 @@ val listen : ?backlog:int -> port:int -> unit -> t
 
 val port : t -> int
 
-val serve : t -> (request -> response) -> unit
+val serve : ?io_timeout:float -> t -> (request -> response) -> unit
 (** Run the accept loop on the calling thread until {!stop} is called
     (possibly from another thread or domain). Malformed or oversized
-    requests are answered with 400/413 without reaching the handler;
-    client I/O errors are swallowed. Closes the listening socket on
-    return. *)
+    requests are answered with 400/413 without reaching the handler; a
+    connection idle for more than [io_timeout] seconds (default 10, [0.]
+    disables) is answered 408 so one silent client cannot wedge the
+    sequential loop; client I/O errors are swallowed. SIGPIPE is ignored
+    process-wide on first use, so a peer that resets mid-write yields a
+    catchable [EPIPE] instead of killing the process. Closes the
+    listening socket on return. *)
 
 val stopping : t -> bool
 

@@ -131,6 +131,14 @@ let ingest_body t body =
     (String.split_on_char '\n' body);
   Http.response ~content_type:jsonl_content_type (Buffer.contents out)
 
+(* Request targets may carry a query string (Prometheus sends one when a
+   scrape config uses [params]) or a fragment; route on the path alone. *)
+let route_path target =
+  let cut c s =
+    match String.index_opt s c with Some i -> String.sub s 0 i | None -> s
+  in
+  cut '?' (cut '#' target)
+
 let handle t (req : Http.request) =
   Obs.incr requests_c;
   let method_not_allowed =
@@ -139,7 +147,7 @@ let handle t (req : Http.request) =
   let resp =
     (* Dispatch on path first so a known route with the wrong method is a
        405, and only unknown paths answer 404. *)
-    match req.path with
+    match route_path req.path with
     | "/metrics" ->
         if String.equal req.meth "GET" then begin
           Obs.incr scrapes_c;

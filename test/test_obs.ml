@@ -288,6 +288,34 @@ let test_hammer_under_domains () =
   let hs = find_hist "test.hammer.hist" (Obs.snapshot ()) in
   check_int "histogram lossless under 4 domains" (4 * per_domain) hs.Obs.h_count
 
+(* Prometheus requires the +Inf cumulative to equal _count in every
+   exposition. [observe] bumps a bucket cell before h_count, so a
+   snapshot racing an observe on another domain must derive the count
+   from the cells it actually read, not from h_count. *)
+let test_snapshot_invariant_under_domains () =
+  let h = Obs.histogram ~buckets:[| 5; 10 |] "test.race.hist" in
+  Obs.reset ();
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        let i = ref 0 in
+        while not (Atomic.get stop) do
+          Stdlib.incr i;
+          Obs.observe h (!i mod 20)
+        done)
+  in
+  for _ = 1 to 2_000 do
+    match Obs.find_histogram "test.race.hist" with
+    | None -> Alcotest.fail "histogram missing"
+    | Some hs ->
+        let bucket_sum =
+          List.fold_left (fun acc (_, n) -> acc + n) 0 hs.Obs.h_buckets
+        in
+        check_int "+Inf cumulative equals _count" hs.Obs.h_count bucket_sum
+  done;
+  Atomic.set stop true;
+  Domain.join writer
+
 let suite =
   ( "obs",
     [
@@ -305,4 +333,6 @@ let suite =
       Alcotest.test_case "reset during span" `Quick test_reset_during_span;
       Alcotest.test_case "merge under domains" `Quick test_merge_under_domains;
       Alcotest.test_case "hammer under domains" `Quick test_hammer_under_domains;
+      Alcotest.test_case "snapshot invariant under domains" `Quick
+        test_snapshot_invariant_under_domains;
     ] )

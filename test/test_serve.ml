@@ -73,6 +73,10 @@ let test_routing () =
     (match Report.Prom_text.parse_values r.Http.body with
     | Ok (_ :: _) -> true
     | _ -> false);
+  let r = Service.handle s (req "GET" "/metrics?format=prometheus") in
+  check_int "query string does not break routing" 200 r.Http.status;
+  let r = Service.handle s (req "GET" "/health?x=1#frag") in
+  check_int "query and fragment stripped before dispatch" 200 r.Http.status;
   let r = Service.handle s (req "GET" "/nosuch") in
   check_int "unknown path 404" 404 r.Http.status;
   let r = Service.handle s (req "POST" "/metrics") in
@@ -135,9 +139,9 @@ let test_ingest_line_results () =
 
 (* --- Http: the responder itself, loopback end-to-end --- *)
 
-let with_server handler f =
+let with_server ?io_timeout handler f =
   let server = Http.listen ~port:0 () in
-  let d = Domain.spawn (fun () -> Http.serve server handler) in
+  let d = Domain.spawn (fun () -> Http.serve ?io_timeout server handler) in
   Fun.protect
     ~finally:(fun () ->
       Http.stop server;
@@ -181,6 +185,46 @@ let test_http_rejects_malformed () =
       let raw = Bytes.sub_string buf 0 n in
       check_bool "malformed request answered with 400" true
         (String.starts_with ~prefix:"HTTP/1.1 400" raw))
+
+let test_http_idle_connection_times_out () =
+  with_server ~io_timeout:0.2
+    (fun _ -> Http.response "ok")
+    (fun port ->
+      (* A client that connects and sends nothing must not wedge the
+         sequential accept loop forever: the read deadline answers 408. *)
+      let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let buf = Bytes.create 1024 in
+      let n = Unix.read s buf 0 (Bytes.length buf) in
+      Unix.close s;
+      let raw = Bytes.sub_string buf 0 n in
+      check_bool "idle connection answered with 408" true
+        (String.starts_with ~prefix:"HTTP/1.1 408" raw);
+      (* ... and the loop is free again for the next client. *)
+      match Http.get ~port "/anything" with
+      | Ok (200, _) -> ()
+      | _ -> Alcotest.fail "server wedged after idle connection")
+
+let test_http_survives_client_reset () =
+  (* A peer that resets the connection while the response is being
+     written must surface as a catchable EPIPE/ECONNRESET, not as a
+     fatal SIGPIPE. The big body forces the server through multiple
+     writes so at least one lands after the RST. *)
+  let big = String.make (8 * 1024 * 1024) 'x' in
+  with_server
+    (fun _ -> Http.response big)
+    (fun port ->
+      let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect s (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let msg = "GET /big HTTP/1.1\r\n\r\n" in
+      ignore (Unix.write_substring s msg 0 (String.length msg));
+      (* linger 0 turns close into an RST instead of an orderly FIN *)
+      Unix.setsockopt_optint s Unix.SO_LINGER (Some 0);
+      Unix.close s;
+      (* the server must still be alive and serving *)
+      match Http.get ~port "/again" with
+      | Ok (200, _) -> ()
+      | _ -> Alcotest.fail "server died after client reset")
 
 (* --- The acceptance scenario: replayed stream under concurrent scrape,
    scraped counters equal to the post-run registry exactly --- *)
@@ -280,6 +324,10 @@ let suite =
       Alcotest.test_case "http end-to-end" `Quick test_http_end_to_end;
       Alcotest.test_case "http rejects malformed input" `Quick
         test_http_rejects_malformed;
+      Alcotest.test_case "http idle connection times out" `Quick
+        test_http_idle_connection_times_out;
+      Alcotest.test_case "http survives client reset" `Quick
+        test_http_survives_client_reset;
       Alcotest.test_case "replay under concurrent scrape" `Quick
         test_replay_under_scrape;
     ] )
