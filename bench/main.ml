@@ -153,7 +153,8 @@ let () =
 (* The smoke scale reuses the quick parameters but runs only a cheap
    representative subset of sections, so `dune build @bench-smoke` fits a
    test-suite time budget. *)
-let smoke_sections = [ "table1"; "table2"; "fig5"; "bnb"; "trace"; "serve" ]
+let smoke_sections =
+  [ "table1"; "table2"; "fig5"; "bnb"; "trace"; "serve"; "detect" ]
 
 let () =
   if !scale = Smoke && !only = [] then only := smoke_sections
@@ -613,6 +614,72 @@ let serve_section () =
       ~events:(pick ~quick:2_000 ~standard:10_000 ~paper:40_000)
       ~scrapes:(pick ~quick:50 ~standard:200 ~paper:500)
 
+(* --- detect: the streaming detector, naive oracle vs compiled plan ---
+
+   Replays one deterministic interleaved stream through both engines.
+   The differential check is hard (the bench fails on any disagreement in
+   matches or eviction counters); the numbers are the point — the
+   compiled plan's per-event cost against the enumerate-off-the-AST
+   oracle. Ordered after the trace snapshot so its detector counters stay
+   out of the report's gated metrics (compare parity with pre-detect
+   reports). *)
+let detect_stats : (string * Report.Json.t) list ref = ref []
+
+let detect_section () =
+  let events = pick ~quick:5_000 ~standard:40_000 ~paper:120_000 in
+  let query = [ Pattern.Parse.pattern_exn "SEQ(A, B, C) WITHIN 50" ] in
+  let prng = Numeric.Prng.create 42 in
+  let types = [| "A"; "B"; "C"; "X" |] in
+  let stream =
+    let ts = ref 0 in
+    List.init events (fun i ->
+        ts := !ts + Numeric.Prng.int prng 3;
+        {
+          Cep.Detector.event = Numeric.Prng.choose prng types;
+          timestamp = !ts;
+          tag = Printf.sprintf "s%d" i;
+        })
+  in
+  let run engine =
+    let d = Cep.Detector.create ~engine ~max_partials:8192 query in
+    let matches = ref 0 in
+    let (), dt =
+      E.Harness.time (fun () ->
+          List.iter
+            (fun i ->
+              matches := !matches + List.length (Cep.Detector.feed d i))
+            stream)
+    in
+    ( !matches,
+      Cep.Detector.dropped_capacity d,
+      Cep.Detector.evicted_horizon d,
+      dt )
+  in
+  let nm, nd, nh, naive_dt = run Cep.Detector.Naive in
+  let cm, cd, ch, compiled_dt = run Cep.Detector.Compiled in
+  if nm <> cm || nd <> cd || nh <> ch then
+    failwith
+      (Printf.sprintf
+         "detect: engines disagree (naive %d matches/%d dropped/%d expired, \
+          compiled %d/%d/%d)"
+         nm nd nh cm cd ch);
+  let per_event dt = dt /. float_of_int events *. 1e6 in
+  let speedup = naive_dt /. compiled_dt in
+  Format.printf
+    "detect: %d event(s), %d match(es)@.naive:    %.3f s (%.2f us/event)@.compiled: %.3f s (%.2f us/event)  speedup %.1fx@."
+    events nm naive_dt (per_event naive_dt) compiled_dt
+    (per_event compiled_dt) speedup;
+  detect_stats :=
+    [
+      ("events", Report.Json.Int events);
+      ("matches", Report.Json.Int nm);
+      ("naive_seconds", Report.Json.Float naive_dt);
+      ("naive_us_per_event", Report.Json.Float (per_event naive_dt));
+      ("compiled_seconds", Report.Json.Float compiled_dt);
+      ("compiled_us_per_event", Report.Json.Float (per_event compiled_dt));
+      ("speedup", Report.Json.Float speedup);
+    ]
+
 let scale_name () =
   match !scale with
   | Smoke -> "smoke"
@@ -645,10 +712,13 @@ let write_report () =
       @ (match !trace_overhead with
         | [] -> []
         | fields -> [ ("trace_overhead", Obj fields) ])
+      @ (match !serve_stats with
+        | [] -> []
+        | fields -> [ ("serve", Obj fields) ])
       @
-      match !serve_stats with
+      match !detect_stats with
       | [] -> []
-      | fields -> [ ("serve", Obj fields) ])
+      | fields -> [ ("detect", Obj fields) ])
   in
   let oc = open_out !report_path in
   Fun.protect
@@ -677,4 +747,5 @@ let () =
      serve's counter traffic out of the report. *)
   section "trace" trace_section;
   section "serve" serve_section;
+  section "detect" detect_section;
   write_report ()

@@ -450,7 +450,22 @@ let detect_cmd =
       & info [ "horizon" ]
           ~doc:"Time horizon for partial matches (default: the query's root WITHIN).")
   in
-  let run () query stream_path horizon =
+  let engine_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("compiled", Whynot.Cep.Detector.Compiled);
+               ("naive", Whynot.Cep.Detector.Naive);
+             ])
+          Whynot.Cep.Detector.Compiled
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Detection engine: $(b,compiled) (default; precompiled plan, see \
+             docs/DETECTION.md) or $(b,naive) (the reference enumerator).")
+  in
+  let run () query stream_path horizon engine =
     let instances =
       let lines = In_channel.with_open_text stream_path In_channel.input_lines in
       match Whynot.Serve.Ingest.parse_lines lines with
@@ -459,7 +474,7 @@ let detect_cmd =
           Printf.eprintf "%s\n" (Whynot.Serve.Ingest.error_to_string e);
           exit 2
     in
-    let detector = Whynot.Cep.Detector.create ?horizon query in
+    let detector = Whynot.Cep.Detector.create ~engine ?horizon query in
     let matches = Whynot.Cep.Detector.feed_all detector instances in
     List.iter
       (fun m ->
@@ -479,7 +494,8 @@ let detect_cmd =
   Cmd.v
     (Cmd.info "detect"
        ~doc:"Run the streaming detector over an interleaved event stream (CSV).")
-    Term.(const run $ obs_term $ query_arg $ stream_arg $ horizon_arg)
+    Term.(
+      const run $ obs_term $ query_arg $ stream_arg $ horizon_arg $ engine_arg)
 
 (* --- serve (live telemetry service) --- *)
 
@@ -516,6 +532,21 @@ let serve_cmd =
              JSONL and the server exits at EOF. The HTTP endpoints \
              (/metrics, /health, /ready) stay available throughout.")
   in
+  let engine_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("compiled", Whynot.Cep.Detector.Compiled);
+               ("naive", Whynot.Cep.Detector.Naive);
+             ])
+          Whynot.Cep.Detector.Compiled
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Detection engine: $(b,compiled) (default) or $(b,naive) (the \
+             reference enumerator; see docs/DETECTION.md).")
+  in
   let log_level_arg =
     Arg.(
       value
@@ -536,7 +567,7 @@ let serve_cmd =
              $(b,debug) (per-request events). See docs/SERVING.md for the \
              line schema.")
   in
-  let run () query port horizon max_partials use_stdin log_level =
+  let run () query port horizon max_partials engine use_stdin log_level =
     Whynot.Obs.Log.set_level log_level;
     let help =
       (* HELP text for /metrics comes from the metric catalog when the
@@ -549,7 +580,7 @@ let serve_cmd =
       else fun _ -> None
     in
     let service =
-      Whynot.Serve.Service.create ?horizon ~max_partials
+      Whynot.Serve.Service.create ~engine ?horizon ~max_partials
         ~http_ingest:(not use_stdin) ~help query
     in
     let server = Whynot.Serve.Http.listen ~port () in
@@ -606,7 +637,7 @@ let serve_cmd =
           (POST /ingest or --stdin) with JSONL match verdicts.")
     Term.(
       const run $ obs_term $ query_arg $ port_arg $ horizon_arg
-      $ max_partials_arg $ stdin_arg $ log_level_arg)
+      $ max_partials_arg $ engine_arg $ stdin_arg $ log_level_arg)
 
 (* --- convert --- *)
 

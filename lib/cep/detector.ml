@@ -12,11 +12,19 @@ type match_ = {
   tags : (Event.t * string) list;
 }
 
+type engine = Naive | Compiled
+
 type partial = {
   assigned : Tuple.t;
   p_tags : (Event.t * string) list;
   earliest : Events.Time.t;
 }
+
+type naive_buffer = { mutable partials : partial list (* newest first *) }
+
+type state =
+  | Naive_buffer of naive_buffer
+  | Compiled_store of Plan.store
 
 type t = {
   patterns : Pattern.Ast.t list;
@@ -24,8 +32,9 @@ type t = {
   required : Event.Set.t;
   horizon : int;
   max_partials : int;
-  mutable partials : partial list; (* newest first *)
-  mutable count : int;
+  engine : engine;
+  state : state;
+  mutable count : int; (* naive only; the compiled store tracks its own *)
   mutable dropped : int; (* capacity evictions *)
   mutable horizon_evicted : int;
   mutable clock : Events.Time.t;
@@ -38,12 +47,14 @@ let horizon_c = Obs.counter "detector.evicted_horizon"
 let capacity_c = Obs.counter "detector.dropped_capacity"
 let live_g = Obs.gauge "detector.partials_live"
 let peak_g = Obs.gauge "detector.partials_peak"
+let plan_matrices_g = Obs.gauge "detector.plan.matrices"
+let plan_fallback_c = Obs.counter "detector.plan.fallback_checks"
 
 let root_within = function
   | Pattern.Ast.Event _ -> None
   | Pattern.Ast.Seq (_, w) | Pattern.Ast.And (_, w) -> w.within
 
-let create ?horizon ?(max_partials = 4096) patterns =
+let create ?(engine = Compiled) ?horizon ?(max_partials = 4096) patterns =
   (match Pattern.Ast.validate_set patterns with
   | Ok () -> ()
   | Error e ->
@@ -72,20 +83,38 @@ let create ?horizon ?(max_partials = 4096) patterns =
   in
   if not report.consistent then
     invalid_arg "Detector.create: inconsistent query (it can never match)";
+  let state =
+    match engine with
+    | Naive -> Naive_buffer { partials = [] }
+    | Compiled ->
+        let plan =
+          Compile.plan ~on_fallback:(fun () -> Obs.incr plan_fallback_c)
+            patterns
+        in
+        Obs.gauge_set plan_matrices_g (Plan.matrix_count plan);
+        Compiled_store (Plan.create_store ~horizon ~max_partials plan)
+  in
   {
     patterns;
     net = Tcn.Encode.pattern_set patterns;
     required = Pattern.Ast.events_of_set patterns;
     horizon;
     max_partials;
-    partials = [];
+    engine;
+    state;
     count = 0;
     dropped = 0;
     horizon_evicted = 0;
     clock = min_int;
   }
 
-let partial_count t = t.count
+let engine t = t.engine
+
+let partial_count t =
+  match t.state with
+  | Naive_buffer _ -> t.count
+  | Compiled_store store -> Plan.live store
+
 let dropped t = t.dropped
 let dropped_capacity t = t.dropped
 let evicted_horizon t = t.horizon_evicted
@@ -94,14 +123,7 @@ let evicted_horizon t = t.horizon_evicted
    every repeat alias of that base. Aliases are filled canonically in index
    order (the copies of one REPEAT group are totally ordered by the
    desugared SEQ, so the ascending-by-arrival assignment is complete). *)
-let targets_of t instance_type =
-  Event.Set.fold
-    (fun e acc ->
-      match Event.alias_info e with
-      | Some (base, _, _) when Event.equal base instance_type -> e :: acc
-      | Some _ -> acc
-      | None -> if Event.equal e instance_type then e :: acc else acc)
-    t.required []
+let targets_of t instance_type = Compile.targets_of t.required instance_type
 
 let alias_ready assigned e =
   match Event.alias_info e with
@@ -116,19 +138,17 @@ let feasible t assigned =
 
 let complete t partial = Event.Set.for_all (fun e -> Tuple.mem e partial.assigned) t.required
 
-let feed t inst =
-  if inst.timestamp < t.clock then
-    invalid_arg "Detector.feed: timestamps must be non-decreasing";
-  t.clock <- inst.timestamp;
-  Obs.incr fed_c;
-  Obs.Trace.with_trace "detector.feed" @@ fun () ->
-
+(* The reference engine: enumerate straight off the AST with a full pinned
+   consistency check per candidate extension. Kept as the differential-
+   testing oracle for the compiled plan (the same role the flat binding
+   sweep plays for Bnb). *)
+let feed_naive t buf inst =
   (* Horizon eviction: a partial whose earliest instance is out of reach of
      the root window can never complete. This must happen on every feed —
      including instances of irrelevant types — or dead partials linger (and
      inflate the buffer) on streams dominated by other event types. *)
   let alive, expired =
-    List.partition (fun p -> inst.timestamp - p.earliest <= t.horizon) t.partials
+    List.partition (fun p -> inst.timestamp - p.earliest <= t.horizon) buf.partials
   in
   (match expired with
   | [] -> ()
@@ -139,7 +159,7 @@ let feed t inst =
       if Obs.Trace.should_emit () then
         Obs.Trace.emit
           (Obs.Trace.Detector_evict { reason = Horizon; count = n });
-      t.partials <- alive;
+      buf.partials <- alive;
       t.count <- t.count - n);
   let targets = targets_of t inst.event in
   if targets = [] then begin
@@ -190,11 +210,16 @@ let feed t inst =
     let count = List.length partials in
     let partials, count =
       if count > t.max_partials then begin
-        (* newest first: truncate the tail (oldest) *)
-        let rec take k = function
-          | [] -> []
-          | _ when k = 0 -> []
-          | p :: rest -> p :: take (k - 1) rest
+        (* newest first: truncate the tail (oldest). Tail-recursive — the
+           prefix length is the configurable max_partials, so a non-tail
+           take could blow the stack on large capacities. *)
+        let take k l =
+          let rec go acc k = function
+            | [] -> List.rev acc
+            | _ when k = 0 -> List.rev acc
+            | p :: rest -> go (p :: acc) (k - 1) rest
+          in
+          go [] k l
         in
         let evicted = count - t.max_partials in
         t.dropped <- t.dropped + evicted;
@@ -206,7 +231,7 @@ let feed t inst =
       end
       else (partials, count)
     in
-    t.partials <- partials;
+    buf.partials <- partials;
     t.count <- count;
     Obs.gauge_set live_g count;
     Obs.gauge_max peak_g count;
@@ -223,5 +248,66 @@ let feed t inst =
       (fun p -> { tuple = p.assigned; tags = List.rev p.p_tags })
       matches
   end
+
+(* The compiled engine: same observable behavior (matches, order, tags,
+   counters, trace events), driven by the plan's indexed store. *)
+let feed_compiled t store inst =
+  let out =
+    Plan.step store ~event:inst.event ~timestamp:inst.timestamp ~tag:inst.tag
+  in
+  (match out.Plan.out_horizon_evicted with
+  | 0 -> ()
+  | n ->
+      t.horizon_evicted <- t.horizon_evicted + n;
+      Obs.add horizon_c n;
+      if Obs.Trace.should_emit () then
+        Obs.Trace.emit
+          (Obs.Trace.Detector_evict { reason = Horizon; count = n }));
+  if out.Plan.out_irrelevant then begin
+    Obs.incr irrelevant_c;
+    Obs.gauge_set live_g (Plan.live store);
+    if Obs.Trace.should_emit () then
+      Obs.Trace.emit (Obs.Trace.Detector_admit { live = Plan.live store });
+    []
+  end
+  else begin
+    (match out.Plan.out_capacity_evicted with
+    | 0 -> ()
+    | n ->
+        t.dropped <- t.dropped + n;
+        Obs.add capacity_c n;
+        if Obs.Trace.should_emit () then
+          Obs.Trace.emit
+            (Obs.Trace.Detector_evict { reason = Capacity; count = n }));
+    let live = Plan.live store in
+    Obs.gauge_set live_g live;
+    Obs.gauge_max peak_g live;
+    if Obs.Trace.should_emit () then
+      Obs.Trace.emit (Obs.Trace.Detector_admit { live });
+    let matches =
+      (* Pruning is conservative; the matcher is the final authority. *)
+      List.filter
+        (fun (tuple, _) -> Pattern.Matcher.matches_set tuple t.patterns)
+        out.Plan.out_matches
+    in
+    (match matches with
+    | [] -> ()
+    | _ ->
+        let n = List.length matches in
+        Obs.add matches_c n;
+        if Obs.Trace.should_emit () then
+          Obs.Trace.emit (Obs.Trace.Detector_match { count = n }));
+    List.map (fun (tuple, tags) -> { tuple; tags = List.rev tags }) matches
+  end
+
+let feed t inst =
+  if inst.timestamp < t.clock then
+    invalid_arg "Detector.feed: timestamps must be non-decreasing";
+  t.clock <- inst.timestamp;
+  Obs.incr fed_c;
+  Obs.Trace.with_trace "detector.feed" @@ fun () ->
+  match t.state with
+  | Naive_buffer buf -> feed_naive t buf inst
+  | Compiled_store store -> feed_compiled t store inst
 
 let feed_all t instances = List.concat_map (feed t) instances

@@ -37,14 +37,28 @@ type match_ = {
   tags : (Events.Event.t * string) list;  (** which instance filled each event *)
 }
 
+type engine =
+  | Naive
+      (** enumerate partial matches straight off the AST, with a full
+          pinned consistency check ({!Explain.Consistency.check_network})
+          per candidate extension — the reference implementation, kept as
+          the differential-testing oracle *)
+  | Compiled
+      (** evaluate on a compiled {!Plan} (see {!Compile.plan} and
+          [docs/DETECTION.md]): precomputed transition tables, per-binding
+          window-distance matrices and an indexed partial store.
+          Bit-identical matches and counters, much cheaper per event. *)
+
 type t
 
 val create :
-  ?horizon:int -> ?max_partials:int -> Pattern.Ast.t list -> t
-(** [horizon] defaults to the largest root [WITHIN] bound of the query;
-    it must be given when no pattern has one. [max_partials] defaults to
-    4096. @raise Invalid_argument on an invalid or window-less unbounded
-    query, or an inconsistent query. *)
+  ?engine:engine -> ?horizon:int -> ?max_partials:int -> Pattern.Ast.t list -> t
+(** [engine] defaults to [Compiled]. [horizon] defaults to the largest
+    root [WITHIN] bound of the query; it must be given when no pattern has
+    one. [max_partials] defaults to 4096. @raise Invalid_argument on an
+    invalid or window-less unbounded query, or an inconsistent query. *)
+
+val engine : t -> engine
 
 val feed : t -> instance -> match_ list
 (** Advance the stream by one instance (timestamps must be fed in

@@ -1,0 +1,315 @@
+module Event = Events.Event
+module Tuple = Events.Tuple
+module Weight = Tcn.Weight
+module Checked = Numeric.Checked
+
+type target = {
+  tgt_event : Event.t;
+  tgt_index : int;
+  tgt_prereq : int;
+}
+
+type transition = {
+  tr_targets : target list;
+  tr_fresh : target list;
+}
+
+type t = {
+  events : Event.t array;
+  index_of : int Event.Map.t;
+  required_count : int;
+  transitions : transition Event.Map.t;
+  matrices : int array array array;
+  fallback : (Tuple.t -> bool) option;
+}
+
+let matrix_count t = Array.length t.matrices
+
+(* --- partials --- *)
+
+(* Partials are immutable snapshots (skip-till-any-match keeps the parent
+   alive when an extension is made), so which instance types a partial can
+   accept — and therefore its bucket memberships — are fixed at creation.
+   [dead] is the only mutable bit: eviction tombstones a partial in place
+   and every index skips tombstones until the next compaction. *)
+type partial = {
+  assigned : Tuple.t;
+  idx_ts : (int * Events.Time.t) list;  (* (event index, timestamp) *)
+  p_tags : (Event.t * string) list;  (* newest first *)
+  earliest : Events.Time.t;
+  n_assigned : int;
+  viable : int;  (* bitmask over [matrices]; unused in fallback mode *)
+  e_bucket : partial list ref;  (* the same-earliest bucket holding it *)
+  mutable dead : bool;
+}
+
+type store = {
+  plan : t;
+  horizon : int;
+  max_partials : int;
+  full_mask : int;
+  buckets : partial list ref Event.Map.t;
+      (* per instance type, the partials that can still accept it,
+         newest first *)
+  by_earliest : (Events.Time.t * partial list ref) Queue.t;
+      (* buckets keyed by ascending [earliest]; horizon eviction pops
+         whole buckets off the front *)
+  by_insertion : partial Queue.t;
+      (* oldest first; capacity eviction pops off the front *)
+  mutable last_bucket : (Events.Time.t * partial list ref) option;
+  mutable live_count : int;
+  mutable deaths : int;  (* tombstones since the last compaction *)
+}
+
+let create_store ~horizon ~max_partials plan =
+  {
+    plan;
+    horizon;
+    max_partials;
+    full_mask =
+      (match plan.fallback with
+      | Some _ -> 0
+      | None -> (1 lsl Array.length plan.matrices) - 1);
+    buckets = Event.Map.map (fun _ -> ref []) plan.transitions;
+    by_earliest = Queue.create ();
+    by_insertion = Queue.create ();
+    last_bucket = None;
+    live_count = 0;
+    deaths = 0;
+  }
+
+let live s = s.live_count
+
+type outcome = {
+  out_matches : (Tuple.t * (Event.t * string) list) list;
+  out_horizon_evicted : int;
+  out_capacity_evicted : int;
+  out_irrelevant : bool;
+}
+
+(* Saturating t(j) - t(i), clamped into [-inf, inf] exactly like a bound
+   entering an STN — so the comparison against a minimal-network entry
+   matches what the naive engine's pinned consistency check would see. *)
+let diff a b = Weight.clamp (Weight.sat_add a (Weight.neg b))
+
+(* Would assigning [events.(j) := ts] fit matrix [m] given the already
+   assigned (index, timestamp) pairs? By decomposability, pairwise bounds
+   against the assigned events are exact. *)
+let fits m idx_ts j ts =
+  List.for_all
+    (fun (i, ti) ->
+      let d = diff ts ti in
+      d <= m.(i).(j) && Weight.neg d <= m.(j).(i))
+    idx_ts
+
+(* Matrices from [mask] that also admit the new assignment. *)
+let refine_mask plan mask idx_ts j ts =
+  let out = ref 0 in
+  Array.iteri
+    (fun k m ->
+      if mask land (1 lsl k) <> 0 && fits m idx_ts j ts then
+        out := !out lor (1 lsl k))
+    plan.matrices;
+  !out
+
+(* Which instance types can extend this assignment: type [ty] is accepted
+   iff some target of [ty] is unassigned with its prerequisite met. Fixed
+   for the partial's lifetime (the assignment is immutable). *)
+let accepts plan assigned tr =
+  List.exists
+    (fun tgt ->
+      (not (Tuple.mem tgt.tgt_event assigned))
+      && (tgt.tgt_prereq < 0
+         || Tuple.mem plan.events.(tgt.tgt_prereq) assigned))
+    tr.tr_targets
+
+let tombstone s p =
+  p.dead <- true;
+  s.live_count <- s.live_count - 1;
+  s.deaths <- s.deaths + 1
+
+(* Rebuild every index without tombstones. Triggered once the tombstone
+   count exceeds max(64, live), so the O(live + dead) rebuild is paid at
+   most once per O(live + dead) evictions — amortized O(1) per death. *)
+let compact s =
+  let alive = Queue.create () in
+  Queue.iter (fun p -> if not p.dead then Queue.push p alive) s.by_insertion;
+  Queue.clear s.by_insertion;
+  Queue.transfer alive s.by_insertion;
+  Event.Map.iter
+    (fun _ b -> b := List.filter (fun p -> not p.dead) !b)
+    s.buckets;
+  let kept = Queue.create () in
+  Queue.iter
+    (fun (e, b) ->
+      b := List.filter (fun p -> not p.dead) !b;
+      if not (!b = []) then Queue.push (e, b) kept)
+    s.by_earliest;
+  Queue.clear s.by_earliest;
+  Queue.transfer kept s.by_earliest;
+  (* a dropped empty bucket must never be resurrected by key reuse *)
+  s.last_bucket <- None;
+  s.deaths <- 0
+
+let maybe_compact s =
+  let threshold = if s.live_count > 64 then s.live_count else 64 in
+  if s.deaths > threshold then compact s
+
+(* The same-earliest bucket for a fresh partial born at [ts]. Fresh
+   partials' [earliest] is non-decreasing across feeds, so reusing the
+   newest bucket (or pushing a new one) keeps the queue sorted. *)
+let earliest_bucket s ts =
+  match s.last_bucket with
+  | Some (t0, b) when t0 = ts -> b
+  | _ ->
+      let b = ref [] in
+      Queue.push (ts, b) s.by_earliest;
+      s.last_bucket <- Some (ts, b);
+      b
+
+(* Register a newly created partial in every index. Callers insert the
+   batch of one feed oldest-first, so each bucket stays newest-first and
+   the insertion queue stays oldest-first — the exact order the naive
+   engine's [keep @ fresh @ alive] list encodes. *)
+let insert s p =
+  Queue.push p s.by_insertion;
+  p.e_bucket := p :: !(p.e_bucket);
+  Event.Map.iter
+    (fun ty b ->
+      let tr = Event.Map.find ty s.plan.transitions in
+      if accepts s.plan p.assigned tr then b := p :: !b)
+    s.buckets
+
+let step s ~event ~timestamp ~tag =
+  (* Horizon eviction pops whole expired buckets: every partial in a
+     bucket shares its [earliest], so the work is O(evicted), not
+     O(live). Runs on every feed, irrelevant instance types included. *)
+  let horizon_evicted = ref 0 in
+  let expired e0 =
+    (* mirrors the naive `timestamp - earliest <= horizon` cut, without
+       the wrap *)
+    Weight.sat_add timestamp (Weight.neg e0) > s.horizon
+  in
+  let rec evict_horizon () =
+    match Queue.peek_opt s.by_earliest with
+    | Some (e0, bucket) when expired e0 ->
+        ignore (Queue.pop s.by_earliest);
+        List.iter
+          (fun p ->
+            if not p.dead then begin
+              tombstone s p;
+              incr horizon_evicted
+            end)
+          !bucket;
+        bucket := [];
+        evict_horizon ()
+    | _ -> ()
+  in
+  evict_horizon ();
+  match Event.Map.find_opt event s.plan.transitions with
+  | None ->
+      maybe_compact s;
+      {
+        out_matches = [];
+        out_horizon_evicted = !horizon_evicted;
+        out_capacity_evicted = 0;
+        out_irrelevant = true;
+      }
+  | Some tr ->
+      let plan = s.plan in
+      (* Snapshot the bucket before inserting this feed's partials: only
+         pre-existing partials are extension candidates, and the list is
+         newest-first — the order the naive engine scans its buffer. *)
+      let candidates = !(Event.Map.find event s.buckets) in
+      let extend p tgt =
+        if
+          Tuple.mem tgt.tgt_event p.assigned
+          || (tgt.tgt_prereq >= 0
+             && not (Tuple.mem plan.events.(tgt.tgt_prereq) p.assigned))
+        then None
+        else
+          let make viable =
+            Some
+              {
+                assigned = Tuple.add tgt.tgt_event timestamp p.assigned;
+                idx_ts = (tgt.tgt_index, timestamp) :: p.idx_ts;
+                p_tags = (tgt.tgt_event, tag) :: p.p_tags;
+                (* the clock never runs backwards, so the parent's
+                   earliest is inherited (and with it its bucket) *)
+                earliest = p.earliest;
+                n_assigned = p.n_assigned + 1;
+                viable;
+                e_bucket = p.e_bucket;
+                dead = false;
+              }
+          in
+          match plan.fallback with
+          | Some check ->
+              if check (Tuple.add tgt.tgt_event timestamp p.assigned) then
+                make 0
+              else None
+          | None ->
+              let viable =
+                refine_mask plan p.viable p.idx_ts tgt.tgt_index timestamp
+              in
+              if viable = 0 then None else make viable
+      in
+      let extensions = ref [] in
+      List.iter
+        (fun p ->
+          if not p.dead then
+            List.iter
+              (fun tgt ->
+                match extend p tgt with
+                | Some ext -> extensions := ext :: !extensions
+                | None -> ())
+              tr.tr_targets)
+        candidates;
+      let extensions = List.rev !extensions (* generation order *) in
+      let matches, keep =
+        List.partition (fun p -> p.n_assigned = plan.required_count) extensions
+      in
+      let fresh =
+        (* like the naive engine, fresh singletons skip the feasibility
+           check (a single event always fits some binding matrix) *)
+        List.filter_map
+          (fun tgt ->
+            if tgt.tgt_prereq >= 0 then None
+            else
+              Some
+                {
+                  assigned = Tuple.add tgt.tgt_event timestamp Tuple.empty;
+                  idx_ts = [ (tgt.tgt_index, timestamp) ];
+                  p_tags = [ (tgt.tgt_event, tag) ];
+                  earliest = timestamp;
+                  n_assigned = 1;
+                  viable = s.full_mask;
+                  e_bucket = earliest_bucket s timestamp;
+                  dead = false;
+                })
+          tr.tr_fresh
+      in
+      (* naive buffer order is [keep @ fresh @ alive]; insert oldest
+         first, so: fresh (reversed), then keep (reversed) *)
+      List.iter (insert s) (List.rev fresh);
+      List.iter (insert s) (List.rev keep);
+      s.live_count <-
+        Checked.add s.live_count
+          (Checked.add (List.length fresh) (List.length keep));
+      let capacity_evicted = ref 0 in
+      while s.live_count > s.max_partials do
+        (* oldest live partial first; popped tombstones cost nothing *)
+        let p = Queue.pop s.by_insertion in
+        if not p.dead then begin
+          tombstone s p;
+          incr capacity_evicted
+        end
+      done;
+      maybe_compact s;
+      {
+        out_matches =
+          List.map (fun p -> (p.assigned, p.p_tags)) matches;
+        out_horizon_evicted = !horizon_evicted;
+        out_capacity_evicted = !capacity_evicted;
+        out_irrelevant = false;
+      }

@@ -1,0 +1,93 @@
+(** Compiled evaluation plans for the streaming detector.
+
+    A plan is the query's detection logic precomputed once at
+    {!Compile.plan} time, so the per-instance work of {!Detector.feed}
+    drops from "re-derive everything from the AST and run a full STN
+    consistency check per candidate extension" to table lookups and
+    O(assigned) window-distance arithmetic:
+
+    - {e transition tables}: for each instance type, the pattern events
+      (including REPEAT aliases) an incoming instance may fill, in the
+      exact order the naive engine tries them, with the alias-chain
+      prerequisite resolved to an event index;
+    - {e binding distance matrices}: one minimal-network (all-pairs
+      shortest path) matrix over the real pattern events per consistent
+      binding of the encoded TCN. Minimal STNs are decomposable
+      (Dechter–Meiri–Pearl), so a partial assignment extends to a full
+      match under {e some} binding iff every assigned pair fits one
+      matrix — exactly the predicate the naive engine evaluates with
+      [Consistency.check_network ~pinned], for at most
+      [O(assigned * matrices)] integer comparisons;
+    - an {e indexed partial store}: partials bucketed by the instance
+      types they can still accept (so extension candidates are found
+      without scanning the whole buffer), a queue of same-[earliest]
+      buckets for O(evicted) horizon eviction, and an insertion-order
+      queue for O(evicted) capacity eviction. Evicted partials are
+      tombstoned and compacted away amortized O(1).
+
+    The store replays the naive engine {e bit-identically}: matches,
+    match order, tags, live partial counts and both eviction counters are
+    equal on any stream (the differential fuzz suite asserts this).
+    Window-distance arithmetic sticks to the saturating {!Tcn.Weight}
+    operations, mirroring how bounds enter an STN. *)
+
+type target = {
+  tgt_event : Events.Event.t;  (** pattern event or REPEAT alias to fill *)
+  tgt_index : int;  (** index of [tgt_event] in {!field-events} *)
+  tgt_prereq : int;
+      (** index of the alias with the preceding REPEAT index, which must
+          already be assigned ([alias_ready]); [-1] when always ready *)
+}
+
+type transition = {
+  tr_targets : target list;
+      (** every target an instance of this type may fill, in the naive
+          engine's trial order *)
+  tr_fresh : target list;
+      (** the subset that can start a new partial (prerequisite-free),
+          in the same order *)
+}
+
+type t = {
+  events : Events.Event.t array;  (** real pattern events, sorted *)
+  index_of : int Events.Event.Map.t;  (** event -> index in [events] *)
+  required_count : int;
+  transitions : transition Events.Event.Map.t;
+      (** instance type -> transition; absent types are irrelevant *)
+  matrices : int array array array;
+      (** per consistent binding, deduplicated: [(k).(i).(j)] is the
+          tightest upper bound on [t(events.(j)) - t(events.(i))], with
+          {!Tcn.Weight.inf} for unbounded *)
+  fallback : (Events.Tuple.t -> bool) option;
+      (** [Some check] when the binding space was too large to
+          materialize ({!Compile.max_matrices}): per-extension
+          feasibility falls back to [check] on the extended assignment *)
+}
+
+val matrix_count : t -> int
+
+(** {1 The indexed partial store} *)
+
+type store
+
+val create_store : horizon:int -> max_partials:int -> t -> store
+
+val live : store -> int
+(** Current number of live (non-evicted) partials. *)
+
+type outcome = {
+  out_matches : (Events.Tuple.t * (Events.Event.t * string) list) list;
+      (** completed assignments in generation order, tags newest-first;
+          {e candidates} — the caller confirms them with
+          {!Pattern.Matcher} exactly like the naive engine *)
+  out_horizon_evicted : int;
+  out_capacity_evicted : int;
+  out_irrelevant : bool;
+      (** the instance type fills no pattern event (horizon eviction
+          still ran) *)
+}
+
+val step : store -> event:Events.Event.t -> timestamp:Events.Time.t ->
+  tag:string -> outcome
+(** Advance the store by one instance. Timestamps must be fed
+    non-decreasing (the caller — {!Detector.feed} — enforces this). *)

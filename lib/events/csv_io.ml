@@ -33,7 +33,7 @@ let trace_to_string trace =
    on, or [Error] at the first ambiguous construct — a quote opening
    mid-field, text following a closing quote, or an unterminated quote —
    rather than guessing and corrupting data. *)
-let records_of_string input =
+let records_of_string_raw input =
   let n = String.length input in
   let pos = ref 0 and line = ref 1 in
   let records = ref [] in
@@ -120,8 +120,22 @@ let records_of_string input =
     if !error = None then records := (start_line, List.rev !fields) :: !records
   done;
   match !error with
-  | Some (lineno, msg) -> Error (Printf.sprintf "line %d: %s" lineno msg)
+  | Some e -> Error e
   | None -> Ok (List.rev !records)
+
+let records_of_string input =
+  match records_of_string_raw input with
+  | Error (lineno, msg) -> Error (Printf.sprintf "line %d: %s" lineno msg)
+  | Ok records -> Ok records
+
+let split_line line =
+  match records_of_string_raw line with
+  | Error (_, msg) -> Error msg
+  | Ok [] -> Ok []
+  | Ok [ (_, fields) ] -> Ok fields
+  | Ok _ ->
+      (* callers split on '\n' first, so this only fires on misuse *)
+      Error "unexpected newline in line"
 
 let is_blank = function [] | [ "" ] -> true | _ -> false
 

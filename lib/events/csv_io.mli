@@ -17,6 +17,14 @@ val trace_to_string : Trace.t -> string
 val trace_of_string : string -> (Trace.t, string) result
 (** Parse; [Error msg] points at the first offending line. *)
 
+val split_line : string -> (string list, string) result
+(** Split one newline-free CSV line into fields with the same RFC-4180
+    quoting rules as {!trace_of_string} (a quoted field may contain
+    commas and doubled quotes; unquoted fields are trimmed, quoted fields
+    taken verbatim). [Ok \[\]] for the empty string. The error is the bare
+    reason, without a line-number prefix — callers that track their own
+    line numbers (the ingest path) prepend their own. *)
+
 val write_trace : string -> Trace.t -> unit
 (** [write_trace path trace] writes the CSV file at [path]. *)
 

@@ -6,26 +6,30 @@ let header = "event,timestamp,tag"
 let parse_line ~lineno line =
   let trimmed = String.trim line in
   if String.equal trimmed "" then Ok None
-  else if lineno = 1 && String.equal trimmed header then Ok None
+    (* The header is skipped wherever it appears, not just on line 1: the
+       serve ingest counts lines across requests, so a client re-sending
+       its header in a second POST /ingest would otherwise be rejected
+       with a spurious "bad timestamp". Nothing is lost — as a data line
+       it could never parse ("timestamp" is not an integer). *)
+  else if String.equal trimmed header then Ok None
   else
     let fail reason = Error { line = lineno; reason } in
     let instance e ts tag =
       match int_of_string_opt (String.trim ts) with
       | None -> fail "bad timestamp"
       | Some timestamp ->
-          let event = String.trim e in
-          if String.equal event "" then fail "empty event name"
+          if String.equal e "" then fail "empty event name"
           else
             let tag =
-              let tag = String.trim tag in
               if String.equal tag "" then Printf.sprintf "#%d" lineno else tag
             in
-            Ok (Some { Cep.Detector.event; timestamp; tag })
+            Ok (Some { Cep.Detector.event = e; timestamp; tag })
     in
-    match String.split_on_char ',' trimmed with
-    | [ e; ts ] -> instance e ts ""
-    | [ e; ts; tag ] -> instance e ts tag
-    | _ -> fail "expected event,timestamp[,tag]"
+    match Events.Csv_io.split_line trimmed with
+    | Error reason -> fail reason
+    | Ok [ e; ts ] -> instance e ts ""
+    | Ok [ e; ts; tag ] -> instance e ts tag
+    | Ok _ -> fail "expected event,timestamp[,tag]"
 
 let parse_lines lines =
   let rec go acc lineno = function

@@ -1,7 +1,12 @@
 (** Line-delimited event ingest: the CSV stream format
     ([event,timestamp[,tag]]) shared by the [detect] subcommand, the
     [serve] ingest endpoint and the stdin feed. Parsing is separated from
-    feeding so every entry point rejects malformed input identically. *)
+    feeding so every entry point rejects malformed input identically.
+
+    Fields follow the RFC-4180 quoting rules of {!Events.Csv_io}: a tag
+    (or event name) containing commas or quotes may be sent quoted, e.g.
+    [order,7,"batch 3, retry"]. Unquoted fields are trimmed; quoted
+    fields are taken verbatim. *)
 
 type error = { line : int; reason : string }
 
@@ -9,13 +14,14 @@ val error_to_string : error -> string
 (** ["line N: <reason>"]. *)
 
 val header : string
-(** The canonical CSV header ([event,timestamp,tag]); skipped when it
-    appears as line 1. *)
+(** The canonical CSV header ([event,timestamp,tag]); skipped wherever it
+    appears (the serve ingest numbers lines across requests, so a second
+    request may legitimately start with the header again). *)
 
 val parse_line :
   lineno:int -> string -> (Cep.Detector.instance option, error) result
 (** Parse one stream line. [Ok None] for blank lines and for the
-    {!header} on line 1. A missing or empty tag defaults to ["#<lineno>"].
+    {!header}. A missing or empty tag defaults to ["#<lineno>"].
     [lineno] is 1-based. *)
 
 val parse_lines : string list -> (Cep.Detector.instance list, error) result

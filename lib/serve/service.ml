@@ -23,10 +23,10 @@ type t = {
 
 let default_max_partials = 4096
 
-let create ?horizon ?(max_partials = default_max_partials)
+let create ?engine ?horizon ?(max_partials = default_max_partials)
     ?(http_ingest = true) ?(help = fun _ -> None) query =
   {
-    detector = Cep.Detector.create ?horizon ~max_partials query;
+    detector = Cep.Detector.create ?engine ?horizon ~max_partials query;
     max_partials;
     http_ingest;
     help;

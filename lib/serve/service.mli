@@ -28,13 +28,16 @@ val default_max_partials : int
     it explicitly so pressure warnings know the real bound. *)
 
 val create :
+  ?engine:Cep.Detector.engine ->
   ?horizon:int ->
   ?max_partials:int ->
   ?http_ingest:bool ->
   ?help:(string -> string option) ->
   Pattern.Ast.t list ->
   t
-(** [http_ingest] (default true) controls whether [POST /ingest] feeds
+(** [engine] selects the detector engine (default [Compiled], see
+    {!Cep.Detector.engine}).
+    [http_ingest] (default true) controls whether [POST /ingest] feeds
     the detector; pass [false] when events arrive on stdin and the HTTP
     loop runs on another domain, so the detector stays single-domain
     (ingest then answers 503). [help] supplies HELP text for [/metrics]

@@ -83,6 +83,19 @@ let distance t src dst =
   let d = t.dist.(find_index t src).(find_index t dst) in
   if d >= inf then None else Some d
 
+let distance_matrix t evs =
+  if not t.consistent then
+    invalid_arg "Stn.distance_matrix: inconsistent network";
+  let m = Array.length evs in
+  let idx = Array.map (fun e -> Event.Map.find_opt e t.index) evs in
+  Array.init m (fun i ->
+      Array.init m (fun j ->
+          if i = j then 0
+          else
+            match (idx.(i), idx.(j)) with
+            | Some a, Some b -> t.dist.(a).(b)
+            | None, _ | _, None -> inf))
+
 (* Minimal STNs are decomposable: assigning events one by one, each inside
    the bounds induced by the already-assigned ones (origin included), can
    never get stuck. [pick] chooses a value within [lower, upper]. *)

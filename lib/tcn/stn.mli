@@ -33,6 +33,17 @@ val distance : t -> Events.Event.t -> Events.Event.t -> Events.Time.t option
     @raise Invalid_argument if the network is inconsistent or an event is
     unknown. *)
 
+val distance_matrix : t -> Events.Event.t array -> int array array
+(** [distance_matrix t evs] projects the minimal network onto [evs]:
+    entry [(i, j)] is the tightest upper bound on
+    [t(evs.(j)) - t(evs.(i))], with {!Weight.inf} for "unbounded". Events
+    not in the network are treated as unconstrained (every bound
+    [Weight.inf], diagonal 0) rather than rejected, so callers can project
+    onto a fixed event universe. Because minimal STNs are decomposable, a
+    partial assignment extends to a full solution iff every assigned pair
+    satisfies these bounds — the basis for the detector's compiled
+    feasibility checks. @raise Invalid_argument if [t] is inconsistent. *)
+
 val solution : t -> Events.Tuple.t option
 (** A feasible assignment with non-negative timestamps, [None] if
     inconsistent. All events (including isolated ones) are bound. *)

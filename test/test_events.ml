@@ -135,6 +135,27 @@ let test_csv_ambiguous_rejected () =
   expect_error "unterminated quote" "\"abcd,E1,5\n";
   expect_error "text after closing quote" "\"ab\"cd,E1,5\n"
 
+let test_split_line () =
+  let ok label line expected =
+    match Csv_io.split_line line with
+    | Ok fields -> check_bool label true (fields = expected)
+    | Error e -> Alcotest.failf "%s: %s" label e
+  in
+  ok "plain fields trimmed" "a, b ,c" [ "a"; "b"; "c" ];
+  ok "quoted field keeps comma" "a,\"b, c\",d" [ "a"; "b, c"; "d" ];
+  ok "quoted field verbatim (no trim)" "\" b \",c" [ " b "; "c" ];
+  ok "doubled quotes unescape" "\"say \"\"hi\"\"\"" [ "say \"hi\"" ];
+  ok "empty string is no fields" "" [];
+  ok "single field" "abc" [ "abc" ];
+  (match Csv_io.split_line "a,\"unterminated" with
+  | Error msg ->
+      check_bool "split_line error has no line prefix" false
+        (String.starts_with ~prefix:"line " msg)
+  | Ok _ -> Alcotest.fail "expected unterminated-quote error");
+  match Csv_io.split_line "a,\"x\"y" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected text-after-quote error"
+
 let test_csv_errors () =
   (match Csv_io.trace_of_string "a,b\n" with
   | Error msg -> check_bool "field count error" true (String.length msg > 0)
@@ -161,5 +182,6 @@ let suite =
       Alcotest.test_case "csv header after blanks" `Quick test_csv_header_after_blanks;
       Alcotest.test_case "csv ambiguous input rejected" `Quick
         test_csv_ambiguous_rejected;
+      Alcotest.test_case "csv split_line" `Quick test_split_line;
       Alcotest.test_case "csv errors" `Quick test_csv_errors;
     ] )

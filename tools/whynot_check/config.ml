@@ -32,7 +32,8 @@ let default =
   {
     rules = all_rules;
     domain_roots = [ "lib/obs.ml" ];
-    checked_arith_paths = [ "lib/tcn"; "lib/lp" ];
+    checked_arith_paths =
+      [ "lib/tcn"; "lib/lp"; "lib/cep/plan.ml"; "lib/cep/compile.ml" ];
     checked_arith_max_literal = 64;
     no_stdout_deny = [ "lib" ];
     no_stdout_allow = [ "lib/report" ];
