@@ -154,7 +154,7 @@ let () =
    representative subset of sections, so `dune build @bench-smoke` fits a
    test-suite time budget. *)
 let smoke_sections =
-  [ "table1"; "table2"; "fig5"; "bnb"; "trace"; "serve"; "detect" ]
+  [ "table1"; "table2"; "fig5"; "bnb"; "trace"; "serve"; "serve_mt"; "detect" ]
 
 let () =
   if !scale = Smoke && !only = [] then only := smoke_sections
@@ -614,6 +614,17 @@ let serve_section () =
       ~events:(pick ~quick:2_000 ~standard:10_000 ~paper:40_000)
       ~scrapes:(pick ~quick:50 ~standard:200 ~paper:500)
 
+(* serve_mt: the pooled/sharded serving soak with its latency histogram,
+   p99 gate and (on >=4 cores at gating scales) the 3x throughput gate.
+   Post-trace for the same compare-parity reason as serve. *)
+let serve_mt_stats : (string * Report.Json.t) list ref = ref []
+
+let serve_mt_section () =
+  serve_mt_stats :=
+    Serve_load.run_mt
+      ~events:(pick ~quick:4_000 ~standard:20_000 ~paper:60_000)
+      ~gate:(match !scale with Standard | Paper -> true | Smoke | Quick -> false)
+
 (* --- detect: the streaming detector, naive oracle vs compiled plan ---
 
    Replays one deterministic interleaved stream through both engines.
@@ -715,6 +726,9 @@ let write_report () =
       @ (match !serve_stats with
         | [] -> []
         | fields -> [ ("serve", Obj fields) ])
+      @ (match !serve_mt_stats with
+        | [] -> []
+        | fields -> [ ("serve_mt", Obj fields) ])
       @
       match !detect_stats with
       | [] -> []
@@ -747,5 +761,6 @@ let () =
      serve's counter traffic out of the report. *)
   section "trace" trace_section;
   section "serve" serve_section;
+  section "serve_mt" serve_mt_section;
   section "detect" detect_section;
   write_report ()

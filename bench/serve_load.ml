@@ -116,3 +116,228 @@ let run ~events ~scrapes =
     ("quiet_scrapes", Report.Json.Int scrapes);
     ("scrape_us_per_call", Report.Json.Float scrape_us);
   ]
+
+(* --- serve_mt: the multi-core soak ---
+
+   Replays the same keyed stream twice: once through the sequential
+   baseline (inline single-shard service behind the one-thread accept
+   loop) and once through the pooled stack (serve_pool workers +
+   threaded detector shards), with one keep-alive client domain per
+   worker. Each POST's round-trip is timed client-side; the merged
+   latency distribution is printed as a histogram and gated on p99.
+   The >=3x throughput gate only arms on >=4 cores at standard scale —
+   on fewer cores the pooled stack cannot beat the baseline by
+   parallelism and the ratio is reported without gating. *)
+
+let mt_query () =
+  match Pattern.Parse.pattern_set "SEQ(E1, E2) WITHIN 20" with
+  | Ok q -> q
+  | Error msg -> failwith msg
+
+let mt_batch = 200
+let keys_per_client = 4
+
+(* Client [c]'s lines [seq0, seq0+k): 4 interleaved key streams, each
+   alternating E1/E2 on strictly increasing timestamps — every key is an
+   independent steady stream of in-window matches. *)
+let mt_body ~client ~seq0 ~k =
+  let buf = Buffer.create (k * 24) in
+  for i = 0 to k - 1 do
+    let seq = seq0 + i in
+    let key = Printf.sprintf "c%dk%d" client (seq mod keys_per_client) in
+    let step = seq / keys_per_client in
+    Buffer.add_string buf
+      (Printf.sprintf "E%d,%d,%s-%d,%s\n"
+         (1 + (step mod 2))
+         (step * 3) key step key)
+  done;
+  Buffer.contents buf
+
+(* Feed [events] lines over one keep-alive connection, timing each POST.
+   Returns the per-request latencies in seconds, most recent first. *)
+let mt_feed ~port ~client ~events =
+  let conn = Serve.Http.Client.connect ~port in
+  let lats = ref [] in
+  let sent = ref 0 in
+  while !sent < events do
+    let k = min mt_batch (events - !sent) in
+    let body = mt_body ~client ~seq0:!sent ~k in
+    let t0 = Unix.gettimeofday () in
+    (match Serve.Http.Client.post conn "/ingest" body with
+    | Ok (200, _) -> ()
+    | Ok (st, b) -> failwith (Printf.sprintf "serve_mt ingest HTTP %d: %s" st b)
+    | Error msg -> failwith ("serve_mt ingest: " ^ msg));
+    lats := (Unix.gettimeofday () -. t0) :: !lats;
+    sent := !sent + k
+  done;
+  Serve.Http.Client.close conn;
+  !lats
+
+let percentile_ms sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank)) *. 1000.0
+
+let latency_bounds_ms = [ 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0 ]
+
+let p99_budget_ms = 500.0
+
+let run_mt ~events ~gate =
+  let query = mt_query () in
+  let cores = Domain.recommended_domain_count () in
+  let workers = max 2 (min cores 8) in
+  let shards = workers in
+  let lines0 =
+    Option.value ~default:0 (Obs.find_counter "serve.ingest.lines")
+  in
+  (* sequential baseline: inline single-shard service, one-thread loop *)
+  let baseline_dt, fresh_us, reused_us =
+    let service = Serve.Service.create ~max_partials:512 query in
+    let server = Serve.Http.listen ~port:0 () in
+    let port = Serve.Http.port server in
+    let d =
+      Domain.spawn (fun () ->
+          Serve.Http.serve server (Serve.Service.handle service))
+    in
+    let (), dt =
+      E.Harness.time (fun () -> ignore (mt_feed ~port ~client:0 ~events))
+    in
+    (* keep-alive saving, measured against the quiet sequential server so
+       pool scheduling noise stays out of it: /health with a fresh
+       connection per request vs the same count over one kept-alive
+       connection. Per-request medians, not means — on a loaded box a
+       single descheduling outlier would otherwise swamp the ~tens of
+       microseconds of connect/accept/teardown that keep-alive removes. *)
+    let ka_reqs = 80 in
+    let median_us check =
+      let samples =
+        Array.init ka_reqs (fun _ ->
+            let t0 = Unix.gettimeofday () in
+            (match check () with
+            | Ok (200, _) -> ()
+            | Ok (st, _) ->
+                failwith (Printf.sprintf "serve_mt health HTTP %d" st)
+            | Error msg -> failwith ("serve_mt health: " ^ msg));
+            Unix.gettimeofday () -. t0)
+      in
+      Array.sort Float.compare samples;
+      samples.(ka_reqs / 2) *. 1e6
+    in
+    let fresh_us = median_us (fun () -> Serve.Http.get ~port "/health") in
+    let conn = Serve.Http.Client.connect ~port in
+    let reused_us = median_us (fun () -> Serve.Http.Client.get conn "/health") in
+    Serve.Http.Client.close conn;
+    Serve.Http.stop server;
+    Domain.join d;
+    Serve.Service.shutdown service;
+    (dt, fresh_us, reused_us)
+  in
+  (* pooled: worker domains over sharded detection, one client per worker *)
+  let per_client = events / workers in
+  let pooled_events = per_client * workers in
+  let service =
+    Serve.Service.create ~max_partials:512 ~shards ~threaded:true query
+  in
+  let server = Serve.Http.listen ~port:0 () in
+  let port = Serve.Http.port server in
+  let pool_d =
+    Domain.spawn (fun () ->
+        Serve.Http.serve_pool ~workers server (Serve.Service.handle service))
+  in
+  let (latencies, pooled_dt) =
+    E.Harness.time (fun () ->
+        let clients =
+          List.init workers (fun c ->
+              Domain.spawn (fun () ->
+                  mt_feed ~port ~client:(c + 1) ~events:per_client))
+        in
+        List.concat_map Domain.join clients)
+  in
+  Serve.Http.stop server;
+  Domain.join pool_d;
+  Serve.Service.shutdown service;
+  (* both replays fully ingested, nothing shed *)
+  let ingested =
+    Option.value ~default:0 (Obs.find_counter "serve.ingest.lines") - lines0
+  in
+  if ingested <> events + pooled_events then
+    failwith
+      (Printf.sprintf
+         "serve_mt: fed %d event(s) but serve.ingest.lines moved by %d"
+         (events + pooled_events) ingested);
+  let sorted = Array.of_list latencies in
+  Array.sort Float.compare sorted;
+  let p50 = percentile_ms sorted 50.0 and p99 = percentile_ms sorted 99.0 in
+  let histogram =
+    List.map
+      (fun le ->
+        let n =
+          Array.fold_left
+            (fun acc l -> if l *. 1000.0 <= le then acc + 1 else acc)
+            0 sorted
+        in
+        (le, n))
+      latency_bounds_ms
+  in
+  let baseline_tput = float_of_int events /. baseline_dt in
+  let pooled_tput = float_of_int pooled_events /. pooled_dt in
+  let speedup = pooled_tput /. baseline_tput in
+  Format.printf
+    "baseline: %d event(s) in %.3f s (%.0f ev/s, 1 thread)@.pooled:   %d \
+     event(s) in %.3f s (%.0f ev/s, %d worker(s) x %d shard(s)) — %.2fx@."
+    events baseline_dt baseline_tput pooled_events pooled_dt pooled_tput
+    workers shards speedup;
+  Format.printf "request latency (%d POSTs): p50 %.2f ms, p99 %.2f ms@."
+    (Array.length sorted) p50 p99;
+  List.iter
+    (fun (le, n) -> Format.printf "  le %6.1f ms: %d@." le n)
+    histogram;
+  Format.printf
+    "keep-alive: %.1f us/req fresh connections, %.1f us/req reused (%.1f us \
+     saved)@."
+    fresh_us reused_us (fresh_us -. reused_us);
+  (* gates: p99 always; 3x throughput only on >=4 cores at gating scale *)
+  if p99 > p99_budget_ms then
+    failwith
+      (Printf.sprintf "serve_mt: p99 request latency %.1f ms over budget %.1f"
+         p99 p99_budget_ms);
+  let throughput_gate =
+    if not gate then "skipped (sub-standard scale)"
+    else if cores < 4 then
+      Printf.sprintf "skipped (%d core(s) available, need 4)" cores
+    else if speedup < 3.0 then
+      failwith
+        (Printf.sprintf
+           "serve_mt: pooled throughput %.2fx baseline, gate requires 3x on \
+            %d cores"
+           speedup cores)
+    else Printf.sprintf "passed (%.2fx >= 3x)" speedup
+  in
+  Format.printf "throughput gate: %s@." throughput_gate;
+  [
+    ("events", Report.Json.Int events);
+    ("cores", Report.Json.Int cores);
+    ("workers", Report.Json.Int workers);
+    ("shards", Report.Json.Int shards);
+    ("baseline_seconds", Report.Json.Float baseline_dt);
+    ("baseline_events_per_s", Report.Json.Float baseline_tput);
+    ("pooled_events", Report.Json.Int pooled_events);
+    ("pooled_seconds", Report.Json.Float pooled_dt);
+    ("pooled_events_per_s", Report.Json.Float pooled_tput);
+    ("speedup", Report.Json.Float speedup);
+    ("latency_p50_ms", Report.Json.Float p50);
+    ("latency_p99_ms", Report.Json.Float p99);
+    ("latency_p99_budget_ms", Report.Json.Float p99_budget_ms);
+    ( "latency_histogram_ms",
+      Report.Json.Obj
+        (List.map
+           (fun (le, n) ->
+             (Printf.sprintf "le_%g" le, Report.Json.Int n))
+           histogram) );
+    ("fresh_conn_us_per_req", Report.Json.Float fresh_us);
+    ("keepalive_us_per_req", Report.Json.Float reused_us);
+    ("keepalive_saving_us", Report.Json.Float (fresh_us -. reused_us));
+    ("throughput_gate", Report.Json.String throughput_gate);
+  ]

@@ -468,8 +468,12 @@ let detect_cmd =
   let run () query stream_path horizon engine =
     let instances =
       let lines = In_channel.with_open_text stream_path In_channel.input_lines in
+      (* detect runs one detector over the interleaved stream: a fourth
+         (partition key) CSV column is accepted but ignored — keyed
+         parallel detection is `whynot serve`'s job. *)
       match Whynot.Serve.Ingest.parse_lines lines with
-      | Ok instances -> instances
+      | Ok keyed ->
+          List.map (fun k -> k.Whynot.Serve.Ingest.instance) keyed
       | Error e ->
           Printf.eprintf "%s\n" (Whynot.Serve.Ingest.error_to_string e);
           exit 2
@@ -522,6 +526,42 @@ let serve_cmd =
       & info [ "max-partials" ] ~docv:"N"
           ~doc:"Capacity bound on the detector's partial-match buffer.")
   in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "HTTP worker domains. 1 (default) keeps the sequential accept \
+             loop; above 1, an acceptor hands connections to N worker \
+             domains over a bounded queue, and the detector pool runs \
+             threaded.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"K"
+          ~doc:
+            "Detector shards. Each partition key (the optional fourth \
+             ingest CSV column) hashes to one shard; each key gets its own \
+             detector. Keyless events pin to shard 0, so 1 (default) \
+             behaves exactly like the single sequential detector.")
+  in
+  let shard_queue_arg =
+    Arg.(
+      value & opt int Whynot.Serve.Service.default_shard_queue
+      & info [ "shard-queue" ] ~docv:"N"
+          ~doc:
+            "Ingest batches a shard queues before shedding: a batch that \
+             finds any of its shards' queues full is refused with HTTP 429 \
+             and Retry-After, nothing applied. Only meaningful with \
+             --workers or --shards above 1.")
+  in
+  let backlog_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:"Kernel accept backlog for the listening socket.")
+  in
   let stdin_arg =
     Arg.(
       value & flag
@@ -567,8 +607,17 @@ let serve_cmd =
              $(b,debug) (per-request events). See docs/SERVING.md for the \
              line schema.")
   in
-  let run () query port horizon max_partials engine use_stdin log_level =
+  let run () query port horizon max_partials engine workers shards shard_queue
+      backlog use_stdin log_level =
     Whynot.Obs.Log.set_level log_level;
+    if workers < 1 then begin
+      Printf.eprintf "whynot serve: --workers must be >= 1\n";
+      exit 2
+    end;
+    if shards < 1 then begin
+      Printf.eprintf "whynot serve: --shards must be >= 1\n";
+      exit 2
+    end;
     let help =
       (* HELP text for /metrics comes from the metric catalog when the
          repo's docs are around; a deployed binary falls back to the
@@ -579,23 +628,30 @@ let serve_cmd =
         Whynot.Report.Prom_text.help_of_markdown docs
       else fun _ -> None
     in
+    (* The pool must be threaded as soon as more than one domain can feed
+       it: multiple HTTP workers, or multiple shards (each shard is its
+       own domain). With 1 worker and 1 shard everything stays inline on
+       one domain — bit-identical to the pre-pool service. *)
+    let threaded = workers > 1 || shards > 1 in
     let service =
-      Whynot.Serve.Service.create ~engine ?horizon ~max_partials
-        ~http_ingest:(not use_stdin) ~help query
+      Whynot.Serve.Service.create ~engine ?horizon ~max_partials ~shards
+        ~shard_queue ~threaded ~http_ingest:(not use_stdin) ~help query
     in
-    let server = Whynot.Serve.Http.listen ~port () in
+    let server = Whynot.Serve.Http.listen ~backlog ~port () in
     let port = Whynot.Serve.Http.port server in
     Whynot.Serve.Service.log_start ~port;
     Printf.eprintf
       "whynot serve: listening on http://127.0.0.1:%d (metrics at /metrics)\n%!"
       port;
     let handler = Whynot.Serve.Service.handle service in
+    let http_loop () =
+      if workers > 1 then Whynot.Serve.Http.serve_pool ~workers server handler
+      else Whynot.Serve.Http.serve server handler
+    in
     if use_stdin then begin
-      (* The detector stays on this domain (the HTTP loop only reads
-         atomics: ingest over HTTP answers 503 in this mode). *)
-      let http_domain =
-        Domain.spawn (fun () -> Whynot.Serve.Http.serve server handler)
-      in
+      (* Ingest stays on this domain (HTTP ingest answers 503 in this
+         mode); the HTTP loop serves scrapes from its own domain(s). *)
+      let http_domain = Domain.spawn http_loop in
       let rec loop lineno =
         match In_channel.input_line stdin with
         | None -> ()
@@ -608,7 +664,7 @@ let serve_cmd =
                   (fun m ->
                     print_endline
                       (Whynot.Report.Json.to_string
-                         (Whynot.Serve.Service.match_json m)))
+                         (Whynot.Serve.Service.match_json ~line:lineno m)))
                   matches
             | Error reason ->
                 Printf.eprintf "whynot serve: line %d: %s\n" lineno reason);
@@ -617,7 +673,8 @@ let serve_cmd =
       loop 1;
       Whynot.Serve.Service.log_stop service;
       Whynot.Serve.Http.stop server;
-      Domain.join http_domain
+      Domain.join http_domain;
+      Whynot.Serve.Service.shutdown service
     end
     else begin
       let stop _signal =
@@ -626,7 +683,8 @@ let serve_cmd =
       in
       Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
       Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-      Whynot.Serve.Http.serve server handler
+      http_loop ();
+      Whynot.Serve.Service.shutdown service
     end
   in
   Cmd.v
@@ -637,7 +695,8 @@ let serve_cmd =
           (POST /ingest or --stdin) with JSONL match verdicts.")
     Term.(
       const run $ obs_term $ query_arg $ port_arg $ horizon_arg
-      $ max_partials_arg $ engine_arg $ stdin_arg $ log_level_arg)
+      $ max_partials_arg $ engine_arg $ workers_arg $ shards_arg
+      $ shard_queue_arg $ backlog_arg $ stdin_arg $ log_level_arg)
 
 (* --- convert --- *)
 

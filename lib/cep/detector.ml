@@ -54,7 +54,24 @@ let root_within = function
   | Pattern.Ast.Event _ -> None
   | Pattern.Ast.Seq (_, w) | Pattern.Ast.And (_, w) -> w.within
 
-let create ?(engine = Compiled) ?horizon ?(max_partials = 4096) patterns =
+(* Everything about a query that is independent of detector state:
+   validation, horizon inference, the consistency pre-check and (for the
+   compiled engine) the compiled plan. Sharded serving instantiates one
+   detector per partition key; paying validation + compilation once per
+   query instead of once per key is what makes that affordable. All fields
+   are immutable after construction, so a template may be shared across
+   domains — each [of_template] call builds a fresh mutable store. *)
+type template = {
+  tpl_patterns : Pattern.Ast.t list;
+  tpl_net : Tcn.Encode.set;
+  tpl_required : Event.Set.t;
+  tpl_horizon : int;
+  tpl_max_partials : int;
+  tpl_engine : engine;
+  tpl_plan : Plan.t option; (* [Some] iff [tpl_engine = Compiled] *)
+}
+
+let template ?(engine = Compiled) ?horizon ?(max_partials = 4096) patterns =
   (match Pattern.Ast.validate_set patterns with
   | Ok () -> ()
   | Error e ->
@@ -83,30 +100,54 @@ let create ?(engine = Compiled) ?horizon ?(max_partials = 4096) patterns =
   in
   if not report.consistent then
     invalid_arg "Detector.create: inconsistent query (it can never match)";
-  let state =
+  let plan =
     match engine with
-    | Naive -> Naive_buffer { partials = [] }
+    | Naive -> None
     | Compiled ->
         let plan =
           Compile.plan ~on_fallback:(fun () -> Obs.incr plan_fallback_c)
             patterns
         in
         Obs.gauge_set plan_matrices_g (Plan.matrix_count plan);
-        Compiled_store (Plan.create_store ~horizon ~max_partials plan)
+        Some plan
   in
   {
-    patterns;
-    net = Tcn.Encode.pattern_set patterns;
-    required = Pattern.Ast.events_of_set patterns;
-    horizon;
-    max_partials;
-    engine;
+    tpl_patterns = patterns;
+    tpl_net = Tcn.Encode.pattern_set patterns;
+    tpl_required = Pattern.Ast.events_of_set patterns;
+    tpl_horizon = horizon;
+    tpl_max_partials = max_partials;
+    tpl_engine = engine;
+    tpl_plan = plan;
+  }
+
+let of_template tpl =
+  let state =
+    match tpl.tpl_plan with
+    | None -> Naive_buffer { partials = [] }
+    | Some plan ->
+        Compiled_store
+          (Plan.create_store ~horizon:tpl.tpl_horizon
+             ~max_partials:tpl.tpl_max_partials plan)
+  in
+  {
+    patterns = tpl.tpl_patterns;
+    net = tpl.tpl_net;
+    required = tpl.tpl_required;
+    horizon = tpl.tpl_horizon;
+    max_partials = tpl.tpl_max_partials;
+    engine = tpl.tpl_engine;
     state;
     count = 0;
     dropped = 0;
     horizon_evicted = 0;
     clock = min_int;
   }
+
+let template_horizon tpl = tpl.tpl_horizon
+
+let create ?engine ?horizon ?max_partials patterns =
+  of_template (template ?engine ?horizon ?max_partials patterns)
 
 let engine t = t.engine
 

@@ -51,12 +51,37 @@ type engine =
 
 type t
 
-val create :
-  ?engine:engine -> ?horizon:int -> ?max_partials:int -> Pattern.Ast.t list -> t
+type template
+(** A validated, compiled query with no detector state: the parsed
+    patterns, the inferred horizon, the consistency pre-check result and
+    (for the {!Compiled} engine) the compiled {!Plan}. Immutable after
+    construction, so one template may be shared across domains; each
+    {!of_template} call derives an independent detector with fresh partial
+    state. Sharded serving keeps one detector {e per partition key} — the
+    template makes that O(keys) stores instead of O(keys) compilations. *)
+
+val template :
+  ?engine:engine ->
+  ?horizon:int ->
+  ?max_partials:int ->
+  Pattern.Ast.t list ->
+  template
 (** [engine] defaults to [Compiled]. [horizon] defaults to the largest
     root [WITHIN] bound of the query; it must be given when no pattern has
     one. [max_partials] defaults to 4096. @raise Invalid_argument on an
     invalid or window-less unbounded query, or an inconsistent query. *)
+
+val of_template : template -> t
+(** A fresh detector (empty partial buffer, clock reset) sharing the
+    template's validated query and compiled plan. *)
+
+val template_horizon : template -> int
+(** The horizon the template resolved (given or inferred). *)
+
+val create :
+  ?engine:engine -> ?horizon:int -> ?max_partials:int -> Pattern.Ast.t list -> t
+(** [of_template (template ...)] — validate and compile the query, then
+    build one detector on it. *)
 
 val engine : t -> engine
 

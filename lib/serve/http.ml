@@ -1,9 +1,14 @@
-(* Minimal dependency-free HTTP/1.1 responder over Unix sockets: a single
-   sequential accept loop, one request per connection (Connection: close).
-   Sequential handling is a feature here, not a limitation — it serializes
-   every route through one thread, so the handler may touch non-thread-safe
-   state (the detector) without locks. Scrape traffic is tiny and ingest
-   batches are bounded, so head-of-line blocking is acceptable. *)
+(* Minimal dependency-free HTTP/1.1 responder over Unix sockets, in two
+   serving modes. [serve] is the original single-threaded accept loop:
+   sequential handling serializes every route through one thread, so the
+   handler may touch non-thread-safe state without locks. [serve_pool]
+   adds a Domain pool — the calling thread accepts and hands connections
+   to N worker domains over a bounded queue — for handlers that are safe
+   to run concurrently (the sharded service). Both modes speak keep-alive:
+   a client sending [Connection: keep-alive] reuses its connection for up
+   to [keepalive_limit] requests, each under the same I/O deadline. *)
+
+let keepalive_c = Obs.counter "serve.keepalive.reuses"
 
 type request = {
   meth : string;
@@ -12,7 +17,12 @@ type request = {
   body : string;
 }
 
-type response = { status : int; content_type : string; body : string }
+type response = {
+  status : int;
+  content_type : string;
+  headers : (string * string) list;
+  body : string;
+}
 
 let reason_of = function
   | 200 -> "OK"
@@ -21,28 +31,36 @@ let reason_of = function
   | 405 -> "Method Not Allowed"
   | 408 -> "Request Timeout"
   | 413 -> "Content Too Large"
+  | 429 -> "Too Many Requests"
   | 503 -> "Service Unavailable"
   | _ -> "Error"
 
 (* A peer that resets the connection mid-write must surface as a
    catchable EPIPE from [Unix.write], not as SIGPIPE — the signal's
    default disposition would kill the whole process. Forced before any
-   socket I/O ([listen] and [request]). *)
-let ignore_sigpipe =
-  lazy
-    (match Sys.set_signal Sys.sigpipe Sys.Signal_ignore with
+   socket I/O ([listen] and the clients). An Atomic, not a Lazy: lazy
+   forcing is not safe under domain races, and clients run on many. *)
+let sigpipe_ignored = Atomic.make false
+
+let ignore_sigpipe () =
+  if not (Atomic.exchange sigpipe_ignored true) then
+    match Sys.set_signal Sys.sigpipe Sys.Signal_ignore with
     | () -> ()
-    | exception Invalid_argument _ -> (* no SIGPIPE on this platform *) ())
+    | exception Invalid_argument _ -> (* no SIGPIPE on this platform *) ()
 
 let response ?(status = 200) ?(content_type = "text/plain; charset=utf-8")
-    body =
-  { status; content_type; body }
+    ?(headers = []) body =
+  { status; content_type; headers; body }
 
 (* Bounds chosen for a loopback telemetry port: enough for any scrape or
    reasonable ingest batch, small enough that a misdirected upload cannot
    balloon the process. *)
 let max_head_bytes = 64 * 1024
 let max_body_bytes = 16 * 1024 * 1024
+
+(* Keep-alive bounds: a connection is recycled at most this many times by
+   default, so one chatty client cannot monopolize a worker forever. *)
+let default_keepalive_limit = 100
 
 let find_sub s sub from =
   let n = String.length s and m = String.length sub in
@@ -61,15 +79,21 @@ let write_all fd s =
     off := !off + Unix.write fd b !off (n - !off)
   done
 
-let write_response fd (r : response) =
+let write_response ?(keep_alive = false) fd (r : response) =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) r.headers)
+  in
   let head =
     Printf.sprintf
       "HTTP/1.1 %d %s\r\n\
        Content-Type: %s\r\n\
        Content-Length: %d\r\n\
-       Connection: close\r\n\
+       %sConnection: %s\r\n\
        \r\n"
       r.status (reason_of r.status) r.content_type (String.length r.body)
+      extra
+      (if keep_alive then "keep-alive" else "close")
   in
   write_all fd (head ^ r.body)
 
@@ -111,13 +135,23 @@ let header_value headers name =
 
 exception Read_timed_out
 
-(* Read one full request from [fd]. Errors carry the status to answer
-   with (400 for malformed input, 408 for a read timeout, 413 for
-   oversized bodies). A timeout relies on the caller having set
-   SO_RCVTIMEO on [fd]; without it reads block indefinitely. *)
-let recv_request fd =
+type received =
+  | Req of request
+  | Closed  (* clean EOF between requests: nothing buffered, peer gone *)
+  | Fail of int * string  (* status to answer before closing *)
+
+(* Read one full request from [fd]. [pending] carries bytes read past the
+   previous request on a kept-alive connection (a pipelining client's
+   next request must not be dropped), and is left holding any overrun on
+   return. Failures carry the status to answer with (400 for malformed
+   input, 408 for a read timeout, 413 for oversized bodies). A timeout
+   relies on the caller having set SO_RCVTIMEO on [fd]; without it reads
+   block indefinitely. *)
+let recv_request fd pending =
   let chunk = Bytes.create 4096 in
   let buf = Buffer.create 1024 in
+  Buffer.add_string buf !pending;
+  pending := "";
   let refill () =
     match Unix.read fd chunk 0 (Bytes.length chunk) with
     | n ->
@@ -132,17 +166,22 @@ let recv_request fd =
     | None ->
         if Buffer.length buf > max_head_bytes then
           Error (400, "request headers too large")
-        else if refill () = 0 then Error (400, "truncated request")
+        else if refill () = 0 then
+          if Buffer.length buf = 0 then Error (0, "") (* clean close *)
+          else Error (400, "truncated request")
         else head_end ()
+  in
+  let finish status msg =
+    if status = 0 then Closed else Fail (status, msg)
   in
   try
     match head_end () with
-    | Error _ as e -> e
+    | Error (status, msg) -> finish status msg
     | Ok body_start -> (
         match
           parse_head (String.sub (Buffer.contents buf) 0 (body_start - 4))
         with
-        | Error msg -> Error (400, msg)
+        | Error msg -> Fail (400, msg)
         | Ok (meth, path, headers) -> (
             let content_length =
               match header_value headers "content-length" with
@@ -153,28 +192,49 @@ let recv_request fd =
                   | _ -> Error (400, "bad content-length"))
             in
             match content_length with
-            | Error _ as e -> e
-            | Ok len when len > max_body_bytes -> Error (413, "body too large")
+            | Error (status, msg) -> Fail (status, msg)
+            | Ok len when len > max_body_bytes -> Fail (413, "body too large")
             | Ok len ->
                 let rec fill_body () =
-                  if Buffer.length buf >= body_start + len then
-                    Ok
+                  if Buffer.length buf >= body_start + len then begin
+                    let all = Buffer.contents buf in
+                    (* stash the overrun for the next request on this
+                       connection *)
+                    pending :=
+                      String.sub all (body_start + len)
+                        (String.length all - body_start - len);
+                    Req
                       {
                         meth;
                         path;
                         headers;
-                        body = String.sub (Buffer.contents buf) body_start len;
+                        body = String.sub all body_start len;
                       }
-                  else if refill () = 0 then Error (400, "truncated body")
+                  end
+                  else if refill () = 0 then Fail (400, "truncated body")
                   else fill_body ()
                 in
                 fill_body ()))
-  with Read_timed_out -> Error (408, "request read timed out")
+  with Read_timed_out -> Fail (408, "request read timed out")
 
-type t = { sock : Unix.file_descr; port : int; stopping : bool Atomic.t }
+(* Live-connection registry: [stop] shuts down the read side of every
+   connection currently being served, so a worker blocked reading an idle
+   kept-alive socket wakes with EOF instead of wedging shutdown until its
+   I/O deadline. All access takes [cm]. *)
+type conns = {
+  cm : Mutex.t;
+  fds : (Unix.file_descr, unit) Hashtbl.t;
+}
 
-let listen ?(backlog = 16) ~port () =
-  Lazy.force ignore_sigpipe;
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  stopping : bool Atomic.t;
+  conns : conns;
+}
+
+let listen ?(backlog = 128) ~port () =
+  ignore_sigpipe ();
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -184,34 +244,90 @@ let listen ?(backlog = 16) ~port () =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> port
   in
-  { sock; port; stopping = Atomic.make false }
+  {
+    sock;
+    port;
+    stopping = Atomic.make false;
+    conns = { cm = Mutex.create (); fds = Hashtbl.create 16 };
+  }
 
 let port t = t.port
 let stopping t = Atomic.get t.stopping
 
-(* Per-connection I/O deadline. The accept loop is sequential, so a
-   client that connects and then sends nothing would otherwise wedge
-   every route (and [stop], whose wake-up poke only unblocks [accept],
-   not a read stuck inside a connection). *)
+let track_conn t fd =
+  Mutex.lock t.conns.cm;
+  Hashtbl.replace t.conns.fds fd ();
+  (* stop may have run between accept and here: shut the read side now so
+     this connection cannot outlive shutdown by its full deadline *)
+  if Atomic.get t.stopping then begin
+    match Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with
+    | () -> ()
+    | exception Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock t.conns.cm
+
+let untrack_conn t fd =
+  Mutex.lock t.conns.cm;
+  Hashtbl.remove t.conns.fds fd;
+  Mutex.unlock t.conns.cm
+
+(* Per-connection I/O deadline. A client that connects and then sends
+   nothing would otherwise pin a worker (and, in sequential mode, wedge
+   every route and [stop], whose wake-up poke only unblocks [accept], not
+   a read stuck inside a connection). *)
 let default_io_timeout = 10.0
 
-let serve ?(io_timeout = default_io_timeout) t handler =
-  let handle_conn fd =
-    Fun.protect
-      ~finally:(fun () ->
-        match Unix.close fd with
-        | () -> ()
-        | exception Unix.Unix_error _ -> ())
-      (fun () ->
-        if io_timeout > 0. then begin
-          Unix.setsockopt_float fd Unix.SO_RCVTIMEO io_timeout;
-          Unix.setsockopt_float fd Unix.SO_SNDTIMEO io_timeout
-        end;
-        match recv_request fd with
-        | Error (status, msg) ->
+let wants_keep_alive (req : request) =
+  match header_value req.headers "connection" with
+  | Some v -> String.equal (String.lowercase_ascii v) "keep-alive"
+  | None -> false
+
+(* One connection, possibly many requests: honor [Connection: keep-alive]
+   up to [keepalive_limit] requests, each under the same I/O deadline.
+   The response echoes the decision in its own Connection header, and a
+   kept-alive turn counts into [serve.keepalive.reuses]. Closing is the
+   default — our own one-shot client still drains to EOF. *)
+let handle_conn ~io_timeout ~keepalive_limit t handler fd =
+  Fun.protect
+    ~finally:(fun () ->
+      untrack_conn t fd;
+      match Unix.close fd with
+      | () -> ()
+      | exception Unix.Unix_error _ -> ())
+    (fun () ->
+      track_conn t fd;
+      if io_timeout > 0. then begin
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO io_timeout;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO io_timeout
+      end;
+      let pending = ref "" in
+      let rec turn served =
+        match recv_request fd pending with
+        | Closed -> ()
+        | Fail (status, msg) ->
             write_response fd (response ~status (msg ^ "\n"))
-        | Ok req -> write_response fd (handler req))
-  in
+        | Req req ->
+            (* a request after the first means the connection was
+               actually reused, not merely left open *)
+            if served > 0 then Obs.incr keepalive_c;
+            let resp = handler req in
+            let keep_alive =
+              wants_keep_alive req
+              && served + 1 < keepalive_limit
+              && not (Atomic.get t.stopping)
+            in
+            write_response ~keep_alive fd resp;
+            if keep_alive then turn (served + 1)
+      in
+      turn 0)
+
+let swallow_conn_error handler fd =
+  (* A client that vanished mid-request (reset, timeout) must not take
+     the server down; [handle_conn] has already closed the socket. *)
+  match handler fd with () -> () | exception Unix.Unix_error _ -> ()
+
+let serve ?(io_timeout = default_io_timeout)
+    ?(keepalive_limit = default_keepalive_limit) t handler =
   Fun.protect
     ~finally:(fun () ->
       match Unix.close t.sock with
@@ -223,17 +339,96 @@ let serve ?(io_timeout = default_io_timeout) t handler =
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
         | fd, _ ->
             if Atomic.get t.stopping then Unix.close fd
-            else (
-              match handle_conn fd with
-              | () -> ()
-              | exception Unix.Unix_error _ ->
-                  (* A client that vanished mid-request (reset, timeout)
-                     must not take the server down. *)
-                  ())
+            else
+              swallow_conn_error
+                (handle_conn ~io_timeout ~keepalive_limit t handler)
+                fd
+      done)
+
+(* Domain-pool mode: the calling thread accepts and enqueues; [workers]
+   domains drain the queue and run the same per-connection loop. The
+   queue is bounded at [2 * workers] — when every worker is busy and the
+   queue is full, the acceptor blocks, new connections pile up in the
+   kernel backlog, and past that the kernel refuses them: back-pressure
+   reaches clients as connect latency rather than unbounded buffering.
+   All pool state is function-local (queue and conditions under one
+   mutex); the shared [t] is atomics plus the mutex-guarded registry. *)
+let serve_pool ?(io_timeout = default_io_timeout)
+    ?(keepalive_limit = default_keepalive_limit) ~workers t handler =
+  if workers < 1 then invalid_arg "Http.serve_pool: workers must be >= 1";
+  let qm = Mutex.create () in
+  let not_empty = Condition.create () in
+  let not_full = Condition.create () in
+  let queue = Queue.create () in
+  let capacity = 2 * workers in
+  let worker () =
+    let rec next () =
+      Mutex.lock qm;
+      while Queue.is_empty queue && not (Atomic.get t.stopping) do
+        Condition.wait not_empty qm
+      done;
+      match Queue.take_opt queue with
+      | Some fd ->
+          Condition.signal not_full;
+          Mutex.unlock qm;
+          swallow_conn_error
+            (handle_conn ~io_timeout ~keepalive_limit t handler)
+            fd;
+          next ()
+      | None -> Mutex.unlock qm (* stopping and drained *)
+    in
+    next ()
+  in
+  let domains = Array.init workers (fun _ -> Domain.spawn worker) in
+  Fun.protect
+    ~finally:(fun () ->
+      (* wake every worker parked on the empty queue, then drain: workers
+         exit once the queue is empty and the stop flag is up *)
+      Mutex.lock qm;
+      Condition.broadcast not_empty;
+      Mutex.unlock qm;
+      Array.iter Domain.join domains;
+      match Unix.close t.sock with
+      | () -> ()
+      | exception Unix.Unix_error _ -> ())
+    (fun () ->
+      while not (Atomic.get t.stopping) do
+        match Unix.accept t.sock with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | fd, _ ->
+            if Atomic.get t.stopping then Unix.close fd
+            else begin
+              Mutex.lock qm;
+              while
+                Queue.length queue >= capacity && not (Atomic.get t.stopping)
+              do
+                Condition.wait not_full qm
+              done;
+              if Atomic.get t.stopping then begin
+                Mutex.unlock qm;
+                Unix.close fd
+              end
+              else begin
+                Queue.add fd queue;
+                Condition.signal not_empty;
+                Mutex.unlock qm
+              end
+            end
       done)
 
 let stop t =
   if not (Atomic.exchange t.stopping true) then begin
+    (* Wake reads blocked inside in-flight (kept-alive) connections: shut
+       their receive side so the next read sees EOF while the response
+       path stays writable. *)
+    Mutex.lock t.conns.cm;
+    Hashtbl.iter
+      (fun fd () ->
+        match Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with
+        | () -> ()
+        | exception Unix.Unix_error _ -> ())
+      t.conns.fds;
+    Mutex.unlock t.conns.cm;
     (* The accept loop may be blocked in [accept]; poke it awake with a
        throwaway loopback connection. *)
     match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
@@ -248,7 +443,7 @@ let stop t =
             | exception Unix.Unix_error _ -> ()))
   end
 
-(* --- tiny loopback client, used by tests and the bench scrape loop --- *)
+(* --- tiny loopback clients, used by tests and the bench loops --- *)
 
 let parse_response raw =
   match find_sub raw "\r\n\r\n" 0 with
@@ -271,7 +466,7 @@ let parse_response raw =
       | _ -> Error "malformed response: bad status line")
 
 let request ?(body = "") ~port ~meth path =
-  Lazy.force ignore_sigpipe;
+  ignore_sigpipe ();
   let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () ->
@@ -303,3 +498,96 @@ let request ?(body = "") ~port ~meth path =
 
 let get ~port path = request ~port ~meth:"GET" path
 let post ~port path body = request ~body ~port ~meth:"POST" path
+
+(* A persistent (keep-alive) client: one TCP connection, many requests,
+   responses framed by Content-Length instead of EOF. This is the client
+   side of the keep-alive satellite — the bench uses it to measure the
+   per-request connection setup the feature removes. *)
+module Client = struct
+  type conn = { fd : Unix.file_descr; pending : Buffer.t }
+
+  let connect ~port =
+    ignore_sigpipe ();
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+    | () -> ()
+    | exception e ->
+        (match Unix.close fd with
+        | () -> ()
+        | exception Unix.Unix_error _ -> ());
+        raise e);
+    { fd; pending = Buffer.create 1024 }
+
+  let close c =
+    match Unix.close c.fd with
+    | () -> ()
+    | exception Unix.Unix_error _ -> ()
+
+  let read_until c stop_at =
+    (* grow [pending] until [stop_at pending] returns a split point *)
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      match stop_at (Buffer.contents c.pending) with
+      | Some i -> Ok i
+      | None ->
+          let n = Unix.read c.fd chunk 0 (Bytes.length chunk) in
+          if n = 0 then Error "connection closed mid-response"
+          else begin
+            Buffer.add_subbytes c.pending chunk 0 n;
+            go ()
+          end
+    in
+    go ()
+
+  let take c n =
+    let all = Buffer.contents c.pending in
+    let s = String.sub all 0 n in
+    Buffer.clear c.pending;
+    Buffer.add_substring c.pending all n (String.length all - n);
+    s
+
+  let request_exn ?(body = "") c ~meth path =
+    write_all c.fd
+      (Printf.sprintf
+         "%s %s HTTP/1.1\r\n\
+          Host: localhost\r\n\
+          Content-Length: %d\r\n\
+          Connection: keep-alive\r\n\
+          \r\n\
+          %s"
+         meth path (String.length body) body);
+    match read_until c (fun s -> find_sub s "\r\n\r\n" 0) with
+    | Error _ as e -> e
+    | Ok head_len -> (
+        let head = take c (head_len + 4) in
+        let content_length =
+          match parse_head head with
+          | Error _ -> None
+          | Ok (_, _, headers) ->
+              Option.bind (header_value headers "content-length")
+                int_of_string_opt
+        in
+        match content_length with
+        | None -> Error "malformed response: no content-length"
+        | Some len -> (
+            match
+              read_until c (fun s ->
+                  if String.length s >= len then Some len else None)
+            with
+            | Error _ as e -> e
+            | Ok _ -> (
+                let body = take c len in
+                match parse_response (head ^ body) with
+                | Ok (status, _) -> Ok (status, body)
+                | Error _ as e -> e)))
+
+  (* A server that closed the connection (keep-alive cap, shutdown)
+     surfaces as EPIPE/ECONNRESET here; the mli promises [Error], not an
+     exception, so the caller can reconnect. *)
+  let request ?(body = "") c ~meth path =
+    try request_exn ~body c ~meth path
+    with Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+  let get c path = request c ~meth:"GET" path
+  let post c path body = request ~body c ~meth:"POST" path
+end

@@ -1,11 +1,15 @@
 (** Minimal dependency-free HTTP/1.1 responder over Unix loopback sockets.
 
-    One sequential accept loop, one request per connection
-    ([Connection: close]). Sequential handling serializes every route
-    through the thread running {!serve}, so handlers may touch
-    non-thread-safe state (the detector) without locks; {!stop} is the
-    only cross-thread entry point. Binds 127.0.0.1 only — this is a
-    telemetry port, not a public server. *)
+    Two serving modes share one per-connection loop. {!serve} is the
+    sequential accept loop: one connection at a time, so handlers may
+    touch non-thread-safe state without locks. {!serve_pool} runs the
+    accept loop on the calling thread and hands connections to [workers]
+    domains over a bounded queue — handlers must then be safe to run
+    concurrently (the sharded service is). Both modes honor
+    [Connection: keep-alive] up to a per-connection request cap; the
+    default remains close-after-one. {!stop} is the only cross-thread
+    entry point. Binds 127.0.0.1 only — this is a telemetry port, not a
+    public server. *)
 
 type request = {
   meth : string;
@@ -14,42 +18,79 @@ type request = {
   body : string;
 }
 
-type response = { status : int; content_type : string; body : string }
+type response = {
+  status : int;
+  content_type : string;
+  headers : (string * string) list;
+      (** extra response headers (e.g. [Retry-After]); Content-Type,
+          Content-Length and Connection are emitted by the server *)
+  body : string;
+}
 
-val response : ?status:int -> ?content_type:string -> string -> response
+val response :
+  ?status:int -> ?content_type:string -> ?headers:(string * string) list ->
+  string -> response
 (** [status] defaults to 200, [content_type] to
-    [text/plain; charset=utf-8]. *)
+    [text/plain; charset=utf-8], [headers] to []. *)
 
 type t
 
 val listen : ?backlog:int -> port:int -> unit -> t
 (** Bind and listen on [127.0.0.1:port]; [~port:0] picks an ephemeral
-    port (read it back with {!port}). @raise Unix.Unix_error when the
-    port is taken. *)
+    port (read it back with {!port}). [backlog] defaults to 128 — sized
+    for a worker pool draining connection bursts. @raise Unix.Unix_error
+    when the port is taken. *)
 
 val port : t -> int
 
-val serve : ?io_timeout:float -> t -> (request -> response) -> unit
-(** Run the accept loop on the calling thread until {!stop} is called
-    (possibly from another thread or domain). Malformed or oversized
-    requests are answered with 400/413 without reaching the handler; a
-    connection idle for more than [io_timeout] seconds (default 10, [0.]
-    disables) is answered 408 so one silent client cannot wedge the
-    sequential loop; client I/O errors are swallowed. SIGPIPE is ignored
-    process-wide on first use, so a peer that resets mid-write yields a
-    catchable [EPIPE] instead of killing the process. Closes the
-    listening socket on return. *)
+val default_keepalive_limit : int
+(** 100 requests per connection. *)
+
+val serve :
+  ?io_timeout:float -> ?keepalive_limit:int -> t -> (request -> response) ->
+  unit
+(** Run the sequential accept loop on the calling thread until {!stop} is
+    called (possibly from another thread or domain). Malformed or
+    oversized requests are answered with 400/413 without reaching the
+    handler; a connection idle for more than [io_timeout] seconds
+    (default 10, [0.] disables) is answered 408 so one silent client
+    cannot wedge the loop; client I/O errors are swallowed. A request
+    carrying [Connection: keep-alive] keeps its connection open for up to
+    [keepalive_limit] requests (default {!default_keepalive_limit}), each
+    turn under the same [io_timeout]; every reuse counts into the
+    [serve.keepalive.reuses] counter. SIGPIPE is ignored process-wide on
+    first use, so a peer that resets mid-write yields a catchable
+    [EPIPE] instead of killing the process. Closes the listening socket
+    on return. *)
+
+val serve_pool :
+  ?io_timeout:float ->
+  ?keepalive_limit:int ->
+  workers:int ->
+  t ->
+  (request -> response) ->
+  unit
+(** Like {!serve}, but connections are handed to [workers] domains over a
+    bounded queue (capacity [2 * workers]); the calling thread accepts.
+    When every worker is busy and the queue is full the acceptor blocks,
+    so back-pressure reaches clients through the kernel backlog instead
+    of unbounded buffering. The handler runs concurrently on all workers
+    and must be thread-safe. On {!stop}, in-flight connections are
+    finished (their read side is shut down so idle kept-alive sockets
+    wake immediately), the workers are joined, and the listening socket
+    is closed. @raise Invalid_argument on [workers < 1]. *)
 
 val stopping : t -> bool
 
 val stop : t -> unit
-(** Ask the accept loop to exit: sets the stop flag and wakes a blocked
-    [accept] with a throwaway loopback connection. Idempotent. *)
+(** Ask the accept loop to exit: sets the stop flag, shuts down the read
+    side of every in-flight connection, and wakes a blocked [accept] with
+    a throwaway loopback connection. Idempotent. *)
 
-(** {1 Loopback client}
+(** {1 Loopback clients}
 
-    Blocking one-shot requests against [127.0.0.1]; used by the tests and
-    the bench scrape loop. @raise Unix.Unix_error when the connection is
+    Blocking requests against [127.0.0.1]; used by the tests and the
+    bench loops. @raise Unix.Unix_error when the connection is
     refused. *)
 
 val request :
@@ -58,8 +99,28 @@ val request :
   meth:string ->
   string ->
   (int * string, string) result
-(** [request ~port ~meth path] returns [(status, body)]. *)
+(** One-shot: [request ~port ~meth path] opens a fresh connection, sends
+    [Connection: close], drains to EOF and returns [(status, body)]. *)
 
 val get : port:int -> string -> (int * string, string) result
 val post : port:int -> string -> string -> (int * string, string) result
 (** [post ~port path body]. *)
+
+(** Persistent (keep-alive) client: one TCP connection, many requests,
+    responses framed by [Content-Length]. The server closes the
+    connection after its keep-alive cap or on shutdown; requests then
+    return [Error]. Not thread-safe — one domain per [conn]. *)
+module Client : sig
+  type conn
+
+  val connect : port:int -> conn
+  (** @raise Unix.Unix_error when the connection is refused. *)
+
+  val request :
+    ?body:string -> conn -> meth:string -> string ->
+    (int * string, string) result
+
+  val get : conn -> string -> (int * string, string) result
+  val post : conn -> string -> string -> (int * string, string) result
+  val close : conn -> unit
+end

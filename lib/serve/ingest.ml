@@ -1,7 +1,9 @@
 type error = { line : int; reason : string }
+type keyed = { instance : Cep.Detector.instance; key : string }
 
 let error_to_string e = Printf.sprintf "line %d: %s" e.line e.reason
 let header = "event,timestamp,tag"
+let keyed_header = "event,timestamp,tag,key"
 
 let parse_line ~lineno line =
   let trimmed = String.trim line in
@@ -11,10 +13,11 @@ let parse_line ~lineno line =
        its header in a second POST /ingest would otherwise be rejected
        with a spurious "bad timestamp". Nothing is lost — as a data line
        it could never parse ("timestamp" is not an integer). *)
-  else if String.equal trimmed header then Ok None
+  else if String.equal trimmed header || String.equal trimmed keyed_header then
+    Ok None
   else
     let fail reason = Error { line = lineno; reason } in
-    let instance e ts tag =
+    let instance e ts tag key =
       match int_of_string_opt (String.trim ts) with
       | None -> fail "bad timestamp"
       | Some timestamp ->
@@ -23,13 +26,14 @@ let parse_line ~lineno line =
             let tag =
               if String.equal tag "" then Printf.sprintf "#%d" lineno else tag
             in
-            Ok (Some { Cep.Detector.event = e; timestamp; tag })
+            Ok (Some { instance = { Cep.Detector.event = e; timestamp; tag }; key })
     in
     match Events.Csv_io.split_line trimmed with
     | Error reason -> fail reason
-    | Ok [ e; ts ] -> instance e ts ""
-    | Ok [ e; ts; tag ] -> instance e ts tag
-    | Ok _ -> fail "expected event,timestamp[,tag]"
+    | Ok [ e; ts ] -> instance e ts "" ""
+    | Ok [ e; ts; tag ] -> instance e ts tag ""
+    | Ok [ e; ts; tag; key ] -> instance e ts tag key
+    | Ok _ -> fail "expected event,timestamp[,tag[,key]]"
 
 let parse_lines lines =
   let rec go acc lineno = function
@@ -38,6 +42,6 @@ let parse_lines lines =
         match parse_line ~lineno l with
         | Error e -> Error e
         | Ok None -> go acc (lineno + 1) rest
-        | Ok (Some i) -> go (i :: acc) (lineno + 1) rest)
+        | Ok (Some k) -> go (k :: acc) (lineno + 1) rest)
   in
   go [] 1 lines

@@ -1,14 +1,27 @@
 (** Line-delimited event ingest: the CSV stream format
-    ([event,timestamp[,tag]]) shared by the [detect] subcommand, the
+    ([event,timestamp[,tag[,key]]]) shared by the [detect] subcommand, the
     [serve] ingest endpoint and the stdin feed. Parsing is separated from
     feeding so every entry point rejects malformed input identically.
 
+    The optional fourth column is a {e partition key}: sharded serving
+    routes every key to one detector shard, and events with different keys
+    never combine into one match (see {!Shard} and [docs/SERVING.md]). A
+    missing or empty key means the keyless stream — all such events share
+    one implicit key (and land on shard 0, preserving today's single-
+    detector behavior bit for bit). [whynot detect] ignores keys: it runs
+    one detector over the interleaved stream.
+
     Fields follow the RFC-4180 quoting rules of {!Events.Csv_io}: a tag
-    (or event name) containing commas or quotes may be sent quoted, e.g.
-    [order,7,"batch 3, retry"]. Unquoted fields are trimmed; quoted
-    fields are taken verbatim. *)
+    (or event name, or key) containing commas or quotes may be sent
+    quoted, e.g. [order,7,"batch 3, retry",acct42]. Unquoted fields are
+    trimmed; quoted fields are taken verbatim. *)
 
 type error = { line : int; reason : string }
+
+type keyed = {
+  instance : Cep.Detector.instance;
+  key : string;  (** [""] for the keyless stream *)
+}
 
 val error_to_string : error -> string
 (** ["line N: <reason>"]. *)
@@ -18,11 +31,14 @@ val header : string
     appears (the serve ingest numbers lines across requests, so a second
     request may legitimately start with the header again). *)
 
-val parse_line :
-  lineno:int -> string -> (Cep.Detector.instance option, error) result
-(** Parse one stream line. [Ok None] for blank lines and for the
-    {!header}. A missing or empty tag defaults to ["#<lineno>"].
-    [lineno] is 1-based. *)
+val keyed_header : string
+(** The four-column header ([event,timestamp,tag,key]); skipped like
+    {!header}. *)
 
-val parse_lines : string list -> (Cep.Detector.instance list, error) result
+val parse_line : lineno:int -> string -> (keyed option, error) result
+(** Parse one stream line. [Ok None] for blank lines and for either
+    header. A missing or empty tag defaults to ["#<lineno>"]; a missing
+    key defaults to [""]. [lineno] is 1-based. *)
+
+val parse_lines : string list -> (keyed list, error) result
 (** All-or-nothing {!parse_line} over a document, numbering from 1. *)

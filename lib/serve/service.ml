@@ -1,9 +1,7 @@
 let requests_c = Obs.counter "serve.requests"
 let errors_c = Obs.counter "serve.errors"
 let scrapes_c = Obs.counter "serve.scrapes"
-let ingest_lines_c = Obs.counter "serve.ingest.lines"
 let ingest_errors_c = Obs.counter "serve.ingest.errors"
-let matches_c = Obs.counter "serve.matches"
 
 (* Scrape latencies in microseconds: loopback render-and-serialize lands in
    the sub-millisecond decades, with headroom for GC-disturbed outliers. *)
@@ -12,40 +10,42 @@ let prom_content_type = "text/plain; version=0.0.4; charset=utf-8"
 let jsonl_content_type = "application/x-ndjson"
 
 type t = {
-  detector : Cep.Detector.t;
-  max_partials : int;
+  pool : Shard.t;
   http_ingest : bool;
   help : string -> string option;
   ready : bool Atomic.t;
   next_line : int Atomic.t;
-  pressured : bool Atomic.t;
 }
 
 let default_max_partials = 4096
+let default_shard_queue = 64
 
 let create ?engine ?horizon ?(max_partials = default_max_partials)
+    ?(shards = 1) ?(shard_queue = default_shard_queue) ?(threaded = false)
     ?(http_ingest = true) ?(help = fun _ -> None) query =
   {
-    detector = Cep.Detector.create ?engine ?horizon ~max_partials query;
-    max_partials;
+    pool =
+      Shard.create ?engine ?horizon ~max_partials ~shards
+        ~queue_capacity:shard_queue ~threaded query;
     http_ingest;
     help;
     ready = Atomic.make true;
     next_line = Atomic.make 1;
-    pressured = Atomic.make false;
   }
 
-let detector t = t.detector
+let pool t = t.pool
+let shutdown t = Shard.stop t.pool
 let log_start ~port = Obs.Log.emit Info "serve.start" [ ("port", Num port) ]
 
 let log_stop t =
   Atomic.set t.ready false;
   Obs.Log.emit Info "serve.stop" []
 
-let match_json (m : Cep.Detector.match_) =
+let match_json ~line (m : Cep.Detector.match_) =
   Report.Json.Obj
     [
       ("type", Report.Json.String "match");
+      ("line", Report.Json.Int line);
       ( "tags",
         Report.Json.Obj
           (List.map (fun (e, tag) -> (e, Report.Json.String tag)) m.tags) );
@@ -56,80 +56,91 @@ let match_json (m : Cep.Detector.match_) =
              (Events.Tuple.bindings m.tuple)) );
     ]
 
-let feed t (inst : Cep.Detector.instance) =
-  let dropped0 = Cep.Detector.dropped_capacity t.detector in
-  match Cep.Detector.feed t.detector inst with
-  | exception Invalid_argument reason ->
-      Obs.incr ingest_errors_c;
-      Obs.Log.emit Warn "ingest.error"
-        [
-          ("event", Str inst.event);
-          ("timestamp", Num inst.timestamp);
-          ("reason", Str reason);
-        ];
-      Error reason
-  | matches ->
-      Obs.incr ingest_lines_c;
-      Obs.add matches_c (List.length matches);
-      if Obs.Log.enabled Info then
-        List.iter
-          (fun (m : Cep.Detector.match_) ->
-            Obs.Log.emit Info "detector.match"
-              (List.map (fun (e, tag) -> (e, Obs.Log.Str tag)) m.tags))
-          matches;
-      let dropped1 = Cep.Detector.dropped_capacity t.detector in
-      if dropped1 > dropped0 then
-        Obs.Log.emit Warn "detector.evict"
-          [ ("count", Num (dropped1 - dropped0)); ("total", Num dropped1) ];
-      let live = Cep.Detector.partial_count t.detector in
-      (* Log the pressure edge, not the steady state: once above 80% of
-         capacity warn once, and re-arm only after falling below half. *)
-      if live * 5 >= t.max_partials * 4 then begin
-        if not (Atomic.exchange t.pressured true) then
-          Obs.Log.emit Warn "detector.pressure"
-            [ ("live", Num live); ("max_partials", Num t.max_partials) ]
-      end
-      else if live * 2 < t.max_partials then Atomic.set t.pressured false;
-      Ok matches
+let overload_reason = "overloaded: shard queue full"
+
+let parse_error ~lineno reason =
+  Obs.incr ingest_errors_c;
+  Obs.Log.emit Warn "ingest.error"
+    [ ("line", Num lineno); ("reason", Str reason) ]
 
 let ingest_line t ~lineno line =
   match Ingest.parse_line ~lineno line with
   | Ok None -> Ok []
   | Error e ->
-      Obs.incr ingest_errors_c;
-      Obs.Log.emit Warn "ingest.error"
-        [ ("line", Num e.line); ("reason", Str e.reason) ];
+      parse_error ~lineno:e.line e.reason;
       Error e.reason
-  | Ok (Some inst) -> feed t inst
+  | Ok (Some { Ingest.instance; key }) -> (
+      match Shard.submit t.pool [| (key, instance) |] with
+      | Shard.Shed -> Error overload_reason
+      | Shard.Processed results -> results.(0))
+
+(* One POST /ingest body: reserve a block of line numbers (numbering keeps
+   counting across requests so default tags stay unique), parse every
+   line, submit the whole batch of parsed instances to the shard pool in
+   one call, and reassemble the JSONL verdicts in input order — the same
+   client contract as the sequential detector. A shed batch answers 429
+   without having applied anything, so the client may retry it wholesale. *)
+let ingest_body t body =
+  let lines = Array.of_seq (List.to_seq (String.split_on_char '\n' body)) in
+  let n = Array.length lines in
+  let base = Atomic.fetch_and_add t.next_line n in
+  (* per line: nothing to feed (blank/header), a parse error, or the
+     index of its instance in the submitted batch *)
+  let slots = Array.make n `Skip in
+  let batch = ref [] in
+  let batched = ref 0 in
+  for i = 0 to n - 1 do
+    match Ingest.parse_line ~lineno:(base + i) lines.(i) with
+    | Ok None -> ()
+    | Error e ->
+        parse_error ~lineno:e.line e.reason;
+        slots.(i) <- `Bad e.reason
+    | Ok (Some { Ingest.instance; key }) ->
+        slots.(i) <- `Inst !batched;
+        incr batched;
+        batch := (key, instance) :: !batch
+  done;
+  let batch = Array.of_seq (List.to_seq (List.rev !batch)) in
+  match Shard.submit t.pool batch with
+  | Shard.Shed ->
+      (* nothing was applied; give the line numbers back would race other
+         batches, so the block stays consumed — tags remain unique *)
+      Http.response ~status:429
+        ~headers:[ ("Retry-After", "1") ]
+        (overload_reason ^ "\n")
+  | Shard.Processed results ->
+      let out = Buffer.create 256 in
+      let jsonl json =
+        Buffer.add_string out (Report.Json.to_string json);
+        Buffer.add_char out '\n'
+      in
+      Array.iteri
+        (fun i slot ->
+          let lineno = base + i in
+          let error reason =
+            jsonl
+              (Report.Json.Obj
+                 [
+                   ("type", Report.Json.String "error");
+                   ("line", Report.Json.Int lineno);
+                   ("reason", Report.Json.String reason);
+                 ])
+          in
+          match slot with
+          | `Skip -> ()
+          | `Bad reason -> error reason
+          | `Inst j -> (
+              match results.(j) with
+              | Ok matches ->
+                  List.iter (fun m -> jsonl (match_json ~line:lineno m)) matches
+              | Error reason -> error reason))
+        slots;
+      Http.response ~content_type:jsonl_content_type (Buffer.contents out)
 
 let metrics_body t =
   Obs.with_span ~hist_buckets:scrape_buckets "serve.scrape" (fun () ->
       Obs.Runtime.refresh ();
       Report.Prom_text.render ~help:t.help (Obs.snapshot ()))
-
-let ingest_body t body =
-  let out = Buffer.create 256 in
-  let jsonl json =
-    Buffer.add_string out (Report.Json.to_string json);
-    Buffer.add_char out '\n'
-  in
-  List.iter
-    (fun line ->
-      (* Line numbers keep counting across requests so default tags stay
-         unique over the life of the stream. *)
-      let lineno = Atomic.fetch_and_add t.next_line 1 in
-      match ingest_line t ~lineno line with
-      | Ok matches -> List.iter (fun m -> jsonl (match_json m)) matches
-      | Error reason ->
-          jsonl
-            (Report.Json.Obj
-               [
-                 ("type", Report.Json.String "error");
-                 ("line", Report.Json.Int lineno);
-                 ("reason", Report.Json.String reason);
-               ]))
-    (String.split_on_char '\n' body);
-  Http.response ~content_type:jsonl_content_type (Buffer.contents out)
 
 (* Request targets may carry a query string (Prometheus sends one when a
    scrape config uses [params]) or a fragment; route on the path alone. *)

@@ -1,4 +1,4 @@
-(** The telemetry service: routes, detector feeding, counters and log
+(** The telemetry service: routes, shard-pool feeding, counters and log
     events behind [whynot serve].
 
     Routes (see [docs/SERVING.md]):
@@ -7,15 +7,23 @@
       are point-in-time;
     - [GET /health] — liveness (always 200 while the process runs);
     - [GET /ready] — readiness (503 once {!log_stop} has been called);
-    - [POST /ingest] — line-delimited CSV events ([event,timestamp[,tag]]);
-      responds with JSONL: one [{"type":"match",...}] object per completed
-      match and one [{"type":"error",...}] per rejected line.
+    - [POST /ingest] — line-delimited CSV events
+      ([event,timestamp[,tag[,key]]]); responds with JSONL: one
+      [{"type":"match",...}] object per completed match and one
+      [{"type":"error",...}] per rejected line, reassembled in input
+      order. When a shard queue is full the whole batch is shed — 429
+      with [Retry-After], nothing applied, safe to retry wholesale. The
+      503 answer is reserved for "ingest is fed from stdin".
 
-    All detector access happens inside {!handle}/{!ingest_line}, which the
-    caller must keep on a single thread (the {!Http.serve} loop does).
+    Detection runs on a {!Shard} pool: one detector per partition key,
+    keys hashed over [shards] shards. With [threaded:false] (the default)
+    the pool is inline and {!handle}/{!ingest_line} must stay on a single
+    thread (the sequential {!Http.serve} loop does); with [threaded:true]
+    they are safe from any number of {!Http.serve_pool} workers.
 
     Counters: [serve.requests], [serve.errors], [serve.scrapes],
-    [serve.ingest.lines], [serve.ingest.errors], [serve.matches]; scrape
+    [serve.ingest.lines], [serve.ingest.errors], [serve.matches],
+    [serve.shed] and the per-shard [serve.shard.<k>.*] series; scrape
     latency lands in the [serve.scrape] span and its
     [serve.scrape.duration_us] histogram. Log events emitted here are
     listed in {!Obs.Log.event_names}; both catalogs are documented in
@@ -25,26 +33,40 @@ type t
 
 val default_max_partials : int
 (** 4096, mirroring {!Cep.Detector.create}'s default — the service pins
-    it explicitly so pressure warnings know the real bound. *)
+    it explicitly so pressure warnings know the real bound. Applied per
+    partition key. *)
+
+val default_shard_queue : int
+(** 64 jobs per shard queue before ingest sheds. *)
 
 val create :
   ?engine:Cep.Detector.engine ->
   ?horizon:int ->
   ?max_partials:int ->
+  ?shards:int ->
+  ?shard_queue:int ->
+  ?threaded:bool ->
   ?http_ingest:bool ->
   ?help:(string -> string option) ->
   Pattern.Ast.t list ->
   t
 (** [engine] selects the detector engine (default [Compiled], see
-    {!Cep.Detector.engine}).
+    {!Cep.Detector.engine}). [shards] (default 1), [shard_queue]
+    (default {!default_shard_queue}) and [threaded] (default false)
+    configure the {!Shard} pool; [threaded] is {b required} when the
+    service is driven from more than one domain ({!Http.serve_pool}).
     [http_ingest] (default true) controls whether [POST /ingest] feeds
-    the detector; pass [false] when events arrive on stdin and the HTTP
-    loop runs on another domain, so the detector stays single-domain
-    (ingest then answers 503). [help] supplies HELP text for [/metrics]
-    keyed by dotted metric name (see {!Report.Prom_text.help_of_markdown}).
-    @raise Invalid_argument like {!Cep.Detector.create}. *)
+    the detectors; pass [false] when events arrive on stdin (ingest then
+    answers 503). [help] supplies HELP text for [/metrics] keyed by
+    dotted metric name (see {!Report.Prom_text.help_of_markdown}).
+    @raise Invalid_argument like {!Cep.Detector.create} and
+    {!Shard.create}. *)
 
-val detector : t -> Cep.Detector.t
+val pool : t -> Shard.t
+
+val shutdown : t -> unit
+(** Stop the shard pool ({!Shard.stop}): drain queued batches, join the
+    shard domains. Call after the HTTP loop has returned. Idempotent. *)
 
 val handle : t -> Http.request -> Http.response
 (** Route one request; bumps counters and emits [serve.request] /
@@ -52,16 +74,18 @@ val handle : t -> Http.request -> Http.response
     are 404, unknown methods 405. *)
 
 val ingest_line : t -> lineno:int -> string -> (Cep.Detector.match_ list, string) result
-(** Parse and feed one stream line (blank lines and the line-1 header are
+(** Parse and feed one stream line (blank lines and headers are
     [Ok \[\]]); the error is the bare reason, without the line number.
-    Used directly by the stdin feed; [POST /ingest] goes
-    through the same path with a shared running line counter. Emits
-    [detector.match] / [detector.evict] / [detector.pressure] /
-    [ingest.error] log events as appropriate. *)
+    Used directly by the stdin feed; [POST /ingest] goes through the same
+    pool with a shared running line counter. Emits [detector.match] /
+    [detector.evict] / [detector.pressure] / [ingest.error] log events as
+    appropriate. *)
 
-val match_json : Cep.Detector.match_ -> Report.Json.t
+val match_json : line:int -> Cep.Detector.match_ -> Report.Json.t
 (** The JSONL match verdict:
-    [{"type":"match","tags":{...},"timestamps":{...}}]. *)
+    [{"type":"match","line":N,"tags":{...},"timestamps":{...}}] — [line]
+    is the input line that completed the match, so clients can correlate
+    matches to input lines across batches (errors carry the same field). *)
 
 val metrics_body : t -> string
 (** The [/metrics] payload (refresh runtime gauges, snapshot, render). *)

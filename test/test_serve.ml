@@ -11,19 +11,37 @@ let queries s = [ Pattern.Parse.pattern_exn s ]
 (* --- Ingest: the CSV line grammar shared by `detect` and `serve` --- *)
 
 let test_ingest_lines () =
-  let ok_instance = function
-    | Ok (Some (i : Cep.Detector.instance)) -> i
+  let ok_keyed = function
+    | Ok (Some (k : Ingest.keyed)) -> k
     | Ok None -> Alcotest.fail "expected an instance, got a skip"
     | Error e -> Alcotest.failf "unexpected error: %s" (Ingest.error_to_string e)
   in
+  let ok_instance r = (ok_keyed r).Ingest.instance in
   let i = ok_instance (Ingest.parse_line ~lineno:2 "A,17,x1") in
   check_str "event" "A" i.Cep.Detector.event;
   check_int "timestamp" 17 i.Cep.Detector.timestamp;
   check_str "tag" "x1" i.Cep.Detector.tag;
+  check_str "missing key defaults to the keyless stream" ""
+    (ok_keyed (Ingest.parse_line ~lineno:2 "A,17,x1")).Ingest.key;
   let d = ok_instance (Ingest.parse_line ~lineno:5 "B,3") in
   check_str "missing tag defaults to line marker" "#5" d.Cep.Detector.tag;
   let d2 = ok_instance (Ingest.parse_line ~lineno:7 "B,3,") in
   check_str "empty tag also defaults" "#7" d2.Cep.Detector.tag;
+  (* the optional fourth column is the partition key *)
+  let k = ok_keyed (Ingest.parse_line ~lineno:2 "A,17,x1,acct42") in
+  check_str "fourth column parses as the partition key" "acct42" k.Ingest.key;
+  check_str "keyed line keeps its tag" "x1" k.Ingest.instance.Cep.Detector.tag;
+  let k2 = ok_keyed (Ingest.parse_line ~lineno:3 "A,17,,acct42") in
+  check_str "keyed line with empty tag still defaults the tag" "#3"
+    k2.Ingest.instance.Cep.Detector.tag;
+  check_str "empty key column is the keyless stream" ""
+    (ok_keyed (Ingest.parse_line ~lineno:3 "A,17,x,")).Ingest.key;
+  let kq = ok_keyed (Ingest.parse_line ~lineno:4 "A,17,x,\"k, comma\"") in
+  check_str "quoted key keeps its comma" "k, comma" kq.Ingest.key;
+  check_bool "five fields rejected" true
+    (match Ingest.parse_line ~lineno:6 "A,17,x,k,extra" with
+    | Error { Ingest.line = 6; _ } -> true
+    | _ -> false);
   check_bool "blank line skipped" true
     (Ingest.parse_line ~lineno:4 "   " = Ok None);
   check_bool "header skipped on line 1" true
@@ -32,6 +50,8 @@ let test_ingest_lines () =
      legitimately arrive on any line (a second POST re-sending it) *)
   check_bool "header skipped at any line number" true
     (Ingest.parse_line ~lineno:3 Ingest.header = Ok None);
+  check_bool "keyed header skipped too" true
+    (Ingest.parse_line ~lineno:1 Ingest.keyed_header = Ok None);
   (* RFC-4180 quoting: tags (and events) with commas or quotes *)
   let q = ok_instance (Ingest.parse_line ~lineno:2 "A,17,\"batch 3, retry\"") in
   check_str "quoted tag keeps its comma" "batch 3, retry" q.Cep.Detector.tag;
@@ -48,8 +68,10 @@ let test_ingest_lines () =
     (match Ingest.parse_line ~lineno:6 "A,17,\"x\"y" with
     | Error { Ingest.line = 6; _ } -> true
     | _ -> false);
+  check_str "quoted tag followed by a key parses" "extra"
+    (ok_keyed (Ingest.parse_line ~lineno:6 "A,17,\"x\",extra")).Ingest.key;
   check_bool "quoted tag with too many fields rejected" true
-    (match Ingest.parse_line ~lineno:6 "A,17,\"x\",extra" with
+    (match Ingest.parse_line ~lineno:6 "A,17,\"x\",k,extra" with
     | Error { Ingest.line = 6; _ } -> true
     | _ -> false);
   check_bool "bad timestamp rejected" true
@@ -125,9 +147,9 @@ let test_ingest_route () =
       (String.split_on_char '\n' r.Http.body)
   in
   check_int "one match and one error object" 2 (List.length lines);
-  check_bool "match verdict serialized" true
+  check_bool "match verdict serialized with its input line number" true
     (List.exists
-       (fun l -> String.starts_with ~prefix:"{\"type\":\"match\"" l)
+       (fun l -> String.starts_with ~prefix:"{\"type\":\"match\",\"line\":2" l)
        lines);
   check_bool "error carries the running line number" true
     (List.exists
@@ -367,6 +389,269 @@ let test_replay_under_scrape () =
     | Some v -> v >= 0.0
     | None -> false)
 
+(* --- Sharded pool: routing, differential equivalence, shedding --- *)
+
+module Shard = Serve.Shard
+
+let test_shard_routing () =
+  let pool = Shard.create ~shards:4 (queries "SEQ(A, B) WITHIN 20") in
+  check_int "keyless stream pins to shard 0" 0 (Shard.shard_of_key pool "");
+  let k = Shard.shard_of_key pool "some-key" in
+  check_bool "keys route inside the pool" true (k >= 0 && k < 4);
+  check_int "routing is stable" k (Shard.shard_of_key pool "some-key");
+  Shard.stop pool
+
+(* Keyed streams through a threaded 4-shard pool must produce exactly the
+   match set of one sequential detector per key fed in the same order —
+   verdict-set equality, compared as rendered JSONL so tags, timestamps
+   and line numbers all participate. 8 keys over 4 shards forces
+   collisions, so per-shard key isolation is exercised too. *)
+let test_cross_shard_differential () =
+  let query = "SEQ(A, B) WITHIN 20" in
+  let nkeys = 8 in
+  let line_of i =
+    let key = Printf.sprintf "k%d" (i mod nkeys) in
+    let step = i / nkeys in
+    let event = if step mod 2 = 0 then "A" else "B" in
+    Printf.sprintf "%s,%d,%s-%d,%s" event (step * 6) key step key
+  in
+  let bodies =
+    (* five POSTs of 80 lines each, every body with a trailing newline *)
+    List.init 5 (fun b ->
+        String.concat ""
+          (List.init 80 (fun j -> line_of ((b * 80) + j) ^ "\n")))
+  in
+  let service =
+    Service.create ~shards:4 ~threaded:true (queries query)
+  in
+  let pooled =
+    List.concat_map
+      (fun body ->
+        let r = Service.handle service (req ~body "POST" "/ingest") in
+        check_int "keyed ingest answers 200" 200 r.Http.status;
+        List.filter
+          (fun l -> not (String.equal l ""))
+          (String.split_on_char '\n' r.Http.body))
+      bodies
+  in
+  Service.shutdown service;
+  check_bool "no error verdicts on the keyed stream" true
+    (List.for_all (String.starts_with ~prefix:"{\"type\":\"match\"") pooled);
+  (* sequential oracle: one plain detector per key, same feed order, same
+     running line numbers (each split slot consumes one, as ingest does) *)
+  let dets = Hashtbl.create 16 in
+  let det_for key =
+    match Hashtbl.find_opt dets key with
+    | Some d -> d
+    | None ->
+        let d = Cep.Detector.create (queries query) in
+        Hashtbl.add dets key d;
+        d
+  in
+  let lineno = ref 0 in
+  let expected = ref [] in
+  List.iter
+    (fun body ->
+      List.iter
+        (fun line ->
+          incr lineno;
+          if not (String.equal line "") then begin
+            match String.split_on_char ',' line with
+            | [ event; ts; tag; key ] ->
+                let inst =
+                  {
+                    Cep.Detector.event;
+                    timestamp = int_of_string ts;
+                    tag;
+                  }
+                in
+                List.iter
+                  (fun m ->
+                    expected :=
+                      Report.Json.to_string
+                        (Service.match_json ~line:!lineno m)
+                      :: !expected)
+                  (Cep.Detector.feed (det_for key) inst)
+            | _ -> Alcotest.fail "test generated an unparseable line"
+          end)
+        (String.split_on_char '\n' body))
+    bodies;
+  check_bool "the keyed stream produced matches at all" true (pooled <> []);
+  Alcotest.(check (list string))
+    "sharded verdict set equals the per-key sequential detectors"
+    (List.sort compare !expected)
+    (List.sort compare pooled)
+
+(* On keyless input a threaded multi-shard service must be bit-identical
+   to the inline single-shard one: same key "" -> same shard 0 -> one
+   detector, so every JSONL response body matches byte for byte. *)
+let test_keyless_bit_identity () =
+  let bodies =
+    [
+      "A,1,x\nB,5,y\nC,bad\n";
+      "event,timestamp,tag\nA,10,x2\nB,12,y2\n";
+      "A,20,\"t, with comma\"\nB,22,z\n";
+    ]
+  in
+  let pooled = Service.create ~shards:4 ~threaded:true (queries "SEQ(A, B) WITHIN 20") in
+  let inline = Service.create (queries "SEQ(A, B) WITHIN 20") in
+  List.iter
+    (fun body ->
+      let rp = Service.handle pooled (req ~body "POST" "/ingest") in
+      let ri = Service.handle inline (req ~body "POST" "/ingest") in
+      check_int "same status" ri.Http.status rp.Http.status;
+      check_str "bit-identical JSONL on keyless input" ri.Http.body
+        rp.Http.body)
+    bodies;
+  Service.shutdown pooled;
+  Service.shutdown inline
+
+let test_shed_429 () =
+  let shed0 = Option.value ~default:0 (Obs.find_counter "serve.shed") in
+  (* unit level: capacity 0 sheds every threaded batch, all-or-nothing *)
+  let pool =
+    Shard.create ~shards:2 ~queue_capacity:0 ~threaded:true
+      (queries "SEQ(A, B) WITHIN 20")
+  in
+  let outcome =
+    Shard.submit pool
+      [| ("k", { Cep.Detector.event = "A"; timestamp = 0; tag = "t" }) |]
+  in
+  check_bool "capacity-0 pool sheds" true
+    (match outcome with Shard.Shed -> true | Shard.Processed _ -> false);
+  Shard.stop pool;
+  (* service level: the whole batch is shed -> 429 + Retry-After, and no
+     line of it was applied (safe to retry wholesale) *)
+  let s =
+    Service.create ~shards:2 ~shard_queue:0 ~threaded:true
+      (queries "SEQ(A, B) WITHIN 20")
+  in
+  let lines0 = Option.value ~default:0 (Obs.find_counter "serve.ingest.lines") in
+  let r = Service.handle s (req ~body:"A,1,x,k\nB,5,y,k\n" "POST" "/ingest") in
+  check_int "shed ingest answers 429" 429 r.Http.status;
+  check_bool "429 advertises Retry-After" true
+    (List.mem_assoc "Retry-After" r.Http.headers);
+  check_int "no line of a shed batch is applied" 0
+    (Option.value ~default:0 (Obs.find_counter "serve.ingest.lines") - lines0);
+  check_bool "shed counter accounts both sheds" true
+    (Option.value ~default:0 (Obs.find_counter "serve.shed") - shed0 >= 2);
+  (* a batch that parses to nothing never reaches the queues: still 200 *)
+  let r2 = Service.handle s (req ~body:"event,timestamp,tag,key\n\n" "POST" "/ingest") in
+  check_int "all-skip batch bypasses the full queue" 200 r2.Http.status;
+  Service.shutdown s
+
+(* --- serve_pool: concurrent soak, keep-alive, clean stop --- *)
+
+let test_pool_soak () =
+  let service =
+    Service.create ~shards:2 ~threaded:true (queries "SEQ(A, B) WITHIN 20")
+  in
+  let server = Http.listen ~port:0 () in
+  let port = Http.port server in
+  let pool_d =
+    Domain.spawn (fun () ->
+        Http.serve_pool ~workers:3 server (Service.handle service))
+  in
+  let clients =
+    List.init 3 (fun c ->
+        Domain.spawn (fun () ->
+            (* one keep-alive connection per client, mixed ingest/scrape *)
+            let conn = Http.Client.connect ~port in
+            let ok = ref 0 in
+            for i = 0 to 24 do
+              let key = Printf.sprintf "c%d" c in
+              let ts = i * 10 in
+              let body =
+                Printf.sprintf "A,%d,a,%s\nB,%d,b,%s\n" ts key (ts + 5) key
+              in
+              (match Http.Client.post conn "/ingest" body with
+              | Ok (200, _) -> incr ok
+              | _ -> ());
+              match Http.Client.get conn "/metrics" with
+              | Ok (200, _) -> incr ok
+              | _ -> ()
+            done;
+            Http.Client.close conn;
+            !ok))
+  in
+  let totals = List.map Domain.join clients in
+  Http.stop server;
+  Domain.join pool_d;
+  Service.shutdown service;
+  List.iter (fun n -> check_int "every soak request succeeded" 50 n) totals;
+  (* 25 matches per client stream, all keys isolated *)
+  check_bool "soak streams matched" true
+    (Option.value ~default:0 (Obs.find_counter "serve.matches") > 0)
+
+let test_pool_clean_stop () =
+  let service =
+    Service.create ~shards:2 ~threaded:true (queries "SEQ(A, B) WITHIN 20")
+  in
+  let server = Http.listen ~port:0 () in
+  let port = Http.port server in
+  let pool_d =
+    Domain.spawn (fun () ->
+        Http.serve_pool ~workers:2 server (Service.handle service))
+  in
+  let idle = Http.Client.connect ~port in
+  (match Http.Client.get idle "/health" with
+  | Ok (200, _) -> ()
+  | _ -> Alcotest.fail "health over keep-alive failed");
+  (* [idle] now sits in its keep-alive read on a worker; stop must shut
+     its read side down and join promptly instead of waiting out the
+     10s deadline *)
+  let t0 = Unix.gettimeofday () in
+  Http.stop server;
+  Domain.join pool_d;
+  Service.shutdown service;
+  check_bool "stop returns promptly with an in-flight keep-alive conn" true
+    (Unix.gettimeofday () -. t0 < 5.0);
+  check_bool "idle keep-alive connection was closed by stop" true
+    (match Http.Client.get idle "/health" with
+    | Error _ -> true
+    | Ok _ -> false);
+  Http.Client.close idle
+
+let test_keepalive_reuse_and_cap () =
+  let reuses0 =
+    Option.value ~default:0 (Obs.find_counter "serve.keepalive.reuses")
+  in
+  with_server
+    (fun _ -> Http.response "ok")
+    (fun port ->
+      let c = Http.Client.connect ~port in
+      for i = 1 to 5 do
+        match Http.Client.get c "/x" with
+        | Ok (200, "ok") -> ()
+        | _ -> Alcotest.failf "keep-alive request %d failed" i
+      done;
+      Http.Client.close c);
+  let reuses1 =
+    Option.value ~default:0 (Obs.find_counter "serve.keepalive.reuses")
+  in
+  check_bool "reuse counter counts kept-alive turns" true
+    (reuses1 - reuses0 >= 4);
+  (* the per-connection cap: a limit of 2 closes after the second
+     response, the third request on that connection fails cleanly *)
+  let server = Http.listen ~port:0 () in
+  let d =
+    Domain.spawn (fun () ->
+        Http.serve ~keepalive_limit:2 server (fun _ -> Http.response "ok"))
+  in
+  let port = Http.port server in
+  let c = Http.Client.connect ~port in
+  (match Http.Client.get c "/1" with
+  | Ok (200, _) -> ()
+  | _ -> Alcotest.fail "first capped request failed");
+  (match Http.Client.get c "/2" with
+  | Ok (200, _) -> ()
+  | _ -> Alcotest.fail "second capped request failed");
+  check_bool "third request past the cap fails cleanly" true
+    (match Http.Client.get c "/3" with Error _ -> true | Ok _ -> false);
+  Http.Client.close c;
+  Http.stop server;
+  Domain.join d
+
 let suite =
   ( "serve",
     [
@@ -385,4 +670,17 @@ let suite =
         test_http_survives_client_reset;
       Alcotest.test_case "replay under concurrent scrape" `Quick
         test_replay_under_scrape;
+      Alcotest.test_case "shard routing" `Quick test_shard_routing;
+      Alcotest.test_case "cross-shard differential vs sequential detectors"
+        `Quick test_cross_shard_differential;
+      Alcotest.test_case "keyless streams bit-identical to inline" `Quick
+        test_keyless_bit_identity;
+      Alcotest.test_case "full shard queue sheds with 429" `Quick
+        test_shed_429;
+      Alcotest.test_case "pool soak: concurrent ingest and scrape" `Quick
+        test_pool_soak;
+      Alcotest.test_case "pool clean stop with in-flight connections" `Quick
+        test_pool_clean_stop;
+      Alcotest.test_case "keep-alive reuse and per-connection cap" `Quick
+        test_keepalive_reuse_and_cap;
     ] )

@@ -22,8 +22,13 @@ let () =
        { Cep.Detector.event = "A"; timestamp = 0; tag = "x" });
   let stream = Cep.Stream.create [ p0 ] in
   ignore (Cep.Stream.feed stream ~key:"k" "A" 0);
-  let service = Serve.Service.create [ p0 ] in
+  (* a 4-shard pool registers the per-shard serve.shard.<k>.* series; the
+     docs enumerate exactly these four (higher shard counts follow the
+     same pattern) *)
+  let service = Serve.Service.create ~shards:4 [ p0 ] in
   ignore (Serve.Service.metrics_body service);
+  ignore (Obs.counter "serve.shed");
+  ignore (Obs.counter "serve.keepalive.reuses");
   let snap = Obs.snapshot () in
   let keep (name, _) = not (String.starts_with ~prefix:"test." name) in
   let row source kind exposition =

@@ -31,7 +31,13 @@ type t = {
 let default =
   {
     rules = all_rules;
-    domain_roots = [ "lib/obs.ml" ];
+    domain_roots =
+      [
+        "lib/obs.ml";
+        "lib/serve/http.ml";
+        "lib/serve/shard.ml";
+        "lib/serve/service.ml";
+      ];
     checked_arith_paths =
       [ "lib/tcn"; "lib/lp"; "lib/cep/plan.ml"; "lib/cep/compile.ml" ];
     checked_arith_max_literal = 64;
