@@ -154,7 +154,10 @@ let () =
    representative subset of sections, so `dune build @bench-smoke` fits a
    test-suite time budget. *)
 let smoke_sections =
-  [ "table1"; "table2"; "fig5"; "bnb"; "trace"; "serve"; "serve_mt"; "detect" ]
+  [
+    "table1"; "table2"; "fig5"; "bnb"; "trace"; "serve"; "serve_mt";
+    "serve_trace"; "detect";
+  ]
 
 let () =
   if !scale = Smoke && !only = [] then only := smoke_sections
@@ -625,6 +628,18 @@ let serve_mt_section () =
       ~events:(pick ~quick:4_000 ~standard:20_000 ~paper:60_000)
       ~gate:(match !scale with Standard | Paper -> true | Smoke | Quick -> false)
 
+(* serve_trace: the request-capture overhead check — the same pooled
+   keep-alive soak with tail capture off then on, the per-stage latency
+   decomposition, and (on >=4 cores at gating scales) the <10% overhead
+   gate. Post-trace for the same compare-parity reason as serve. *)
+let serve_trace_stats : (string * Report.Json.t) list ref = ref []
+
+let serve_trace_section () =
+  serve_trace_stats :=
+    Serve_load.run_trace
+      ~events:(pick ~quick:4_000 ~standard:20_000 ~paper:60_000)
+      ~gate:(match !scale with Standard | Paper -> true | Smoke | Quick -> false)
+
 (* --- detect: the streaming detector, naive oracle vs compiled plan ---
 
    Replays one deterministic interleaved stream through both engines.
@@ -729,6 +744,9 @@ let write_report () =
       @ (match !serve_mt_stats with
         | [] -> []
         | fields -> [ ("serve_mt", Obj fields) ])
+      @ (match !serve_trace_stats with
+        | [] -> []
+        | fields -> [ ("serve_trace", Obj fields) ])
       @
       match !detect_stats with
       | [] -> []
@@ -762,5 +780,6 @@ let () =
   section "trace" trace_section;
   section "serve" serve_section;
   section "serve_mt" serve_mt_section;
+  section "serve_trace" serve_trace_section;
   section "detect" detect_section;
   write_report ()

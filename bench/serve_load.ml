@@ -341,3 +341,186 @@ let run_mt ~events ~gate =
     ("keepalive_saving_us", Report.Json.Float (fresh_us -. reused_us));
     ("throughput_gate", Report.Json.String throughput_gate);
   ]
+
+(* --- serve_trace: request-capture overhead and per-stage attribution ---
+
+   Replays the keyed keep-alive soak twice through the pooled stack:
+   once with tail capture disabled (the deployment default) and once
+   with capture on at threshold 0 — every request retained, the worst
+   case — then reports the wall-clock overhead and the per-stage
+   latency decomposition read back from the [*.duration_us] histograms
+   the request path feeds. The <10% overhead gate only arms on >=4
+   cores at gating scales: on fewer cores the client domains time-share
+   with the server pool and scheduler noise swamps the per-request cost
+   under measurement. *)
+
+let trace_stages =
+  [ "serve.request.queue_wait"; "serve.shard.service"; "serve.request.write" ]
+
+let overhead_budget_pct = 10.0
+
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
+(* Upper bound (us) of the first bucket at which the cumulative count
+   reaches p% of [total]; the +inf overflow bucket reports the largest
+   finite bound (so the value is a floor there, never an invention). *)
+let bucket_percentile_us buckets total p =
+  if total = 0 then 0.0
+  else
+    let target =
+      max 1 (int_of_float (Float.ceil (p /. 100.0 *. float_of_int total)))
+    in
+    let rec go acc last = function
+      | [] -> last
+      | (bound, count) :: rest ->
+          let here =
+            match bound with Some b -> float_of_int b | None -> last
+          in
+          let acc = acc + count in
+          if acc >= target then here else go acc here rest
+    in
+    go 0 0.0 buckets
+
+let run_trace ~events ~gate =
+  let query = mt_query () in
+  let cores = Domain.recommended_domain_count () in
+  let workers = max 2 (min cores 8) in
+  let shards = workers in
+  let per_client = events / workers in
+  let pooled_events = per_client * workers in
+  (* One full soak: pooled server, one keep-alive client per worker.
+     With [check_slow], hit /debug/slow while the server is still up and
+     require a complete span tree in the answer. *)
+  let soak ~check_slow =
+    let service =
+      Serve.Service.create ~max_partials:512 ~shards ~threaded:true query
+    in
+    let server = Serve.Http.listen ~port:0 () in
+    let port = Serve.Http.port server in
+    let pool_d =
+      Domain.spawn (fun () ->
+          Serve.Http.serve_pool ~workers server (Serve.Service.handle service))
+    in
+    let (), dt =
+      E.Harness.time (fun () ->
+          let clients =
+            List.init workers (fun c ->
+                Domain.spawn (fun () ->
+                    ignore (mt_feed ~port ~client:(c + 1) ~events:per_client)))
+          in
+          List.iter Domain.join clients)
+    in
+    if check_slow then begin
+      match Serve.Http.get ~port "/debug/slow" with
+      | Ok (200, body) ->
+          List.iter
+            (fun span ->
+              if not (contains ~needle:span body) then
+                failwith
+                  (Printf.sprintf "serve_trace: /debug/slow lacks %s spans"
+                     span))
+            ("serve.request" :: trace_stages)
+      | Ok (st, _) -> failwith (Printf.sprintf "serve_trace: /debug/slow HTTP %d" st)
+      | Error msg -> failwith ("serve_trace: /debug/slow: " ^ msg)
+    end;
+    Serve.Http.stop server;
+    Domain.join pool_d;
+    Serve.Service.shutdown service;
+    dt
+  in
+  (* capture off: the near-zero-cost default *)
+  Obs.Request.disable ();
+  let off_dt = soak ~check_slow:false in
+  (* capture on at threshold 0: every request's span tree retained *)
+  Obs.Request.configure ~threshold_us:0 ~capacity:64 ();
+  let before =
+    List.map
+      (fun name -> (name, Obs.find_histogram (name ^ ".duration_us")))
+      trace_stages
+  in
+  let on_dt = soak ~check_slow:true in
+  let retained = List.length (Obs.Request.retained ()) in
+  Obs.Request.disable ();
+  Obs.Request.clear_retained ();
+  if retained = 0 then failwith "serve_trace: capture-on soak retained nothing";
+  (* Per-stage decomposition of the capture-on replay only: diff the
+     microsecond histograms against the pre-replay snapshot (earlier
+     sections feed the same series). *)
+  let stage_stats =
+    List.map
+      (fun name ->
+        let hname = name ^ ".duration_us" in
+        let after =
+          match Obs.find_histogram hname with
+          | Some h -> h
+          | None -> failwith ("serve_trace: histogram missing: " ^ hname)
+        in
+        let delta =
+          match List.assoc name before with
+          | None -> after.Obs.h_buckets
+          | Some b ->
+              List.map2
+                (fun (bound, ca) (_, cb) -> (bound, ca - cb))
+                after.Obs.h_buckets b.Obs.h_buckets
+        in
+        let total = List.fold_left (fun acc (_, c) -> acc + c) 0 delta in
+        ( name,
+          total,
+          bucket_percentile_us delta total 50.0,
+          bucket_percentile_us delta total 99.0 ))
+      trace_stages
+  in
+  let overhead_pct = (on_dt -. off_dt) /. off_dt *. 100.0 in
+  Format.printf
+    "capture off: %d event(s) in %.3f s@.capture on:  %d event(s) in %.3f s \
+     — overhead %+.2f%% (%d trace(s) retained)@."
+    pooled_events off_dt pooled_events on_dt overhead_pct retained;
+  Format.printf "per-stage latency, capture-on replay (bucket upper bounds):@.";
+  List.iter
+    (fun (name, n, p50, p99) ->
+      Format.printf "  %-26s %6d obs   p50 <= %7.0f us   p99 <= %7.0f us@."
+        name n p50 p99)
+    stage_stats;
+  let overhead_gate =
+    if not gate then "skipped (sub-standard scale)"
+    else if cores < 4 then
+      Printf.sprintf "skipped (%d core(s) available, need 4)" cores
+    else if overhead_pct > overhead_budget_pct then
+      failwith
+        (Printf.sprintf
+           "serve_trace: capture overhead %+.2f%% over budget %.0f%%"
+           overhead_pct overhead_budget_pct)
+    else
+      Printf.sprintf "passed (%+.2f%% <= %.0f%%)" overhead_pct
+        overhead_budget_pct
+  in
+  Format.printf "overhead gate: %s@." overhead_gate;
+  [
+    ("events", Report.Json.Int pooled_events);
+    ("cores", Report.Json.Int cores);
+    ("workers", Report.Json.Int workers);
+    ("shards", Report.Json.Int shards);
+    ("off_seconds", Report.Json.Float off_dt);
+    ("on_seconds", Report.Json.Float on_dt);
+    ("overhead_pct", Report.Json.Float overhead_pct);
+    ("overhead_budget_pct", Report.Json.Float overhead_budget_pct);
+    ("overhead_gate", Report.Json.String overhead_gate);
+    ("retained_traces", Report.Json.Int retained);
+    ( "stages",
+      Report.Json.Obj
+        (List.map
+           (fun (name, n, p50, p99) ->
+             ( name,
+               Report.Json.Obj
+                 [
+                   ("observations", Report.Json.Int n);
+                   ("p50_le_us", Report.Json.Float p50);
+                   ("p99_le_us", Report.Json.Float p99);
+                 ] ))
+           stage_stats) );
+  ]

@@ -607,9 +607,58 @@ let serve_cmd =
              $(b,debug) (per-request events). See docs/SERVING.md for the \
              line schema.")
   in
+  let slow_threshold_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "slow-threshold" ] ~docv:"MS"
+          ~doc:
+            "Latency threshold (milliseconds of service + write time) above \
+             which a request's full trace is retained for GET /debug/slow. \
+             Requests that shed (429) or error (status >= 400) are always \
+             retained. 0 retains every request.")
+  in
+  let slow_capacity_arg =
+    Arg.(
+      value & opt int Whynot.Obs.Request.default_capacity
+      & info [ "slow-capacity" ] ~docv:"N"
+          ~doc:
+            "Capacity of the /debug/slow retention ring (newest wins). 0 \
+             disables tail capture entirely.")
+  in
+  let access_log_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("off", None);
+               ("error", Some Whynot.Obs.Log.Error);
+               ("warn", Some Whynot.Obs.Log.Warn);
+               ("info", Some Whynot.Obs.Log.Info);
+               ("debug", Some Whynot.Obs.Log.Debug);
+             ])
+          (Some Whynot.Obs.Log.Info)
+      & info [ "access-log" ] ~docv:"LEVEL"
+          ~doc:
+            "Level the per-request serve.access line (request id, route, \
+             status, decomposed stage timings) is emitted at — it prints \
+             only when --log-level admits that level. $(b,info) is the \
+             default; $(b,off) suppresses the line entirely.")
+  in
   let run () query port horizon max_partials engine workers shards shard_queue
-      backlog use_stdin log_level =
+      backlog use_stdin log_level slow_threshold slow_capacity access_level =
     Whynot.Obs.Log.set_level log_level;
+    if slow_threshold < 0 then begin
+      Printf.eprintf "whynot serve: --slow-threshold must be >= 0\n";
+      exit 2
+    end;
+    if slow_capacity < 0 then begin
+      Printf.eprintf "whynot serve: --slow-capacity must be >= 0\n";
+      exit 2
+    end;
+    Whynot.Obs.Request.configure ~threshold_us:(slow_threshold * 1000)
+      ~capacity:slow_capacity ();
+    Whynot.Obs.Request.set_access_level access_level;
     if workers < 1 then begin
       Printf.eprintf "whynot serve: --workers must be >= 1\n";
       exit 2
@@ -696,7 +745,8 @@ let serve_cmd =
     Term.(
       const run $ obs_term $ query_arg $ port_arg $ horizon_arg
       $ max_partials_arg $ engine_arg $ workers_arg $ shards_arg
-      $ shard_queue_arg $ backlog_arg $ stdin_arg $ log_level_arg)
+      $ shard_queue_arg $ backlog_arg $ stdin_arg $ log_level_arg
+      $ slow_threshold_arg $ slow_capacity_arg $ access_log_arg)
 
 (* --- convert --- *)
 

@@ -138,6 +138,15 @@ let with_span ?hist_buckets name f =
       end)
     f
 
+let observe_span ?hist_buckets name ~ns =
+  let s = span name in
+  Atomic.incr s.s_count;
+  ignore (Atomic.fetch_and_add s.total_ns ns);
+  atomic_max s.max_ns ns;
+  match hist_buckets with
+  | None -> ()
+  | Some buckets -> observe (histogram ~buckets (name ^ span_hist_suffix)) (ns / 1000)
+
 let find name =
   Mutex.lock lock;
   let r = Hashtbl.find_opt registry name in
@@ -302,18 +311,57 @@ module Trace = struct
   let trace_seq = Atomic.make 0
   let span_seq = Atomic.make 0
 
+  (* A per-request capture buffer: a CAS cons-list so shard worker
+     domains can append concurrently with the accepting domain. Bounded;
+     appends past the limit are counted, never blocked on. Unlike the
+     ring, a buffer works even with global tracing disabled — tail-based
+     capture must not require paying for a process-wide ring. *)
+  type buffer = {
+    b_items : event list Atomic.t;
+    b_count : int Atomic.t;
+    b_limit : int;
+    b_dropped : int Atomic.t;
+  }
+
+  let default_buffer_limit = 4096
+
+  let buffer ?(limit = default_buffer_limit) () =
+    if limit < 1 then invalid_arg "Obs.Trace.buffer: limit must be >= 1";
+    {
+      b_items = Atomic.make [];
+      b_count = Atomic.make 0;
+      b_limit = limit;
+      b_dropped = Atomic.make 0;
+    }
+
+  let buf_push b ev =
+    let n = Atomic.fetch_and_add b.b_count 1 in
+    if n >= b.b_limit then Atomic.incr b.b_dropped
+    else begin
+      let rec go () =
+        let cur = Atomic.get b.b_items in
+        if not (Atomic.compare_and_set b.b_items cur (ev :: cur)) then go ()
+      in
+      go ()
+    end
+
+  let buffer_events b = List.rev (Atomic.get b.b_items)
+  let buffer_dropped b = Atomic.get b.b_dropped
+
   (* Domain-local trace context: which trace this domain is inside, the
-     current span, and whether the trace was sampled in. *)
+     current span, whether the trace was sampled into the ring, and the
+     request buffer (if any) capturing it. *)
   type ctx = {
     mutable depth : int; (* nesting of [with_trace] *)
     mutable c_active : bool;
     mutable c_trace : int;
     mutable c_span : int;
+    mutable c_buf : buffer option;
   }
 
   let ctx_key =
     Domain.DLS.new_key (fun () ->
-        { depth = 0; c_active = false; c_trace = 0; c_span = 0 })
+        { depth = 0; c_active = false; c_trace = 0; c_span = 0; c_buf = None })
 
   let ctx () = Domain.DLS.get ctx_key
 
@@ -324,7 +372,8 @@ module Trace = struct
     c.depth <- 0;
     c.c_active <- false;
     c.c_trace <- 0;
-    c.c_span <- 0
+    c.c_span <- 0;
+    c.c_buf <- None
 
   let configure ?(capacity = default_capacity) ?(sample = 1) () =
     if capacity < 1 then invalid_arg "Obs.Trace.configure: capacity must be >= 1";
@@ -356,27 +405,38 @@ module Trace = struct
   let sampling () = Atomic.get sample_every
   let capacity () = Array.length (Atomic.get ring)
 
-  (* The hot-path guard: one atomic load when tracing is off (the common
-     case), so instrumented sites allocate nothing unless this is true. *)
-  let should_emit () = Atomic.get enabled && (ctx ()).c_active
+  (* Number of live capture scopes process-wide (with_capture plus
+     adopted worker contexts). Lets the fully-disabled [should_emit]
+     path stay two atomic loads with no DLS access. *)
+  let captures_live = Atomic.make 0
+
+  (* The hot-path guard: with tracing off and no capture in flight, two
+     atomic loads and a branch (the common case), so instrumented sites
+     allocate nothing unless this is true. *)
+  let should_emit () =
+    if Atomic.get enabled then begin
+      let c = ctx () in
+      c.c_active || (match c.c_buf with Some _ -> true | None -> false)
+    end
+    else if Atomic.get captures_live > 0 then
+      match (ctx ()).c_buf with Some _ -> true | None -> false
+    else false
 
   let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
-  let record ~span kind =
+  let record_at ~ts_ns ~span kind =
     let c = ctx () in
-    let b = Atomic.get ring in
-    let i = Atomic.fetch_and_add cursor 1 in
-    if i < Array.length b then
-      b.(i) <-
-        Some
-          {
-            ts_ns = now_ns ();
-            dom = (Domain.self () :> int);
-            trace_id = c.c_trace;
-            span;
-            kind;
-          }
-    else Atomic.incr dropped_n
+    let ev =
+      { ts_ns; dom = (Domain.self () :> int); trace_id = c.c_trace; span; kind }
+    in
+    (match c.c_buf with Some b -> buf_push b ev | None -> ());
+    if c.c_active then begin
+      let b = Atomic.get ring in
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i < Array.length b then b.(i) <- Some ev else Atomic.incr dropped_n
+    end
+
+  let record ~span kind = record_at ~ts_ns:(now_ns ()) ~span kind
 
   let emit kind = if should_emit () then record ~span:(ctx ()).c_span kind
 
@@ -425,7 +485,45 @@ module Trace = struct
       end
     end
 
-  type context = { x_active : bool; x_trace : int; x_span : int }
+  let span_interval name ~t0_ns ~t1_ns =
+    if should_emit () then begin
+      let c = ctx () in
+      let parent = c.c_span in
+      let id = 1 + Atomic.fetch_and_add span_seq 1 in
+      record_at ~ts_ns:t0_ns ~span:id (Span_open { name; parent });
+      record_at ~ts_ns:t1_ns ~span:id (Span_close { name })
+    end
+
+  let with_capture buf name f =
+    let c = ctx () in
+    let saved = (c.depth, c.c_active, c.c_trace, c.c_span, c.c_buf) in
+    let n = 1 + Atomic.fetch_and_add trace_seq 1 in
+    let ring_active =
+      Atomic.get enabled && (n - 1) mod Atomic.get sample_every = 0
+    in
+    Atomic.incr captures_live;
+    c.depth <- 1;
+    c.c_active <- ring_active;
+    c.c_trace <- n;
+    c.c_span <- 0;
+    c.c_buf <- Some buf;
+    Fun.protect
+      ~finally:(fun () ->
+        let d, a, t, s, bf = saved in
+        c.depth <- d;
+        c.c_active <- a;
+        c.c_trace <- t;
+        c.c_span <- s;
+        c.c_buf <- bf;
+        Atomic.decr captures_live)
+      (fun () -> with_span name f)
+
+  type context = {
+    x_active : bool;
+    x_trace : int;
+    x_span : int;
+    x_buf : buffer option;
+  }
 
   let context () =
     let c = ctx () in
@@ -433,22 +531,31 @@ module Trace = struct
       x_active = c.c_active && Atomic.get enabled;
       x_trace = c.c_trace;
       x_span = c.c_span;
+      x_buf = c.c_buf;
     }
+
+  let context_active x =
+    x.x_active || (match x.x_buf with Some _ -> true | None -> false)
 
   let with_context x f =
     let c = ctx () in
-    let saved = (c.depth, c.c_active, c.c_trace, c.c_span) in
+    let saved = (c.depth, c.c_active, c.c_trace, c.c_span, c.c_buf) in
+    let adopted_buf = match x.x_buf with Some _ -> true | None -> false in
+    if adopted_buf then Atomic.incr captures_live;
     c.depth <- (if x.x_trace > 0 then 1 else 0);
     c.c_active <- x.x_active;
     c.c_trace <- x.x_trace;
     c.c_span <- x.x_span;
+    c.c_buf <- x.x_buf;
     Fun.protect
       ~finally:(fun () ->
-        let d, a, t, s = saved in
+        let d, a, t, s, bf = saved in
         c.depth <- d;
         c.c_active <- a;
         c.c_trace <- t;
-        c.c_span <- s)
+        c.c_span <- s;
+        c.c_buf <- bf;
+        if adopted_buf then Atomic.decr captures_live)
       f
 
   let emitted () = Atomic.get cursor
@@ -572,8 +679,255 @@ module Log = struct
   let event_names =
     [
       "serve.start"; "serve.stop"; "serve.request"; "serve.error";
-      "ingest.error"; "detector.match"; "detector.evict"; "detector.pressure";
+      "serve.access"; "ingest.error"; "detector.match"; "detector.evict";
+      "detector.pressure";
     ]
+end
+
+(* --- per-request scopes: ids, latency decomposition, tail capture ------ *)
+
+module Request = struct
+  (* Request ids must be unique across a run and cheap to mint: a boot
+     token (pid + start-of-process milliseconds) plus a dense per-process
+     sequence number. The token keeps ids from colliding across restarts
+     when client logs are joined against server traces. *)
+  let boot_token =
+    Printf.sprintf "%x-%x" (Unix.getpid ())
+      (int_of_float (Unix.gettimeofday () *. 1e3) land 0xffffffff)
+
+  let req_seq = Atomic.make 0
+
+  (* Tail capture is off by default so embedding the library costs
+     nothing; `whynot serve` turns it on. *)
+  let capture_on = Atomic.make false
+  let threshold_us_a = Atomic.make 100_000
+  let default_capacity = 64
+
+  type info = {
+    r_id : string;
+    r_meth : string;
+    r_path : string;
+    r_status : int;
+    r_bytes_in : int;
+    r_bytes_out : int;
+    r_shed : bool;
+    r_keep_alive : bool;
+    r_start_ms : int;
+    r_queue_wait_us : int;
+    r_read_us : int;
+    r_service_us : int;
+    r_write_us : int;
+    r_total_us : int;
+    r_events : Trace.event list;
+    r_events_dropped : int;
+  }
+
+  (* Retained slow/shed/error requests: a small Mutex-guarded ring —
+     retention happens at most once per request, never on a hot path. *)
+  let ring_lock = Mutex.create ()
+
+  let retained_ring : info option array ref =
+    ref (Array.make default_capacity None)
+
+  let retained_cursor = ref 0
+  let retained_c = counter "serve.slow.retained"
+
+  (* Level the per-request access-log line is emitted at; [None]
+     silences access logging independently of the global log level. *)
+  let access_level_a : Log.level option Atomic.t = Atomic.make (Some Log.Info)
+
+  let set_access_level l = Atomic.set access_level_a l
+  let access_level () = Atomic.get access_level_a
+
+  let configure ?threshold_us ?capacity () =
+    (match threshold_us with
+    | Some t when t < 0 ->
+        invalid_arg "Obs.Request.configure: threshold_us must be >= 0"
+    | Some t -> Atomic.set threshold_us_a t
+    | None -> ());
+    match capacity with
+    | Some c when c <= 0 -> Atomic.set capture_on false
+    | Some c ->
+        Mutex.lock ring_lock;
+        retained_ring := Array.make c None;
+        retained_cursor := 0;
+        Mutex.unlock ring_lock;
+        Atomic.set capture_on true
+    | None -> Atomic.set capture_on true
+
+  let disable () = Atomic.set capture_on false
+  let capture_enabled () = Atomic.get capture_on
+  let threshold_us () = Atomic.get threshold_us_a
+
+  let capacity () =
+    Mutex.lock ring_lock;
+    let n = Array.length !retained_ring in
+    Mutex.unlock ring_lock;
+    n
+
+  type scope = {
+    sc_id : string;
+    sc_start : float;
+    sc_buf : Trace.buffer option;
+    mutable sc_meth : string;
+    mutable sc_path : string;
+    mutable sc_status : int;
+    mutable sc_bytes_in : int;
+    mutable sc_bytes_out : int;
+    mutable sc_keep_alive : bool;
+    mutable sc_queue_wait_ns : int;
+    mutable sc_read_ns : int;
+    mutable sc_service_ns : int;
+    mutable sc_write_ns : int;
+    mutable sc_abandoned : bool;
+  }
+
+  let id sc = sc.sc_id
+  let set_route sc ~meth ~path =
+    sc.sc_meth <- meth;
+    sc.sc_path <- path
+  let set_status sc st = sc.sc_status <- st
+  let set_bytes_in sc n = sc.sc_bytes_in <- n
+  let set_bytes_out sc n = sc.sc_bytes_out <- n
+  let set_keep_alive sc b = sc.sc_keep_alive <- b
+  let set_queue_wait sc ns = sc.sc_queue_wait_ns <- ns
+  let set_read sc ns = sc.sc_read_ns <- ns
+  let set_service sc ns = sc.sc_service_ns <- ns
+  let set_write sc ns = sc.sc_write_ns <- ns
+  let abandon sc = sc.sc_abandoned <- true
+
+  (* The accepting domain's current scope id, so verdict renderers deep
+     inside [Service] can stamp it without threading it through every
+     call. Worker domains see [None] — they report through the scope's
+     capture buffer instead. *)
+  let scope_key = Domain.DLS.new_key (fun () -> None)
+  let current_id () = Domain.DLS.get scope_key
+
+  let retain info =
+    Mutex.lock ring_lock;
+    let a = !retained_ring in
+    let n = Array.length a in
+    if n > 0 then begin
+      a.(!retained_cursor) <- Some info;
+      retained_cursor := (!retained_cursor + 1) mod n
+    end;
+    Mutex.unlock ring_lock;
+    incr retained_c
+
+  let retained () =
+    Mutex.lock ring_lock;
+    let a = !retained_ring in
+    let n = Array.length a in
+    let cur = !retained_cursor in
+    let out = ref [] in
+    for k = 0 to n - 1 do
+      (* oldest-to-newest scan, consed so the result is newest first *)
+      match a.((cur + k) mod n) with
+      | Some i -> out := i :: !out
+      | None -> ()
+    done;
+    Mutex.unlock ring_lock;
+    !out
+
+  let clear_retained () =
+    Mutex.lock ring_lock;
+    Array.fill !retained_ring 0 (Array.length !retained_ring) None;
+    retained_cursor := 0;
+    Mutex.unlock ring_lock
+
+  let us_of_ns ns = ns / 1000
+
+  let info_of sc =
+    {
+      r_id = sc.sc_id;
+      r_meth = sc.sc_meth;
+      r_path = sc.sc_path;
+      r_status = sc.sc_status;
+      r_bytes_in = sc.sc_bytes_in;
+      r_bytes_out = sc.sc_bytes_out;
+      r_shed = sc.sc_status = 429;
+      r_keep_alive = sc.sc_keep_alive;
+      r_start_ms = int_of_float (sc.sc_start *. 1e3);
+      r_queue_wait_us = us_of_ns sc.sc_queue_wait_ns;
+      r_read_us = us_of_ns sc.sc_read_ns;
+      r_service_us = us_of_ns sc.sc_service_ns;
+      r_write_us = us_of_ns sc.sc_write_ns;
+      r_total_us =
+        int_of_float ((Unix.gettimeofday () -. sc.sc_start) *. 1e6);
+      r_events =
+        (match sc.sc_buf with Some b -> Trace.buffer_events b | None -> []);
+      r_events_dropped =
+        (match sc.sc_buf with Some b -> Trace.buffer_dropped b | None -> 0);
+    }
+
+  let finalize sc =
+    if not sc.sc_abandoned then begin
+      let info = info_of sc in
+      (match Atomic.get access_level_a with
+      | Some lvl ->
+          Log.emit lvl "serve.access"
+            [
+              ("id", Log.Str info.r_id);
+              ("method", Log.Str info.r_meth);
+              ("path", Log.Str info.r_path);
+              ("status", Log.Num info.r_status);
+              ("bytes_in", Log.Num info.r_bytes_in);
+              ("bytes_out", Log.Num info.r_bytes_out);
+              ("queue_wait_us", Log.Num info.r_queue_wait_us);
+              ("read_us", Log.Num info.r_read_us);
+              ("service_us", Log.Num info.r_service_us);
+              ("write_us", Log.Num info.r_write_us);
+              ("total_us", Log.Num info.r_total_us);
+              ("keep_alive", Log.Bool info.r_keep_alive);
+              ("shed", Log.Bool info.r_shed);
+            ]
+      | None -> ());
+      if Atomic.get capture_on then begin
+        (* Tail-retention trigger: the time the server spent on the
+           request (service + write), not wall time — a keep-alive
+           connection parked in its read between requests is idle, not
+           slow. Shed and error responses are always retained. *)
+        let spent_us = us_of_ns (sc.sc_service_ns + sc.sc_write_ns) in
+        if info.r_status >= 400 || spent_us >= Atomic.get threshold_us_a then
+          retain info
+      end
+    end
+
+  let with_scope f =
+    let n = 1 + Atomic.fetch_and_add req_seq 1 in
+    let rid = Printf.sprintf "%s-%d" boot_token n in
+    let buf =
+      if Atomic.get capture_on then Some (Trace.buffer ()) else None
+    in
+    let sc =
+      {
+        sc_id = rid;
+        sc_start = Unix.gettimeofday ();
+        sc_buf = buf;
+        sc_meth = "-";
+        sc_path = "-";
+        sc_status = 0;
+        sc_bytes_in = 0;
+        sc_bytes_out = 0;
+        sc_keep_alive = false;
+        sc_queue_wait_ns = 0;
+        sc_read_ns = 0;
+        sc_service_ns = 0;
+        sc_write_ns = 0;
+        sc_abandoned = false;
+      }
+    in
+    Domain.DLS.set scope_key (Some rid);
+    Fun.protect
+      ~finally:(fun () ->
+        Domain.DLS.set scope_key None;
+        (* after the capture scope closed, so the root span's close
+           event is already in the buffer *)
+        finalize sc)
+      (fun () ->
+        match buf with
+        | Some b -> Trace.with_capture b "serve.request" (fun () -> f sc)
+        | None -> f sc)
 end
 
 (* --- runtime / GC gauges ------------------------------------------------ *)

@@ -69,6 +69,15 @@ val with_span : ?hist_buckets:int array -> string -> (unit -> 'a) -> 'a
     exposed by {!Report.Prom_text}. As with {!histogram}, the first
     registration's bounds win. *)
 
+val observe_span : ?hist_buckets:int array -> string -> ns:int -> unit
+(** [observe_span label ~ns] records one externally measured duration
+    (nanoseconds) into the span metric registered under [label] —
+    count / total / max, exactly as {!with_span} would — for intervals
+    that cannot be wrapped in a closure (a queue wait that elapsed
+    before the measuring scope opened, a write timed alongside other
+    bookkeeping). [hist_buckets] derives the same
+    [label ^ ".duration_us"] microsecond histogram as {!with_span}. *)
+
 (** {1 Snapshot / reset} *)
 
 type hist_snapshot = {
@@ -227,17 +236,67 @@ module Trace : sig
       is active. Exception-safe: the close event is recorded even when
       [f] raises. *)
 
+  val span_interval : string -> t0_ns:int -> t1_ns:int -> unit
+  (** Record an already-elapsed interval as a span: a
+      [Span_open]/[Span_close] pair with the given wall-clock
+      timestamps, parented under the current span. Used for backdated
+      stages — a connection's wait in the accept queue ends before any
+      measuring scope can open inside it. Cheap no-op when
+      {!should_emit} is false. *)
+
   (** {1 Cross-domain propagation} *)
 
   type context
 
   val context : unit -> context
   (** Capture the calling domain's trace position (trace id, span,
-      active flag) — e.g. before [Domain.spawn]. *)
+      active flag, capture buffer) — e.g. before [Domain.spawn] or when
+      enqueueing a job for a worker domain. *)
 
   val with_context : context -> (unit -> 'a) -> 'a
   (** Run [f] inside the captured position, so a worker domain's spans
-      and events join the spawning trace's tree. *)
+      and events join the spawning trace's tree (and its capture
+      buffer, if one is attached). *)
+
+  val context_active : context -> bool
+  (** Whether adopting this context could record anything — it was
+      captured inside a sampled-in trace or a capture scope. Workers
+      guard their {!with_context} adoption with this so an untraced
+      request costs them nothing. *)
+
+  (** {1 Per-request capture buffers}
+
+      A buffer collects one scope's events privately — independent of
+      the global ring, and working even when global tracing is
+      {e disabled}: {!with_capture} makes {!should_emit} true for the
+      scope, so the same instrumented sites feed it. This is the
+      mechanism behind tail-based request capture ({!Obs.Request}):
+      every request records into its own small buffer, and only slow /
+      shed / errored ones are retained. *)
+
+  type buffer
+
+  val default_buffer_limit : int
+
+  val buffer : ?limit:int -> unit -> buffer
+  (** A fresh bounded buffer ([limit] defaults to
+      {!default_buffer_limit}); appends past the limit are dropped and
+      counted. Domain-safe: shard workers append concurrently via an
+      adopted {!context}. @raise Invalid_argument if [limit < 1]. *)
+
+  val with_capture : buffer -> string -> (unit -> 'a) -> 'a
+  (** [with_capture buf name f] runs [f] as a new top-level trace scope
+      whose events are appended to [buf] (always) and to the global
+      ring (only if tracing is enabled and the trace samples in — ring
+      sampling is unchanged). Opens a root span [name]; exception-safe;
+      restores the caller's context on exit. *)
+
+  val buffer_events : buffer -> event list
+  (** Events in emission order. Call after the capture scope has closed
+      and worker domains have completed their adopted sections. *)
+
+  val buffer_dropped : buffer -> int
+  (** Events lost to the buffer's limit. *)
 
   (** {1 Reading the ring} *)
 
@@ -309,6 +368,107 @@ module Log : sig
   val event_names : string list
   (** Every event type the engine itself emits — the catalog the docs
       lint checks against [docs/OBSERVABILITY.md]. *)
+end
+
+(** Per-request observability for the serving stack: unique request
+    ids, decomposed latency accounting, a structured access-log line
+    per request, and tail-based trace retention.
+
+    {!with_scope} wraps one HTTP request turn. It mints a request id,
+    and — when capture is enabled via {!configure} — runs the turn
+    inside a {!Trace.with_capture} scope so every span and event the
+    request touches (including shard workers that adopt the request's
+    {!Trace.context}) lands in a private per-request buffer. When the
+    scope closes, an access-log line is emitted ({!Log} event
+    [serve.access]), and the request is retained in a bounded ring if
+    it was slow (service + write time over {!threshold_us}), shed, or
+    errored (status >= 400) — the ring backs [GET /debug/slow].
+
+    Capture is {e off} by default and costs nothing disabled; the
+    access log follows the global {!Log} level. *)
+module Request : sig
+  (** {1 Configuration} *)
+
+  val configure : ?threshold_us:int -> ?capacity:int -> unit -> unit
+  (** Enable tail capture. [threshold_us] (default 100_000 = 100ms) is
+      the service+write retention threshold; [capacity] (default
+      {!default_capacity}) resizes (and clears) the retained ring.
+      [capacity <= 0] disables capture instead.
+      @raise Invalid_argument if [threshold_us < 0]. *)
+
+  val disable : unit -> unit
+  val capture_enabled : unit -> bool
+  val threshold_us : unit -> int
+  val capacity : unit -> int
+  val default_capacity : int
+
+  val set_access_level : Log.level option -> unit
+  (** Level the per-request [serve.access] log line is emitted at
+      (default [Some Info]); [None] silences access logging without
+      touching the global log level. *)
+
+  val access_level : unit -> Log.level option
+
+  (** {1 Request scopes} *)
+
+  type scope
+
+  val with_scope : (scope -> 'a) -> 'a
+  (** Run one request turn. The scope carries the request id and the
+      mutable timing/route fields the server fills in as the turn
+      progresses; on exit (normal or raised) the access-log line is
+      emitted and retention is decided. Single-writer: only the domain
+      running the turn may call the setters. *)
+
+  val id : scope -> string
+
+  val current_id : unit -> string option
+  (** The id of the scope the calling domain is currently inside, if
+      any — lets verdict renderers stamp the request id without
+      threading the scope through every call. *)
+
+  val set_route : scope -> meth:string -> path:string -> unit
+  val set_status : scope -> int -> unit
+  val set_bytes_in : scope -> int -> unit
+  val set_bytes_out : scope -> int -> unit
+  val set_keep_alive : scope -> bool -> unit
+
+  val set_queue_wait : scope -> int -> unit
+  (** Stage timings, nanoseconds. *)
+
+  val set_read : scope -> int -> unit
+  val set_service : scope -> int -> unit
+  val set_write : scope -> int -> unit
+
+  val abandon : scope -> unit
+  (** Mark the scope as a non-request (a keep-alive connection that
+      closed cleanly between requests): no access log, no retention. *)
+
+  (** {1 Retained tail} *)
+
+  type info = {
+    r_id : string;
+    r_meth : string;
+    r_path : string;
+    r_status : int;
+    r_bytes_in : int;
+    r_bytes_out : int;
+    r_shed : bool;  (** status 429 *)
+    r_keep_alive : bool;
+    r_start_ms : int;  (** wall-clock request start, milliseconds *)
+    r_queue_wait_us : int;
+    r_read_us : int;
+    r_service_us : int;
+    r_write_us : int;
+    r_total_us : int;
+    r_events : Trace.event list;  (** the request's captured span tree *)
+    r_events_dropped : int;
+  }
+
+  val retained : unit -> info list
+  (** Retained requests, newest first. *)
+
+  val clear_retained : unit -> unit
 end
 
 (** Process-level runtime gauges: OCaml GC statistics, process uptime,

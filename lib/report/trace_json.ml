@@ -142,6 +142,75 @@ let folded events =
   |> List.map (fun (path, ns) -> Printf.sprintf "%s %d\n" path ns)
   |> String.concat ""
 
+(* Span summaries for one captured request: pair each Span_open with its
+   Span_close by span id, start times relative to the earliest event.
+   Opens lost to the buffer limit (or never closed) are skipped. *)
+let span_rows (events : T.event list) =
+  let t0 =
+    List.fold_left (fun acc (e : T.event) -> min acc e.ts_ns) max_int events
+  in
+  let opens : (int, string * int * int) Hashtbl.t = Hashtbl.create 16 in
+  let rows = ref [] in
+  List.iter
+    (fun (e : T.event) ->
+      match e.kind with
+      | T.Span_open { name; parent } ->
+          Hashtbl.replace opens e.span (name, parent, e.ts_ns)
+      | T.Span_close _ -> (
+          match Hashtbl.find_opt opens e.span with
+          | Some (name, parent, ts) ->
+              Hashtbl.remove opens e.span;
+              rows := (e.span, name, parent, ts - t0, e.ts_ns - ts) :: !rows
+          | None -> ())
+      | _ -> ())
+    events;
+  List.sort
+    (fun (ida, _, _, sa, _) (idb, _, _, sb, _) ->
+      match Int.compare sa sb with 0 -> Int.compare ida idb | c -> c)
+    !rows
+  |> List.map (fun (id, name, parent, start_ns, dur_ns) ->
+         Json.Obj
+           [
+             ("name", Json.String name);
+             ("span", Json.Int id);
+             ("parent", Json.Int parent);
+             ("start_us", Json.Int (start_ns / 1000));
+             ("duration_us", Json.Int (max 0 dur_ns / 1000));
+           ])
+
+let slow_json (infos : Obs.Request.info list) =
+  let req (i : Obs.Request.info) =
+    Json.Obj
+      [
+        ("id", Json.String i.Obs.Request.r_id);
+        ("method", Json.String i.r_meth);
+        ("path", Json.String i.r_path);
+        ("status", Json.Int i.r_status);
+        ("shed", Json.Bool i.r_shed);
+        ("keep_alive", Json.Bool i.r_keep_alive);
+        ("bytes_in", Json.Int i.r_bytes_in);
+        ("bytes_out", Json.Int i.r_bytes_out);
+        ("start_ms", Json.Int i.r_start_ms);
+        ( "timings_us",
+          Json.Obj
+            [
+              ("queue_wait", Json.Int i.r_queue_wait_us);
+              ("read", Json.Int i.r_read_us);
+              ("service", Json.Int i.r_service_us);
+              ("write", Json.Int i.r_write_us);
+              ("total", Json.Int i.r_total_us);
+            ] );
+        ( "trace",
+          Json.Obj
+            [
+              ("events", Json.Int (List.length i.r_events));
+              ("dropped", Json.Int i.r_events_dropped);
+              ("spans", Json.List (span_rows i.r_events));
+            ] );
+      ]
+  in
+  Json.to_string (Json.Obj [ ("requests", Json.List (List.map req infos)) ])
+
 let render ?timings format events =
   match format with
   | Jsonl -> jsonl ?timings events

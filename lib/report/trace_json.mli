@@ -30,4 +30,13 @@ val folded : Obs.Trace.event list -> string
 val render : ?timings:bool -> format -> Obs.Trace.event list -> string
 (** [timings] only affects [Jsonl]. *)
 
+val slow_json : Obs.Request.info list -> string
+(** The [GET /debug/slow] payload: a JSON object
+    [{"requests":[...]}] with, per retained request, its id / route /
+    status / shed and keep-alive flags / byte counts, the decomposed
+    stage timings in microseconds, and a span-tree summary of the
+    captured trace (one row per matched open/close pair: name, span and
+    parent ids, start offset and duration in microseconds). Raw events
+    remain exportable through {!render} in any {!format}. *)
+
 val write_file : ?timings:bool -> format:format -> string -> Obs.Trace.event list -> unit

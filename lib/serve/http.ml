@@ -10,6 +10,16 @@
 
 let keepalive_c = Obs.counter "serve.keepalive.reuses"
 
+(* Microsecond bucket bounds for the request-stage latency histograms
+   ([*.duration_us]): 50us resolution at the fast end, 1s at the tail. *)
+let latency_buckets =
+  [|
+    50; 100; 250; 500; 1000; 2500; 5000; 10000; 25000; 50000; 100000; 250000;
+    1000000;
+  |]
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
 type request = {
   meth : string;
   path : string;
@@ -282,12 +292,37 @@ let wants_keep_alive (req : request) =
   | Some v -> String.equal (String.lowercase_ascii v) "keep-alive"
   | None -> false
 
+(* The response-write leg, timed into the request scope and the
+   [serve.request.write] span even when the peer resets mid-write (the
+   EPIPE propagates after the finally). *)
+let write_timed sc ~keep_alive fd (resp : response) =
+  Obs.Request.set_status sc resp.status;
+  Obs.Request.set_bytes_out sc (String.length resp.body);
+  let t0 = now_ns () in
+  Fun.protect
+    ~finally:(fun () ->
+      let ns = now_ns () - t0 in
+      Obs.Request.set_write sc ns;
+      Obs.observe_span ~hist_buckets:latency_buckets "serve.request.write" ~ns)
+    (fun () ->
+      Obs.Trace.with_span "serve.request.write" (fun () ->
+          write_response ~keep_alive fd resp))
+
 (* One connection, possibly many requests: honor [Connection: keep-alive]
    up to [keepalive_limit] requests, each under the same I/O deadline.
    The response echoes the decision in its own Connection header, and a
    kept-alive turn counts into [serve.keepalive.reuses]. Closing is the
-   default — our own one-shot client still drains to EOF. *)
-let handle_conn ~io_timeout ~keepalive_limit t handler fd =
+   default — our own one-shot client still drains to EOF.
+
+   Every turn runs inside one [Obs.Request] scope: the request id is
+   minted before the read, echoed in [X-Request-Id], and the turn's
+   stages land in the scope as queue-wait (real for the first turn of a
+   pooled connection, zero for keep-alive reuses — the connection is
+   already on its worker), read, service (the handler), and write. A
+   turn that ends in a clean keep-alive EOF never was a request: its
+   scope is abandoned, producing no access-log line. *)
+let handle_conn ?(queue_wait_ns = 0) ~io_timeout ~keepalive_limit t handler fd
+    =
   Fun.protect
     ~finally:(fun () ->
       untrack_conn t fd;
@@ -302,22 +337,62 @@ let handle_conn ~io_timeout ~keepalive_limit t handler fd =
       end;
       let pending = ref "" in
       let rec turn served =
-        match recv_request fd pending with
-        | Closed -> ()
-        | Fail (status, msg) ->
-            write_response fd (response ~status (msg ^ "\n"))
-        | Req req ->
-            (* a request after the first means the connection was
-               actually reused, not merely left open *)
-            if served > 0 then Obs.incr keepalive_c;
-            let resp = handler req in
-            let keep_alive =
-              wants_keep_alive req
-              && served + 1 < keepalive_limit
-              && not (Atomic.get t.stopping)
-            in
-            write_response ~keep_alive fd resp;
-            if keep_alive then turn (served + 1)
+        let wait_ns = if served = 0 then queue_wait_ns else 0 in
+        let keep_going =
+          Obs.Request.with_scope (fun sc ->
+              let t0 = now_ns () in
+              let finish_wait () =
+                Obs.Request.set_queue_wait sc wait_ns;
+                Obs.observe_span ~hist_buckets:latency_buckets
+                  "serve.request.queue_wait" ~ns:wait_ns;
+                Obs.Trace.span_interval "serve.request.queue_wait"
+                  ~t0_ns:(t0 - wait_ns) ~t1_ns:t0
+              in
+              let received =
+                Obs.Trace.with_span "serve.request.read" (fun () ->
+                    recv_request fd pending)
+              in
+              Obs.Request.set_read sc (now_ns () - t0);
+              match received with
+              | Closed ->
+                  Obs.Request.abandon sc;
+                  false
+              | Fail (status, msg) ->
+                  finish_wait ();
+                  let resp =
+                    response ~status
+                      ~headers:[ ("X-Request-Id", Obs.Request.id sc) ]
+                      (msg ^ "\n")
+                  in
+                  write_timed sc ~keep_alive:false fd resp;
+                  false
+              | Req req ->
+                  finish_wait ();
+                  (* a request after the first means the connection was
+                     actually reused, not merely left open *)
+                  if served > 0 then Obs.incr keepalive_c;
+                  Obs.Request.set_route sc ~meth:req.meth ~path:req.path;
+                  Obs.Request.set_bytes_in sc (String.length req.body);
+                  let t_svc = now_ns () in
+                  let resp = handler req in
+                  Obs.Request.set_service sc (now_ns () - t_svc);
+                  let keep_alive =
+                    wants_keep_alive req
+                    && served + 1 < keepalive_limit
+                    && not (Atomic.get t.stopping)
+                  in
+                  Obs.Request.set_keep_alive sc keep_alive;
+                  let resp =
+                    {
+                      resp with
+                      headers =
+                        ("X-Request-Id", Obs.Request.id sc) :: resp.headers;
+                    }
+                  in
+                  write_timed sc ~keep_alive fd resp;
+                  keep_alive)
+        in
+        if keep_going then turn (served + 1)
       in
       turn 0)
 
@@ -368,11 +443,12 @@ let serve_pool ?(io_timeout = default_io_timeout)
         Condition.wait not_empty qm
       done;
       match Queue.take_opt queue with
-      | Some fd ->
+      | Some (fd, enqueued_ns) ->
           Condition.signal not_full;
           Mutex.unlock qm;
+          let queue_wait_ns = now_ns () - enqueued_ns in
           swallow_conn_error
-            (handle_conn ~io_timeout ~keepalive_limit t handler)
+            (handle_conn ~queue_wait_ns ~io_timeout ~keepalive_limit t handler)
             fd;
           next ()
       | None -> Mutex.unlock qm (* stopping and drained *)
@@ -409,7 +485,9 @@ let serve_pool ?(io_timeout = default_io_timeout)
                 Unix.close fd
               end
               else begin
-                Queue.add fd queue;
+                (* stamp the hand-off so the worker can attribute the
+                   connection's wait in this queue to the first request *)
+                Queue.add (fd, now_ns ()) queue;
                 Condition.signal not_empty;
                 Mutex.unlock qm
               end
@@ -465,7 +543,23 @@ let parse_response raw =
           | None -> Error "malformed response: bad status code")
       | _ -> Error "malformed response: bad status line")
 
-let request ?(body = "") ~port ~meth path =
+(* Like [parse_response] but keeps the response headers (lowercased
+   names), for callers that need e.g. [x-request-id]. *)
+let parse_response_full raw =
+  match find_sub raw "\r\n\r\n" 0 with
+  | None -> Error "malformed response: no header terminator"
+  | Some i -> (
+      let body = String.sub raw (i + 4) (String.length raw - i - 4) in
+      (* [parse_head] reads the status line as "method path": for a
+         response that yields the HTTP version and the status code *)
+      match parse_head (String.sub raw 0 i) with
+      | Error e -> Error e
+      | Ok (_http, code, headers) -> (
+          match int_of_string_opt code with
+          | Some status -> Ok (status, headers, body)
+          | None -> Error "malformed response: bad status code"))
+
+let raw_request ?(body = "") ~port ~meth path =
   ignore_sigpipe ();
   let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -494,7 +588,13 @@ let request ?(body = "") ~port ~meth path =
         end
       in
       drain ();
-      parse_response (Buffer.contents buf))
+      Buffer.contents buf)
+
+let request ?body ~port ~meth path =
+  parse_response (raw_request ?body ~port ~meth path)
+
+let request_full ?body ~port ~meth path =
+  parse_response_full (raw_request ?body ~port ~meth path)
 
 let get ~port path = request ~port ~meth:"GET" path
 let post ~port path body = request ~body ~port ~meth:"POST" path

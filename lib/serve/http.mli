@@ -9,7 +9,16 @@
     [Connection: keep-alive] up to a per-connection request cap; the
     default remains close-after-one. {!stop} is the only cross-thread
     entry point. Binds 127.0.0.1 only — this is a telemetry port, not a
-    public server. *)
+    public server.
+
+    Every request turn runs inside an {!Obs.Request} scope: a unique
+    request id is minted before the read and echoed back in an
+    [X-Request-Id] response header (on error responses too); the turn's
+    stage timings — conn-queue wait (pooled mode), read, handler
+    service, response write — are recorded into the scope (feeding the
+    [serve.access] log line and tail capture) and into the
+    [serve.request.queue_wait] / [serve.request.write] span metrics
+    with their [.duration_us] histograms. *)
 
 type request = {
   meth : string;
@@ -45,6 +54,12 @@ val port : t -> int
 
 val default_keepalive_limit : int
 (** 100 requests per connection. *)
+
+val latency_buckets : int array
+(** Microsecond bucket bounds shared by the request-stage
+    [*.duration_us] latency histograms ([serve.request.queue_wait],
+    [serve.shard.service], [serve.request.write]): 50us at the fast
+    end, 1s at the tail. *)
 
 val serve :
   ?io_timeout:float -> ?keepalive_limit:int -> t -> (request -> response) ->
@@ -101,6 +116,15 @@ val request :
   (int * string, string) result
 (** One-shot: [request ~port ~meth path] opens a fresh connection, sends
     [Connection: close], drains to EOF and returns [(status, body)]. *)
+
+val request_full :
+  ?body:string ->
+  port:int ->
+  meth:string ->
+  string ->
+  (int * (string * string) list * string, string) result
+(** Like {!request} but also returns the response headers (names
+    lowercased, values trimmed) — e.g. to read back [x-request-id]. *)
 
 val get : port:int -> string -> (int * string, string) result
 val post : port:int -> string -> string -> (int * string, string) result

@@ -41,20 +41,29 @@ let log_stop t =
   Atomic.set t.ready false;
   Obs.Log.emit Info "serve.stop" []
 
-let match_json ~line (m : Cep.Detector.match_) =
+(* The request id rides along on every verdict object when the call runs
+   inside an [Obs.Request] scope (the HTTP path), so client-side logs
+   can be joined against server traces; the stdin feed has no request
+   and stays unchanged. *)
+let request_id_field = function
+  | None -> []
+  | Some id -> [ ("request_id", Report.Json.String id) ]
+
+let match_json ?request_id ~line (m : Cep.Detector.match_) =
   Report.Json.Obj
-    [
-      ("type", Report.Json.String "match");
-      ("line", Report.Json.Int line);
-      ( "tags",
-        Report.Json.Obj
-          (List.map (fun (e, tag) -> (e, Report.Json.String tag)) m.tags) );
-      ( "timestamps",
-        Report.Json.Obj
-          (List.map
-             (fun (e, ts) -> (e, Report.Json.Int ts))
-             (Events.Tuple.bindings m.tuple)) );
-    ]
+    (("type", Report.Json.String "match")
+    :: ("line", Report.Json.Int line)
+    :: request_id_field request_id
+    @ [
+        ( "tags",
+          Report.Json.Obj
+            (List.map (fun (e, tag) -> (e, Report.Json.String tag)) m.tags) );
+        ( "timestamps",
+          Report.Json.Obj
+            (List.map
+               (fun (e, ts) -> (e, Report.Json.Int ts))
+               (Events.Tuple.bindings m.tuple)) );
+      ])
 
 let overload_reason = "overloaded: shard queue full"
 
@@ -81,6 +90,7 @@ let ingest_line t ~lineno line =
    client contract as the sequential detector. A shed batch answers 429
    without having applied anything, so the client may retry it wholesale. *)
 let ingest_body t body =
+  let request_id = Obs.Request.current_id () in
   let lines = Array.of_seq (List.to_seq (String.split_on_char '\n' body)) in
   let n = Array.length lines in
   let base = Atomic.fetch_and_add t.next_line n in
@@ -89,53 +99,67 @@ let ingest_body t body =
   let slots = Array.make n `Skip in
   let batch = ref [] in
   let batched = ref 0 in
-  for i = 0 to n - 1 do
-    match Ingest.parse_line ~lineno:(base + i) lines.(i) with
-    | Ok None -> ()
-    | Error e ->
-        parse_error ~lineno:e.line e.reason;
-        slots.(i) <- `Bad e.reason
-    | Ok (Some { Ingest.instance; key }) ->
-        slots.(i) <- `Inst !batched;
-        incr batched;
-        batch := (key, instance) :: !batch
-  done;
+  Obs.Trace.with_span "serve.ingest.parse" (fun () ->
+      for i = 0 to n - 1 do
+        match Ingest.parse_line ~lineno:(base + i) lines.(i) with
+        | Ok None -> ()
+        | Error e ->
+            parse_error ~lineno:e.line e.reason;
+            slots.(i) <- `Bad e.reason
+        | Ok (Some { Ingest.instance; key }) ->
+            slots.(i) <- `Inst !batched;
+            incr batched;
+            batch := (key, instance) :: !batch
+      done);
   let batch = Array.of_seq (List.to_seq (List.rev !batch)) in
-  match Shard.submit t.pool batch with
+  match
+    (* the shard queue-wait and service spans open inside [submit]'s
+       jobs, children of this span via the captured context *)
+    Obs.Trace.with_span "serve.ingest.submit" (fun () ->
+        Shard.submit t.pool batch)
+  with
   | Shard.Shed ->
       (* nothing was applied; give the line numbers back would race other
          batches, so the block stays consumed — tags remain unique *)
       Http.response ~status:429
         ~headers:[ ("Retry-After", "1") ]
-        (overload_reason ^ "\n")
+        ~content_type:"application/json"
+        (Report.Json.to_string
+           (Report.Json.Obj
+              (("type", Report.Json.String "error")
+              :: ("reason", Report.Json.String overload_reason)
+              :: request_id_field request_id))
+        ^ "\n")
   | Shard.Processed results ->
-      let out = Buffer.create 256 in
-      let jsonl json =
-        Buffer.add_string out (Report.Json.to_string json);
-        Buffer.add_char out '\n'
-      in
-      Array.iteri
-        (fun i slot ->
-          let lineno = base + i in
-          let error reason =
-            jsonl
-              (Report.Json.Obj
-                 [
-                   ("type", Report.Json.String "error");
-                   ("line", Report.Json.Int lineno);
-                   ("reason", Report.Json.String reason);
-                 ])
+      Obs.Trace.with_span "serve.ingest.reassemble" (fun () ->
+          let out = Buffer.create 256 in
+          let jsonl json =
+            Buffer.add_string out (Report.Json.to_string json);
+            Buffer.add_char out '\n'
           in
-          match slot with
-          | `Skip -> ()
-          | `Bad reason -> error reason
-          | `Inst j -> (
-              match results.(j) with
-              | Ok matches ->
-                  List.iter (fun m -> jsonl (match_json ~line:lineno m)) matches
-              | Error reason -> error reason))
-        slots;
-      Http.response ~content_type:jsonl_content_type (Buffer.contents out)
+          Array.iteri
+            (fun i slot ->
+              let lineno = base + i in
+              let error reason =
+                jsonl
+                  (Report.Json.Obj
+                     (("type", Report.Json.String "error")
+                     :: ("line", Report.Json.Int lineno)
+                     :: request_id_field request_id
+                     @ [ ("reason", Report.Json.String reason) ]))
+              in
+              match slot with
+              | `Skip -> ()
+              | `Bad reason -> error reason
+              | `Inst j -> (
+                  match results.(j) with
+                  | Ok matches ->
+                      List.iter
+                        (fun m -> jsonl (match_json ?request_id ~line:lineno m))
+                        matches
+                  | Error reason -> error reason))
+            slots;
+          Http.response ~content_type:jsonl_content_type (Buffer.contents out))
 
 let metrics_body t =
   Obs.with_span ~hist_buckets:scrape_buckets "serve.scrape" (fun () ->
@@ -149,6 +173,76 @@ let route_path target =
     match String.index_opt s c with Some i -> String.sub s 0 i | None -> s
   in
   cut '?' (cut '#' target)
+
+(* First value of [name] in the target's query string, if any. Enough of
+   a parser for the single [?format=] knob; no %-decoding. *)
+let query_param target name =
+  match String.index_opt target '?' with
+  | None -> None
+  | Some i ->
+      let q = String.sub target (i + 1) (String.length target - i - 1) in
+      let q = match String.index_opt q '#' with
+        | Some j -> String.sub q 0 j
+        | None -> q
+      in
+      List.find_map
+        (fun pair ->
+          match String.index_opt pair '=' with
+          | Some k when String.sub pair 0 k = name ->
+              Some (String.sub pair (k + 1) (String.length pair - k - 1))
+          | _ -> None)
+        (String.split_on_char '&' q)
+
+(* GET /debug/slow: the tail-capture ring, newest first. The default
+   payload is the span-tree JSON summary; [?format=jsonl|chrome|folded]
+   re-exports the raw captured events through the existing trace
+   renderers instead. *)
+let slow_body target =
+  let infos = Obs.Request.retained () in
+  match query_param target "format" with
+  | None ->
+      Http.response ~content_type:"application/json"
+        (Report.Trace_json.slow_json infos)
+  | Some name -> (
+      match Report.Trace_json.format_of_string name with
+      | None ->
+          Http.response ~status:400 ("unknown format: " ^ name ^ "\n")
+      | Some fmt ->
+          (* oldest first, so spans replay in the order they happened *)
+          let events =
+            List.concat_map
+              (fun (i : Obs.Request.info) -> i.r_events)
+              (List.rev infos)
+          in
+          let content_type =
+            match fmt with
+            | Report.Trace_json.Jsonl -> jsonl_content_type
+            | Report.Trace_json.Chrome -> "application/json"
+            | Report.Trace_json.Folded -> "text/plain; charset=utf-8"
+          in
+          Http.response ~content_type (Report.Trace_json.render fmt events))
+
+(* 503 payload naming the saturated shard queues, so a load balancer (or
+   an operator) can see which partitions are behind. *)
+let backpressure_body t saturated =
+  Report.Json.to_string
+    (Report.Json.Obj
+       [
+         ("ready", Report.Json.Bool false);
+         ("reason", Report.Json.String "backpressure");
+         ( "saturated_shards",
+           Report.Json.List
+             (List.map
+                (fun (k, queued) ->
+                  Report.Json.Obj
+                    [
+                      ("shard", Report.Json.Int k);
+                      ("queued", Report.Json.Int queued);
+                      ("capacity", Report.Json.Int (Shard.queue_capacity t.pool));
+                    ])
+                saturated) );
+       ])
+  ^ "\n"
 
 let handle t (req : Http.request) =
   Obs.incr requests_c;
@@ -170,8 +264,21 @@ let handle t (req : Http.request) =
         else method_not_allowed
     | "/ready" ->
         if String.equal req.meth "GET" then
-          if Atomic.get t.ready then Http.response "ready\n"
-          else Http.response ~status:503 "stopping\n"
+          if not (Atomic.get t.ready) then
+            Http.response ~status:503 "stopping\n"
+          else begin
+            (* Reflect back-pressure: while any shard queue is full an
+               admission would shed, so tell the balancer to back off
+               before it costs a 429. *)
+            match Shard.saturation t.pool with
+            | [] -> Http.response "ready\n"
+            | saturated ->
+                Http.response ~status:503 ~content_type:"application/json"
+                  (backpressure_body t saturated)
+          end
+        else method_not_allowed
+    | "/debug/slow" ->
+        if String.equal req.meth "GET" then slow_body req.path
         else method_not_allowed
     | "/ingest" ->
         if String.equal req.meth "POST" then

@@ -6,14 +6,26 @@
       snapshot, with {!Obs.Runtime.refresh} run first so runtime gauges
       are point-in-time;
     - [GET /health] — liveness (always 200 while the process runs);
-    - [GET /ready] — readiness (503 once {!log_stop} has been called);
+    - [GET /ready] — readiness: 503 ["stopping"] once {!log_stop} has
+      been called, and 503 with a JSON body naming the saturated shard
+      queues ([{"ready":false,"reason":"backpressure",...}]) while any
+      shard queue is full — an admission would shed, so balancers can
+      back off before paying a 429; otherwise 200;
+    - [GET /debug/slow] — the tail-capture ring of {!Obs.Request}:
+      retained slow / shed / errored requests, newest first, as a JSON
+      span-tree summary ({!Report.Trace_json.slow_json});
+      [?format=jsonl|chrome|folded] re-exports the raw captured trace
+      events through {!Report.Trace_json.render} instead;
     - [POST /ingest] — line-delimited CSV events
       ([event,timestamp[,tag[,key]]]); responds with JSONL: one
       [{"type":"match",...}] object per completed match and one
       [{"type":"error",...}] per rejected line, reassembled in input
-      order. When a shard queue is full the whole batch is shed — 429
-      with [Retry-After], nothing applied, safe to retry wholesale. The
-      503 answer is reserved for "ingest is fed from stdin".
+      order. Inside an HTTP request scope every verdict line carries the
+      request id ([request_id]). When a shard queue is full the whole
+      batch is shed — 429 with [Retry-After] and a JSON error body
+      carrying the reason and request id, nothing applied, safe to retry
+      wholesale. The plain 503 answer is reserved for "ingest is fed
+      from stdin".
 
     Detection runs on a {!Shard} pool: one detector per partition key,
     keys hashed over [shards] shards. With [threaded:false] (the default)
@@ -81,11 +93,15 @@ val ingest_line : t -> lineno:int -> string -> (Cep.Detector.match_ list, string
     [detector.evict] / [detector.pressure] / [ingest.error] log events as
     appropriate. *)
 
-val match_json : line:int -> Cep.Detector.match_ -> Report.Json.t
+val match_json :
+  ?request_id:string -> line:int -> Cep.Detector.match_ -> Report.Json.t
 (** The JSONL match verdict:
     [{"type":"match","line":N,"tags":{...},"timestamps":{...}}] — [line]
     is the input line that completed the match, so clients can correlate
-    matches to input lines across batches (errors carry the same field). *)
+    matches to input lines across batches (errors carry the same field).
+    [request_id] (stamped automatically on the HTTP ingest path from
+    {!Obs.Request.current_id}) inserts a [request_id] field after
+    [line], joining the verdict to the server-side request trace. *)
 
 val metrics_body : t -> string
 (** The [/metrics] payload (refresh runtime gauges, snapshot, render). *)

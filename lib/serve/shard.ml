@@ -50,7 +50,13 @@ type job = {
   items : (int * string * Cep.Detector.instance) list;
       (* (result slot, key, instance), in input order *)
   cell : cell;
+  ctx : Obs.Trace.context;
+      (* the submitting request's trace position, so the worker's spans
+         join its tree (and capture buffer) *)
+  enqueued_ns : int;  (* when the job entered the shard queue *)
 }
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
 type shard = {
   index : int;
@@ -141,10 +147,26 @@ let feed_keyed t shard ~key (inst : Cep.Detector.instance) =
       Ok matches
 
 let run_job t shard job =
-  List.iter
-    (fun (slot, key, inst) ->
-      job.cell.results.(slot) <- feed_keyed t shard ~key inst)
-    job.items;
+  let t0 = now_ns () in
+  let work () =
+    (* queue wait ended when this worker dequeued the job *)
+    Obs.Trace.span_interval "serve.shard.queue_wait" ~t0_ns:job.enqueued_ns
+      ~t1_ns:t0;
+    Obs.Trace.with_span "serve.shard.service" (fun () ->
+        if Obs.Trace.should_emit () then
+          Obs.Trace.emit
+            (Mark { label = Printf.sprintf "shard.%d" shard.index });
+        List.iter
+          (fun (slot, key, inst) ->
+            job.cell.results.(slot) <- feed_keyed t shard ~key inst)
+          job.items)
+  in
+  (* Adopt the submitting request's trace context only when it can
+     record something — an untraced request costs the worker nothing. *)
+  if Obs.Trace.context_active job.ctx then Obs.Trace.with_context job.ctx work
+  else work ();
+  Obs.observe_span ~hist_buckets:Http.latency_buckets "serve.shard.service"
+    ~ns:(now_ns () - t0);
   if Atomic.fetch_and_add job.cell.remaining (-1) = 1 then begin
     Mutex.lock job.cell.cm;
     Condition.broadcast job.cell.cv;
@@ -215,11 +237,17 @@ let submit t batch =
   let results = Array.make n (Ok []) in
   if n = 0 then Processed results
   else if not (threaded t) then begin
-    Array.iteri
-      (fun i (key, inst) ->
-        let shard = t.shards.(shard_of_key t key) in
-        results.(i) <- feed_keyed t shard ~key inst)
-      batch;
+    (* inline mode runs on the caller's domain, inside the request's
+       trace scope already — one shard-service span covers the batch *)
+    let t0 = now_ns () in
+    Obs.Trace.with_span "serve.shard.service" (fun () ->
+        Array.iteri
+          (fun i (key, inst) ->
+            let shard = t.shards.(shard_of_key t key) in
+            results.(i) <- feed_keyed t shard ~key inst)
+          batch);
+    Obs.observe_span ~hist_buckets:Http.latency_buckets "serve.shard.service"
+      ~ns:(now_ns () - t0);
     Processed results
   end
   else begin
@@ -243,6 +271,7 @@ let submit t batch =
         cv = Condition.create ();
       }
     in
+    let ctx = Obs.Trace.context () in
     (* All-or-nothing admission: take every involved shard's lock in
        ascending index order (t.shards order — no deadlock against other
        submitters), check every capacity, then enqueue everywhere or
@@ -255,13 +284,17 @@ let submit t batch =
           (not s.stop_requested) && Queue.length s.jobs < t.capacity)
         involved
     in
-    if admit then
+    if admit then begin
+      let enqueued_ns = now_ns () in
       List.iter
         (fun s ->
-          Queue.add { items = buckets.(s.index); cell } s.jobs;
+          Queue.add
+            { items = buckets.(s.index); cell; ctx; enqueued_ns }
+            s.jobs;
           Obs.gauge_set s.depth_g (Queue.length s.jobs);
           Condition.signal s.not_empty)
-        involved;
+        involved
+    end;
     List.iter (fun s -> Mutex.unlock s.sm) involved;
     if not admit then begin
       Obs.incr shed_c;
@@ -276,6 +309,19 @@ let submit t batch =
       Processed results
     end
   end
+
+(* Shards whose queue is full right now — the ones on which an
+   admission would shed. Inline pools never shed. *)
+let saturation t =
+  if not (threaded t) then []
+  else
+    Array.fold_right
+      (fun s acc ->
+        Mutex.lock s.sm;
+        let queued = Queue.length s.jobs in
+        Mutex.unlock s.sm;
+        if queued >= t.capacity then (s.index, queued) :: acc else acc)
+      t.shards []
 
 let stop t =
   if not (Atomic.exchange t.stopped true) then begin

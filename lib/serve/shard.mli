@@ -27,7 +27,14 @@
     [serve.ingest.lines] / [serve.ingest.errors] / [serve.matches] and
     emits the [detector.match] / [detector.evict] / [detector.pressure] /
     [ingest.error] log events exactly as the unsharded service did
-    (pressure is per key — each key has its own partial buffer). *)
+    (pressure is per key — each key has its own partial buffer).
+
+    Tracing: {!submit} captures the caller's {!Obs.Trace.context} with
+    each job; a worker adopts it (only when it can record something)
+    and emits [serve.shard.queue_wait] and [serve.shard.service] spans
+    into the submitting request's trace tree, plus the
+    [serve.shard.service] span metric and its [.duration_us]
+    histogram. *)
 
 type t
 
@@ -72,6 +79,12 @@ val threaded : t -> bool
 val shard_of_key : t -> string -> int
 (** The shard a key routes to: [""] pins to 0, others hash. Exposed for
     tests and capacity planning. *)
+
+val saturation : t -> (int * int) list
+(** [(shard index, queued jobs)] for every shard whose queue is full
+    right now — the shards on which an admission would shed. Always []
+    for inline pools (they never shed). Backs the [/ready]
+    back-pressure probe. *)
 
 val stop : t -> unit
 (** Threaded mode: ask every worker to drain its queue and exit, then

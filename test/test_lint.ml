@@ -114,7 +114,13 @@ let materialize_registry () =
   (* shed and keep-alive counters register on their first event; pin them
      here so the lint covers their catalog entries too *)
   ignore (Obs.counter "serve.shed");
-  ignore (Obs.counter "serve.keepalive.reuses")
+  ignore (Obs.counter "serve.keepalive.reuses");
+  (* the request-path latency decomposition registers at first request;
+     observe through the same registrar the serving stack uses *)
+  List.iter
+    (fun name ->
+      Obs.observe_span ~hist_buckets:Serve.Http.latency_buckets name ~ns:0)
+    [ "serve.request.queue_wait"; "serve.shard.service"; "serve.request.write" ]
 
 let test_metrics_documented () =
   materialize_registry ();

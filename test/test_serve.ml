@@ -652,6 +652,268 @@ let test_keepalive_reuse_and_cap () =
   Http.stop server;
   Domain.join d
 
+(* --- Request tracing: ids, /ready back-pressure, tail capture --- *)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_ready_backpressure () =
+  (* capacity-0 queues count as full, so an admission right now would
+     shed — readiness must say so and name the shards *)
+  let sat =
+    Service.create ~shards:2 ~shard_queue:0 ~threaded:true
+      (queries "SEQ(A, B) WITHIN 20")
+  in
+  let r = Service.handle sat (req "GET" "/ready") in
+  check_int "saturated pool answers 503" 503 r.Http.status;
+  check_str "back-pressure body is JSON" "application/json" r.Http.content_type;
+  check_bool "body names the reason and both saturated shards" true
+    (contains ~needle:"\"reason\":\"backpressure\"" r.Http.body
+    && contains ~needle:"\"shard\":0" r.Http.body
+    && contains ~needle:"\"shard\":1" r.Http.body
+    && contains ~needle:"\"capacity\":0" r.Http.body);
+  Service.log_stop sat;
+  let r = Service.handle sat (req "GET" "/ready") in
+  check_int "stopping still answers 503" 503 r.Http.status;
+  check_str "stopping takes precedence over back-pressure" "stopping\n"
+    r.Http.body;
+  Service.shutdown sat;
+  (* queues with room: readiness transitions back to plain 200 *)
+  let ok = Service.create ~shards:2 ~threaded:true (queries "SEQ(A, B) WITHIN 20") in
+  let r = Service.handle ok (req "GET" "/ready") in
+  check_int "unsaturated pool stays ready" 200 r.Http.status;
+  check_str "plain ready body" "ready\n" r.Http.body;
+  Service.shutdown ok
+
+let test_request_id_echo () =
+  let s = Service.create (queries "SEQ(A, B) WITHIN 20") in
+  with_server (Service.handle s) (fun port ->
+      let id_of headers =
+        match List.assoc_opt "x-request-id" headers with
+        | Some id -> id
+        | None -> Alcotest.fail "response missing X-Request-Id"
+      in
+      let first =
+        match
+          Http.request_full ~port ~meth:"POST" ~body:"A,1,x\nB,5,y\n" "/ingest"
+        with
+        | Ok (200, headers, body) ->
+            let id = id_of headers in
+            check_bool "id is non-empty" true (String.length id > 0);
+            check_bool "verdict lines carry the same request id" true
+              (contains
+                 ~needle:(Printf.sprintf "\"request_id\":\"%s\"" id)
+                 body);
+            id
+        | Ok (st, _, b) -> Alcotest.failf "ingest HTTP %d: %s" st b
+        | Error e -> Alcotest.failf "ingest: %s" e
+      in
+      (match Http.request_full ~port ~meth:"GET" "/health" with
+      | Ok (200, headers, _) ->
+          check_bool "each request gets a fresh id" true
+            (not (String.equal first (id_of headers)))
+      | _ -> Alcotest.fail "health failed");
+      (* errors echo the id too *)
+      match Http.request_full ~port ~meth:"GET" "/nosuch" with
+      | Ok (404, headers, _) ->
+          check_bool "404 carries an id as well" true
+            (String.length (id_of headers) > 0)
+      | _ -> Alcotest.fail "expected 404")
+
+(* The tentpole acceptance: a pooled keep-alive soak with capture on
+   retains complete span trees — unique ids, exactly one conn-queue-wait
+   pair, at least one shard-service span, one write span, and no
+   orphaned opens after a clean stop. *)
+let test_trace_capture_soak () =
+  Obs.Request.configure ~threshold_us:0 ~capacity:256 ();
+  Obs.Request.clear_retained ();
+  Fun.protect ~finally:Obs.Request.disable (fun () ->
+      let service =
+        Service.create ~shards:2 ~threaded:true (queries "SEQ(A, B) WITHIN 20")
+      in
+      let server = Http.listen ~port:0 () in
+      let port = Http.port server in
+      let pool_d =
+        Domain.spawn (fun () ->
+            Http.serve_pool ~workers:3 server (Service.handle service))
+      in
+      let clients =
+        List.init 3 (fun c ->
+            Domain.spawn (fun () ->
+                let conn = Http.Client.connect ~port in
+                let ok = ref 0 in
+                for i = 0 to 9 do
+                  let key = Printf.sprintf "t%d" c in
+                  let ts = i * 10 in
+                  let body =
+                    Printf.sprintf "A,%d,a,%s\nB,%d,b,%s\n" ts key (ts + 5) key
+                  in
+                  match Http.Client.post conn "/ingest" body with
+                  | Ok (200, _) -> incr ok
+                  | _ -> ()
+                done;
+                Http.Client.close conn;
+                !ok))
+      in
+      let totals = List.map Domain.join clients in
+      (* the debug surface over HTTP while the pool is still serving *)
+      let slow_json =
+        match Http.get ~port "/debug/slow" with
+        | Ok (200, body) -> body
+        | _ -> Alcotest.fail "GET /debug/slow failed"
+      in
+      (match Http.get ~port "/debug/slow?format=jsonl" with
+      | Ok (200, _) -> ()
+      | _ -> Alcotest.fail "jsonl export failed");
+      (match Http.get ~port "/debug/slow?format=chrome" with
+      | Ok (200, _) -> ()
+      | _ -> Alcotest.fail "chrome export failed");
+      (match Http.get ~port "/debug/slow?format=nope" with
+      | Ok (400, _) -> ()
+      | _ -> Alcotest.fail "unknown format must answer 400");
+      Http.stop server;
+      Domain.join pool_d;
+      Service.shutdown service;
+      List.iter (fun n -> check_int "every soak ingest succeeded" 10 n) totals;
+      check_bool "/debug/slow shows shard-service spans" true
+        (contains ~needle:"serve.shard.service" slow_json
+        && contains ~needle:"\"queue_wait\":" slow_json);
+      let retained = Obs.Request.retained () in
+      let ids = List.map (fun (i : Obs.Request.info) -> i.r_id) retained in
+      check_int "request ids are unique across the soak" (List.length ids)
+        (List.length (List.sort_uniq compare ids));
+      let posts =
+        List.filter
+          (fun (i : Obs.Request.info) -> String.equal i.r_meth "POST")
+          retained
+      in
+      check_int "every soak ingest was retained at threshold 0" 30
+        (List.length posts);
+      List.iter
+        (fun (i : Obs.Request.info) ->
+          let opens =
+            List.filter_map
+              (fun (e : Obs.Trace.event) ->
+                match e.kind with
+                | Obs.Trace.Span_open { name; _ } -> Some (e.span, name)
+                | _ -> None)
+              i.r_events
+          in
+          let closes =
+            List.filter_map
+              (fun (e : Obs.Trace.event) ->
+                match e.kind with
+                | Obs.Trace.Span_close _ -> Some e.span
+                | _ -> None)
+              i.r_events
+          in
+          let count name =
+            List.length
+              (List.filter (fun (_, n) -> String.equal n name) opens)
+          in
+          check_int "no capture events were dropped" 0 i.r_events_dropped;
+          check_int "one serve.request root span" 1 (count "serve.request");
+          check_int "exactly one conn-queue-wait span" 1
+            (count "serve.request.queue_wait");
+          check_bool "at least one shard-service span" true
+            (count "serve.shard.service" >= 1);
+          check_int "exactly one write span" 1 (count "serve.request.write");
+          check_int "no orphaned span opens after clean stop" 0
+            (List.length
+               (List.filter (fun (id, _) -> not (List.mem id closes)) opens));
+          check_bool "all events share the request's trace id" true
+            (match i.r_events with
+            | [] -> false
+            | e0 :: rest ->
+                List.for_all
+                  (fun (e : Obs.Trace.event) -> e.trace_id = e0.trace_id)
+                  rest))
+        posts;
+      Obs.Request.clear_retained ())
+
+let test_shed_capture_and_429_body () =
+  Obs.Request.configure ~threshold_us:0 ~capacity:16 ();
+  Obs.Request.clear_retained ();
+  Fun.protect ~finally:Obs.Request.disable (fun () ->
+      let s =
+        Service.create ~shards:2 ~shard_queue:0 ~threaded:true
+          (queries "SEQ(A, B) WITHIN 20")
+      in
+      let shed_id =
+        with_server (Service.handle s) (fun port ->
+            match
+              Http.request_full ~port ~meth:"POST" ~body:"A,1,x,k\nB,5,y,k\n"
+                "/ingest"
+            with
+            | Ok (429, headers, body) ->
+                let id =
+                  match List.assoc_opt "x-request-id" headers with
+                  | Some id -> id
+                  | None -> Alcotest.fail "429 missing X-Request-Id"
+                in
+                check_bool "429 body is JSON naming the overload" true
+                  (contains ~needle:"overloaded" body);
+                check_bool "429 body carries the request id" true
+                  (contains ~needle:id body);
+                id
+            | Ok (st, _, b) -> Alcotest.failf "expected 429, got %d: %s" st b
+            | Error e -> Alcotest.failf "shed request failed: %s" e)
+      in
+      Service.shutdown s;
+      let infos = Obs.Request.retained () in
+      check_bool "the shed request was retained with its flags" true
+        (List.exists
+           (fun (i : Obs.Request.info) ->
+             String.equal i.r_id shed_id && i.r_shed && i.r_status = 429)
+           infos);
+      Obs.Request.clear_retained ())
+
+let test_access_log () =
+  let buf = Buffer.create 512 in
+  let old_level = Obs.Log.level () in
+  Obs.Log.set_sink (fun line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n');
+  Obs.Log.set_level (Some Obs.Log.Info);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.set_level old_level;
+      Obs.Request.set_access_level (Some Obs.Log.Info);
+      Obs.Log.reset_sink ())
+    (fun () ->
+      let s = Service.create (queries "SEQ(A, B) WITHIN 20") in
+      with_server (Service.handle s) (fun port ->
+          match Http.post ~port "/ingest" "A,1,x\nB,5,y\n" with
+          | Ok (200, _) -> ()
+          | _ -> Alcotest.fail "ingest failed");
+      let out = Buffer.contents buf in
+      check_bool "serve.access line emitted at info" true
+        (contains ~needle:"\"event\":\"serve.access\"" out);
+      check_bool "access line decomposes the latency" true
+        (contains ~needle:"\"queue_wait_us\":" out
+        && contains ~needle:"\"read_us\":" out
+        && contains ~needle:"\"service_us\":" out
+        && contains ~needle:"\"write_us\":" out
+        && contains ~needle:"\"total_us\":" out);
+      check_bool "access line carries id, route and flags" true
+        (contains ~needle:"\"id\":\"" out
+        && contains ~needle:"\"path\":\"/ingest\"" out
+        && contains ~needle:"\"status\":200" out
+        && contains ~needle:"\"shed\":false" out);
+      (* --access-log off: the line disappears without touching the rest
+         of the logging config *)
+      Obs.Request.set_access_level None;
+      Buffer.clear buf;
+      let s2 = Service.create (queries "SEQ(A, B) WITHIN 20") in
+      with_server (Service.handle s2) (fun port ->
+          match Http.post ~port "/ingest" "A,1,x\nB,5,y\n" with
+          | Ok (200, _) -> ()
+          | _ -> Alcotest.fail "second ingest failed");
+      check_bool "access level None suppresses the line" false
+        (contains ~needle:"\"event\":\"serve.access\"" (Buffer.contents buf)))
+
 let suite =
   ( "serve",
     [
@@ -683,4 +945,13 @@ let suite =
         test_pool_clean_stop;
       Alcotest.test_case "keep-alive reuse and per-connection cap" `Quick
         test_keepalive_reuse_and_cap;
+      Alcotest.test_case "/ready reflects shard back-pressure" `Quick
+        test_ready_backpressure;
+      Alcotest.test_case "request ids echoed and stamped on verdicts" `Quick
+        test_request_id_echo;
+      Alcotest.test_case "trace capture soak: complete span trees" `Quick
+        test_trace_capture_soak;
+      Alcotest.test_case "shed requests captured with 429 JSON body" `Quick
+        test_shed_capture_and_429_body;
+      Alcotest.test_case "access log decomposition" `Quick test_access_log;
     ] )

@@ -29,6 +29,11 @@ let () =
   ignore (Serve.Service.metrics_body service);
   ignore (Obs.counter "serve.shed");
   ignore (Obs.counter "serve.keepalive.reuses");
+  (* the request-path latency decomposition registers at first request *)
+  List.iter
+    (fun name ->
+      Obs.observe_span ~hist_buckets:Serve.Http.latency_buckets name ~ns:0)
+    [ "serve.request.queue_wait"; "serve.shard.service"; "serve.request.write" ];
   let snap = Obs.snapshot () in
   let keep (name, _) = not (String.starts_with ~prefix:"test." name) in
   let row source kind exposition =

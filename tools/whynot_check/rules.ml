@@ -380,17 +380,31 @@ let domain_safety ctx structure =
 (* --- metrics-doc ------------------------------------------------------ *)
 
 let metric_registrars =
-  [ "counter"; "gauge"; "histogram"; "span"; "with_span"; "with_trace"; "emit" ]
+  [
+    "counter";
+    "gauge";
+    "histogram";
+    "span";
+    "with_span";
+    "observe_span";
+    "with_trace";
+    "with_capture";
+    "span_interval";
+    "emit";
+  ]
 
 (* [Obs.Trace.*] names trace events / spans and [Obs.Log.emit] names log
    events — neither has an exposition-format series, so they collapse to
-   the raw-only kinds "trace"/"log". Everything else keeps its registrar
-   name; the engine derives the exposition names the docs must also carry
-   (see [Engine.required_doc_names]). *)
+   the raw-only kinds "trace"/"log". [Obs.observe_span] records into the
+   same span metric (and optional [.duration_us] histogram) as
+   [Obs.with_span], so it shares that kind. Everything else keeps its
+   registrar name; the engine derives the exposition names the docs must
+   also carry (see [Engine.required_doc_names]). *)
 let metric_kind path fn =
   if List.mem "Trace" path then "trace"
   else if List.mem "Log" path then "log"
   else if String.equal fn "with_trace" then "trace"
+  else if String.equal fn "observe_span" then "with_span"
   else fn
 
 let metrics_doc ctx structure =
