@@ -14,8 +14,8 @@ let num_nodes g = g.n
 
 let grow g =
   let cap_now = Array.length g.to_ in
-  if g.m + 2 > cap_now (* check: idx - arc-array sizes *) then begin
-    let ncap = max 16 (2 * cap_now) (* check: idx - arc-array sizes *) in
+  if g.m + 2 > cap_now then begin
+    let ncap = max 16 (2 * cap_now) in
     let extend a = Array.append a (Array.make (ncap - cap_now) 0) (* check: idx - arc-array sizes *) in
     g.to_ <- extend g.to_;
     g.cap <- extend g.cap;

@@ -270,6 +270,7 @@ let track_conn t fd =
   (* stop may have run between accept and here: shut the read side now so
      this connection cannot outlive shutdown by its full deadline *)
   if Atomic.get t.stopping then begin
+    (* check: blocking - shutdown(2) never blocks; running under cm keeps a concurrently closed-and-recycled fd out *)
     match Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with
     | () -> ()
     | exception Unix.Unix_error _ -> ()
@@ -502,6 +503,7 @@ let stop t =
     Mutex.lock t.conns.cm;
     Hashtbl.iter
       (fun fd () ->
+        (* check: blocking - shutdown(2) never blocks; iterating under cm keeps untrack_conn's close/recycle out *)
         match Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with
         | () -> ()
         | exception Unix.Unix_error _ -> ())

@@ -192,11 +192,299 @@ let test_baseline_and_gate () =
       stale_baseline = [];
       errors;
       files_scanned = 1;
+      files_analyzed = 1;
+      timings = [];
+      lock_pairs = [];
     }
   in
   check_int "clean gates 0" 0 (Engine.gate (result [] []));
   check_int "findings gate 1" 1 (Engine.gate (result [ d ] []));
   check_int "infrastructure gates 2" 2 (Engine.gate (result [] [ "io error" ]))
+
+(* ---- interprocedural lock-discipline fixtures ----------------------- *)
+
+(* Lock fixtures go through [analyze_sources], the same whole-tree pipeline
+   the CLI uses, so call-graph summaries and the global order checks run. *)
+let tree ?(config = config) sources =
+  let r = Engine.analyze_sources ~config sources in
+  r.Engine.findings
+
+let tree_rules ?config sources =
+  List.map (fun d -> d.Diag.rule) (tree ?config sources)
+
+let message_with rule ds =
+  match List.find_opt (fun d -> String.equal d.Diag.rule rule) ds with
+  | Some d -> d.Diag.message
+  | None -> Alcotest.failf "no %s finding" rule
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let fx source = [ ("lib/fixture.ml", source) ]
+
+let test_lock_balance () =
+  check_int "early raise while holding flagged" 1
+    (count "lock-balance"
+       (tree_rules
+          (fx
+             "let m = Mutex.create ()\n\
+              let f x = Mutex.lock m; if x then failwith \"boom\"; \
+              Mutex.unlock m\n")));
+  check_int "unlock missing on one branch flagged" 1
+    (count "lock-balance"
+       (tree_rules
+          (fx
+             "let m = Mutex.create ()\n\
+              let f x = Mutex.lock m; if x then Mutex.unlock m\n")));
+  check_int "unlock with no matching lock flagged" 1
+    (count "lock-balance"
+       (tree_rules (fx "let m = Mutex.create ()\nlet f () = Mutex.unlock m\n")));
+  (* negatives: the three sanctioned release shapes *)
+  check_int "straight-line lock/unlock clean" 0
+    (count "lock-balance"
+       (tree_rules
+          (fx
+             "let m = Mutex.create ()\n\
+              let f g = Mutex.lock m; let v = g 1 in Mutex.unlock m; v\n")));
+  check_int "Fun.protect releases on raise" 0
+    (count "lock-balance"
+       (tree_rules
+          (fx
+             "let m = Mutex.create ()\n\
+              let f () =\n\
+             \  Mutex.lock m;\n\
+             \  Fun.protect ~finally:(fun () -> Mutex.unlock m)\n\
+             \    (fun () -> failwith \"boom\")\n")));
+  check_int "match-exception handler releases on raise" 0
+    (count "lock-balance"
+       (tree_rules
+          (fx
+             "let m = Mutex.create ()\n\
+              let f g =\n\
+             \  Mutex.lock m;\n\
+             \  match g () with\n\
+             \  | v -> Mutex.unlock m; v\n\
+             \  | exception e -> Mutex.unlock m; raise e\n")))
+
+let lock_ab_ba =
+  "let a = Mutex.create ()\n\
+   let b = Mutex.create ()\n\
+   let f () = Mutex.lock a; Mutex.lock b; Mutex.unlock b; Mutex.unlock a\n\
+   let g () = Mutex.lock b; Mutex.lock a; Mutex.unlock a; Mutex.unlock b\n"
+
+let test_lock_order () =
+  let pinned = { config with Config.lock_order = [ "fixture.a"; "fixture.b" ] } in
+  (* AB in one function, BA in another: a deadlock finding naming both
+     locks and both acquisition paths *)
+  let findings = tree ~config:pinned (fx lock_ab_ba) in
+  check_bool "conflict reported" true
+    (List.exists (fun d -> String.equal d.Diag.rule "lock-order") findings);
+  let msg = message_with "lock-order" findings in
+  check_bool "names the conflict" true (contains msg "conflicting");
+  check_bool "names lock a" true (contains msg "fixture.a");
+  check_bool "names lock b" true (contains msg "fixture.b");
+  check_bool "names path f" true (contains msg "fixture.f");
+  check_bool "names path g" true (contains msg "fixture.g");
+  (* one direction only, but against the pinned order *)
+  let reversed_only =
+    "let a = Mutex.create ()\n\
+     let b = Mutex.create ()\n\
+     let g () = Mutex.lock b; Mutex.lock a; Mutex.unlock a; Mutex.unlock b\n"
+  in
+  check_int "pinned-order violation flagged" 1
+    (count "lock-order" (tree_rules ~config:pinned (fx reversed_only)));
+  let ordered =
+    "let a = Mutex.create ()\n\
+     let b = Mutex.create ()\n\
+     let f () = Mutex.lock a; Mutex.lock b; Mutex.unlock b; Mutex.unlock a\n"
+  in
+  check_int "pinned order respected clean" 0
+    (count "lock-order" (tree_rules ~config:pinned (fx ordered)));
+  check_int "pair outside lock_order must be pinned" 1
+    (count "lock-order" (tree_rules (fx ordered)));
+  (* transitive acquisition through a callee is still a pair *)
+  let transitive =
+    "let a = Mutex.create ()\n\
+     let b = Mutex.create ()\n\
+     let inner g = Mutex.lock a; let v = g 1 in Mutex.unlock a; v\n\
+     let outer g = Mutex.lock b; let v = inner g in Mutex.unlock b; v\n"
+  in
+  check_int "transitive reversed pair flagged" 1
+    (count "lock-order" (tree_rules ~config:pinned (fx transitive)))
+
+let test_lock_multi_acquire () =
+  let batch =
+    "type sh = { lk : Mutex.t }\n\
+     let admit shards =\n\
+    \  List.iter (fun s -> Mutex.lock s.lk) shards;\n\
+    \  List.iter (fun s -> Mutex.unlock s.lk) shards\n"
+  in
+  let base = { config with Config.lock_order = [ "fixture.lk" ] } in
+  check_int "batch same-class acquisition needs sanction" 1
+    (count "lock-order"
+       (tree_rules
+          ~config:{ base with Config.lock_multi_acquire = [] }
+          (fx batch)));
+  check_int "lock_multi_acquire sanctions the batch" 0
+    (count "lock-order"
+       (tree_rules
+          ~config:{ base with Config.lock_multi_acquire = [ "fixture.lk" ] }
+          (fx batch)))
+
+let test_blocking_under_lock () =
+  check_int "Unix.write under lock flagged" 1
+    (count "blocking-under-lock"
+       (tree_rules
+          (fx
+             "let m = Mutex.create ()\n\
+              let f fd buf = Mutex.lock m; let n = Unix.write fd buf 0 1 in \
+              Mutex.unlock m; n\n")));
+  check_int "Unix.write outside the lock clean" 0
+    (count "blocking-under-lock"
+       (tree_rules
+          (fx
+             "let m = Mutex.create ()\n\
+              let f fd buf = let n = Unix.write fd buf 0 1 in Mutex.lock m; \
+              Mutex.unlock m; n\n")));
+  check_int "non-blocking Unix call under lock clean" 0
+    (count "blocking-under-lock"
+       (tree_rules
+          (fx
+             "let m = Mutex.create ()\n\
+              let f () = Mutex.lock m; let t = Unix.gettimeofday () in \
+              Mutex.unlock m; t\n")));
+  (* interprocedural: the blocking call is one hop away; the finding cites
+     the acquisition path *)
+  let transitive =
+    "let m = Mutex.create ()\n\
+     let slow () = Unix.sleep 1\n\
+     let f () = Mutex.lock m; slow (); Mutex.unlock m\n"
+  in
+  let findings = tree (fx transitive) in
+  check_int "transitive blocking flagged" 1
+    (count "blocking-under-lock" (List.map (fun d -> d.Diag.rule) findings));
+  check_bool "finding cites the call path" true
+    (contains (message_with "blocking-under-lock" findings) "fixture.slow")
+
+let test_condition_discipline () =
+  check_int "canonical wait loop clean" 0
+    (List.length
+       (tree
+          (fx
+             "let m = Mutex.create ()\n\
+              let cv = Condition.create ()\n\
+              let wait_ready p =\n\
+             \  Mutex.lock m;\n\
+             \  while not (p ()) do Condition.wait cv m done;\n\
+             \  Mutex.unlock m\n")));
+  check_int "wait without holding its mutex flagged" 1
+    (count "condition-discipline"
+       (tree_rules
+          (fx
+             "let m = Mutex.create ()\n\
+              let cv = Condition.create ()\n\
+              let f p = while not (p ()) do Condition.wait cv m done\n")));
+  check_int "wait outside a while loop flagged" 1
+    (count "condition-discipline"
+       (tree_rules
+          (fx
+             "let m = Mutex.create ()\n\
+              let cv = Condition.create ()\n\
+              let f () = Mutex.lock m; Condition.wait cv m; Mutex.unlock m\n")));
+  check_int "one condition under two mutexes flagged" 1
+    (count "condition-discipline"
+       (tree_rules
+          (fx
+             "let a = Mutex.create ()\n\
+              let b = Mutex.create ()\n\
+              let cv = Condition.create ()\n\
+              let f p = Mutex.lock a; while not (p ()) do Condition.wait cv \
+              a done; Mutex.unlock a\n\
+              let g p = Mutex.lock b; while not (p ()) do Condition.wait cv \
+              b done; Mutex.unlock b\n")));
+  check_int "signal without the associated mutex flagged" 1
+    (count "condition-discipline"
+       (tree_rules
+          (fx
+             "let m = Mutex.create ()\n\
+              let cv = Condition.create ()\n\
+              let f p = Mutex.lock m; while not (p ()) do Condition.wait cv \
+              m done; Mutex.unlock m\n\
+              let g () = Condition.signal cv\n")));
+  check_int "signal under the associated mutex clean" 0
+    (count "condition-discipline"
+       (tree_rules
+          (fx
+             "let m = Mutex.create ()\n\
+              let cv = Condition.create ()\n\
+              let f p = Mutex.lock m; while not (p ()) do Condition.wait cv \
+              m done; Mutex.unlock m\n\
+              let g () = Mutex.lock m; Condition.signal cv; Mutex.unlock m\n")))
+
+let test_stale_suppression () =
+  (* a comment that suppresses nothing is itself a finding... *)
+  let dead =
+    tree (fx "let f a b = a + b (* check: idx - nothing to suppress here *)\n")
+  in
+  check_int "dead suppression flagged" 1
+    (count "stale-suppression" (List.map (fun d -> d.Diag.rule) dead));
+  (* ...while a live one suppresses its finding and stays silent *)
+  let live =
+    Engine.analyze_sources ~config
+      [
+        ( "lib/tcn/fixture.ml",
+          "let f a b = a + b (* check: idx - fixture reason *)\n" );
+      ]
+  in
+  check_int "live suppression is not stale" 0 (List.length live.Engine.findings);
+  check_int "live suppression recorded" 1 (List.length live.Engine.suppressed)
+
+(* The real serving stack must stay clean under the lock rules, and its
+   observed acquisition structure must stay what DESIGN.md documents: the
+   only nested acquisition is shard.sm -> shard.sm batch admission. *)
+let repo_file p =
+  (* runs from test/ under `dune runtest` and from the root under exec *)
+  match List.find_opt Sys.file_exists [ "../" ^ p; p; "../../" ^ p ] with
+  | Some path -> path
+  | None -> Alcotest.failf "%s not found" p
+
+let test_real_tree_lock_discipline () =
+  let read p = In_channel.with_open_text (repo_file p) In_channel.input_all in
+  let sources =
+    List.map
+      (fun p -> (p, read p))
+      [ "lib/obs.ml"; "lib/serve/http.ml"; "lib/serve/shard.ml";
+        "lib/serve/service.ml" ]
+  in
+  let lock_only = { config with Config.rules = Config.lock_rules } in
+  let r = Engine.analyze_sources ~config:lock_only sources in
+  List.iter
+    (fun d ->
+      Alcotest.failf "unexpected finding: %s" (Format.asprintf "%a" Diag.pp d))
+    r.Engine.findings;
+  check_bool "admission pair observed" true
+    (List.exists
+       (fun (o, i, _) -> String.equal o "shard.sm" && String.equal i "shard.sm")
+       r.Engine.lock_pairs);
+  check_bool "no other nested acquisition" true
+    (List.for_all
+       (fun (o, i, _) -> String.equal o "shard.sm" && String.equal i "shard.sm")
+       r.Engine.lock_pairs)
+
+let test_config_pins_lock_order () =
+  match Config.load (repo_file "tools/whynot_check/config.json") with
+  | Error msg -> Alcotest.failf "config.json unreadable: %s" msg
+  | Ok c ->
+      check_bool "lock_order matches the built-in default" true
+        (c.Config.lock_order = Config.default.Config.lock_order);
+      check_bool "shard.sm batch admission sanctioned" true
+        (List.mem "shard.sm" c.Config.lock_multi_acquire);
+      check_bool "order is outermost-first from the request path" true
+        (c.Config.lock_order
+        = [ "http.qm"; "http.cm"; "shard.sm"; "shard.cm"; "obs.ring_lock";
+            "obs.lock" ])
 
 let test_parse_failure_is_error () =
   check_bool "unparsable fixture is an infrastructure error" true
@@ -215,6 +503,20 @@ let suite =
       Alcotest.test_case "no-stdout fixtures" `Quick test_no_stdout;
       Alcotest.test_case "domain-safety fixtures" `Quick test_domain_safety;
       Alcotest.test_case "metrics-doc fixtures" `Quick test_metrics_doc;
+      Alcotest.test_case "lock-balance fixtures" `Quick test_lock_balance;
+      Alcotest.test_case "lock-order fixtures" `Quick test_lock_order;
+      Alcotest.test_case "lock_multi_acquire fixtures" `Quick
+        test_lock_multi_acquire;
+      Alcotest.test_case "blocking-under-lock fixtures" `Quick
+        test_blocking_under_lock;
+      Alcotest.test_case "condition-discipline fixtures" `Quick
+        test_condition_discipline;
+      Alcotest.test_case "stale-suppression fixtures" `Quick
+        test_stale_suppression;
+      Alcotest.test_case "real tree obeys the lock discipline" `Quick
+        test_real_tree_lock_discipline;
+      Alcotest.test_case "config.json pins the global lock order" `Quick
+        test_config_pins_lock_order;
       Alcotest.test_case "baseline and exit gating" `Quick test_baseline_and_gate;
       Alcotest.test_case "parse failure is infrastructure" `Quick
         test_parse_failure_is_error;

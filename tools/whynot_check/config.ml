@@ -4,15 +4,56 @@
 
 module Json = Whynot.Report.Json
 
-let all_rules =
+(* The rule catalog: id plus the one-line description that --list-rules and
+   docs/STATIC_ANALYSIS.md show. The four lock-* rules plus
+   condition-discipline run as one fused interprocedural pass (see
+   {!Locks}); the rest are per-file syntactic passes. *)
+let rule_table =
   [
-    "domain-safety";
-    "checked-arith";
-    "poly-compare";
-    "exn-swallow";
-    "no-stdout";
-    "metrics-doc";
+    ( "domain-safety",
+      "module-level mutable state in Domain-parallel modules must be Atomic \
+       or mutated under a Mutex taken in the same binding" );
+    ( "checked-arith",
+      "bare int arithmetic in overflow-critical modules must use \
+       Numeric.Checked, a saturating helper, or an annotated reason" );
+    ( "poly-compare",
+      "no polymorphic (=)/compare on structured values and no physical \
+       equality — use typed comparators" );
+    ( "exn-swallow",
+      "catch-all exception handlers must re-raise or record the failure \
+       (Obs/Logs)" );
+    ( "no-stdout",
+      "library code must not print to stdout — return a string or take a \
+       formatter/sink" );
+    ( "metrics-doc",
+      "every registered metric/trace/log name (and its exposition form) \
+       must appear in the observability catalog" );
+    ( "lock-balance",
+      "every Mutex.lock is released on all paths, including exceptional \
+       ones (Fun.protect / match-exception / straight-line unlock)" );
+    ( "lock-order",
+      "nested lock acquisitions follow the single global order pinned in \
+       config.json (lock_order); conflicting pairs are deadlock findings" );
+    ( "blocking-under-lock",
+      "no Unix I/O, Domain.join, Thread.delay or Shard.submit while \
+       holding a mutex; Condition.wait on the held mutex is the only \
+       sanctioned blocking point" );
+    ( "condition-discipline",
+      "each condition variable pairs with exactly one mutex; wait holds \
+       that mutex and sits in a while loop" );
+    ( "stale-suppression",
+      "every inline (* check: *) comment must still suppress a live \
+       finding — stale ones are findings themselves" );
   ]
+
+let all_rules = List.map fst rule_table
+
+let describe rule =
+  match List.assoc_opt rule rule_table with Some d -> d | None -> ""
+
+(* The fused interprocedural pass ({!Locks}) runs iff any of these is on. *)
+let lock_rules =
+  [ "lock-balance"; "lock-order"; "blocking-under-lock"; "condition-discipline" ]
 
 type t = {
   rules : string list;  (** enabled rule ids *)
@@ -26,6 +67,12 @@ type t = {
   no_stdout_deny : string list;  (** directories where stdout is banned... *)
   no_stdout_allow : string list;  (** ...minus these carve-outs *)
   docs_path : string;  (** metric-name catalog for metrics-doc *)
+  lock_order : string list;
+      (** the single global acquisition order, outermost first; a lock
+          class is "<file-basename>.<mutex identifier>" *)
+  lock_multi_acquire : string list;
+      (** lock classes where acquiring several instances of the same class
+          in one batch is sanctioned (e.g. shard.sm ascending admission) *)
 }
 
 let default =
@@ -37,6 +84,8 @@ let default =
         "lib/serve/http.ml";
         "lib/serve/shard.ml";
         "lib/serve/service.ml";
+        "bench/serve_load.ml";
+        "bin/whynot_cli.ml";
       ];
     checked_arith_paths =
       [ "lib/tcn"; "lib/lp"; "lib/cep/plan.ml"; "lib/cep/compile.ml" ];
@@ -44,9 +93,14 @@ let default =
     no_stdout_deny = [ "lib" ];
     no_stdout_allow = [ "lib/report" ];
     docs_path = "docs/OBSERVABILITY.md";
+    lock_order =
+      [ "http.qm"; "http.cm"; "shard.sm"; "shard.cm"; "obs.ring_lock"; "obs.lock" ];
+    lock_multi_acquire = [ "shard.sm" ];
   }
 
 let enabled t rule = List.mem rule t.rules
+
+let lock_analysis_enabled t = List.exists (enabled t) lock_rules
 
 let string_list ?(default = []) name json =
   match Json.member name json with
@@ -72,6 +126,9 @@ let of_json json =
       (match Json.member "docs_path" json with
       | Some v -> Option.value ~default:d.docs_path (Json.to_string_opt v)
       | None -> d.docs_path);
+    lock_order = string_list ~default:d.lock_order "lock_order" json;
+    lock_multi_acquire =
+      string_list ~default:d.lock_multi_acquire "lock_multi_acquire" json;
   }
 
 let load path =

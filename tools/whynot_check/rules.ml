@@ -18,7 +18,10 @@ type ctx = {
 
 (* --- shared helpers --------------------------------------------------- *)
 
-let flatten lid = try Longident.flatten lid with _ -> []
+let flatten lid =
+  match Longident.flatten lid with
+  | parts -> parts
+  | exception Misc.Fatal_error -> []
 
 let ident_path e =
   match e.pexp_desc with
@@ -485,11 +488,21 @@ let metrics_doc ctx structure =
 
 (* --- entry point ------------------------------------------------------ *)
 
-let check ctx structure =
-  let on rule f = if Config.enabled ctx.config rule then f ctx structure in
-  on "checked-arith" checked_arith;
-  on "poly-compare" poly_compare;
-  on "exn-swallow" exn_swallow;
-  on "no-stdout" no_stdout;
-  on "domain-safety" domain_safety;
-  on "metrics-doc" metrics_doc
+(* The per-file syntactic passes, in execution order. The interprocedural
+   lock rules live in {!Locks} and run as a whole-tree second phase in the
+   engine, not here. *)
+let passes =
+  [
+    ("checked-arith", checked_arith);
+    ("poly-compare", poly_compare);
+    ("exn-swallow", exn_swallow);
+    ("no-stdout", no_stdout);
+    ("domain-safety", domain_safety);
+    ("metrics-doc", metrics_doc);
+  ]
+
+let check ?(time = fun _rule f -> f ()) ctx structure =
+  List.iter
+    (fun (rule, f) ->
+      if Config.enabled ctx.config rule then time rule (fun () -> f ctx structure))
+    passes

@@ -42,7 +42,9 @@ let () =
         json_out := Some v;
         parse_args rest
     | "--list-rules" :: _ ->
-        List.iter print_endline Config.all_rules;
+        List.iter
+          (fun (rule, description) -> Printf.printf "%-20s %s\n" rule description)
+          Config.rule_table;
         exit 0
     | "--quiet" :: rest ->
         quiet := true;
@@ -108,8 +110,10 @@ let () =
       result.Engine.stale_baseline;
     List.iter (fun msg -> Format.eprintf "whynot_check: %s@." msg) result.Engine.errors;
     let n = List.length result.Engine.findings in
-    Format.printf "whynot-check: %d file(s), %d finding(s), %d suppressed, %d baselined@."
-      result.Engine.files_scanned n
+    Format.printf
+      "whynot-check: %d file(s) analyzed, %d finding(s), %d suppressed, %d \
+       baselined@."
+      result.Engine.files_analyzed n
       (List.length result.Engine.suppressed)
       (List.length result.Engine.baselined)
   end;
