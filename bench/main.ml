@@ -13,6 +13,7 @@
      dune exec bench/main.exe -- fig5 fig10   # only selected sections
      dune exec bench/main.exe -- --out o.json # report path
      dune exec bench/main.exe -- --trace t.jsonl --trace-format jsonl
+     dune exec bench/main.exe -- --rt-events  # profile runtime GC pauses
      dune exec bench/main.exe -- compare A.json B.json [--threshold PCT]
 
    The compare mode is the perf regression gate: it diffs two bench
@@ -89,6 +90,7 @@ let report_path = ref "BENCH.json"
 let trace_path : string option ref = ref None
 let trace_format = ref Report.Trace_json.Jsonl
 let trace_sample = ref 1
+let rt_events = ref false
 
 let () =
   let expect_csv_dir = ref false
@@ -138,8 +140,15 @@ let () =
           | "--trace" -> expect_trace := true
           | "--trace-format" -> expect_trace_format := true
           | "--trace-sample" -> expect_trace_sample := true
+          | "--rt-events" -> rt_events := true
           | section -> only := section :: !only)
     Sys.argv
+
+let () =
+  if !rt_events then begin
+    Obs.Rt_events.start ();
+    at_exit Obs.Rt_events.stop
+  end
 
 let () =
   match !trace_path with
@@ -156,7 +165,7 @@ let () =
 let smoke_sections =
   [
     "table1"; "table2"; "fig5"; "bnb"; "trace"; "serve"; "serve_mt";
-    "serve_trace"; "detect";
+    "serve_trace"; "serve_gc"; "detect";
   ]
 
 let () =
@@ -640,6 +649,19 @@ let serve_trace_section () =
       ~events:(pick ~quick:4_000 ~standard:20_000 ~paper:60_000)
       ~gate:(match !scale with Standard | Paper -> true | Smoke | Quick -> false)
 
+(* serve_gc: the runtime-events profiling check — the same pooled
+   keep-alive soak with the GC-pause poller off then on, pause
+   percentiles and per-request attribution totals, and (on >=4 cores at
+   gating scales) the <5% poller-overhead gate. Post-trace for the same
+   compare-parity reason as serve. *)
+let serve_gc_stats : (string * Report.Json.t) list ref = ref []
+
+let serve_gc_section () =
+  serve_gc_stats :=
+    Serve_load.run_gc
+      ~events:(pick ~quick:4_000 ~standard:20_000 ~paper:60_000)
+      ~gate:(match !scale with Standard | Paper -> true | Smoke | Quick -> false)
+
 (* --- detect: the streaming detector, naive oracle vs compiled plan ---
 
    Replays one deterministic interleaved stream through both engines.
@@ -747,6 +769,9 @@ let write_report () =
       @ (match !serve_trace_stats with
         | [] -> []
         | fields -> [ ("serve_trace", Obj fields) ])
+      @ (match !serve_gc_stats with
+        | [] -> []
+        | fields -> [ ("serve_gc", Obj fields) ])
       @
       match !detect_stats with
       | [] -> []
@@ -781,5 +806,6 @@ let () =
   section "serve" serve_section;
   section "serve_mt" serve_mt_section;
   section "serve_trace" serve_trace_section;
+  section "serve_gc" serve_gc_section;
   section "detect" detect_section;
   write_report ()

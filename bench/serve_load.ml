@@ -524,3 +524,157 @@ let run_trace ~events ~gate =
                  ] ))
            stage_stats) );
   ]
+
+(* --- serve_gc: runtime-events poller overhead and GC attribution ---
+
+   Replays the keyed keep-alive soak twice through the pooled stack:
+   once with runtime profiling off (the deployment default) and once
+   with [Obs.Rt_events] on — poller domain live, per-domain GC pause
+   decoding, per-request gc_overlap_us attribution — then reports the
+   wall-clock overhead, pause percentiles from the
+   [runtime.gc.pause.duration_us] delta and attribution totals from the
+   [serve.request.gc_overlap_us] delta. While the profiled server is
+   still up, /debug/gc, /metrics and /debug/slow must all carry the new
+   telemetry. The <5% overhead gate arms on >=4 cores at gating scales,
+   for the same reason as serve_trace's. *)
+
+let gc_overhead_budget_pct = 5.0
+
+let run_gc ~events ~gate =
+  let query = mt_query () in
+  let cores = Domain.recommended_domain_count () in
+  let workers = max 2 (min cores 8) in
+  let shards = workers in
+  let per_client = events / workers in
+  let pooled_events = per_client * workers in
+  (* One full soak. With [check_gc], hit the debug endpoints while the
+     profiled server is still up. *)
+  let soak ~check_gc =
+    let service =
+      Serve.Service.create ~max_partials:512 ~shards ~threaded:true query
+    in
+    let server = Serve.Http.listen ~port:0 () in
+    let port = Serve.Http.port server in
+    let pool_d =
+      Domain.spawn (fun () ->
+          Serve.Http.serve_pool ~workers server (Serve.Service.handle service))
+    in
+    let (), dt =
+      E.Harness.time (fun () ->
+          let clients =
+            List.init workers (fun c ->
+                Domain.spawn (fun () ->
+                    ignore (mt_feed ~port ~client:(c + 1) ~events:per_client)))
+          in
+          List.iter Domain.join clients)
+    in
+    if check_gc then begin
+      (match Serve.Http.get ~port "/debug/gc" with
+      | Ok (200, body) ->
+          if not (contains ~needle:"\"running\":true" body) then
+            failwith "serve_gc: /debug/gc reports profiling off";
+          if not (contains ~needle:"\"recent\"" body) then
+            failwith "serve_gc: /debug/gc carries no domain summaries"
+      | Ok (st, _) -> failwith (Printf.sprintf "serve_gc: /debug/gc HTTP %d" st)
+      | Error msg -> failwith ("serve_gc: /debug/gc: " ^ msg));
+      (match Serve.Http.get ~port "/metrics" with
+      | Ok (200, body) ->
+          if not (contains ~needle:"runtime_gc_pause_duration_us" body) then
+            failwith "serve_gc: /metrics lacks runtime_gc_pause_duration_us"
+      | Ok (st, _) -> failwith (Printf.sprintf "serve_gc: /metrics HTTP %d" st)
+      | Error msg -> failwith ("serve_gc: /metrics: " ^ msg));
+      match Serve.Http.get ~port "/debug/slow?limit=8" with
+      | Ok (200, body) ->
+          if not (contains ~needle:"\"gc_us\"" body) then
+            failwith "serve_gc: /debug/slow lacks per-stage gc attribution"
+      | Ok (st, _) ->
+          failwith (Printf.sprintf "serve_gc: /debug/slow HTTP %d" st)
+      | Error msg -> failwith ("serve_gc: /debug/slow: " ^ msg)
+    end;
+    Serve.Http.stop server;
+    Domain.join pool_d;
+    Serve.Service.shutdown service;
+    dt
+  in
+  (* profiling off: the deployment default (stop a globally-enabled
+     poller first so the baseline really is unprofiled) *)
+  if Obs.Rt_events.running () then Obs.Rt_events.stop ();
+  Obs.Request.disable ();
+  let off_dt = soak ~check_gc:false in
+  (* profiling on, every request retained so /debug/slow shows the
+     attribution; histogram deltas isolate this replay from earlier
+     sections feeding the same series *)
+  let before_pause = Obs.find_histogram "runtime.gc.pause.duration_us" in
+  let before_overlap = Obs.find_histogram "serve.request.gc_overlap_us" in
+  Obs.Request.configure ~threshold_us:0 ~capacity:64 ();
+  Obs.Rt_events.start ();
+  let on_dt = soak ~check_gc:true in
+  Obs.Rt_events.stop ();
+  Obs.Request.disable ();
+  Obs.Request.clear_retained ();
+  Obs.Rt_events.reset_for_test ();
+  let delta name before =
+    let after =
+      match Obs.find_histogram name with
+      | Some h -> h
+      | None -> failwith ("serve_gc: histogram missing: " ^ name)
+    in
+    match before with
+    | None -> (after.Obs.h_count, after.Obs.h_sum, after.Obs.h_buckets)
+    | Some b ->
+        ( after.Obs.h_count - b.Obs.h_count,
+          after.Obs.h_sum - b.Obs.h_sum,
+          List.map2
+            (fun (bound, ca) (_, cb) -> (bound, ca - cb))
+            after.Obs.h_buckets b.Obs.h_buckets )
+  in
+  let pauses_n, pause_sum_us, pause_delta =
+    delta "runtime.gc.pause.duration_us" before_pause
+  in
+  let overlap_n, overlap_sum_us, _ =
+    delta "serve.request.gc_overlap_us" before_overlap
+  in
+  if pauses_n = 0 then failwith "serve_gc: profiled soak recorded no GC pauses";
+  let pause_p50 = bucket_percentile_us pause_delta pauses_n 50.0 in
+  let pause_p99 = bucket_percentile_us pause_delta pauses_n 99.0 in
+  let overhead_pct = (on_dt -. off_dt) /. off_dt *. 100.0 in
+  Format.printf
+    "profiling off: %d event(s) in %.3f s@.profiling on:  %d event(s) in \
+     %.3f s — overhead %+.2f%%@."
+    pooled_events off_dt pooled_events on_dt overhead_pct;
+  Format.printf
+    "GC pauses: %d recorded, %d us total, p50 <= %.0f us, p99 <= %.0f us@."
+    pauses_n pause_sum_us pause_p50 pause_p99;
+  Format.printf
+    "attribution: %d request(s) observed, %d us of request time under GC@."
+    overlap_n overlap_sum_us;
+  let overhead_gate =
+    if not gate then "skipped (sub-standard scale)"
+    else if cores < 4 then
+      Printf.sprintf "skipped (%d core(s) available, need 4)" cores
+    else if overhead_pct > gc_overhead_budget_pct then
+      failwith
+        (Printf.sprintf "serve_gc: poller overhead %+.2f%% over budget %.0f%%"
+           overhead_pct gc_overhead_budget_pct)
+    else
+      Printf.sprintf "passed (%+.2f%% <= %.0f%%)" overhead_pct
+        gc_overhead_budget_pct
+  in
+  Format.printf "overhead gate: %s@." overhead_gate;
+  [
+    ("events", Report.Json.Int pooled_events);
+    ("cores", Report.Json.Int cores);
+    ("workers", Report.Json.Int workers);
+    ("shards", Report.Json.Int shards);
+    ("off_seconds", Report.Json.Float off_dt);
+    ("on_seconds", Report.Json.Float on_dt);
+    ("overhead_pct", Report.Json.Float overhead_pct);
+    ("overhead_budget_pct", Report.Json.Float gc_overhead_budget_pct);
+    ("overhead_gate", Report.Json.String overhead_gate);
+    ("gc_pauses", Report.Json.Int pauses_n);
+    ("gc_pause_total_us", Report.Json.Int pause_sum_us);
+    ("gc_pause_p50_le_us", Report.Json.Float pause_p50);
+    ("gc_pause_p99_le_us", Report.Json.Float pause_p99);
+    ("requests_observed", Report.Json.Int overlap_n);
+    ("gc_overlap_total_us", Report.Json.Int overlap_sum_us);
+  ]

@@ -91,13 +91,28 @@ let trace_sample_arg =
           "Record every $(docv)-th top-level query trace (deterministic by \
            arrival order; default 1 = trace every query).")
 
+let rt_events_arg =
+  Arg.(
+    value & flag
+    & info [ "rt-events" ]
+        ~doc:
+          "Profile the OCaml runtime via Runtime_events self-monitoring: \
+           decode per-domain GC pauses into runtime.gc.pause.* metrics and \
+           attribute pause time to request stages (gc_overlap_us in the \
+           access log, /debug/slow and GET /debug/gc). See \
+           docs/SERVING.md.")
+
 let print_json v = print_endline (Whynot.Report.Json.to_string ~indent:2 v)
 
 (* Registered via [at_exit] so the snapshot/trace is also written on the
    [exit 1] paths (inconsistent query, no match, ...). *)
-let setup_obs metrics trace_file trace_format trace_sample =
+let setup_obs metrics trace_file trace_format trace_sample rt_events =
   if metrics then
     at_exit (fun () -> print_json (Whynot.Report.Obs_json.snapshot ()));
+  if rt_events then begin
+    Whynot.Obs.Rt_events.start ();
+    at_exit Whynot.Obs.Rt_events.stop
+  end;
   match trace_file with
   | None -> ()
   | Some path ->
@@ -113,7 +128,7 @@ let setup_obs metrics trace_file trace_format trace_sample =
 let obs_term =
   Term.(
     const setup_obs $ metrics_arg $ trace_out_arg $ trace_format_arg
-    $ trace_sample_arg)
+    $ trace_sample_arg $ rt_events_arg)
 
 let load_trace path =
   match Whynot.Events.Csv_io.read_trace path with

@@ -684,6 +684,445 @@ module Log = struct
     ]
 end
 
+(* --- runtime-events GC pause profiling ---------------------------------- *)
+
+module Rt_events = struct
+  (* Consumes the OCaml 5 [Runtime_events] ring in self-monitoring mode:
+     a poller domain decodes GC phase begin/end pairs into per-domain
+     pause histograms and a bounded per-domain ring of recent pause
+     intervals, so the request path can answer "was it the GC?" for
+     every slow request.
+
+     Locking: all mutable decoder state lives under the single [rt_lock]
+     (class obs.rt_lock, pinned in the global lock order); every metric
+     handle is obtained at module initialisation, so nothing running
+     under [rt_lock] ever touches the registry [lock]. Cursor access is
+     serialized by a lock-free CAS flag rather than a second mutex —
+     [read_poll] runs outside every lock, and only the per-event decode
+     callbacks it invokes take [rt_lock]. *)
+
+  (* Microsecond pause buckets: the serving stack's request-stage latency
+     buckets (Serve.Http.latency_buckets), duplicated literally because
+     Obs cannot depend on Serve; registering the same bounds twice is a
+     get-or-create no-op, so sharing stays safe either way. *)
+  let pause_buckets =
+    [|
+      50; 100; 250; 500; 1000; 2500; 5000; 10000; 25000; 50000; 100000;
+      250000; 1000000;
+    |]
+
+  let pause_h = histogram ~buckets:pause_buckets "runtime.gc.pause.duration_us"
+  let minor_c = counter "runtime.gc.pause.minor"
+  let major_c = counter "runtime.gc.pause.major"
+  let compact_c = counter "runtime.gc.pause.compact"
+  let dropped_c = counter "runtime.events.dropped"
+  let lost_c = counter "runtime.events.lost"
+
+  (* Per-domain max-pause gauges are registered up front for a fixed
+     domain range: gauge cardinality must not scale with whatever ring
+     indices the runtime hands out. Pauses on higher ring domains still
+     feed the shared histogram, the split counters and the /debug/gc
+     summaries. *)
+  let max_gauge_domains = 8
+
+  let max_pause_g =
+    Array.init max_gauge_domains (fun d ->
+        gauge (Printf.sprintf "runtime.dom.%d.gc.max_pause_us" d))
+
+  type pause_class = Minor | Major | Compact
+
+  let pause_class_name = function
+    | Minor -> "minor"
+    | Major -> "major"
+    | Compact -> "compact"
+
+  (* One recorded stop-the-world interval. Exposed timestamps are
+     wall-clock nanoseconds; the ring stores the runtime's monotonic
+     clock and converts at read time through [offset_ns]. *)
+  type pause = { p_class : pause_class; p_start_ns : int; p_end_ns : int }
+
+  type dom_state = {
+    (* open classified phases, innermost first: (class, mono-ns begin) *)
+    mutable ds_stack : (pause_class * int) list;
+    ds_ring : pause option array;
+    (* monotone write cursor; slot = cursor mod capacity, so
+       [cursor - capacity] (when positive) is exactly the evicted count *)
+    mutable ds_cursor : int;
+    mutable ds_minor : int;
+    mutable ds_major : int;
+    mutable ds_compact : int;
+    mutable ds_max_us : int;
+  }
+
+  type state = {
+    doms : (int, dom_state) Hashtbl.t;
+    (* wall minus mono, ns; set once per [start] by the calibration pause *)
+    mutable offset_ns : int option;
+    (* wall-clock anchor awaiting its first classified begin event *)
+    mutable calib_wall : int option;
+    mutable ring_cap : int;
+  }
+
+  let rt_lock = Mutex.create ()
+  let default_ring_capacity = 256
+
+  let st =
+    {
+      doms = Hashtbl.create 8;
+      offset_ns = None;
+      calib_wall = None;
+      ring_cap = default_ring_capacity;
+    }
+
+  (* Mirrors [st.offset_ns <> None] so the request path can skip the
+     pause query (and its lock) entirely until a pause source exists. *)
+  let calibrated = Atomic.make false
+
+  type lifecycle = {
+    mutable lc_poller : unit Domain.t option;
+    mutable lc_cursor : Runtime_events.cursor option;
+    mutable lc_rt_started : bool;
+  }
+
+  let lc = { lc_poller = None; lc_cursor = None; lc_rt_started = false }
+  let running_a = Atomic.make false
+  let stop_flag = Atomic.make false
+
+  (* serializes cursor access between the poller, [poll_now] and [stop] *)
+  let polling = Atomic.make false
+  let running () = Atomic.get running_a
+  let active () = Atomic.get running_a || Atomic.get calibrated
+
+  (* The phases that begin/end a stop-the-world pause as observed by the
+     mutator. Sub-phases (mark/sweep slices, root scans, ...) nest inside
+     these and are ignored — one pause, one interval. *)
+  let classify = function
+    | Runtime_events.EV_MINOR | Runtime_events.EV_EXPLICIT_GC_MINOR ->
+        Some Minor
+    | Runtime_events.EV_MAJOR | Runtime_events.EV_MAJOR_SLICE
+    | Runtime_events.EV_EXPLICIT_GC_MAJOR
+    | Runtime_events.EV_EXPLICIT_GC_FULL_MAJOR
+    | Runtime_events.EV_EXPLICIT_GC_MAJOR_SLICE ->
+        Some Major
+    | Runtime_events.EV_EXPLICIT_GC_COMPACT -> Some Compact
+    | _ -> None
+
+  let new_dom_state () =
+    {
+      ds_stack = [];
+      ds_ring = Array.make st.ring_cap None;
+      ds_cursor = 0;
+      ds_minor = 0;
+      ds_major = 0;
+      ds_compact = 0;
+      ds_max_us = 0;
+    }
+
+  (* Record one completed pause. Must run with [rt_lock] held (callers
+     below); the metric cells themselves are atomics. *)
+  let record_pause_locked ds ~dom ~cls ~t0 ~t1 =
+    let dur_ns = t1 - t0 in
+    if dur_ns >= 0 then begin
+      let us = dur_ns / 1000 in
+      observe pause_h us;
+      (match cls with
+      | Minor ->
+          ds.ds_minor <- ds.ds_minor + 1;
+          incr minor_c
+      | Major ->
+          ds.ds_major <- ds.ds_major + 1;
+          incr major_c
+      | Compact ->
+          ds.ds_compact <- ds.ds_compact + 1;
+          incr compact_c);
+      if us > ds.ds_max_us then ds.ds_max_us <- us;
+      if dom >= 0 && dom < max_gauge_domains then
+        gauge_max max_pause_g.(dom) us;
+      let cap = Array.length ds.ds_ring in
+      if ds.ds_cursor >= cap then incr dropped_c;
+      ds.ds_ring.(ds.ds_cursor mod cap) <-
+        Some { p_class = cls; p_start_ns = t0; p_end_ns = t1 };
+      ds.ds_cursor <- ds.ds_cursor + 1
+    end
+
+  let on_begin ring_dom ts phase =
+    match classify phase with
+    | None -> ()
+    | Some cls ->
+        let mono = Int64.to_int (Runtime_events.Timestamp.to_int64 ts) in
+        Mutex.lock rt_lock;
+        (match st.calib_wall with
+        | Some wall ->
+            (* first classified begin after [start] planted the anchor:
+               it is (or immediately follows) the explicit minor
+               collection just forced, so its monotonic timestamp
+               corresponds to the anchored wall clock *)
+            st.offset_ns <- Some (wall - mono);
+            Atomic.set calibrated true;
+            st.calib_wall <- None
+        | None -> ());
+        let ds =
+          match Hashtbl.find_opt st.doms ring_dom with
+          | Some ds -> ds
+          | None ->
+              let ds = new_dom_state () in
+              Hashtbl.add st.doms ring_dom ds;
+              ds
+        in
+        ds.ds_stack <- (cls, mono) :: ds.ds_stack;
+        Mutex.unlock rt_lock
+
+  let on_end ring_dom ts phase =
+    match classify phase with
+    | None -> ()
+    | Some _ ->
+        let mono = Int64.to_int (Runtime_events.Timestamp.to_int64 ts) in
+        Mutex.lock rt_lock;
+        (match Hashtbl.find_opt st.doms ring_dom with
+        | None -> ()
+        | Some ds -> (
+            (* pop the innermost open phase; a pause interval is recorded
+               only when the stack empties, classed by the outermost
+               phase — nested phases (a minor collection inside a major
+               slice) count as one pause, never two *)
+            match ds.ds_stack with
+            | [] -> () (* end without a begin: the cursor opened mid-phase *)
+            | [ (outer_cls, t0) ] ->
+                ds.ds_stack <- [];
+                record_pause_locked ds ~dom:ring_dom ~cls:outer_cls ~t0
+                  ~t1:mono
+            | _ :: rest -> ds.ds_stack <- rest));
+        Mutex.unlock rt_lock
+
+  let on_lost _ring_dom n = add lost_c n
+
+  let callbacks =
+    Runtime_events.Callbacks.create ~runtime_begin:on_begin
+      ~runtime_end:on_end ~lost_events:on_lost ()
+
+  (* Drain the runtime ring through the decode callbacks. Returns the
+     number of events consumed; 0 when another thread holds the polling
+     slot or no cursor is open. Runs outside every lock — only the
+     per-event callbacks take [rt_lock]. *)
+  let poll_now () =
+    if Atomic.compare_and_set polling false true then
+      Fun.protect
+        ~finally:(fun () -> Atomic.set polling false)
+        (fun () ->
+          match lc.lc_cursor with
+          | None -> 0
+          | Some cursor -> Runtime_events.read_poll cursor callbacks None)
+    else 0
+
+  let default_interval_s = 0.002
+
+  let rec poll_loop interval_s =
+    if not (Atomic.get stop_flag) then begin
+      ignore (poll_now ());
+      Unix.sleepf interval_s;
+      poll_loop interval_s
+    end
+
+  let start ?(interval_s = default_interval_s)
+      ?(ring_capacity = default_ring_capacity) () =
+    if interval_s <= 0.0 then
+      invalid_arg "Obs.Rt_events.start: interval_s must be > 0";
+    if ring_capacity < 1 then
+      invalid_arg "Obs.Rt_events.start: ring_capacity must be >= 1";
+    if not (Atomic.get running_a) then begin
+      if lc.lc_rt_started then Runtime_events.resume ()
+      else begin
+        Runtime_events.start ();
+        lc.lc_rt_started <- true
+      end;
+      Mutex.lock rt_lock;
+      Hashtbl.reset st.doms;
+      st.offset_ns <- None;
+      st.calib_wall <- None;
+      st.ring_cap <- ring_capacity;
+      Mutex.unlock rt_lock;
+      Atomic.set calibrated false;
+      lc.lc_cursor <- Some (Runtime_events.create_cursor None);
+      Atomic.set stop_flag false;
+      (* drain whatever predates this start so the calibration anchor
+         below pairs with a fresh pause, not a stale ring entry *)
+      ignore (poll_now ());
+      let w0 = Trace.now_ns () in
+      Gc.minor ();
+      let w1 = Trace.now_ns () in
+      Mutex.lock rt_lock;
+      (* discard drain-decoded state (its wall anchor is unknown), plant
+         the anchor, and decode the forced minor collection: its begin
+         event calibrates the monotonic clock against the wall clock *)
+      Hashtbl.reset st.doms;
+      st.offset_ns <- None;
+      st.calib_wall <- Some (w0 + ((w1 - w0) / 2));
+      Mutex.unlock rt_lock;
+      ignore (poll_now ());
+      lc.lc_poller <- Some (Domain.spawn (fun () -> poll_loop interval_s));
+      Atomic.set running_a true
+    end
+
+  let stop () =
+    if Atomic.get running_a then begin
+      Atomic.set stop_flag true;
+      (match lc.lc_poller with
+      | Some d ->
+          Domain.join d;
+          lc.lc_poller <- None
+      | None -> ());
+      (* final drain, then pause the runtime stream and release the
+         cursor — holding the polling slot so no concurrent [poll_now]
+         can touch the freed cursor *)
+      ignore (poll_now ());
+      Runtime_events.pause ();
+      let rec acquire () =
+        if not (Atomic.compare_and_set polling false true) then acquire ()
+      in
+      acquire ();
+      (match lc.lc_cursor with
+      | Some cursor ->
+          lc.lc_cursor <- None;
+          Runtime_events.free_cursor cursor
+      | None -> ());
+      Atomic.set polling false;
+      Atomic.set running_a false
+    end
+
+  (* mono -> wall conversion for one ring entry; unknown until calibrated *)
+  let wall_of_locked p =
+    match st.offset_ns with
+    | None -> None
+    | Some off ->
+        Some
+          {
+            p_class = p.p_class;
+            p_start_ns = p.p_start_ns + off;
+            p_end_ns = p.p_end_ns + off;
+          }
+
+  (* ring entries oldest first, converted to wall clock *)
+  let ring_entries_locked ds =
+    let cap = Array.length ds.ds_ring in
+    let n = min ds.ds_cursor cap in
+    let first = ds.ds_cursor - n in
+    List.filter_map
+      (fun k ->
+        match ds.ds_ring.((first + k) mod cap) with
+        | Some p -> wall_of_locked p
+        | None -> None)
+      (List.init n Fun.id)
+
+  type dom_summary = {
+    d_dom : int;
+    d_pauses : int;
+    d_minor : int;
+    d_major : int;
+    d_compact : int;
+    d_max_pause_us : int;
+    d_dropped : int;
+    d_recent : pause list; (* oldest first, wall-clock ns *)
+  }
+
+  let summaries () =
+    Mutex.lock rt_lock;
+    let out =
+      Hashtbl.fold
+        (fun dom ds acc ->
+          {
+            d_dom = dom;
+            d_pauses = ds.ds_cursor;
+            d_minor = ds.ds_minor;
+            d_major = ds.ds_major;
+            d_compact = ds.ds_compact;
+            d_max_pause_us = ds.ds_max_us;
+            d_dropped = max 0 (ds.ds_cursor - Array.length ds.ds_ring);
+            d_recent = ring_entries_locked ds;
+          }
+          :: acc)
+        st.doms []
+    in
+    Mutex.unlock rt_lock;
+    List.sort (fun a b -> Int.compare a.d_dom b.d_dom) out
+
+  (* All recorded pauses (any domain) intersecting [t0_ns, t1_ns],
+     wall-clock, clipped to the window, sorted and merged: overlapping
+     per-domain pauses collapse, so the result is a disjoint interval
+     list — summing overlaps against it never double-counts concurrent
+     multi-domain collections. *)
+  let pauses_between ~t0_ns ~t1_ns () =
+    Mutex.lock rt_lock;
+    let raw =
+      Hashtbl.fold
+        (fun _ ds acc -> List.rev_append (ring_entries_locked ds) acc)
+        st.doms []
+    in
+    Mutex.unlock rt_lock;
+    let clipped =
+      List.filter_map
+        (fun p ->
+          let s = max p.p_start_ns t0_ns and e = min p.p_end_ns t1_ns in
+          if s < e then Some (s, e) else None)
+        raw
+      |> List.sort (fun (sa, _) (sb, _) -> Int.compare sa sb)
+    in
+    let rec merge = function
+      | (s0, e0) :: (s1, e1) :: rest when s1 <= e0 ->
+          merge ((s0, max e0 e1) :: rest)
+      | iv :: rest -> iv :: merge rest
+      | [] -> []
+    in
+    merge clipped
+
+  (* Microseconds of [intervals] (disjoint, as returned by
+     [pauses_between]) falling inside [t0_ns, t1_ns]. *)
+  let overlap_us intervals ~t0_ns ~t1_ns =
+    List.fold_left
+      (fun acc (s, e) ->
+        let s = max s t0_ns and e = min e t1_ns in
+        if s < e then acc + (e - s) else acc)
+      0 intervals
+    / 1000
+
+  (* Test hook: push a synthetic pause through the real recording path
+     (ring eviction, split counters, histogram, gauges). Wall-clock
+     nanosecond interval; pins the mono->wall offset to 0 when no real
+     calibration has happened, so injected and queried times agree. *)
+  let inject_for_test ~dom ~cls ~t0_ns ~t1_ns =
+    Mutex.lock rt_lock;
+    let off =
+      match st.offset_ns with
+      | Some off -> off
+      | None ->
+          st.offset_ns <- Some 0;
+          Atomic.set calibrated true;
+          0
+    in
+    let ds =
+      match Hashtbl.find_opt st.doms dom with
+      | Some ds -> ds
+      | None ->
+          let ds = new_dom_state () in
+          Hashtbl.add st.doms dom ds;
+          ds
+    in
+    record_pause_locked ds ~dom ~cls ~t0:(t0_ns - off) ~t1:(t1_ns - off);
+    Mutex.unlock rt_lock
+
+  (* Test hook: forget decoded pauses and the calibration (the metric
+     cells are cumulative and stay). *)
+  let reset_for_test ?ring_capacity () =
+    Mutex.lock rt_lock;
+    Hashtbl.reset st.doms;
+    st.offset_ns <- None;
+    st.calib_wall <- None;
+    (match ring_capacity with
+    | Some c when c >= 1 -> st.ring_cap <- c
+    | Some _ | None -> ());
+    Mutex.unlock rt_lock;
+    Atomic.set calibrated false
+end
+
 (* --- per-request scopes: ids, latency decomposition, tail capture ------ *)
 
 module Request = struct
@@ -718,6 +1157,18 @@ module Request = struct
     r_service_us : int;
     r_write_us : int;
     r_total_us : int;
+    (* shard indices this request's ingest lines were routed to,
+       ascending *)
+    r_shards : int list;
+    (* merged GC pause intervals (wall-clock ns) intersecting the
+       request window, captured at completion so span overlaps stay
+       computable (and deterministic) after retention *)
+    r_gc_pauses : (int * int) list;
+    r_gc_overlap_us : int;
+    r_gc_queue_wait_us : int;
+    r_gc_read_us : int;
+    r_gc_service_us : int;
+    r_gc_write_us : int;
     r_events : Trace.event list;
     r_events_dropped : int;
   }
@@ -779,6 +1230,7 @@ module Request = struct
     mutable sc_read_ns : int;
     mutable sc_service_ns : int;
     mutable sc_write_ns : int;
+    mutable sc_shards : int list;
     mutable sc_abandoned : bool;
   }
 
@@ -796,12 +1248,28 @@ module Request = struct
   let set_write sc ns = sc.sc_write_ns <- ns
   let abandon sc = sc.sc_abandoned <- true
 
-  (* The accepting domain's current scope id, so verdict renderers deep
-     inside [Service] can stamp it without threading it through every
+  (* The accepting domain's current scope, so verdict renderers deep
+     inside [Service] can stamp the request id — and ingest routing can
+     note shard indices — without threading the scope through every
      call. Worker domains see [None] — they report through the scope's
      capture buffer instead. *)
-  let scope_key = Domain.DLS.new_key (fun () -> None)
-  let current_id () = Domain.DLS.get scope_key
+  let scope_key : scope option Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> None)
+
+  let current_id () =
+    match Domain.DLS.get scope_key with
+    | Some sc -> Some sc.sc_id
+    | None -> None
+
+  (* Shard visibility: [Service.ingest_body] notes the shard index each
+     batch line was routed to. Single-writer — only the accepting domain
+     (the scope owner) calls this. *)
+  let note_shard k =
+    match Domain.DLS.get scope_key with
+    | None -> ()
+    | Some sc ->
+        if not (List.exists (fun s -> Int.equal s k) sc.sc_shards) then
+          sc.sc_shards <- k :: sc.sc_shards
 
   let retain info =
     Mutex.lock ring_lock;
@@ -837,7 +1305,28 @@ module Request = struct
 
   let us_of_ns ns = ns / 1000
 
+  (* GC overlap histogram on the shared microsecond pause buckets; the
+     handle is registered at module initialisation like every other. *)
+  let gc_overlap_h =
+    histogram ~buckets:Rt_events.pause_buckets "serve.request.gc_overlap_us"
+
   let info_of sc =
+    (* Reconstruct the request's stage intervals on the wall clock:
+       [sc_start] is taken right as the connection turn begins, so the
+       queue wait lies just before it and read/service/write follow in
+       order. Overlapping the recorded GC pauses against these intervals
+       attributes each pause to the stage it actually stalled. *)
+    let b_ns = int_of_float (sc.sc_start *. 1e9) in
+    let w0 = b_ns - sc.sc_queue_wait_ns in
+    let read_end = b_ns + sc.sc_read_ns in
+    let service_end = read_end + sc.sc_service_ns in
+    let w1 = service_end + sc.sc_write_ns in
+    let pauses =
+      if Rt_events.active () then
+        Rt_events.pauses_between ~t0_ns:w0 ~t1_ns:w1 ()
+      else []
+    in
+    let ov t0 t1 = Rt_events.overlap_us pauses ~t0_ns:t0 ~t1_ns:t1 in
     {
       r_id = sc.sc_id;
       r_meth = sc.sc_meth;
@@ -854,6 +1343,13 @@ module Request = struct
       r_write_us = us_of_ns sc.sc_write_ns;
       r_total_us =
         int_of_float ((Unix.gettimeofday () -. sc.sc_start) *. 1e6);
+      r_shards = List.sort Int.compare sc.sc_shards;
+      r_gc_pauses = pauses;
+      r_gc_overlap_us = ov w0 w1;
+      r_gc_queue_wait_us = ov w0 b_ns;
+      r_gc_read_us = ov b_ns read_end;
+      r_gc_service_us = ov read_end service_end;
+      r_gc_write_us = ov service_end w1;
       r_events =
         (match sc.sc_buf with Some b -> Trace.buffer_events b | None -> []);
       r_events_dropped =
@@ -878,10 +1374,20 @@ module Request = struct
               ("service_us", Log.Num info.r_service_us);
               ("write_us", Log.Num info.r_write_us);
               ("total_us", Log.Num info.r_total_us);
+              ( "shards",
+                Log.Str
+                  (String.concat ","
+                     (List.map string_of_int info.r_shards)) );
+              ("gc_overlap_us", Log.Num info.r_gc_overlap_us);
+              ("gc_queue_wait_us", Log.Num info.r_gc_queue_wait_us);
+              ("gc_read_us", Log.Num info.r_gc_read_us);
+              ("gc_service_us", Log.Num info.r_gc_service_us);
+              ("gc_write_us", Log.Num info.r_gc_write_us);
               ("keep_alive", Log.Bool info.r_keep_alive);
               ("shed", Log.Bool info.r_shed);
             ]
       | None -> ());
+      if Rt_events.running () then observe gc_overlap_h info.r_gc_overlap_us;
       if Atomic.get capture_on then begin
         (* Tail-retention trigger: the time the server spent on the
            request (service + write), not wall time — a keep-alive
@@ -914,10 +1420,11 @@ module Request = struct
         sc_read_ns = 0;
         sc_service_ns = 0;
         sc_write_ns = 0;
+        sc_shards = [];
         sc_abandoned = false;
       }
     in
-    Domain.DLS.set scope_key (Some rid);
+    Domain.DLS.set scope_key (Some sc);
     Fun.protect
       ~finally:(fun () ->
         Domain.DLS.set scope_key None;
@@ -949,6 +1456,16 @@ module Runtime = struct
 
   let started = Unix.gettimeofday ()
 
+  (* [Gc.quick_stat] reports cumulative word counts as floats; on a
+     long-lived allocation-heavy process they eventually exceed
+     [max_int], where a bare [int_of_float] is undefined (and wraps
+     negative in practice). Saturate at the int range instead. *)
+  let saturating_int_of_float f =
+    if Float.is_nan f then 0
+    else if f >= float_of_int max_int then max_int
+    else if f <= float_of_int min_int then min_int
+    else int_of_float f
+
   let refresh () =
     let s = Gc.quick_stat () in
     gauge_set minor_collections_g s.Gc.minor_collections;
@@ -956,9 +1473,9 @@ module Runtime = struct
     gauge_set compactions_g s.Gc.compactions;
     gauge_set heap_words_g s.Gc.heap_words;
     gauge_set top_heap_words_g s.Gc.top_heap_words;
-    gauge_set minor_words_g (int_of_float s.Gc.minor_words);
-    gauge_set promoted_words_g (int_of_float s.Gc.promoted_words);
-    gauge_set major_words_g (int_of_float s.Gc.major_words);
+    gauge_set minor_words_g (saturating_int_of_float s.Gc.minor_words);
+    gauge_set promoted_words_g (saturating_int_of_float s.Gc.promoted_words);
+    gauge_set major_words_g (saturating_int_of_float s.Gc.major_words);
     gauge_set uptime_ms_g
       (int_of_float ((Unix.gettimeofday () -. started) *. 1e3));
     gauge_set trace_emitted_g (Trace.emitted ());

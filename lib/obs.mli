@@ -370,6 +370,127 @@ module Log : sig
       lint checks against [docs/OBSERVABILITY.md]. *)
 end
 
+(** Runtime GC/domain profiling via OCaml 5's [Runtime_events] tracing,
+    in self-monitoring mode: the process observes its own runtime ring.
+
+    {!Rt_events.start} enables the runtime's event stream and spawns a
+    poller domain that drains it on a fixed interval, decoding GC phase
+    begin/end pairs into stop-the-world {e pause intervals} per domain.
+    Each completed pause feeds:
+
+    - the [runtime.gc.pause.duration_us] histogram (shared microsecond
+      buckets, {!Rt_events.pause_buckets});
+    - split counters [runtime.gc.pause.minor] / [.major] / [.compact];
+    - a per-domain high-water gauge [runtime.dom.<d>.gc.max_pause_us]
+      (registered for ring domains [0 ..] {!Rt_events.max_gauge_domains}
+      [- 1]; higher indices still feed everything else);
+    - a bounded per-domain ring of recent pauses backing
+      {!Rt_events.summaries} ([GET /debug/gc]) and
+      {!Rt_events.pauses_between} (per-request GC attribution).
+
+    Ring overwrites are counted exactly in [runtime.events.dropped];
+    events the {e runtime's} ring lost before the poller could read
+    them are counted in [runtime.events.lost].
+
+    Nested phases (a minor collection inside a major slice) record one
+    pause, classed by the outermost phase — intervals never
+    double-count. Timestamps from the runtime are monotonic; a
+    calibration step in [start] anchors them to the wall clock so pause
+    intervals are directly comparable with {!Trace} span timestamps.
+
+    When profiling is off this module costs nothing on the request
+    path: {!Rt_events.active} is a single atomic load. *)
+module Rt_events : sig
+  val pause_buckets : int array
+  (** Microsecond bucket bounds of [runtime.gc.pause.duration_us] —
+      the serving stack's request-stage latency buckets, so pause and
+      stage percentiles are computed on the same grid. *)
+
+  val max_gauge_domains : int
+  (** Number of pre-registered [runtime.dom.<d>.gc.max_pause_us]
+      gauges (domains [0 .. max_gauge_domains - 1]). *)
+
+  type pause_class = Minor | Major | Compact
+
+  val pause_class_name : pause_class -> string
+
+  type pause = {
+    p_class : pause_class;
+    p_start_ns : int;  (** wall-clock nanoseconds *)
+    p_end_ns : int;
+  }
+
+  (** {1 Lifecycle} *)
+
+  val default_ring_capacity : int
+
+  val start : ?interval_s:float -> ?ring_capacity:int -> unit -> unit
+  (** Enable the runtime event stream and spawn the poller domain
+      ([interval_s] poll period, default 2ms; [ring_capacity] recent
+      pauses retained per domain, default {!default_ring_capacity}).
+      Idempotent while running. Decoder state from a previous
+      start/stop cycle is discarded; the cumulative metrics are kept.
+      @raise Invalid_argument if [interval_s <= 0] or
+      [ring_capacity < 1]. *)
+
+  val stop : unit -> unit
+  (** Join the poller after a final drain and pause the runtime's event
+      stream. Decoded pause state remains queryable. Idempotent. *)
+
+  val running : unit -> bool
+
+  val active : unit -> bool
+  (** Whether pause data exists to attribute against: running, or
+      stopped with calibrated pauses still retained. One atomic load —
+      the request path's guard. *)
+
+  val poll_now : unit -> int
+  (** Drain the runtime ring immediately on the calling thread (the
+      poller normally does this on its interval). Returns the number of
+      events consumed; 0 when not started or when a concurrent drain is
+      in flight. *)
+
+  (** {1 Queries} *)
+
+  type dom_summary = {
+    d_dom : int;  (** runtime ring domain index *)
+    d_pauses : int;  (** pauses recorded since start *)
+    d_minor : int;
+    d_major : int;
+    d_compact : int;
+    d_max_pause_us : int;
+    d_dropped : int;  (** pauses evicted from the recent-pause ring *)
+    d_recent : pause list;  (** oldest first, wall-clock ns *)
+  }
+
+  val summaries : unit -> dom_summary list
+  (** Per-domain pause summaries, sorted by domain index — the payload
+      behind [GET /debug/gc]. *)
+
+  val pauses_between : t0_ns:int -> t1_ns:int -> unit -> (int * int) list
+  (** All recorded pauses (any domain) intersecting the wall-clock
+      window, clipped to it, merged into a sorted {e disjoint} interval
+      list — concurrent multi-domain pauses collapse, so overlap sums
+      never double-count. *)
+
+  val overlap_us : (int * int) list -> t0_ns:int -> t1_ns:int -> int
+  (** Microseconds of the disjoint interval list (as returned by
+      {!pauses_between}) falling inside [t0_ns, t1_ns] — per-stage GC
+      attribution. *)
+
+  (** {1 Test hooks} *)
+
+  val inject_for_test :
+    dom:int -> cls:pause_class -> t0_ns:int -> t1_ns:int -> unit
+  (** Push a synthetic pause (wall-clock ns) through the real recording
+      path: ring eviction, split counters, histogram, gauges. *)
+
+  val reset_for_test : ?ring_capacity:int -> unit -> unit
+  (** Forget decoded pauses and the clock calibration, optionally
+      resizing the per-domain recent-pause rings (ignored when [< 1]).
+      The cumulative metric cells are unaffected. *)
+end
+
 (** Per-request observability for the serving stack: unique request
     ids, decomposed latency accounting, a structured access-log line
     per request, and tail-based trace retention.
@@ -433,6 +554,12 @@ module Request : sig
   val set_bytes_out : scope -> int -> unit
   val set_keep_alive : scope -> bool -> unit
 
+  val note_shard : int -> unit
+  (** Record that a line of the current request's batch was routed to
+      this shard (deduplicated; no-op outside a scope). Called by the
+      ingest path as it keys each batch line, from the domain running
+      the turn. *)
+
   val set_queue_wait : scope -> int -> unit
   (** Stage timings, nanoseconds. *)
 
@@ -461,6 +588,19 @@ module Request : sig
     r_service_us : int;
     r_write_us : int;
     r_total_us : int;
+    r_shards : int list;
+        (** shard indices this request's ingest lines were routed to,
+            ascending, deduplicated (see {!note_shard}) *)
+    r_gc_pauses : (int * int) list;
+        (** merged GC pause intervals (wall-clock ns,
+            {!Rt_events.pauses_between}) intersecting the request
+            window, captured at completion — span overlaps stay
+            computable after retention *)
+    r_gc_overlap_us : int;  (** GC pause time inside the request window *)
+    r_gc_queue_wait_us : int;  (** ... inside each stage window *)
+    r_gc_read_us : int;
+    r_gc_service_us : int;
+    r_gc_write_us : int;
     r_events : Trace.event list;  (** the request's captured span tree *)
     r_events_dropped : int;
   }
@@ -478,6 +618,11 @@ end
     point-in-time at each scrape rather than continuously maintained.
     Uses [Gc.quick_stat] (no major-heap walk), so refresh is cheap. *)
 module Runtime : sig
+  val saturating_int_of_float : float -> int
+  (** [int_of_float] clamped to [min_int]/[max_int] (NaN maps to 0):
+      cumulative GC word counts on long-lived processes can exceed the
+      [int] range, where raw [int_of_float] is undefined. *)
+
   val refresh : unit -> unit
   (** Update the [runtime.*] and [trace.*] gauges: GC counters and word
       counts from [Gc.quick_stat] ([runtime.gc.minor_collections],

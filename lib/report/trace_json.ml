@@ -144,8 +144,11 @@ let folded events =
 
 (* Span summaries for one captured request: pair each Span_open with its
    Span_close by span id, start times relative to the earliest event.
-   Opens lost to the buffer limit (or never closed) are skipped. *)
-let span_rows (events : T.event list) =
+   Opens lost to the buffer limit (or never closed) are skipped.
+   [gc_pauses] (merged disjoint wall-clock intervals, the request's
+   [r_gc_pauses]) attributes runtime pause time to each span via its
+   absolute [ts_ns] window. *)
+let span_rows ?(gc_pauses = []) (events : T.event list) =
   let t0 =
     List.fold_left (fun acc (e : T.event) -> min acc e.ts_ns) max_int events
   in
@@ -169,6 +172,10 @@ let span_rows (events : T.event list) =
       match Int.compare sa sb with 0 -> Int.compare ida idb | c -> c)
     !rows
   |> List.map (fun (id, name, parent, start_ns, dur_ns) ->
+         let gc_us =
+           Obs.Rt_events.overlap_us gc_pauses ~t0_ns:(t0 + start_ns)
+             ~t1_ns:(t0 + start_ns + max 0 dur_ns)
+         in
          Json.Obj
            [
              ("name", Json.String name);
@@ -176,6 +183,7 @@ let span_rows (events : T.event list) =
              ("parent", Json.Int parent);
              ("start_us", Json.Int (start_ns / 1000));
              ("duration_us", Json.Int (max 0 dur_ns / 1000));
+             ("gc_overlap_us", Json.Int gc_us);
            ])
 
 let slow_json (infos : Obs.Request.info list) =
@@ -191,6 +199,7 @@ let slow_json (infos : Obs.Request.info list) =
         ("bytes_in", Json.Int i.r_bytes_in);
         ("bytes_out", Json.Int i.r_bytes_out);
         ("start_ms", Json.Int i.r_start_ms);
+        ("shards", Json.List (List.map (fun s -> Json.Int s) i.r_shards));
         ( "timings_us",
           Json.Obj
             [
@@ -200,12 +209,22 @@ let slow_json (infos : Obs.Request.info list) =
               ("write", Json.Int i.r_write_us);
               ("total", Json.Int i.r_total_us);
             ] );
+        ( "gc_us",
+          Json.Obj
+            [
+              ("queue_wait", Json.Int i.r_gc_queue_wait_us);
+              ("read", Json.Int i.r_gc_read_us);
+              ("service", Json.Int i.r_gc_service_us);
+              ("write", Json.Int i.r_gc_write_us);
+              ("total", Json.Int i.r_gc_overlap_us);
+            ] );
         ( "trace",
           Json.Obj
             [
               ("events", Json.Int (List.length i.r_events));
               ("dropped", Json.Int i.r_events_dropped);
-              ("spans", Json.List (span_rows i.r_events));
+              ( "spans",
+                Json.List (span_rows ~gc_pauses:i.r_gc_pauses i.r_events) );
             ] );
       ]
   in

@@ -33,10 +33,13 @@ val render : ?timings:bool -> format -> Obs.Trace.event list -> string
 val slow_json : Obs.Request.info list -> string
 (** The [GET /debug/slow] payload: a JSON object
     [{"requests":[...]}] with, per retained request, its id / route /
-    status / shed and keep-alive flags / byte counts, the decomposed
-    stage timings in microseconds, and a span-tree summary of the
-    captured trace (one row per matched open/close pair: name, span and
-    parent ids, start offset and duration in microseconds). Raw events
-    remain exportable through {!render} in any {!format}. *)
+    status / shed and keep-alive flags / byte counts, the shard indices
+    its batch lines were routed to, the decomposed stage timings in
+    microseconds, the GC pause overlap per stage ([gc_us], from
+    {!Obs.Rt_events} attribution — all zero when profiling is off), and
+    a span-tree summary of the captured trace (one row per matched
+    open/close pair: name, span and parent ids, start offset, duration
+    and GC overlap in microseconds). Raw events remain exportable
+    through {!render} in any {!format}. *)
 
 val write_file : ?timings:bool -> format:format -> string -> Obs.Trace.event list -> unit

@@ -107,6 +107,9 @@ let ingest_body t body =
             parse_error ~lineno:e.line e.reason;
             slots.(i) <- `Bad e.reason
         | Ok (Some { Ingest.instance; key }) ->
+            (* shard visibility: the access log and /debug/slow carry
+               the shard index every batch line routes to *)
+            Obs.Request.note_shard (Shard.shard_of_key t.pool key);
             slots.(i) <- `Inst !batched;
             incr batched;
             batch := (key, instance) :: !batch
@@ -193,34 +196,87 @@ let query_param target name =
           | _ -> None)
         (String.split_on_char '&' q)
 
-(* GET /debug/slow: the tail-capture ring, newest first. The default
-   payload is the span-tree JSON summary; [?format=jsonl|chrome|folded]
-   re-exports the raw captured events through the existing trace
-   renderers instead. *)
+(* GET /debug/slow: the tail-capture ring, newest first, capped by
+   [?limit=N]. The default payload is the span-tree JSON summary;
+   [?format=jsonl|chrome|folded] re-exports the raw captured events
+   through the existing trace renderers instead. *)
 let slow_body target =
+  let render infos =
+    match query_param target "format" with
+    | None ->
+        Http.response ~content_type:"application/json"
+          (Report.Trace_json.slow_json infos)
+    | Some name -> (
+        match Report.Trace_json.format_of_string name with
+        | None ->
+            Http.response ~status:400 ("unknown format: " ^ name ^ "\n")
+        | Some fmt ->
+            (* oldest first, so spans replay in the order they happened *)
+            let events =
+              List.concat_map
+                (fun (i : Obs.Request.info) -> i.r_events)
+                (List.rev infos)
+            in
+            let content_type =
+              match fmt with
+              | Report.Trace_json.Jsonl -> jsonl_content_type
+              | Report.Trace_json.Chrome -> "application/json"
+              | Report.Trace_json.Folded -> "text/plain; charset=utf-8"
+            in
+            Http.response ~content_type (Report.Trace_json.render fmt events))
+  in
   let infos = Obs.Request.retained () in
-  match query_param target "format" with
-  | None ->
-      Http.response ~content_type:"application/json"
-        (Report.Trace_json.slow_json infos)
-  | Some name -> (
-      match Report.Trace_json.format_of_string name with
-      | None ->
-          Http.response ~status:400 ("unknown format: " ^ name ^ "\n")
-      | Some fmt ->
-          (* oldest first, so spans replay in the order they happened *)
-          let events =
-            List.concat_map
-              (fun (i : Obs.Request.info) -> i.r_events)
-              (List.rev infos)
+  match query_param target "limit" with
+  | None -> render infos
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 ->
+          (* newest first, so the cap keeps the most recent captures *)
+          let rec take n = function
+            | x :: tl when n > 0 -> x :: take (n - 1) tl
+            | _ -> []
           in
-          let content_type =
-            match fmt with
-            | Report.Trace_json.Jsonl -> jsonl_content_type
-            | Report.Trace_json.Chrome -> "application/json"
-            | Report.Trace_json.Folded -> "text/plain; charset=utf-8"
-          in
-          Http.response ~content_type (Report.Trace_json.render fmt events))
+          render (take n infos)
+      | Some _ | None -> Http.response ~status:400 ("bad limit: " ^ s ^ "\n"))
+
+(* GET /debug/gc: per-domain pause summaries from the runtime-events
+   decoder — counts, split by class, max pause, ring-drop count and the
+   ring of recent pauses (wall-clock ns, so entries line up with
+   /debug/slow span timestamps). A drain runs first so the payload is
+   point-in-time consistent with a /metrics scrape. *)
+let gc_body () =
+  ignore (Obs.Rt_events.poll_now ());
+  let pause (p : Obs.Rt_events.pause) =
+    Report.Json.Obj
+      [
+        ( "class",
+          Report.Json.String (Obs.Rt_events.pause_class_name p.p_class) );
+        ("start_ns", Report.Json.Int p.p_start_ns);
+        ("end_ns", Report.Json.Int p.p_end_ns);
+        ("duration_us", Report.Json.Int ((p.p_end_ns - p.p_start_ns) / 1000));
+      ]
+  in
+  let dom (d : Obs.Rt_events.dom_summary) =
+    Report.Json.Obj
+      [
+        ("dom", Report.Json.Int d.d_dom);
+        ("pauses", Report.Json.Int d.d_pauses);
+        ("minor", Report.Json.Int d.d_minor);
+        ("major", Report.Json.Int d.d_major);
+        ("compact", Report.Json.Int d.d_compact);
+        ("max_pause_us", Report.Json.Int d.d_max_pause_us);
+        ("dropped", Report.Json.Int d.d_dropped);
+        ("recent", Report.Json.List (List.map pause d.d_recent));
+      ]
+  in
+  Report.Json.to_string
+    (Report.Json.Obj
+       [
+         ("running", Report.Json.Bool (Obs.Rt_events.running ()));
+         ( "domains",
+           Report.Json.List (List.map dom (Obs.Rt_events.summaries ())) );
+       ])
+  ^ "\n"
 
 (* 503 payload naming the saturated shard queues, so a load balancer (or
    an operator) can see which partitions are behind. *)
@@ -279,6 +335,17 @@ let handle t (req : Http.request) =
         else method_not_allowed
     | "/debug/slow" ->
         if String.equal req.meth "GET" then slow_body req.path
+        else method_not_allowed
+    | "/debug/slow/clear" ->
+        if String.equal req.meth "POST" then begin
+          Obs.Request.clear_retained ();
+          Http.response ~content_type:"application/json"
+            "{\"cleared\":true}\n"
+        end
+        else method_not_allowed
+    | "/debug/gc" ->
+        if String.equal req.meth "GET" then
+          Http.response ~content_type:"application/json" (gc_body ())
         else method_not_allowed
     | "/ingest" ->
         if String.equal req.meth "POST" then

@@ -13,9 +13,19 @@
       back off before paying a 429; otherwise 200;
     - [GET /debug/slow] — the tail-capture ring of {!Obs.Request}:
       retained slow / shed / errored requests, newest first, as a JSON
-      span-tree summary ({!Report.Trace_json.slow_json});
+      span-tree summary ({!Report.Trace_json.slow_json}) with per-stage
+      and per-span GC overlap; [?limit=N] caps the payload to the [N]
+      most recent captures (a malformed or negative [limit] is a 400);
       [?format=jsonl|chrome|folded] re-exports the raw captured trace
       events through {!Report.Trace_json.render} instead;
+    - [POST /debug/slow/clear] — empty the retained ring without
+      restarting the server; answers [{"cleared":true}];
+    - [GET /debug/gc] — per-domain GC pause summaries from
+      {!Obs.Rt_events.summaries} (pause/split counts, max pause,
+      ring-drop count, recent pauses in wall-clock ns), preceded by a
+      {!Obs.Rt_events.poll_now} drain so the payload is point-in-time
+      consistent with a [/metrics] scrape; [{"running":false,...}] with
+      no domains until [--rt-events] profiling has run;
     - [POST /ingest] — line-delimited CSV events
       ([event,timestamp[,tag[,key]]]); responds with JSONL: one
       [{"type":"match",...}] object per completed match and one

@@ -170,6 +170,146 @@ let test_runtime_refresh () =
   check_bool "trace capacity mirrored" true
     (Obs.find_gauge "trace.capacity" <> None)
 
+(* Cumulative GC word counts on a long-lived process exceed the float
+   range int_of_float is defined on; the gauges go through the
+   saturating conversion instead. *)
+let test_saturating_conversion () =
+  let s = Obs.Runtime.saturating_int_of_float in
+  check_int "nan maps to 0" 0 (s Float.nan);
+  check_int "plain values truncate as int_of_float" 42 (s 42.9);
+  check_int "negative values truncate as int_of_float" (-7) (s (-7.2));
+  check_bool "1e30 clamps to max_int" true (s 1e30 = max_int);
+  check_bool "-1e30 clamps to min_int" true (s (-1e30) = min_int);
+  check_bool "infinity clamps to max_int" true (s Float.infinity = max_int);
+  check_bool "neg infinity clamps to min_int" true
+    (s Float.neg_infinity = min_int);
+  check_bool "float max_int boundary stays in range" true
+    (s (float_of_int max_int) = max_int);
+  (* refresh itself must survive whatever quick_stat reports *)
+  Obs.Runtime.refresh ();
+  check_bool "minor words gauge populated via saturation" true
+    (Obs.find_gauge "runtime.gc.minor_words" <> None)
+
+(* Rt_events attribution edges, driven through the synthetic-inject
+   path: the real recording pipeline (ring, split counters, histogram,
+   gauges) without depending on actual GC timing. *)
+let test_rt_overlap_edges () =
+  Obs.Rt_events.reset_for_test ();
+  Obs.reset ();
+  let us = 1000 in
+  (* pause [5us, 15us) straddles the span boundary at 10us: only the
+     inside half attributes *)
+  Obs.Rt_events.inject_for_test ~dom:0 ~cls:Obs.Rt_events.Minor
+    ~t0_ns:(5 * us) ~t1_ns:(15 * us);
+  let window = Obs.Rt_events.pauses_between ~t0_ns:(10 * us) ~t1_ns:(30 * us) () in
+  check_int "straddling pause clips to the span" 5
+    (Obs.Rt_events.overlap_us window ~t0_ns:(10 * us) ~t1_ns:(30 * us));
+  (* the same pause against a span entirely after it: zero attribution *)
+  let later = Obs.Rt_events.pauses_between ~t0_ns:(40 * us) ~t1_ns:(60 * us) () in
+  check_int "no pauses intersect the later span" 0 (List.length later);
+  check_int "pause between spans attributes nothing" 0
+    (Obs.Rt_events.overlap_us later ~t0_ns:(40 * us) ~t1_ns:(60 * us));
+  (* overlap_us re-clips: a sub-window of the query window *)
+  let full = Obs.Rt_events.pauses_between ~t0_ns:0 ~t1_ns:(100 * us) () in
+  check_int "sub-window overlap re-clips" 3
+    (Obs.Rt_events.overlap_us full ~t0_ns:(12 * us) ~t1_ns:(20 * us));
+  Obs.Rt_events.reset_for_test ()
+
+let test_rt_multi_domain_union () =
+  Obs.Rt_events.reset_for_test ();
+  Obs.reset ();
+  let us = 1000 in
+  (* concurrent pauses on two domains overlap in wall-clock; the merged
+     disjoint list must not double-count the shared microseconds *)
+  Obs.Rt_events.inject_for_test ~dom:0 ~cls:Obs.Rt_events.Major
+    ~t0_ns:(10 * us) ~t1_ns:(20 * us);
+  Obs.Rt_events.inject_for_test ~dom:1 ~cls:Obs.Rt_events.Minor
+    ~t0_ns:(15 * us) ~t1_ns:(25 * us);
+  let pauses = Obs.Rt_events.pauses_between ~t0_ns:0 ~t1_ns:(100 * us) () in
+  check_int "overlapping cross-domain pauses merge" 1 (List.length pauses);
+  check_int "union of 10+10 with 5 shared is 15" 15
+    (Obs.Rt_events.overlap_us pauses ~t0_ns:0 ~t1_ns:(100 * us));
+  (* summaries keep the per-domain split and sort by domain *)
+  (match Obs.Rt_events.summaries () with
+  | [ d0; d1 ] ->
+      check_int "domain 0 first" 0 d0.Obs.Rt_events.d_dom;
+      check_int "domain 1 second" 1 d1.Obs.Rt_events.d_dom;
+      check_int "one pause on domain 0" 1 d0.Obs.Rt_events.d_pauses;
+      check_int "major split on domain 0" 1 d0.Obs.Rt_events.d_major;
+      check_int "minor split on domain 1" 1 d1.Obs.Rt_events.d_minor
+  | l -> Alcotest.failf "expected two domains, got %d" (List.length l));
+  check_bool "per-domain max-pause gauges fed" true
+    (Obs.find_gauge "runtime.dom.0.gc.max_pause_us" = Some 10
+    && Obs.find_gauge "runtime.dom.1.gc.max_pause_us" = Some 10);
+  Obs.Rt_events.reset_for_test ()
+
+let test_rt_ring_drop_accounting () =
+  Obs.Rt_events.reset_for_test ~ring_capacity:4 ();
+  Obs.reset ();
+  let us = 1000 in
+  for i = 0 to 9 do
+    Obs.Rt_events.inject_for_test ~dom:0 ~cls:Obs.Rt_events.Minor
+      ~t0_ns:(i * 10 * us)
+      ~t1_ns:(((i * 10) + 2) * us)
+  done;
+  check_bool "runtime.events.dropped is exact" true
+    (Obs.find_counter "runtime.events.dropped" = Some 6);
+  (match Obs.Rt_events.summaries () with
+  | [ d ] ->
+      check_int "all pauses counted" 10 d.Obs.Rt_events.d_pauses;
+      check_int "exact eviction count" 6 d.Obs.Rt_events.d_dropped;
+      check_int "ring keeps the newest capacity entries" 4
+        (List.length d.Obs.Rt_events.d_recent);
+      (match d.Obs.Rt_events.d_recent with
+      | first :: _ ->
+          check_int "oldest surviving entry is pause #6" (60 * us)
+            first.Obs.Rt_events.p_start_ns
+      | [] -> Alcotest.fail "empty ring");
+      check_int "minor split counts every pause" 10 d.Obs.Rt_events.d_minor
+  | l -> Alcotest.failf "expected one domain, got %d" (List.length l));
+  (match Obs.find_histogram "runtime.gc.pause.duration_us" with
+  | Some h -> check_int "pause histogram fed through the real path" 10 h.Obs.h_count
+  | None -> Alcotest.fail "pause histogram missing");
+  (* evicted pauses no longer attribute *)
+  let early = Obs.Rt_events.pauses_between ~t0_ns:0 ~t1_ns:(50 * us) () in
+  check_int "evicted pauses are gone from attribution" 0 (List.length early);
+  Obs.Rt_events.reset_for_test
+    ~ring_capacity:Obs.Rt_events.default_ring_capacity ()
+
+(* End to end against the real runtime: start the poller, force GC
+   work, and require decoded pauses with a live calibration. *)
+let test_rt_live_decode () =
+  Obs.reset ();
+  Obs.Rt_events.reset_for_test ();
+  Obs.Rt_events.start ();
+  Fun.protect ~finally:Obs.Rt_events.stop (fun () ->
+      check_bool "running after start" true (Obs.Rt_events.running ());
+      for _ = 1 to 3 do
+        Gc.full_major ()
+      done;
+      ignore (Obs.Rt_events.poll_now ()));
+  check_bool "stopped after stop" false (Obs.Rt_events.running ());
+  let total =
+    List.fold_left
+      (fun acc d -> acc + d.Obs.Rt_events.d_pauses)
+      0
+      (Obs.Rt_events.summaries ())
+  in
+  check_bool "live GC pauses decoded" true (total > 0);
+  check_bool "pauses stay attributable after stop" true
+    (Obs.Rt_events.active ());
+  check_bool "recorded pauses carry positive wall-clock ends" true
+    (List.for_all
+       (fun d ->
+         List.for_all
+           (fun p ->
+             p.Obs.Rt_events.p_end_ns >= p.Obs.Rt_events.p_start_ns
+             && p.Obs.Rt_events.p_start_ns > 0)
+           d.Obs.Rt_events.d_recent)
+       (Obs.Rt_events.summaries ()));
+  Obs.Rt_events.reset_for_test ();
+  check_bool "reset clears attribution" false (Obs.Rt_events.active ())
+
 let span_count name (snap : Obs.snapshot) =
   match List.assoc_opt name snap.spans with
   | Some s -> s.Obs.s_count
@@ -329,6 +469,14 @@ let suite =
         test_span_latency_histogram;
       Alcotest.test_case "structured log" `Quick test_log;
       Alcotest.test_case "runtime refresh" `Quick test_runtime_refresh;
+      Alcotest.test_case "saturating word-count conversion" `Quick
+        test_saturating_conversion;
+      Alcotest.test_case "rt_events overlap edges" `Quick test_rt_overlap_edges;
+      Alcotest.test_case "rt_events multi-domain union" `Quick
+        test_rt_multi_domain_union;
+      Alcotest.test_case "rt_events ring drop accounting" `Quick
+        test_rt_ring_drop_accounting;
+      Alcotest.test_case "rt_events live decode" `Quick test_rt_live_decode;
       Alcotest.test_case "snapshot determinism" `Quick test_snapshot_determinism;
       Alcotest.test_case "reset during span" `Quick test_reset_during_span;
       Alcotest.test_case "merge under domains" `Quick test_merge_under_domains;

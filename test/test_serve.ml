@@ -914,6 +914,110 @@ let test_access_log () =
       check_bool "access level None suppresses the line" false
         (contains ~needle:"\"event\":\"serve.access\"" (Buffer.contents buf)))
 
+(* /debug/gc, /debug/slow?limit, POST /debug/slow/clear, and the GC/shard
+   fields woven into slow_json — end to end against a live server with the
+   runtime-events poller running. *)
+let test_debug_gc_and_slow_controls () =
+  Obs.Request.configure ~threshold_us:0 ~capacity:64 ();
+  Obs.Request.clear_retained ();
+  Obs.Rt_events.reset_for_test ();
+  Obs.Rt_events.start ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Rt_events.stop ();
+      Obs.Rt_events.reset_for_test ();
+      Obs.Request.disable ();
+      Obs.Request.clear_retained ())
+    (fun () ->
+      let s =
+        Service.create ~shards:4 ~threaded:true (queries "SEQ(A, B) WITHIN 20")
+      in
+      with_server (Service.handle s) (fun port ->
+          for i = 1 to 5 do
+            let body =
+              Printf.sprintf "A,%d,a,k%d\nB,%d,b,k%d\n" i i (i + 3) i
+            in
+            match Http.post ~port "/ingest" body with
+            | Ok (200, _) -> ()
+            | Ok (st, b) -> Alcotest.failf "ingest %d: status %d: %s" i st b
+            | Error e -> Alcotest.failf "ingest %d failed: %s" i e
+          done;
+          (* slow_json carries the shard set and the GC decomposition *)
+          (match Http.get ~port "/debug/slow" with
+          | Ok (200, body) ->
+              check_bool "slow_json rows carry shard indices" true
+                (contains ~needle:"\"shards\":[" body);
+              check_bool "slow_json rows carry the gc_us object" true
+                (contains ~needle:"\"gc_us\":" body);
+              check_bool "slow_json spans carry per-span gc overlap" true
+                (contains ~needle:"\"gc_overlap_us\":" body)
+          | Ok (st, b) -> Alcotest.failf "/debug/slow: status %d: %s" st b
+          | Error e -> Alcotest.failf "/debug/slow failed: %s" e);
+          (* ?limit=N returns the N most recent requests *)
+          (match Http.get ~port "/debug/slow?limit=2" with
+          | Ok (200, body) -> (
+              match Report.Json.of_string body with
+              | Ok (Report.Json.Obj fields) -> (
+                  match List.assoc_opt "requests" fields with
+                  | Some (Report.Json.List reqs) ->
+                      check_int "limit=2 returns two requests" 2
+                        (List.length reqs)
+                  | _ -> Alcotest.fail "limit=2: no requests array")
+              | _ -> Alcotest.fail "limit=2: response is not a JSON object")
+          | Ok (st, b) -> Alcotest.failf "limit=2: status %d: %s" st b
+          | Error e -> Alcotest.failf "limit=2 failed: %s" e);
+          (match Http.get ~port "/debug/slow?limit=0" with
+          | Ok (200, body) ->
+              check_bool "limit=0 returns an empty request list" true
+                (contains ~needle:"\"requests\":[]" body)
+          | Ok (st, b) -> Alcotest.failf "limit=0: status %d: %s" st b
+          | Error e -> Alcotest.failf "limit=0 failed: %s" e);
+          (match Http.get ~port "/debug/slow?limit=bogus" with
+          | Ok (400, _) -> ()
+          | Ok (st, b) ->
+              Alcotest.failf "malformed limit: expected 400, got %d: %s" st b
+          | Error e -> Alcotest.failf "malformed limit failed: %s" e);
+          (* /debug/gc reports the live poller state *)
+          Gc.full_major ();
+          ignore (Obs.Rt_events.poll_now ());
+          (match Http.get ~port "/debug/gc" with
+          | Ok (200, body) ->
+              check_bool "/debug/gc says the poller is running" true
+                (contains ~needle:"\"running\":true" body);
+              check_bool "/debug/gc lists per-domain summaries" true
+                (contains ~needle:"\"dom\":" body);
+              check_bool "/debug/gc carries the recent-pause rings" true
+                (contains ~needle:"\"recent\":" body)
+          | Ok (st, b) -> Alcotest.failf "/debug/gc: status %d: %s" st b
+          | Error e -> Alcotest.failf "/debug/gc failed: %s" e);
+          (match Http.get ~port "/metrics" with
+          | Ok (200, body) ->
+              check_bool "pause histogram reaches the exposition" true
+                (contains ~needle:"whynot_runtime_gc_pause_duration_us" body)
+          | Ok (st, b) -> Alcotest.failf "/metrics: status %d: %s" st b
+          | Error e -> Alcotest.failf "/metrics failed: %s" e);
+          (* clearing the retained set: POST only *)
+          (match Http.get ~port "/debug/slow/clear" with
+          | Ok (405, _) -> ()
+          | Ok (st, b) ->
+              Alcotest.failf "GET clear: expected 405, got %d: %s" st b
+          | Error e -> Alcotest.failf "GET clear failed: %s" e);
+          (match Http.post ~port "/debug/slow/clear" "" with
+          | Ok (200, body) ->
+              check_bool "clear acknowledges" true
+                (contains ~needle:"cleared" body)
+          | Ok (st, b) -> Alcotest.failf "POST clear: status %d: %s" st b
+          | Error e -> Alcotest.failf "POST clear failed: %s" e);
+          (* the clear request itself may be retained after its own scope
+             finalizes, but no earlier /ingest capture survives *)
+          let infos = Obs.Request.retained () in
+          check_bool "clear drops the retained ingest requests" false
+            (List.exists
+               (fun (i : Obs.Request.info) ->
+                 String.equal i.r_path "/ingest")
+               infos));
+      Service.shutdown s)
+
 let suite =
   ( "serve",
     [
@@ -954,4 +1058,6 @@ let suite =
       Alcotest.test_case "shed requests captured with 429 JSON body" `Quick
         test_shed_capture_and_429_body;
       Alcotest.test_case "access log decomposition" `Quick test_access_log;
+      Alcotest.test_case "/debug/gc and slow-capture controls" `Quick
+        test_debug_gc_and_slow_controls;
     ] )

@@ -483,8 +483,8 @@ let test_config_pins_lock_order () =
         (List.mem "shard.sm" c.Config.lock_multi_acquire);
       check_bool "order is outermost-first from the request path" true
         (c.Config.lock_order
-        = [ "http.qm"; "http.cm"; "shard.sm"; "shard.cm"; "obs.ring_lock";
-            "obs.lock" ])
+        = [ "http.qm"; "http.cm"; "shard.sm"; "shard.cm"; "obs.rt_lock";
+            "obs.ring_lock"; "obs.lock" ])
 
 let test_parse_failure_is_error () =
   check_bool "unparsable fixture is an infrastructure error" true

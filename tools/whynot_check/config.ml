@@ -94,7 +94,10 @@ let default =
     no_stdout_allow = [ "lib/report" ];
     docs_path = "docs/OBSERVABILITY.md";
     lock_order =
-      [ "http.qm"; "http.cm"; "shard.sm"; "shard.cm"; "obs.ring_lock"; "obs.lock" ];
+      [
+        "http.qm"; "http.cm"; "shard.sm"; "shard.cm"; "obs.rt_lock";
+        "obs.ring_lock"; "obs.lock";
+      ];
     lock_multi_acquire = [ "shard.sm" ];
   }
 
